@@ -1,0 +1,72 @@
+// Extension bench (beyond the paper's three workloads): apriori
+// frequent-itemset mining, the second canonical partial-write-reduction
+// application from the paper's refs [8][9].  Characterizes it on the
+// simulator, fits the extended-Amdahl parameters, and predicts its
+// scalability — demonstrating that the merging-phase model generalizes
+// across data-mining workload families, as [9] argues.
+
+#include <iostream>
+
+#include "core/amdahl.hpp"
+#include "core/calibrate.hpp"
+#include "core/reduction_model.hpp"
+#include "sim/machine.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "workloads/sim_adapter.hpp"
+
+using namespace mergescale;
+
+int main(int argc, char** argv) {
+  util::Cli cli("bench_apriori_extension",
+                "apriori characterization + scalability prediction");
+  cli.opt("transactions", static_cast<long long>(2000),
+          "number of transactions");
+  cli.opt("universe", static_cast<long long>(96), "item universe size");
+  cli.opt("min-support", 0.05, "minimum support fraction");
+  cli.opt("max-cores", static_cast<long long>(16), "largest core count");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const workloads::TransactionSet data = workloads::synthetic_transactions(
+      static_cast<std::size_t>(cli.get_int("transactions")),
+      static_cast<int>(cli.get_int("universe")), 8, 42);
+  workloads::AprioriConfig config;
+  config.min_support = cli.get_double("min-support");
+
+  util::Table table(
+      {"cores", "parallel", "serial", "reduction", "speedup", "itemsets"});
+  std::vector<core::PhaseProfile> profiles;
+  double base_total = 0.0;
+  for (int cores = 1; cores <= cli.get_int("max-cores"); cores *= 2) {
+    sim::Machine machine(sim::MachineConfig::icpp2011(cores));
+    workloads::AprioriResult result;
+    const workloads::SimPhases phases =
+        workloads::simulate_apriori(data, config, machine, &result);
+    profiles.push_back(phases.profile(cores));
+    if (cores == 1) base_total = static_cast<double>(phases.total());
+    table.new_row()
+        .num(static_cast<long long>(cores))
+        .num(static_cast<double>(phases.parallel), 0)
+        .num(static_cast<double>(phases.serial), 0)
+        .num(static_cast<double>(phases.reduction), 0)
+        .num(base_total / static_cast<double>(phases.total()), 2)
+        .num(static_cast<long long>(result.total()));
+  }
+  table.print(std::cout, "apriori on the simulated machine");
+
+  const core::GrowthFunction linear = core::GrowthFunction::linear();
+  const core::AppParams fitted =
+      core::fit_app_params(profiles, linear, "apriori");
+  std::printf("fitted: f = %.5f, fcon = %.3f, fored = %.3f\n\n", fitted.f,
+              fitted.fcon, fitted.fored);
+
+  util::Table predict({"cores", "Amdahl", "reduction-aware"});
+  for (double p : {16.0, 64.0, 256.0}) {
+    predict.new_row()
+        .num(static_cast<long long>(p))
+        .num(core::amdahl_speedup(fitted.f, p), 1)
+        .num(core::speedup_scaling(fitted, linear, p), 1);
+  }
+  predict.print(std::cout, "predicted scalability");
+  return 0;
+}

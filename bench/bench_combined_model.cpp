@@ -1,0 +1,75 @@
+// Combined critical-section + reduction model (the composition the paper
+// suggests in §VI, pairing its merging-phase term with Eyerman &
+// Eeckhout's critical-section insight).  Prints symmetric-CMP speedup
+// across core sizes for a grid of (fored, fcs) and the per-combination
+// optimum, showing how the two serialization sources compose: both push
+// toward fewer/larger cores, and together they compound.
+
+#include <iostream>
+
+#include "core/app_params.hpp"
+#include "core/critical_model.hpp"
+#include "core/design_space.hpp"
+#include "core/reduction_model.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace mergescale;
+
+int main(int argc, char** argv) {
+  util::Cli cli("bench_combined_model",
+                "reduction x critical-section composed speedup model");
+  cli.opt("f", 0.99, "parallel fraction");
+  cli.opt("fcon", 0.60, "constant share of the serial fraction");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const core::ChipConfig chip = core::ChipConfig::icpp2011();
+  const core::GrowthFunction linear = core::GrowthFunction::linear();
+  const auto sizes = core::power_of_two_sizes(chip.n);
+
+  const double foreds[] = {0.0, 0.1, 0.8};
+  const double fcss[] = {0.0, 0.01, 0.05};
+
+  for (double fored : foreds) {
+    core::AppParams app{"combined", cli.get_double("f"),
+                        cli.get_double("fcon"), fored};
+    util::Table table({"r", "fcs=0", "fcs=0.01", "fcs=0.05"});
+    for (double r : sizes) {
+      table.new_row().num(static_cast<long long>(r));
+      for (double fcs : fcss) {
+        table.num(core::speedup_symmetric_combined(
+                      chip, app, core::CriticalSectionParams{fcs}, linear, r),
+                  1);
+      }
+    }
+    table.print(std::cout,
+                "symmetric CMP, fored=" + util::format_double(fored, 2));
+  }
+
+  // Optima: how the two knobs jointly move the best design.
+  util::Table optima({"fored", "fcs", "best r", "best speedup"});
+  for (double fored : foreds) {
+    for (double fcs : fcss) {
+      core::AppParams app{"combined", cli.get_double("f"),
+                          cli.get_double("fcon"), fored};
+      const core::CriticalSectionParams cs{fcs};
+      double best = 0.0;
+      double best_r = 1.0;
+      for (double r : sizes) {
+        const double s =
+            core::speedup_symmetric_combined(chip, app, cs, linear, r);
+        if (s > best) {
+          best = s;
+          best_r = r;
+        }
+      }
+      optima.new_row()
+          .num(fored, 2)
+          .num(fcs, 2)
+          .num(static_cast<long long>(best_r))
+          .num(best, 1);
+    }
+  }
+  optima.print(std::cout, "speedup-optimal core size per (fored, fcs)");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Reproduces paper Fig. 2 (simulation part) and Table I:
+//   Fig. 2(a) application scalability on 1..16 simulated cores
+//   Fig. 2(b) serial-section time growth, normalized to one core
+//   Fig. 2(d) model accuracy: predicted / simulated serial growth
+// plus the Table I machine configuration the simulation uses.
+//
+// Datasets default to scaled-down versions of the paper's (for bench
+// runtime); pass --full for the paper's exact N (slower).
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/reduction_model.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace mergescale;
+using bench::Characterization;
+
+int main(int argc, char** argv) {
+  util::Cli cli("bench_fig2_characterization",
+                "Fig. 2(a)/(b)/(d): simulated scalability, serial growth "
+                "and model accuracy for kmeans/fuzzy/hop");
+  cli.opt("max-cores", static_cast<long long>(16), "largest core count");
+  cli.opt("iterations", static_cast<long long>(3), "clustering iterations");
+  cli.flag("full", "use the paper's full dataset sizes");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const bool full = cli.get_flag("full");
+  const int max_cores = static_cast<int>(cli.get_int("max-cores"));
+  const int iterations = static_cast<int>(cli.get_int("iterations"));
+
+  // Table I banner.
+  const sim::MachineConfig mc = sim::MachineConfig::icpp2011(max_cores);
+  util::Table table1({"parameter", "value"});
+  table1.new_row().cell("Fetch, Issue, Commit").cell("4");
+  table1.new_row().cell("L1 D cache").cell("64K 4-way private");
+  table1.new_row().cell("L2 cache").cell("4M 16-way shared, MESI");
+  table1.new_row().cell("L1/L2/mem latency (cycles)").cell(
+      util::format_double(mc.l1_hit_latency, 0) + "/" +
+      util::format_double(mc.l2_hit_latency, 0) + "/" +
+      util::format_double(mc.memory_latency, 0));
+  table1.print(std::cout, "Table I — baseline configuration (simulated)");
+
+  core::DatasetShape km = core::presets::kmeans_base();
+  core::DatasetShape fz = core::presets::fuzzy_base();
+  core::DatasetShape hop{"hop", core::presets::hop_default_particles(), 3, 0};
+  if (!full) {
+    km.points = 4096;
+    fz.points = 2048;
+    hop.points = 6144;
+  }
+
+  std::vector<Characterization> runs;
+  runs.push_back(
+      bench::characterize(bench::Workload::kKmeans, km, iterations,
+                          max_cores, 42));
+  runs.push_back(
+      bench::characterize(bench::Workload::kFuzzy, fz, iterations, max_cores,
+                          42));
+  runs.push_back(
+      bench::characterize(bench::Workload::kHop, hop, 1, max_cores, 42));
+
+  // Fig. 2(a): speedup vs cores.
+  util::Table fig2a({"cores", "kmeans", "fuzzy", "hop"});
+  for (std::size_t i = 0; i < runs[0].cores.size(); ++i) {
+    fig2a.new_row().num(static_cast<long long>(runs[0].cores[i]));
+    for (const auto& run : runs) fig2a.num(run.speedup(i), 2);
+  }
+  fig2a.print(std::cout, "Fig. 2(a) — application scalability (simulated)");
+
+  // Fig. 2(b): serial-section growth normalized to one core.
+  util::Table fig2b({"cores", "kmeans", "fuzzy", "hop"});
+  for (std::size_t i = 0; i < runs[0].cores.size(); ++i) {
+    fig2b.new_row().num(static_cast<long long>(runs[0].cores[i]));
+    for (const auto& run : runs) fig2b.num(run.serial_growth(i), 2);
+  }
+  fig2b.print(std::cout,
+              "Fig. 2(b) — serial section time vs 1 core (simulated)");
+
+  // Fig. 2(d): model accuracy (predicted / measured serial growth) using
+  // parameters fitted from the same simulations, as the paper does.
+  const core::GrowthFunction linear = core::GrowthFunction::linear();
+  util::Table fig2d({"cores", "kmeans", "fuzzy", "hop"});
+  std::vector<core::AppParams> fitted;
+  for (const auto& run : runs) {
+    fitted.push_back(
+        core::fit_app_params(run.profiles, linear, run.workload));
+  }
+  for (std::size_t i = 1; i < runs[0].cores.size(); ++i) {
+    fig2d.new_row().num(static_cast<long long>(runs[0].cores[i]));
+    for (std::size_t w = 0; w < runs.size(); ++w) {
+      fig2d.num(core::model_accuracy(fitted[w], linear,
+                                     runs[w].profiles.front(),
+                                     runs[w].profiles[i]),
+                3);
+    }
+  }
+  fig2d.print(std::cout,
+              "Fig. 2(d) — model accuracy (predicted/simulated, 1.0 = exact)");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Reproduces paper Fig. 2(c): serial-section growth measured on *real
+// hardware* (the paper used a dual-socket Xeon E5520; here the native
+// std::thread runtime on the build host).
+//
+// Two measurements are reported per core count:
+//   work   — machine-independent merging-phase operation counts from the
+//            instrumented native run (exact, host-independent);
+//   time   — wall-clock seconds of the serial section (meaningful only
+//            when the host has >= the requested hardware threads; on a
+//            1-core CI container it is reported but oversubscribed).
+
+#include <iostream>
+
+#include "core/calibrate.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "workloads/dataset.hpp"
+#include "workloads/fuzzy.hpp"
+#include "workloads/hop.hpp"
+#include "workloads/kmeans.hpp"
+
+using namespace mergescale;
+
+namespace {
+
+struct NativeRun {
+  core::PhaseProfile ops;      // op-count profile
+  core::PhaseProfile seconds;  // wall-clock profile
+};
+
+NativeRun run_native(const std::string& workload,
+                     const core::DatasetShape& shape, int iterations,
+                     int threads, std::uint64_t seed) {
+  runtime::PhaseLedger ledger;
+  if (workload == "hop") {
+    const workloads::PointSet particles = workloads::plummer_particles(
+        static_cast<std::size_t>(shape.points), seed);
+    workloads::HopConfig config;
+    workloads::run_hop_native(particles, config, threads, ledger);
+  } else {
+    const workloads::PointSet points = workloads::gaussian_mixture(shape, seed);
+    workloads::ClusteringConfig config;
+    config.clusters = shape.centers;
+    config.iterations = iterations;
+    if (workload == "kmeans") {
+      workloads::run_kmeans_native(points, config, threads, ledger);
+    } else {
+      workloads::run_fuzzy_native(points, config, threads, ledger);
+    }
+  }
+  return {ledger.profile_ops(threads), ledger.profile_seconds(threads)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli("bench_fig2c_hw_validation",
+                "Fig. 2(c): serial-section growth on real hardware "
+                "(native thread runtime, large datasets)");
+  cli.opt("max-threads", static_cast<long long>(8),
+          "largest thread count (paper: 8 on the Xeon)");
+  cli.opt("iterations", static_cast<long long>(3), "clustering iterations");
+  cli.flag("full", "use the paper's full dataset sizes");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const int max_threads = static_cast<int>(cli.get_int("max-threads"));
+  const int iterations = static_cast<int>(cli.get_int("iterations"));
+  const bool full = cli.get_flag("full");
+
+  core::DatasetShape km = core::presets::kmeans_base();
+  core::DatasetShape fz = core::presets::fuzzy_base();
+  core::DatasetShape hop{"hop", core::presets::hop_default_particles(), 3, 0};
+  if (!full) {
+    km.points = 8192;
+    fz.points = 4096;
+    hop.points = 8192;
+  }
+
+  const std::vector<std::pair<std::string, core::DatasetShape>> workloads = {
+      {"kmeans", km}, {"fuzzy", fz}, {"hop", hop}};
+
+  util::Table work({"threads", "kmeans", "fuzzy", "hop"});
+  util::Table time({"threads", "kmeans", "fuzzy", "hop"});
+  std::vector<NativeRun> baselines;
+  for (const auto& [name, shape] : workloads) {
+    baselines.push_back(run_native(name, shape, iterations, 1, 42));
+  }
+  for (int threads = 1; threads <= max_threads; threads *= 2) {
+    work.new_row().num(static_cast<long long>(threads));
+    time.new_row().num(static_cast<long long>(threads));
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+      const NativeRun run = threads == 1
+                                ? baselines[w]
+                                : run_native(workloads[w].first,
+                                             workloads[w].second, iterations,
+                                             threads, 42);
+      work.num(core::measured_serial_growth(baselines[w].ops, run.ops), 2);
+      time.num(
+          core::measured_serial_growth(baselines[w].seconds, run.seconds), 2);
+    }
+  }
+  work.print(std::cout,
+             "Fig. 2(c) — serial-section *work* growth vs 1 thread "
+             "(native, host-independent)");
+  time.print(std::cout,
+             "Fig. 2(c) — serial-section *time* growth vs 1 thread "
+             "(native wall-clock; trust only with enough hardware threads)");
+  return 0;
+}

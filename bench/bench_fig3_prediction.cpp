@@ -1,0 +1,75 @@
+// Reproduces paper Fig. 3: predicted speedup of kmeans / fuzzy / hop when
+// scaled to 256 unit cores, comparing Amdahl's model (constant serial
+// section) against the reduction-aware extension, using the paper's
+// Table II parameters.  hop uses the linear growth function with its
+// measured fored = 155% (the paper notes its growth is superlinear; the
+// optional --superlinear flag shows the superlinear-growth variant).
+
+#include <iostream>
+
+#include "core/amdahl.hpp"
+#include "core/app_params.hpp"
+#include "core/reduction_model.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace mergescale;
+
+int main(int argc, char** argv) {
+  util::Cli cli("bench_fig3_prediction",
+                "Fig. 3: scalability prediction, Amdahl vs reduction-aware");
+  cli.opt("max-cores", static_cast<long long>(256), "largest core count");
+  cli.flag("superlinear",
+           "additionally model hop with superlinear growth (exponent 1.1)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const int max_cores = static_cast<int>(cli.get_int("max-cores"));
+  const core::GrowthFunction linear = core::GrowthFunction::linear();
+  const core::GrowthFunction superlinear =
+      core::GrowthFunction::superlinear(1.1);
+
+  for (const core::AppParams& app : core::presets::minebench()) {
+    const bool add_super =
+        cli.get_flag("superlinear") && app.name == "hop";
+    std::vector<std::string> headers{"cores", "Amdahl", "reduction-aware"};
+    if (add_super) headers.push_back("superlinear");
+    util::Table table(headers);
+    for (int p = 1; p <= max_cores; p *= 2) {
+      table.new_row()
+          .num(static_cast<long long>(p))
+          .num(core::amdahl_speedup(app.f, p), 1)
+          .num(core::speedup_scaling(app, linear, p), 1);
+      if (add_super) {
+        table.num(core::speedup_scaling(app, superlinear, p), 1);
+      }
+    }
+    table.print(std::cout,
+                "Fig. 3 — " + app.name + " (f=" +
+                    util::format_double(app.f, 5) + ", fcon=" +
+                    util::format_double(app.fcon, 2) + ", fored=" +
+                    util::format_double(app.fored, 2) + ")");
+  }
+
+  // The paper's takeaway line: where each workload's speedup peaks.
+  util::Table peaks({"application", "peak speedup", "at cores",
+                     "Amdahl @256", "reduction-aware @256"});
+  for (const core::AppParams& app : core::presets::minebench()) {
+    double best = 0.0;
+    int best_p = 1;
+    for (int p = 1; p <= max_cores; p *= 2) {
+      const double s = core::speedup_scaling(app, linear, p);
+      if (s > best) {
+        best = s;
+        best_p = p;
+      }
+    }
+    peaks.new_row()
+        .cell(app.name)
+        .num(best, 1)
+        .num(static_cast<long long>(best_p))
+        .num(core::amdahl_speedup(app.f, max_cores), 1)
+        .num(core::speedup_scaling(app, linear, max_cores), 1);
+  }
+  peaks.print(std::cout, "speedup peaks (reduction-aware model)");
+  return 0;
+}

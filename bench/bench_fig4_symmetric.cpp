@@ -1,0 +1,86 @@
+// Reproduces paper Fig. 4 (and prints Table III): symmetric-CMP speedup
+// as a function of per-core area r, for the eight Table III application
+// classes, under linear and logarithmic reduction growth.
+//
+// --perf-exponent ablates the perf(r) law (paper: 0.5, Pollack's rule).
+
+#include <iostream>
+
+#include "core/app_params.hpp"
+#include "core/design_space.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace mergescale;
+
+int main(int argc, char** argv) {
+  util::Cli cli("bench_fig4_symmetric",
+                "Fig. 4: scalability on symmetric CMPs (256 BCEs)");
+  cli.opt("n", static_cast<long long>(256), "chip budget in BCEs");
+  cli.opt("perf-exponent", 0.5, "perf(r) = r^e exponent (Pollack: 0.5)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  core::ChipConfig chip;
+  chip.n = static_cast<double>(cli.get_int("n"));
+  chip.perf = core::PerfLaw::power(cli.get_double("perf-exponent"));
+  const auto sizes = core::power_of_two_sizes(chip.n);
+
+  // Table III banner.
+  util::Table table3({"class", "f", "fcon%", "fored%"});
+  for (const core::AppParams& app : core::presets::application_classes()) {
+    table3.new_row()
+        .cell(app.name)
+        .num(app.f, 3)
+        .num(100.0 * app.fcon, 0)
+        .num(100.0 * app.fored, 0);
+  }
+  table3.print(std::cout, "Table III — application classes");
+
+  // One sub-figure per (fcon, fored) combination, with both f values and
+  // both growth functions as series — exactly the paper's panel layout.
+  struct Panel {
+    const char* title;
+    bool high_constant;
+    bool high_overhead;
+  };
+  const Panel panels[] = {
+      {"Fig. 4(a) — high constant, low reduction overhead", true, false},
+      {"Fig. 4(b) — high constant, high reduction overhead", true, true},
+      {"Fig. 4(c) — moderate constant, low reduction overhead", false, false},
+      {"Fig. 4(d) — moderate constant, high reduction overhead", false, true},
+  };
+
+  for (const Panel& panel : panels) {
+    util::Table table({"r", "cores", "0.999 Linear", "0.999 Log",
+                       "0.99 Linear", "0.99 Log"});
+    const core::AppParams emb = core::presets::application_class(
+        true, panel.high_constant, panel.high_overhead);
+    const core::AppParams non = core::presets::application_class(
+        false, panel.high_constant, panel.high_overhead);
+    const auto emb_lin = core::sweep_symmetric(
+        chip, emb, core::GrowthFunction::linear(), sizes);
+    const auto emb_log = core::sweep_symmetric(
+        chip, emb, core::GrowthFunction::logarithmic(), sizes);
+    const auto non_lin = core::sweep_symmetric(
+        chip, non, core::GrowthFunction::linear(), sizes);
+    const auto non_log = core::sweep_symmetric(
+        chip, non, core::GrowthFunction::logarithmic(), sizes);
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      table.new_row()
+          .num(static_cast<long long>(sizes[i]))
+          .num(static_cast<long long>(chip.n / sizes[i]))
+          .num(emb_lin[i].speedup, 1)
+          .num(emb_log[i].speedup, 1)
+          .num(non_lin[i].speedup, 1)
+          .num(non_log[i].speedup, 1);
+    }
+    table.print(std::cout, panel.title);
+
+    const auto best_emb = core::best_point(emb_lin);
+    const auto best_non = core::best_point(non_lin);
+    std::cout << "  linear peaks: f=0.999 -> " << best_emb.speedup << " @ r="
+              << best_emb.r << ";  f=0.99 -> " << best_non.speedup
+              << " @ r=" << best_non.r << "\n\n";
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Reproduces paper Fig. 5: asymmetric-CMP speedup as a function of the
+// large-core size rl, for small-core sizes r in {1, 4, 16}, across the
+// eight Table III application classes (linear reduction growth; the
+// reduction runs on the large core).
+
+#include <iostream>
+
+#include "core/app_params.hpp"
+#include "core/design_space.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace mergescale;
+
+int main(int argc, char** argv) {
+  util::Cli cli("bench_fig5_asymmetric",
+                "Fig. 5: scalability on asymmetric CMPs (256 BCEs)");
+  cli.opt("n", static_cast<long long>(256), "chip budget in BCEs");
+  if (!cli.parse(argc, argv)) return 0;
+
+  core::ChipConfig chip;
+  chip.n = static_cast<double>(cli.get_int("n"));
+  const auto sizes = core::power_of_two_sizes(chip.n);
+  const core::GrowthFunction linear = core::GrowthFunction::linear();
+
+  struct Panel {
+    const char* figure;
+    bool emb;
+    bool high_constant;
+    bool high_overhead;
+  };
+  const Panel panels[] = {
+      {"Fig. 5(a) — emb., high constant, low overhead", true, true, false},
+      {"Fig. 5(b) — non-emb., high constant, low overhead", false, true,
+       false},
+      {"Fig. 5(c) — emb., high constant, high overhead", true, true, true},
+      {"Fig. 5(d) — non-emb., high constant, high overhead", false, true,
+       true},
+      {"Fig. 5(e) — emb., moderate constant, low overhead", true, false,
+       false},
+      {"Fig. 5(f) — non-emb., moderate constant, low overhead", false, false,
+       false},
+      {"Fig. 5(g) — emb., moderate constant, high overhead", true, false,
+       true},
+      {"Fig. 5(h) — non-emb., moderate constant, high overhead", false, false,
+       true},
+  };
+
+  for (const Panel& panel : panels) {
+    const core::AppParams app = core::presets::application_class(
+        panel.emb, panel.high_constant, panel.high_overhead);
+    util::Table table({"rl", "r=1", "r=4", "r=16"});
+    std::vector<std::vector<core::DesignPoint>> sweeps;
+    for (double r : {1.0, 4.0, 16.0}) {
+      sweeps.push_back(core::sweep_asymmetric(chip, app, linear, sizes, r));
+    }
+    for (double rl : sizes) {
+      table.new_row().num(static_cast<long long>(rl));
+      for (const auto& sweep : sweeps) {
+        bool found = false;
+        for (const auto& p : sweep) {
+          if (p.rl == rl) {
+            table.num(p.speedup, 1);
+            found = true;
+            break;
+          }
+        }
+        if (!found) table.cell("-");  // small cores no longer fit
+      }
+    }
+    table.print(std::cout, panel.figure);
+    for (std::size_t s = 0; s < sweeps.size(); ++s) {
+      if (sweeps[s].empty()) continue;
+      const auto best = core::best_point(sweeps[s]);
+      std::cout << "  best r=" << (s == 0 ? 1 : (s == 1 ? 4 : 16)) << ": "
+                << util::format_double(best.speedup, 1) << " @ rl="
+                << best.rl << "\n";
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}

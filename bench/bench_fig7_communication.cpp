@@ -1,0 +1,115 @@
+// Reproduces paper Fig. 7: speedup under the communication-aware model
+// (parallel/privatized reduction computation + 2-D mesh communication,
+// Eqs. 6-8) for the non-embarrassingly parallel, moderate-constant class.
+//   Fig. 7(a): symmetric CMPs vs core size r
+//   Fig. 7(b): asymmetric CMPs vs large-core size rl for r in {1, 4, 16}
+// Also prints the comparison lines the paper highlights (46.6 vs 79.7,
+// 51.6 vs 162.3) and a growth-function ablation for the compute part.
+
+#include <iostream>
+
+#include "core/amdahl.hpp"
+#include "core/comm_model.hpp"
+#include "core/design_space.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace mergescale;
+
+int main(int argc, char** argv) {
+  util::Cli cli("bench_fig7_communication",
+                "Fig. 7: communication-aware scalability (2-D mesh)");
+  cli.opt("n", static_cast<long long>(256), "chip budget in BCEs");
+  cli.opt("f", 0.99, "parallel fraction");
+  cli.opt("fcon", 0.60, "constant share of the serial fraction");
+  if (!cli.parse(argc, argv)) return 0;
+
+  core::ChipConfig chip;
+  chip.n = static_cast<double>(cli.get_int("n"));
+  const core::CommAppParams app{"fig7", cli.get_double("f"),
+                                cli.get_double("fcon"), 0.5};
+  const auto sizes = core::power_of_two_sizes(chip.n);
+  const core::GrowthFunction mesh = core::mesh_comm_growth();
+
+  // Fig. 7(a): symmetric, with the compute-growth ablation as columns.
+  util::Table fig7a(
+      {"r", "cores", "parallel merge", "log merge", "linear merge"});
+  const auto sym_par = core::sweep_symmetric_comm(
+      chip, app, core::GrowthFunction::parallel(), mesh, sizes);
+  const auto sym_log = core::sweep_symmetric_comm(
+      chip, app, core::GrowthFunction::logarithmic(), mesh, sizes);
+  const auto sym_lin = core::sweep_symmetric_comm(
+      chip, app, core::GrowthFunction::linear(), mesh, sizes);
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    fig7a.new_row()
+        .num(static_cast<long long>(sizes[i]))
+        .num(static_cast<long long>(chip.n / sizes[i]))
+        .num(sym_par[i].speedup, 1)
+        .num(sym_log[i].speedup, 1)
+        .num(sym_lin[i].speedup, 1);
+  }
+  fig7a.print(std::cout,
+              "Fig. 7(a) — symmetric CMPs under the communication model");
+
+  const auto best_sym = core::best_point(sym_par);
+  double amdahl_sym = 0.0;
+  for (double r : sizes) {
+    amdahl_sym = std::max(amdahl_sym,
+                          core::hill_marty_symmetric(chip, app.f, r));
+  }
+  std::cout << "  best CMP: " << util::format_double(best_sym.speedup, 1)
+            << " @ r=" << best_sym.r << "  (Amdahl/Hill-Marty best: "
+            << util::format_double(amdahl_sym, 1) << ")\n\n";
+
+  // Fig. 7(b): asymmetric, r in {1, 4, 16}.
+  util::Table fig7b({"rl", "r=1", "r=4", "r=16"});
+  std::vector<std::vector<core::DesignPoint>> sweeps;
+  for (double r : {1.0, 4.0, 16.0}) {
+    sweeps.push_back(core::sweep_asymmetric_comm(
+        chip, app, core::GrowthFunction::parallel(), mesh, sizes, r));
+  }
+  for (double rl : sizes) {
+    fig7b.new_row().num(static_cast<long long>(rl));
+    for (const auto& sweep : sweeps) {
+      bool found = false;
+      for (const auto& p : sweep) {
+        if (p.rl == rl) {
+          fig7b.num(p.speedup, 1);
+          found = true;
+          break;
+        }
+      }
+      if (!found) fig7b.cell("-");
+    }
+  }
+  fig7b.print(std::cout,
+              "Fig. 7(b) — asymmetric CMPs under the communication model");
+
+  double best_asym = 0.0;
+  double best_rl = 0.0;
+  double best_r = 0.0;
+  const double rs[] = {1.0, 4.0, 16.0};
+  for (std::size_t s = 0; s < sweeps.size(); ++s) {
+    if (sweeps[s].empty()) continue;
+    const auto best = core::best_point(sweeps[s]);
+    if (best.speedup > best_asym) {
+      best_asym = best.speedup;
+      best_rl = best.rl;
+      best_r = rs[s];
+    }
+  }
+  double amdahl_asym = 0.0;
+  for (double rl : sizes) {
+    amdahl_asym = std::max(amdahl_asym,
+                           core::hill_marty_asymmetric(chip, app.f, rl));
+  }
+  std::cout << "  best ACMP: " << util::format_double(best_asym, 1)
+            << " @ rl=" << best_rl << ", r=" << best_r
+            << "  (Amdahl/Hill-Marty best: "
+            << util::format_double(amdahl_asym, 1) << ")\n";
+  std::cout << "  ACMP advantage over CMP: "
+            << util::format_double(100.0 * (best_asym / best_sym.speedup - 1),
+                                   1)
+            << "% (diminished vs the reduction-free models)\n";
+  return 0;
+}

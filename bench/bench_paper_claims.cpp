@@ -1,0 +1,81 @@
+// Regression ledger: every numeric speedup printed in the paper's text,
+// next to the value this library's models produce.  This is the quickest
+// way to confirm the reproduction end to end (all rows should agree to
+// the paper's one printed decimal, except the Hill-Marty ACMP optimum
+// where the paper used a finer rl grid — see the note column).
+
+#include <iostream>
+
+#include "core/amdahl.hpp"
+#include "core/app_params.hpp"
+#include "core/comm_model.hpp"
+#include "core/design_space.hpp"
+#include "core/reduction_model.hpp"
+#include "util/table.hpp"
+
+using namespace mergescale;
+using namespace mergescale::core;
+
+int main() {
+  const ChipConfig chip = ChipConfig::icpp2011();
+  const GrowthFunction linear = GrowthFunction::linear();
+  const auto sizes = power_of_two_sizes(chip.n);
+
+  util::Table table({"paper claim", "paper", "ours", "note"});
+  auto row = [&table](const std::string& claim, double paper, double ours,
+                      const std::string& note = "") {
+    table.new_row().cell(claim).num(paper, 1).num(ours, 1).cell(note);
+  };
+
+  row("Fig 4(c) peak, f=.999 linear (r=4)", 104.5,
+      speedup_symmetric(chip, presets::application_class(true, false, false),
+                        linear, 4));
+  row("Fig 4(d) peak, f=.999 linear (r=8)", 67.1,
+      speedup_symmetric(chip, presets::application_class(true, false, true),
+                        linear, 8));
+  row("Fig 4(b) CMP peak, f=.99 linear (r=16)", 47.6,
+      speedup_symmetric(chip, presets::application_class(false, true, true),
+                        linear, 16));
+  row("Fig 4(d) CMP peak, f=.99 linear (r=32)", 36.2,
+      speedup_symmetric(chip, presets::application_class(false, false, true),
+                        linear, 32));
+  row("Fig 5(d) ACMP peak (rl=64, r=4)", 64.2,
+      speedup_asymmetric(chip, presets::application_class(false, true, true),
+                         linear, 64, 4));
+  row("Fig 5(h) ACMP r=1 peak (rl=128)", 22.6,
+      speedup_asymmetric(chip, presets::application_class(false, false, true),
+                         linear, 128, 1));
+  row("Fig 5(h) ACMP r=4 peak (rl=128)", 43.3,
+      best_point(sweep_asymmetric(
+                     chip, presets::application_class(false, false, true),
+                     linear, sizes, 4))
+          .speedup);
+
+  double best_hm_sym = 0.0;
+  for (double r : sizes) {
+    best_hm_sym = std::max(best_hm_sym, hill_marty_symmetric(chip, 0.99, r));
+  }
+  row("Hill-Marty CMP optimum, f=.99", 79.7, best_hm_sym);
+  double best_hm_asym = 0.0;
+  for (double rl : sizes) {
+    best_hm_asym =
+        std::max(best_hm_asym, hill_marty_asymmetric(chip, 0.99, rl));
+  }
+  row("Hill-Marty ACMP optimum, f=.99", 162.3, best_hm_asym,
+      "paper used finer rl grid; rl=64 gives 161.3");
+
+  const CommAppParams comm_app{"fig7", 0.99, 0.60, 0.5};
+  row("Fig 7(a) comm-model CMP peak (r=8)", 46.6,
+      best_point(sweep_symmetric_comm(chip, comm_app,
+                                      GrowthFunction::parallel(),
+                                      mesh_comm_growth(), sizes))
+          .speedup);
+  row("Fig 7(b) comm-model ACMP peak (rl=32, r=4)", 51.6,
+      best_point(sweep_asymmetric_comm(chip, comm_app,
+                                       GrowthFunction::parallel(),
+                                       mesh_comm_growth(), sizes, 4))
+          .speedup);
+
+  table.print(std::cout, "paper-vs-model regression ledger");
+  return 0;
+}

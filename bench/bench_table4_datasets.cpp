@@ -1,0 +1,80 @@
+// Reproduces paper Table IV: dataset sensitivity of the measured
+// fractions (f, fred, fcon) for kmeans and fuzzy when scaling the number
+// of points, dimensions and centers, plus the two hop datasets.
+//
+// Datasets are scaled down by default (--full for paper sizes).  The
+// paper's headline observation is checked in the output: scaling the
+// point count raises f (merging work is independent of N), while
+// scaling dims/centers leaves the fractions roughly unchanged.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/reduction_model.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace mergescale;
+
+int main(int argc, char** argv) {
+  util::Cli cli("bench_table4_datasets", "Table IV: dataset sensitivity");
+  cli.opt("max-cores", static_cast<long long>(8),
+          "largest simulated core count");
+  cli.opt("iterations", static_cast<long long>(2), "clustering iterations");
+  cli.flag("full", "use the paper's full dataset sizes");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const bool full = cli.get_flag("full");
+  const int max_cores = static_cast<int>(cli.get_int("max-cores"));
+  const int iterations = static_cast<int>(cli.get_int("iterations"));
+  const double scale = full ? 1.0 : 0.2;
+
+  const core::GrowthFunction linear = core::GrowthFunction::linear();
+  util::Table table({"label", "N", "D", "C", "f (meas)", "fred% (meas)",
+                     "fcon% (meas)", "f (paper)", "fred% (paper)",
+                     "fcon% (paper)"});
+
+  double f_base_kmeans = 0.0;
+  double f_point_kmeans = 0.0;
+  for (const core::DatasetSensitivityRow& row :
+       core::presets::dataset_sensitivity()) {
+    core::DatasetShape shape = row.shape;
+    shape.points = std::max(512, static_cast<int>(shape.points * scale));
+
+    const bool is_hop = shape.label.rfind("hop", 0) == 0;
+    if (is_hop && !full) {
+      // kNN traces are the heaviest to simulate: keep the default/medium
+      // 1:8 particle ratio at a bench-friendly absolute size.
+      shape.points = shape.label == "hop-med" ? 12288 : 6144;
+    }
+    const bench::Workload workload =
+        is_hop ? bench::Workload::kHop
+               : (shape.label.rfind("fuzzy", 0) == 0 ? bench::Workload::kFuzzy
+                                                     : bench::Workload::kKmeans);
+    const bench::Characterization run = bench::characterize(
+        workload, shape, is_hop ? 1 : iterations, max_cores, 42);
+    const core::AppParams fitted =
+        core::fit_app_params(run.profiles, linear, shape.label);
+
+    if (shape.label == "kmeans-base") f_base_kmeans = fitted.f;
+    if (shape.label == "kmeans-point") f_point_kmeans = fitted.f;
+
+    table.new_row()
+        .cell(shape.label)
+        .num(static_cast<long long>(shape.points))
+        .num(static_cast<long long>(shape.dims))
+        .num(static_cast<long long>(shape.centers))
+        .num(fitted.f, 5)
+        .num(100.0 * fitted.fred(), 1)
+        .num(100.0 * fitted.fcon, 1)
+        .num(row.f, 5)
+        .num(row.fred_pct, 1)
+        .num(row.fcon_pct, 1);
+  }
+  table.print(std::cout, "Table IV — dataset sensitivity");
+
+  std::cout << "shape check: scaling N raises f (merging work independent "
+               "of N): "
+            << (f_point_kmeans > f_base_kmeans ? "PASS" : "FAIL") << "\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+#include "bench_util.hpp"
+
+#include "util/check.hpp"
+
+namespace mergescale::bench {
+
+Workload parse_workload(const std::string& name) {
+  if (name == "kmeans") return Workload::kKmeans;
+  if (name == "fuzzy") return Workload::kFuzzy;
+  if (name == "hop") return Workload::kHop;
+  throw std::invalid_argument("unknown workload: " + name);
+}
+
+const char* workload_name(Workload w) {
+  switch (w) {
+    case Workload::kKmeans: return "kmeans";
+    case Workload::kFuzzy: return "fuzzy";
+    case Workload::kHop: return "hop";
+  }
+  return "?";
+}
+
+Characterization characterize(Workload workload,
+                              const core::DatasetShape& shape, int iterations,
+                              int max_cores, std::uint64_t seed) {
+  MS_CHECK(max_cores >= 1, "need at least one core");
+  Characterization result;
+  result.workload = workload_name(workload);
+
+  // Generate the dataset once; all core counts see identical input.
+  workloads::PointSet points =
+      workload == Workload::kHop
+          ? workloads::plummer_particles(
+                static_cast<std::size_t>(shape.points), seed)
+          : workloads::gaussian_mixture(shape, seed);
+
+  for (int cores = 1; cores <= max_cores; cores *= 2) {
+    sim::Machine machine(sim::MachineConfig::icpp2011(cores));
+    workloads::SimPhases phases;
+    switch (workload) {
+      case Workload::kKmeans: {
+        workloads::ClusteringConfig config;
+        config.clusters = shape.centers;
+        config.iterations = iterations;
+        phases = workloads::simulate_kmeans(points, config, machine);
+        break;
+      }
+      case Workload::kFuzzy: {
+        workloads::ClusteringConfig config;
+        config.clusters = shape.centers;
+        config.iterations = iterations;
+        phases = workloads::simulate_fuzzy(points, config, machine);
+        break;
+      }
+      case Workload::kHop: {
+        workloads::HopConfig config;
+        phases = workloads::simulate_hop(points, config, machine);
+        break;
+      }
+    }
+    result.cores.push_back(cores);
+    result.phases.push_back(phases);
+    result.profiles.push_back(phases.profile(cores));
+  }
+  return result;
+}
+
+}  // namespace mergescale::bench

@@ -1,0 +1,54 @@
+#pragma once
+// Shared helpers for the experiment harnesses in bench/.  Each bench
+// binary regenerates one table or figure of the paper; these helpers
+// centralize the simulate-across-core-counts loop every characterization
+// bench needs.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/calibrate.hpp"
+#include "sim/machine.hpp"
+#include "workloads/dataset.hpp"
+#include "workloads/sim_adapter.hpp"
+#include "workloads/workload_types.hpp"
+
+namespace mergescale::bench {
+
+/// Result of characterizing one workload across core counts.
+struct Characterization {
+  std::string workload;
+  std::vector<int> cores;                      ///< simulated core counts
+  std::vector<workloads::SimPhases> phases;    ///< one per core count
+  std::vector<core::PhaseProfile> profiles;    ///< cycle-based profiles
+
+  /// Measured end-to-end speedup vs the single-core run.
+  double speedup(std::size_t i) const {
+    return static_cast<double>(phases.front().total()) /
+           static_cast<double>(phases[i].total());
+  }
+  /// Measured serial-section growth factor vs the single-core run.
+  double serial_growth(std::size_t i) const {
+    return static_cast<double>(phases[i].serial_section()) /
+           static_cast<double>(phases.front().serial_section());
+  }
+};
+
+/// Simulated workload kind.
+enum class Workload { kKmeans, kFuzzy, kHop };
+
+/// Parses "kmeans" | "fuzzy" | "hop" (throws std::invalid_argument).
+Workload parse_workload(const std::string& name);
+/// Printable name.
+const char* workload_name(Workload w);
+
+/// Runs `workload` on the Table I machine for each core count in
+/// {1, 2, ..., max_cores} (powers of two) and returns the phase data.
+/// For kmeans/fuzzy, `shape` selects the dataset; HOP uses shape.points
+/// Plummer particles.
+Characterization characterize(Workload workload,
+                              const core::DatasetShape& shape, int iterations,
+                              int max_cores, std::uint64_t seed);
+
+}  // namespace mergescale::bench

@@ -1,0 +1,117 @@
+// clustering_advisor: the paper's full methodology as a tool.
+//
+// Runs a clustering workload (kmeans | fuzzy | hop) on the multicore
+// timing simulator across core counts, extracts the phase profile, fits
+// the extended-Amdahl parameters (f, fcon, fored), and reports (a) how
+// far the workload will actually scale and (b) the speedup-optimal
+// symmetric and asymmetric 256-BCE chip for it.
+//
+//   ./build/examples/clustering_advisor --workload kmeans --points 4096
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/amdahl.hpp"
+#include "core/calibrate.hpp"
+#include "core/design_space.hpp"
+#include "core/reduction_model.hpp"
+#include "sim/machine.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "workloads/dataset.hpp"
+#include "workloads/sim_adapter.hpp"
+
+using namespace mergescale;
+
+int main(int argc, char** argv) {
+  util::Cli cli("clustering_advisor",
+                "simulate a clustering workload, fit the reduction-aware "
+                "model and recommend a chip design");
+  cli.opt("workload", std::string("kmeans"), "kmeans | fuzzy | hop");
+  cli.opt("points", static_cast<long long>(4096),
+          "dataset size (points/particles)");
+  cli.opt("dims", static_cast<long long>(9), "dimensions (kmeans/fuzzy)");
+  cli.opt("clusters", static_cast<long long>(8), "centers (kmeans/fuzzy)");
+  cli.opt("iterations", static_cast<long long>(3),
+          "clustering iterations (kmeans/fuzzy)");
+  cli.opt("max-cores", static_cast<long long>(16),
+          "largest simulated core count (power of two)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const std::string workload = cli.get_string("workload");
+  const auto n_points = static_cast<std::size_t>(cli.get_int("points"));
+  const int max_cores = static_cast<int>(cli.get_int("max-cores"));
+
+  core::DatasetShape shape{"advisor", static_cast<int>(n_points),
+                           static_cast<int>(cli.get_int("dims")),
+                           static_cast<int>(cli.get_int("clusters"))};
+
+  std::vector<core::PhaseProfile> profiles;
+  util::Table table({"cores", "parallel", "serial", "reduction", "speedup"});
+  std::printf("simulating %s on 1..%d cores...\n", workload.c_str(),
+              max_cores);
+
+  double single_core_total = 0.0;
+  for (int cores = 1; cores <= max_cores; cores *= 2) {
+    sim::Machine machine(sim::MachineConfig::icpp2011(cores));
+    workloads::SimPhases phases;
+    if (workload == "kmeans" || workload == "fuzzy") {
+      workloads::PointSet points = workloads::gaussian_mixture(shape, 42);
+      workloads::ClusteringConfig config;
+      config.clusters = shape.centers;
+      config.iterations = static_cast<int>(cli.get_int("iterations"));
+      phases = workload == "kmeans"
+                   ? workloads::simulate_kmeans(points, config, machine)
+                   : workloads::simulate_fuzzy(points, config, machine);
+    } else if (workload == "hop") {
+      workloads::PointSet particles =
+          workloads::plummer_particles(n_points, 42);
+      workloads::HopConfig config;
+      phases = workloads::simulate_hop(particles, config, machine);
+    } else {
+      std::fprintf(stderr, "unknown workload '%s'\n", workload.c_str());
+      return 1;
+    }
+    profiles.push_back(phases.profile(cores));
+    if (cores == 1) single_core_total = static_cast<double>(phases.total());
+    table.new_row()
+        .num(static_cast<long long>(cores))
+        .num(static_cast<double>(phases.parallel), 0)
+        .num(static_cast<double>(phases.serial), 0)
+        .num(static_cast<double>(phases.reduction), 0)
+        .num(single_core_total / static_cast<double>(phases.total()), 2);
+  }
+  table.print(std::cout, "simulated cycles per phase");
+
+  // Fit the model and predict beyond the simulated range.
+  const core::GrowthFunction linear = core::GrowthFunction::linear();
+  const core::AppParams fitted =
+      core::fit_app_params(profiles, linear, workload);
+  std::printf("fitted parameters: f = %.6f, fcon = %.3f, fored = %.3f\n\n",
+              fitted.f, fitted.fcon, fitted.fored);
+
+  util::Table predict({"cores", "Amdahl", "reduction-aware"});
+  for (double p : {16.0, 32.0, 64.0, 128.0, 256.0}) {
+    predict.new_row()
+        .num(static_cast<long long>(p))
+        .num(core::amdahl_speedup(fitted.f, p), 1)
+        .num(core::speedup_scaling(fitted, linear, p), 1);
+  }
+  predict.print(std::cout, "predicted speedup on p unit cores");
+
+  const core::ChipConfig chip = core::ChipConfig::icpp2011();
+  const core::DesignPoint sym = core::optimal_symmetric(chip, fitted, linear);
+  const core::DesignPoint asym =
+      core::optimal_asymmetric(chip, fitted, linear);
+  std::printf("recommended symmetric chip : %3.0f cores x %2.0f BCEs "
+              "(speedup %.1f)\n",
+              chip.n / sym.r, sym.r, sym.speedup);
+  std::printf("recommended asymmetric chip: %2.0f-BCE large core + %3.0f x "
+              "%2.0f BCEs (speedup %.1f)\n",
+              asym.rl, (chip.n - asym.rl) / asym.r, asym.r, asym.speedup);
+  std::printf("ACMP advantage over CMP    : %.1f%%\n",
+              100.0 * (asym.speedup / sym.speedup - 1.0));
+  return 0;
+}

@@ -1,0 +1,112 @@
+// design_explorer: interactive sweep over the chip design space for
+// arbitrary application parameters — the generalized form of the paper's
+// Figs. 4/5/7.
+//
+//   ./build/examples/design_explorer --f 0.99 --fcon 0.6 --fored 0.8 \
+//       --growth linear --model reduction --csv
+//
+// Prints one row per candidate core size r (symmetric) and per large-core
+// size rl (asymmetric, at several small-core sizes).
+
+#include <iostream>
+#include <string>
+
+#include "core/comm_model.hpp"
+#include "core/design_space.hpp"
+#include "core/reduction_model.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace mergescale;
+
+namespace {
+
+core::GrowthFunction growth_from_name(const std::string& name) {
+  if (name == "linear") return core::GrowthFunction::linear();
+  if (name == "log") return core::GrowthFunction::logarithmic();
+  if (name == "parallel") return core::GrowthFunction::parallel();
+  throw std::invalid_argument("unknown growth function: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli("design_explorer",
+                "sweep symmetric/asymmetric chip designs under the "
+                "reduction-aware or communication-aware speedup model");
+  cli.opt("f", 0.99, "parallel fraction");
+  cli.opt("fcon", 0.60, "constant share of the serial fraction");
+  cli.opt("fored", 0.80, "reduction growth coefficient");
+  cli.opt("n", static_cast<long long>(256), "chip budget in BCEs");
+  cli.opt("growth", std::string("linear"),
+          "reduction growth function: linear | log | parallel");
+  cli.opt("model", std::string("reduction"),
+          "speedup model: reduction | communication");
+  cli.flag("csv", "emit CSV instead of an aligned table");
+  if (!cli.parse(argc, argv)) return 0;
+
+  core::ChipConfig chip;
+  chip.n = static_cast<double>(cli.get_int("n"));
+  const core::GrowthFunction growth =
+      growth_from_name(cli.get_string("growth"));
+  const auto sizes = core::power_of_two_sizes(chip.n);
+  const bool comm = cli.get_string("model") == "communication";
+
+  core::AppParams app{"custom", cli.get_double("f"), cli.get_double("fcon"),
+                      cli.get_double("fored")};
+  app.validate();
+  const core::CommAppParams comm_app = core::CommAppParams::from(app);
+  const core::GrowthFunction mesh = core::mesh_comm_growth();
+
+  // Symmetric sweep.
+  util::Table sym({"r", "cores", "speedup"});
+  const auto sym_points =
+      comm ? core::sweep_symmetric_comm(chip, comm_app, growth, mesh, sizes)
+           : core::sweep_symmetric(chip, app, growth, sizes);
+  for (const auto& p : sym_points) {
+    sym.new_row()
+        .num(static_cast<long long>(p.r))
+        .num(static_cast<long long>(chip.n / p.r))
+        .num(p.speedup, 1);
+  }
+  if (cli.get_flag("csv")) {
+    std::cout << sym.to_csv();
+  } else {
+    sym.print(std::cout, "symmetric CMP");
+  }
+
+  // Asymmetric sweeps at three small-core sizes (the paper's r = 1/4/16).
+  for (double r : {1.0, 4.0, 16.0}) {
+    util::Table asym({"rl", "small cores", "speedup"});
+    const auto points =
+        comm ? core::sweep_asymmetric_comm(chip, comm_app, growth, mesh,
+                                           sizes, r)
+             : core::sweep_asymmetric(chip, app, growth, sizes, r);
+    for (const auto& p : points) {
+      asym.new_row()
+          .num(static_cast<long long>(p.rl))
+          .num(static_cast<long long>((chip.n - p.rl) / r))
+          .num(p.speedup, 1);
+    }
+    const std::string title =
+        "asymmetric CMP, small cores of " + std::to_string(static_cast<int>(r)) +
+        " BCE(s)";
+    if (cli.get_flag("csv")) {
+      std::cout << asym.to_csv();
+    } else {
+      asym.print(std::cout, title);
+    }
+  }
+
+  // Optima summary (reduction model only; the comm model's optimum is in
+  // the sweeps above).
+  if (!comm) {
+    const auto sym_best = core::optimal_symmetric(chip, app, growth);
+    const auto asym_best = core::optimal_asymmetric(chip, app, growth);
+    std::printf("optimal symmetric : r = %-3.0f speedup %.1f\n", sym_best.r,
+                sym_best.speedup);
+    std::printf("optimal asymmetric: rl = %-3.0f r = %-3.0f speedup %.1f\n",
+                asym_best.rl, asym_best.r, asym_best.speedup);
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Quickstart: the mergescale analytical-model API in one page.
+//
+// Computes what the ICPP 2011 paper computes for its running example —
+// how far k-means scales once the merging phase is accounted for, and
+// what chip organization maximizes its speedup — using the library's
+// public API.  Build and run:
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/amdahl.hpp"
+#include "core/app_params.hpp"
+#include "core/design_space.hpp"
+#include "core/reduction_model.hpp"
+
+int main() {
+  using namespace mergescale::core;
+
+  // The paper's measured k-means parameters (Table II): 99.985% parallel,
+  // 57% of the serial fraction is constant work, and the merging phase
+  // grows by 72% of its single-core cost per added core.
+  const AppParams kmeans = presets::kmeans();
+  const GrowthFunction linear = GrowthFunction::linear();
+  const ChipConfig chip = ChipConfig::icpp2011();  // 256 BCEs, perf = sqrt r
+
+  std::printf("k-means (f = %.5f, fcon = %.2f, fored = %.2f)\n\n", kmeans.f,
+              kmeans.fcon, kmeans.fored);
+
+  // 1. Amdahl's Law vs the reduction-aware model on p unit cores.
+  std::printf("%8s  %12s  %18s\n", "cores", "Amdahl", "reduction-aware");
+  for (double p : {16.0, 64.0, 256.0}) {
+    std::printf("%8.0f  %12.1f  %18.1f\n", p, amdahl_speedup(kmeans.f, p),
+                speedup_scaling(kmeans, linear, p));
+  }
+
+  // 2. How the serial section grows with cores (the paper's Fig. 2b).
+  std::printf("\nserial-section growth vs 1 core: 4 cores %.1fx, "
+              "16 cores %.1fx\n",
+              serial_growth_factor(kmeans, linear, 4),
+              serial_growth_factor(kmeans, linear, 16));
+
+  // 3. The speedup-optimal symmetric and asymmetric 256-BCE designs.
+  const DesignPoint sym = optimal_symmetric(chip, kmeans, linear);
+  const DesignPoint asym = optimal_asymmetric(chip, kmeans, linear);
+  std::printf("\nbest symmetric design : %3.0f cores of %2.0f BCEs  -> "
+              "speedup %.1f\n",
+              chip.n / sym.r, sym.r, sym.speedup);
+  std::printf("best asymmetric design: 1x%2.0f BCE large core + %3.0f "
+              "cores of %2.0f BCEs -> speedup %.1f\n",
+              asym.rl, (chip.n - asym.rl) / asym.r, asym.r, asym.speedup);
+  return 0;
+}

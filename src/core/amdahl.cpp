@@ -1,0 +1,46 @@
+#include "core/amdahl.hpp"
+
+#include "util/check.hpp"
+
+namespace mergescale::core {
+
+namespace {
+void check_fraction(double f) {
+  MS_CHECK(f >= 0.0 && f <= 1.0, "parallel fraction f must lie in [0, 1]");
+}
+}  // namespace
+
+double amdahl_speedup(double f, double p) {
+  check_fraction(f);
+  MS_CHECK(p >= 1.0, "processor count must be at least 1");
+  return 1.0 / ((1.0 - f) + f / p);
+}
+
+double amdahl_limit(double f) {
+  check_fraction(f);
+  MS_CHECK(f < 1.0, "amdahl_limit is unbounded for f == 1");
+  return 1.0 / (1.0 - f);
+}
+
+double hill_marty_symmetric(const ChipConfig& chip, double f, double r) {
+  check_fraction(f);
+  chip.validate_symmetric(r);
+  const double perf_r = chip.perf(r);
+  return 1.0 / ((1.0 - f) / perf_r + f * r / (perf_r * chip.n));
+}
+
+double hill_marty_asymmetric(const ChipConfig& chip, double f, double r) {
+  check_fraction(f);
+  chip.validate_asymmetric(r, 1.0);
+  const double perf_r = chip.perf(r);
+  return 1.0 / ((1.0 - f) / perf_r + f / (perf_r + chip.n - r));
+}
+
+double hill_marty_dynamic(const ChipConfig& chip, double f, double r) {
+  check_fraction(f);
+  chip.validate_symmetric(r);
+  const double perf_r = chip.perf(r);
+  return 1.0 / ((1.0 - f) / perf_r + f / chip.n);
+}
+
+}  // namespace mergescale::core

@@ -1,0 +1,32 @@
+#pragma once
+// Classic speedup models: Amdahl's Law (Eq. 1) and the Hill–Marty
+// multicore variants for symmetric (Eq. 2), asymmetric (Eq. 3) and — as a
+// commonly paired extension — dynamic chips.  These are the baselines the
+// paper's reduction-aware models are compared against.
+
+#include "core/chip.hpp"
+
+namespace mergescale::core {
+
+/// Eq. 1 — Amdahl's Law: speedup of an application with parallel fraction
+/// `f` on `p` equally fast processors, assuming a constant serial section.
+double amdahl_speedup(double f, double p);
+
+/// Limit of Eq. 1 as p → ∞ (1 / s).
+double amdahl_limit(double f);
+
+/// Eq. 2 — Hill–Marty symmetric CMP: n/r cores of r BCEs each, serial
+/// section on one core at perf(r), parallel section on all n/r cores.
+double hill_marty_symmetric(const ChipConfig& chip, double f, double r);
+
+/// Eq. 3 — Hill–Marty asymmetric CMP: one r-BCE large core plus n − r
+/// single-BCE cores; the serial section runs on the large core, the
+/// parallel section uses the large core and all small cores.
+double hill_marty_asymmetric(const ChipConfig& chip, double f, double r);
+
+/// Hill–Marty dynamic CMP: the chip can fuse all n BCEs into one core of
+/// perf(r) for serial sections and split into n base cores for parallel
+/// sections.  Upper-bounds both Eq. 2 and Eq. 3; provided for ablation.
+double hill_marty_dynamic(const ChipConfig& chip, double f, double r);
+
+}  // namespace mergescale::core

@@ -1,0 +1,85 @@
+#include "core/app_params.hpp"
+
+#include "util/check.hpp"
+
+namespace mergescale::core {
+
+void AppParams::validate() const {
+  MS_CHECK(f > 0.0 && f < 1.0, "parallel fraction f must lie in (0, 1)");
+  MS_CHECK(fcon >= 0.0 && fcon <= 1.0, "fcon must lie in [0, 1]");
+  MS_CHECK(fored >= 0.0, "fored must be non-negative");
+}
+
+namespace presets {
+
+AppParams kmeans() { return AppParams{"kmeans", 0.99985, 0.57, 0.72}; }
+AppParams fuzzy() { return AppParams{"fuzzy", 0.99998, 0.65, 0.82}; }
+AppParams hop() { return AppParams{"hop", 0.99900, 0.88, 1.55}; }
+
+std::vector<AppParams> minebench() { return {kmeans(), fuzzy(), hop()}; }
+
+TableIIExtras kmeans_extras() { return {0.015, 0.004}; }
+TableIIExtras fuzzy_extras() { return {0.002, 0.0}; }
+TableIIExtras hop_extras() { return {0.100, 0.0003}; }
+
+AppParams application_class(bool embarrassingly_parallel,
+                            bool high_constant_fraction,
+                            bool high_reduction_overhead) {
+  AppParams params;
+  params.f = embarrassingly_parallel ? 0.999 : 0.99;
+  params.fcon = high_constant_fraction ? 0.90 : 0.60;
+  params.fored = high_reduction_overhead ? 0.80 : 0.10;
+  params.name = std::string(embarrassingly_parallel ? "emb" : "non-emb") +
+                (high_constant_fraction ? "/high-con" : "/mod-con") +
+                (high_reduction_overhead ? "/high-red" : "/low-red");
+  return params;
+}
+
+std::vector<AppParams> application_classes() {
+  // Paper Table III row order: (emb, high, low), (non-emb, high, low),
+  // (emb, mod, low), (non-emb, mod, low), then the same four with high
+  // reduction overhead.
+  return {
+      application_class(true, true, false),
+      application_class(false, true, false),
+      application_class(true, false, false),
+      application_class(false, false, false),
+      application_class(true, true, true),
+      application_class(false, true, true),
+      application_class(true, false, true),
+      application_class(false, false, true),
+  };
+}
+
+DatasetShape kmeans_base() { return {"kmeans-base", 17695, 9, 8}; }
+DatasetShape kmeans_dim() { return {"kmeans-dim", 17695, 18, 8}; }
+DatasetShape kmeans_point() { return {"kmeans-point", 35390, 18, 8}; }
+DatasetShape kmeans_center() { return {"kmeans-center", 17695, 18, 32}; }
+DatasetShape fuzzy_base() { return {"fuzzy-base", 17695, 9, 8}; }
+DatasetShape fuzzy_dim() { return {"fuzzy-dim", 17695, 18, 8}; }
+DatasetShape fuzzy_point() { return {"fuzzy-point", 35390, 18, 8}; }
+DatasetShape fuzzy_center() { return {"fuzzy-center", 17695, 18, 32}; }
+int hop_default_particles() { return 61440; }
+int hop_medium_particles() { return 491520; }
+
+std::vector<DatasetSensitivityRow> dataset_sensitivity() {
+  // Values transcribed from paper Table IV.  The second "fuzzy-dim" row in
+  // the paper (N:17695 D:18 C:32) is clearly the center-scaling
+  // configuration, so it is labelled fuzzy-center here.
+  return {
+      {kmeans_base(), 0.99985, 43.0, 57.0},
+      {kmeans_dim(), 0.99984, 41.0, 59.0},
+      {kmeans_point(), 0.99992, 49.0, 51.0},
+      {kmeans_center(), 0.99984, 41.0, 59.0},
+      {fuzzy_base(), 0.99998, 65.0, 35.0},
+      {fuzzy_dim(), 0.99997, 61.0, 39.0},
+      {fuzzy_point(), 0.99999, 59.0, 41.0},
+      {fuzzy_center(), 0.99998, 61.0, 39.0},
+      {{"hop-default", hop_default_particles(), 3, 0}, 0.9990, 12.0, 88.0},
+      {{"hop-med", hop_medium_particles(), 3, 0}, 0.9980, 15.0, 85.0},
+  };
+}
+
+}  // namespace presets
+
+}  // namespace mergescale::core

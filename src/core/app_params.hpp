@@ -1,0 +1,109 @@
+#pragma once
+// Application parameterization for the extended speedup models, plus the
+// paper's published parameter sets (Tables II, III and IV).
+
+#include <string>
+#include <vector>
+
+namespace mergescale::core {
+
+/// Decomposition of an application's execution profile as used by the
+/// extended Amdahl model (paper §III, Fig. 1):
+///
+///   f     parallel fraction of single-core execution time (0 < f < 1);
+///         the serial fraction is s = 1 − f.
+///   fcon  share of the serial fraction that is *constant* (non-reduction)
+///         serial work, in [0, 1].
+///   fred  share of the serial fraction spent in the merging phase when
+///         running on a single core (the paper's fcred); fcon + fred = 1.
+///   fored reduction growth coefficient: every growth step g(nc) adds
+///         fored·fred·s to the serial time.  Table II expresses this in
+///         percent (e.g. kmeans 72% -> 0.72); values > 1 indicate
+///         super-linear measured growth (hop: 155%).
+struct AppParams {
+  std::string name;   ///< label used in reports
+  double f = 0.99;    ///< parallel fraction
+  double fcon = 0.9;  ///< constant share of the serial fraction
+  double fored = 0.1; ///< reduction growth coefficient
+
+  /// Share of the serial fraction that is reduction work at one core.
+  double fred() const noexcept { return 1.0 - fcon; }
+  /// Serial fraction s = 1 − f.
+  double serial() const noexcept { return 1.0 - f; }
+
+  /// Throws std::invalid_argument when any field is out of range.
+  void validate() const;
+};
+
+/// Clustering-dataset shape attributes (paper Table IV): number of points,
+/// dimensions and cluster centers.  The merging-phase size of kmeans and
+/// fuzzy c-means is x = D·C reduction elements, independent of N — the
+/// observation behind the paper's dataset-sensitivity analysis.
+struct DatasetShape {
+  std::string label;  ///< e.g. "kmeans-base"
+  int points = 0;     ///< N
+  int dims = 0;       ///< D
+  int centers = 0;    ///< C
+
+  /// Number of reduction elements in the merging phase (D·C).
+  int reduction_elements() const noexcept { return dims * centers; }
+};
+
+/// A Table IV row: dataset shape plus the fractions measured on it.
+struct DatasetSensitivityRow {
+  DatasetShape shape;
+  double f = 0.0;
+  double fred_pct = 0.0;
+  double fcon_pct = 0.0;
+};
+
+namespace presets {
+
+/// Table II — measured parameters of the MineBench clustering workloads.
+/// Note: fuzzy's (fred, fcon) in Table II (35/65) contradicts Table IV's
+/// fuzzy-base row (65/35); we follow Table II here (used for Figs. 2d/3)
+/// and Table IV in dataset_sensitivity() (used for the Table IV bench).
+AppParams kmeans();
+AppParams fuzzy();
+AppParams hop();
+/// All three Table II workloads in paper order.
+std::vector<AppParams> minebench();
+
+/// Table II auxiliary columns (not part of AppParams proper).
+struct TableIIExtras {
+  double serial_pct;            ///< serial fraction of runtime, percent
+  double critical_section_pct;  ///< time in critical sections, percent
+};
+TableIIExtras kmeans_extras();
+TableIIExtras fuzzy_extras();
+TableIIExtras hop_extras();
+
+/// Table III — the eight application classes spanned by
+/// {embarrassingly parallel?} × {high/moderate constant} × {low/high
+/// reduction overhead}.  Order matches the paper's table.
+std::vector<AppParams> application_classes();
+
+/// One Table III class by properties.
+AppParams application_class(bool embarrassingly_parallel,
+                            bool high_constant_fraction,
+                            bool high_reduction_overhead);
+
+/// Table IV — dataset shapes and the fractions measured on each.
+std::vector<DatasetSensitivityRow> dataset_sensitivity();
+
+/// Dataset shapes used throughout the benches (Table IV, first column).
+DatasetShape kmeans_base();
+DatasetShape kmeans_dim();
+DatasetShape kmeans_point();
+DatasetShape kmeans_center();
+DatasetShape fuzzy_base();
+DatasetShape fuzzy_dim();
+DatasetShape fuzzy_point();
+DatasetShape fuzzy_center();
+/// HOP particle counts (paper: default 61440, medium 491520 particles).
+int hop_default_particles();
+int hop_medium_particles();
+
+}  // namespace presets
+
+}  // namespace mergescale::core

@@ -1,0 +1,75 @@
+#include "core/calibrate.hpp"
+
+#include <algorithm>
+
+#include "core/reduction_model.hpp"
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace mergescale::core {
+
+namespace {
+
+const PhaseProfile* find_single_core(
+    const std::vector<PhaseProfile>& profiles) {
+  for (const auto& p : profiles) {
+    if (p.cores == 1) return &p;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+AppParams fit_app_params(const std::vector<PhaseProfile>& profiles,
+                         const GrowthFunction& growth,
+                         const std::string& name) {
+  const PhaseProfile* base = find_single_core(profiles);
+  MS_CHECK(base != nullptr, "fit_app_params requires a single-core profile");
+  MS_CHECK(base->total() > 0.0, "single-core profile has zero total time");
+
+  AppParams app;
+  app.name = name;
+  app.f = base->parallel / base->total();
+  const double ss1 = base->serial_section();
+  app.fcon = ss1 > 0.0 ? base->serial / ss1 : 1.0;
+
+  // fored: slope of relative reduction growth against g(nc).
+  std::vector<double> g_values;
+  std::vector<double> rel_growth;
+  for (const auto& p : profiles) {
+    if (p.cores == 1) continue;
+    g_values.push_back(growth(p.cores));
+    MS_CHECK(base->reduction > 0.0 || p.reduction == 0.0,
+             "reduction time grows from a zero single-core baseline");
+    rel_growth.push_back(
+        base->reduction > 0.0 ? p.reduction / base->reduction - 1.0 : 0.0);
+  }
+  if (g_values.size() >= 2) {
+    app.fored = std::max(0.0, util::regression_slope(g_values, rel_growth));
+  } else if (g_values.size() == 1 && g_values.front() > 0.0) {
+    app.fored = std::max(0.0, rel_growth.front() / g_values.front());
+  } else {
+    app.fored = 0.0;
+  }
+  app.validate();
+  return app;
+}
+
+double measured_serial_growth(const PhaseProfile& reference,
+                              const PhaseProfile& profile) {
+  MS_CHECK(reference.cores == 1, "reference profile must be single-core");
+  MS_CHECK(reference.serial_section() > 0.0,
+           "reference profile has no serial section");
+  return profile.serial_section() / reference.serial_section();
+}
+
+double model_accuracy(const AppParams& app, const GrowthFunction& growth,
+                      const PhaseProfile& reference,
+                      const PhaseProfile& profile) {
+  const double measured = measured_serial_growth(reference, profile);
+  MS_CHECK(measured > 0.0, "measured serial growth must be positive");
+  const double predicted = serial_growth_factor(app, growth, profile.cores);
+  return predicted / measured;
+}
+
+}  // namespace mergescale::core

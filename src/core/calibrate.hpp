@@ -1,0 +1,62 @@
+#pragma once
+// Parameter extraction and model validation (paper §IV/§V-A/§V-B).
+//
+// The paper obtains model parameters "through simulation by timing the
+// individual sections of the application": fcon from serial time without
+// reductions, fcred from single-core reduction time, fored from the
+// relative increase of reduction time over fcred with core count.  This
+// module implements exactly that pipeline on top of per-phase timings
+// produced by either the simulator (sim::) or the native runtime
+// (runtime::), and the accuracy metric of Fig. 2(d) — predicted vs.
+// measured serial-section time.
+
+#include <vector>
+
+#include "core/app_params.hpp"
+#include "core/growth.hpp"
+
+namespace mergescale::core {
+
+/// Per-run phase breakdown, in any consistent time unit (cycles or
+/// seconds).  `serial` excludes the merging phase; `reduction` is the
+/// merging phase only; `init` is excluded from fraction computations the
+/// same way the paper excludes initialization.
+struct PhaseProfile {
+  int cores = 1;
+  double init = 0.0;
+  double serial = 0.0;     ///< constant serial sections (non-reduction)
+  double reduction = 0.0;  ///< merging phase
+  double parallel = 0.0;   ///< parallel sections (wall-clock, max over cores)
+
+  /// Total accounted time excluding initialization.
+  double total() const noexcept { return serial + reduction + parallel; }
+  /// Serial-section time as defined by the paper (serial + reduction).
+  double serial_section() const noexcept { return serial + reduction; }
+};
+
+/// Fits AppParams from a set of profiles that must include a single-core
+/// run (cores == 1) and at least one multi-core run.
+///
+///   f     = parallel(1) / total(1)
+///   fcon  = serial(1) / serial_section(1)
+///   fored = least-squares slope of reduction(nc)/reduction(1) − 1
+///           against g(nc) over the multi-core profiles.
+///
+/// Throws std::invalid_argument when the inputs cannot support the fit
+/// (no single-core profile, zero reduction time with nonzero growth...).
+AppParams fit_app_params(const std::vector<PhaseProfile>& profiles,
+                         const GrowthFunction& growth,
+                         const std::string& name);
+
+/// One Fig. 2(d) point: ratio of model-predicted serial-section time to
+/// the measured one at `profile.cores` (1.0 = perfect).
+double model_accuracy(const AppParams& app, const GrowthFunction& growth,
+                      const PhaseProfile& reference,
+                      const PhaseProfile& profile);
+
+/// Measured serial-section growth factor relative to the single-core
+/// reference (the series of Figs. 2(b)/2(c)).
+double measured_serial_growth(const PhaseProfile& reference,
+                              const PhaseProfile& profile);
+
+}  // namespace mergescale::core

@@ -1,0 +1,30 @@
+#include "core/chip.hpp"
+
+#include "util/check.hpp"
+
+namespace mergescale::core {
+
+double ChipConfig::cores_symmetric(double r) const {
+  validate_symmetric(r);
+  return n / r;
+}
+
+double ChipConfig::cores_asymmetric(double rl, double r) const {
+  validate_asymmetric(rl, r);
+  return (n - rl) / r + 1.0;
+}
+
+void ChipConfig::validate_symmetric(double r) const {
+  MS_CHECK(n >= 1.0, "chip budget must be at least one BCE");
+  MS_CHECK(r >= 1.0 && r <= n, "core size r must lie in [1, n]");
+}
+
+void ChipConfig::validate_asymmetric(double rl, double r) const {
+  MS_CHECK(n >= 1.0, "chip budget must be at least one BCE");
+  MS_CHECK(rl >= 1.0 && rl <= n, "large-core size rl must lie in [1, n]");
+  MS_CHECK(r >= 1.0, "small-core size r must be at least one BCE");
+  MS_CHECK(rl == n || r <= n - rl,
+           "small cores must fit in the remaining budget");
+}
+
+}  // namespace mergescale::core

@@ -1,0 +1,30 @@
+#pragma once
+// Chip resource description shared by all speedup models: a transistor
+// budget of n base-core equivalents (BCEs) and a perf(r) law translating
+// per-core area into sequential performance.
+
+#include "core/perf.hpp"
+
+namespace mergescale::core {
+
+/// A chip with a budget of `n` BCEs.  The paper's running configuration is
+/// n = 256 with Pollack's perf(r) = √r.
+struct ChipConfig {
+  double n = 256.0;                 ///< total BCE budget
+  PerfLaw perf = PerfLaw::pollack();///< per-core performance law
+
+  /// The paper's 256-BCE chip with Pollack's rule.
+  static ChipConfig icpp2011() { return ChipConfig{}; }
+
+  /// Number of cores of a symmetric design with r-BCE cores (n / r).
+  double cores_symmetric(double r) const;
+  /// Number of cores of an asymmetric design: one rl-BCE large core plus
+  /// (n − rl)/r small r-BCE cores.
+  double cores_asymmetric(double rl, double r) const;
+
+  /// Throws std::invalid_argument for invalid (r, rl) combinations.
+  void validate_symmetric(double r) const;
+  void validate_asymmetric(double rl, double r) const;
+};
+
+}  // namespace mergescale::core

@@ -1,0 +1,74 @@
+#include "core/comm_model.hpp"
+
+#include "noc/mesh.hpp"
+#include "util/check.hpp"
+
+namespace mergescale::core {
+
+void CommAppParams::validate() const {
+  MS_CHECK(f > 0.0 && f < 1.0, "parallel fraction f must lie in (0, 1)");
+  MS_CHECK(fcon >= 0.0 && fcon <= 1.0, "fcon must lie in [0, 1]");
+  MS_CHECK(comp_share >= 0.0 && comp_share <= 1.0,
+           "comp_share must lie in [0, 1]");
+}
+
+CommAppParams CommAppParams::from(const AppParams& app) {
+  app.validate();
+  return CommAppParams{app.name, app.f, app.fcon, 0.5};
+}
+
+double comm_serial_time(const CommAppParams& app,
+                        const GrowthFunction& grow_comp,
+                        const GrowthFunction& grow_comm, double nc,
+                        double serial_perf) {
+  app.validate();
+  MS_CHECK(nc >= 1.0, "core count must be at least 1");
+  MS_CHECK(serial_perf >= 1.0, "serial core performance must be >= 1");
+  const double s = 1.0 - app.f;
+  const double compute =
+      s * (app.fcon + app.fcomp() * (1.0 + grow_comp(nc))) / serial_perf;
+  const double communicate = s * app.fcomm() * (1.0 + grow_comm(nc));
+  return compute + communicate;
+}
+
+double comm_speedup_symmetric(const ChipConfig& chip, const CommAppParams& app,
+                              const GrowthFunction& grow_comp,
+                              const GrowthFunction& grow_comm, double r) {
+  chip.validate_symmetric(r);
+  const double nc = chip.cores_symmetric(r);
+  const double perf_r = chip.perf(r);
+  const double serial = comm_serial_time(app, grow_comp, grow_comm, nc, perf_r);
+  const double parallel = app.f * r / (perf_r * chip.n);
+  return 1.0 / (serial + parallel);
+}
+
+double comm_speedup_asymmetric(const ChipConfig& chip,
+                               const CommAppParams& app,
+                               const GrowthFunction& grow_comp,
+                               const GrowthFunction& grow_comm, double rl,
+                               double r) {
+  chip.validate_asymmetric(rl, r);
+  const double nc = chip.cores_asymmetric(rl, r);
+  const double perf_rl = chip.perf(rl);
+  const double serial =
+      comm_serial_time(app, grow_comp, grow_comm, nc, perf_rl);
+  const double small_cores = (chip.n - rl) / r;
+  const double parallel = app.f / (chip.perf(r) * small_cores + perf_rl);
+  return 1.0 / (serial + parallel);
+}
+
+GrowthFunction mesh_comm_growth() {
+  return GrowthFunction::custom("mesh2d", [](double nc) {
+    if (nc <= 1.0) return 0.0;
+    return noc::grow_comm_mesh2d(static_cast<int>(nc + 0.5), false);
+  });
+}
+
+GrowthFunction comm_growth(noc::Topology topology) {
+  return GrowthFunction::custom(
+      std::string(noc::topology_name(topology)), [topology](double nc) {
+        return noc::grow_comm(topology, static_cast<int>(nc + 0.5));
+      });
+}
+
+}  // namespace mergescale::core

@@ -1,0 +1,76 @@
+#pragma once
+// Communication-aware extension of the reduction model (paper §V-E,
+// Eqs. 6–8).
+//
+// The merging phase is split into a computation part and a communication
+// part: fred = fcomp + fcomm (shares of the serial fraction s).  The paper
+// assumes the ideal case fcomp == fcomm ("for reductions to happen the
+// number of communication and computation operations remains the same on
+// a single thread").  Computation scales with the reduction
+// implementation (linear / logarithmic / parallel i.e. no growth);
+// communication scales with the interconnect — for a 2-D mesh,
+// grow_comm(nc) ≈ √nc/2 (Eq. 8, derived in noc/mesh.hpp).
+//
+// Normalized serial time of the communication model:
+//
+//   CMP  (Eq. 6):  s·[fcon + fcomp·(1 + g_comp(nc))]/perf(r)
+//                  + s·fcomm·(1 + g_comm(nc))
+//   ACMP (Eq. 7):  same with perf(rl) and nc = (n−rl)/r + 1
+//
+// Communication time is *not* divided by core performance: it is bounded
+// by the network, not by the core executing the merging phase.
+
+#include "core/app_params.hpp"
+#include "core/chip.hpp"
+#include "core/growth.hpp"
+#include "noc/topology.hpp"
+
+namespace mergescale::core {
+
+/// Application parameters for the communication model.
+struct CommAppParams {
+  std::string name;        ///< label used in reports
+  double f = 0.99;         ///< parallel fraction
+  double fcon = 0.60;      ///< constant share of the serial fraction
+  double comp_share = 0.5; ///< fcomp / (fcomp + fcomm); paper: 0.5
+
+  /// Computation share of the serial fraction.
+  double fcomp() const noexcept { return (1.0 - fcon) * comp_share; }
+  /// Communication share of the serial fraction.
+  double fcomm() const noexcept { return (1.0 - fcon) * (1.0 - comp_share); }
+
+  /// Throws std::invalid_argument when any field is out of range.
+  void validate() const;
+
+  /// Derives the communication split from plain AppParams (ideal 50/50).
+  static CommAppParams from(const AppParams& app);
+};
+
+/// Normalized serial+merging time of the communication model at nc cores
+/// executing the serial part on a core with performance `serial_perf`.
+double comm_serial_time(const CommAppParams& app,
+                        const GrowthFunction& grow_comp,
+                        const GrowthFunction& grow_comm, double nc,
+                        double serial_perf);
+
+/// Eq. 6 — symmetric CMP speedup under the communication model.
+double comm_speedup_symmetric(const ChipConfig& chip, const CommAppParams& app,
+                              const GrowthFunction& grow_comp,
+                              const GrowthFunction& grow_comm, double r);
+
+/// Eq. 7 — asymmetric CMP speedup under the communication model.
+double comm_speedup_asymmetric(const ChipConfig& chip,
+                               const CommAppParams& app,
+                               const GrowthFunction& grow_comp,
+                               const GrowthFunction& grow_comm, double rl,
+                               double r);
+
+/// The paper's Fig. 7 configuration: parallel (privatized) reduction
+/// computation (g_comp = 0) with 2-D-mesh communication growth √nc/2.
+GrowthFunction mesh_comm_growth();
+
+/// Communication growth for an arbitrary interconnect (topology ablation
+/// of Fig. 7; uses the exact closed forms of noc/topology.hpp).
+GrowthFunction comm_growth(noc::Topology topology);
+
+}  // namespace mergescale::core

@@ -1,0 +1,69 @@
+#include "core/critical_model.hpp"
+
+#include <algorithm>
+
+#include "core/reduction_model.hpp"
+#include "util/check.hpp"
+
+namespace mergescale::core {
+
+void CriticalSectionParams::validate() const {
+  MS_CHECK(fcs >= 0.0 && fcs <= 1.0, "fcs must lie in [0, 1]");
+}
+
+double contention_probability(const CriticalSectionParams& cs, double nc) {
+  cs.validate();
+  MS_CHECK(nc >= 1.0, "core count must be at least 1");
+  return std::min(1.0, (nc - 1.0) * cs.fcs);
+}
+
+double parallel_time_with_critical_sections(const AppParams& app,
+                                            const CriticalSectionParams& cs,
+                                            double nc, double perf_small) {
+  app.validate();
+  cs.validate();
+  MS_CHECK(nc >= 1.0, "core count must be at least 1");
+  MS_CHECK(perf_small >= 1.0, "core performance must be >= 1");
+  const double pc = contention_probability(cs, nc);
+  const double throughput = nc * perf_small;
+  const double non_critical = app.f * (1.0 - cs.fcs) / throughput;
+  const double critical =
+      app.f * cs.fcs * ((1.0 - pc) / throughput + pc / perf_small);
+  return non_critical + critical;
+}
+
+double speedup_symmetric_combined(const ChipConfig& chip, const AppParams& app,
+                                  const CriticalSectionParams& cs,
+                                  const GrowthFunction& growth, double r) {
+  chip.validate_symmetric(r);
+  const double nc = chip.cores_symmetric(r);
+  const double perf_r = chip.perf(r);
+  const double serial_term = serial_time_at(app, growth, nc) / perf_r;
+  const double parallel_term =
+      parallel_time_with_critical_sections(app, cs, nc, perf_r);
+  return 1.0 / (serial_term + parallel_term);
+}
+
+double speedup_asymmetric_combined(const ChipConfig& chip,
+                                   const AppParams& app,
+                                   const CriticalSectionParams& cs,
+                                   const GrowthFunction& growth, double rl,
+                                   double r) {
+  chip.validate_asymmetric(rl, r);
+  cs.validate();
+  const double nc = chip.cores_asymmetric(rl, r);
+  const double perf_rl = chip.perf(rl);
+  const double perf_r = chip.perf(r);
+  const double serial_term = serial_time_at(app, growth, nc) / perf_rl;
+
+  const double pc = contention_probability(cs, nc);
+  const double ensemble = perf_r * (chip.n - rl) / r + perf_rl;
+  const double non_critical = app.f * (1.0 - cs.fcs) / ensemble;
+  // Contended critical sections serialize on whichever small core holds
+  // the lock; uncontended ones scale with the ensemble.
+  const double critical =
+      app.f * cs.fcs * ((1.0 - pc) / ensemble + pc / perf_r);
+  return 1.0 / (serial_term + non_critical + critical);
+}
+
+}  // namespace mergescale::core

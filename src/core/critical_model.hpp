@@ -1,0 +1,70 @@
+#pragma once
+// Combined critical-section + reduction model.
+//
+// The paper (§VI) positions its merging-phase model as orthogonal to
+// Eyerman & Eeckhout's critical-section model [ISCA 2010] and notes the
+// two "can [be] combined along to improve accuracy of scalability
+// prediction".  This module implements that combination with a
+// first-order contention model:
+//
+// Let fcs be the fraction of the *parallel* section spent inside
+// critical sections.  With nc threads, a thread entering a critical
+// section contends with the others with probability
+//     pc(nc) = min(1, (nc − 1) · fcs)
+// (the chance some other thread is inside its own critical-section
+// window).  Contended critical-section work serializes; uncontended
+// work scales like ordinary parallel work:
+//     T_par(nc) = f·(1 − fcs)/nc + f·fcs·[ (1 − pc)/nc + pc ]
+// At nc = 1 this is exactly f (no overhead); as nc → ∞ the critical
+// sections fully serialize, reproducing Eyerman & Eeckhout's asymptote
+// that speedup is bounded by 1/(s + f·fcs).  The serial/merging term is
+// the reduction-aware S(nc) of reduction_model.hpp; critical-section
+// work executes on the parallel cores (perf(r)), matching [4]'s
+// observation that small cores execute serializing critical sections
+// poorly.
+
+#include "core/app_params.hpp"
+#include "core/chip.hpp"
+#include "core/growth.hpp"
+
+namespace mergescale::core {
+
+/// Critical-section parameters of an application.
+struct CriticalSectionParams {
+  /// Fraction of the parallel section executed inside critical sections,
+  /// in [0, 1].  The paper's Table II workloads have fcs <= 0.004% —
+  /// effectively 0, which is why it excludes them from its analysis.
+  double fcs = 0.0;
+
+  /// Throws std::invalid_argument when out of range.
+  void validate() const;
+};
+
+/// Contention probability pc(nc) of the first-order model.
+double contention_probability(const CriticalSectionParams& cs, double nc);
+
+/// Effective parallel-section time (normalized to single-core time) at
+/// nc cores of performance `perf_small` each: non-critical work scales
+/// with nc·perf, uncontended critical work too, contended critical work
+/// serializes onto one core of performance `perf_small`.
+double parallel_time_with_critical_sections(const AppParams& app,
+                                            const CriticalSectionParams& cs,
+                                            double nc, double perf_small);
+
+/// Combined symmetric-CMP speedup: Eq. 4's serial/merging term plus the
+/// contention-aware parallel term.  Degenerates to Eq. 4 when fcs = 0.
+double speedup_symmetric_combined(const ChipConfig& chip, const AppParams& app,
+                                  const CriticalSectionParams& cs,
+                                  const GrowthFunction& growth, double r);
+
+/// Combined asymmetric-CMP speedup: Eq. 5's serial/merging term on the
+/// large core; contended critical sections execute serialized on a small
+/// core (the pathology [4] identifies), uncontended ones scale across
+/// the whole parallel ensemble.  Degenerates to Eq. 5 when fcs = 0.
+double speedup_asymmetric_combined(const ChipConfig& chip,
+                                   const AppParams& app,
+                                   const CriticalSectionParams& cs,
+                                   const GrowthFunction& growth, double rl,
+                                   double r);
+
+}  // namespace mergescale::core

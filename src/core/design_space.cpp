@@ -1,0 +1,99 @@
+#include "core/design_space.hpp"
+
+#include <algorithm>
+
+#include "core/reduction_model.hpp"
+#include "util/check.hpp"
+
+namespace mergescale::core {
+
+std::vector<double> power_of_two_sizes(double n) {
+  MS_CHECK(n >= 1.0, "chip budget must be at least one BCE");
+  std::vector<double> sizes;
+  for (double r = 1.0; r <= n; r *= 2.0) sizes.push_back(r);
+  return sizes;
+}
+
+std::vector<DesignPoint> sweep_symmetric(const ChipConfig& chip,
+                                         const AppParams& app,
+                                         const GrowthFunction& growth,
+                                         const std::vector<double>& sizes) {
+  std::vector<DesignPoint> points;
+  points.reserve(sizes.size());
+  for (double r : sizes) {
+    points.push_back({r, 0.0, speedup_symmetric(chip, app, growth, r)});
+  }
+  return points;
+}
+
+std::vector<DesignPoint> sweep_asymmetric(const ChipConfig& chip,
+                                          const AppParams& app,
+                                          const GrowthFunction& growth,
+                                          const std::vector<double>& sizes,
+                                          double r) {
+  std::vector<DesignPoint> points;
+  points.reserve(sizes.size());
+  for (double rl : sizes) {
+    if (rl < chip.n && r > chip.n - rl) continue;  // small cores don't fit
+    points.push_back({r, rl, speedup_asymmetric(chip, app, growth, rl, r)});
+  }
+  return points;
+}
+
+DesignPoint best_point(const std::vector<DesignPoint>& sweep) {
+  MS_CHECK(!sweep.empty(), "cannot take the best point of an empty sweep");
+  return *std::max_element(sweep.begin(), sweep.end(),
+                           [](const DesignPoint& a, const DesignPoint& b) {
+                             return a.speedup < b.speedup;
+                           });
+}
+
+DesignPoint optimal_symmetric(const ChipConfig& chip, const AppParams& app,
+                              const GrowthFunction& growth) {
+  return best_point(
+      sweep_symmetric(chip, app, growth, power_of_two_sizes(chip.n)));
+}
+
+DesignPoint optimal_asymmetric(const ChipConfig& chip, const AppParams& app,
+                               const GrowthFunction& growth) {
+  DesignPoint best{1.0, 1.0, 0.0};
+  for (double r : power_of_two_sizes(chip.n)) {
+    auto sweep =
+        sweep_asymmetric(chip, app, growth, power_of_two_sizes(chip.n), r);
+    if (sweep.empty()) continue;
+    DesignPoint candidate = best_point(sweep);
+    if (candidate.speedup > best.speedup) best = candidate;
+  }
+  return best;
+}
+
+std::vector<DesignPoint> sweep_symmetric_comm(
+    const ChipConfig& chip, const CommAppParams& app,
+    const GrowthFunction& grow_comp, const GrowthFunction& grow_comm,
+    const std::vector<double>& sizes) {
+  std::vector<DesignPoint> points;
+  points.reserve(sizes.size());
+  for (double r : sizes) {
+    points.push_back(
+        {r, 0.0,
+         comm_speedup_symmetric(chip, app, grow_comp, grow_comm, r)});
+  }
+  return points;
+}
+
+std::vector<DesignPoint> sweep_asymmetric_comm(
+    const ChipConfig& chip, const CommAppParams& app,
+    const GrowthFunction& grow_comp, const GrowthFunction& grow_comm,
+    const std::vector<double>& sizes, double r) {
+  std::vector<DesignPoint> points;
+  points.reserve(sizes.size());
+  for (double rl : sizes) {
+    if (rl < chip.n && r > chip.n - rl) continue;
+    points.push_back(
+        {r, rl,
+         comm_speedup_asymmetric(chip, app, grow_comp, grow_comm, rl, r)});
+  }
+  return points;
+}
+
+}  // namespace mergescale::core

@@ -1,0 +1,66 @@
+#pragma once
+// Design-space exploration utilities: sweep core sizes (symmetric) or
+// large-core/small-core size pairs (asymmetric) over a chip budget and
+// locate the speedup-optimal configuration.  These drive the paper's
+// Figs. 4, 5 and 7 and its §V-D peak-speedup comparisons.
+
+#include <functional>
+#include <vector>
+
+#include "core/app_params.hpp"
+#include "core/chip.hpp"
+#include "core/comm_model.hpp"
+#include "core/growth.hpp"
+
+namespace mergescale::core {
+
+/// One evaluated design point.
+struct DesignPoint {
+  double r = 1.0;        ///< small/uniform core size in BCEs
+  double rl = 0.0;       ///< large-core size in BCEs (0 for symmetric)
+  double speedup = 0.0;  ///< predicted speedup vs. one BCE
+};
+
+/// The power-of-two core sizes 1, 2, 4, …, n used as the x-axis of the
+/// paper's Figs. 4/5/7.
+std::vector<double> power_of_two_sizes(double n);
+
+/// Evaluates Eq. 4 for each r in `sizes` (paper Fig. 4 series).
+std::vector<DesignPoint> sweep_symmetric(const ChipConfig& chip,
+                                         const AppParams& app,
+                                         const GrowthFunction& growth,
+                                         const std::vector<double>& sizes);
+
+/// Evaluates Eq. 5 for each rl in `sizes` at fixed small-core size r
+/// (paper Fig. 5 series; points where small cores no longer fit are
+/// skipped).
+std::vector<DesignPoint> sweep_asymmetric(const ChipConfig& chip,
+                                          const AppParams& app,
+                                          const GrowthFunction& growth,
+                                          const std::vector<double>& sizes,
+                                          double r);
+
+/// Best point of a sweep (throws std::invalid_argument when empty).
+DesignPoint best_point(const std::vector<DesignPoint>& sweep);
+
+/// Speedup-optimal symmetric design over power-of-two core sizes.
+DesignPoint optimal_symmetric(const ChipConfig& chip, const AppParams& app,
+                              const GrowthFunction& growth);
+
+/// Speedup-optimal asymmetric design over power-of-two (rl, r) pairs.
+DesignPoint optimal_asymmetric(const ChipConfig& chip, const AppParams& app,
+                               const GrowthFunction& growth);
+
+/// Symmetric sweep under the communication model (Fig. 7(a)).
+std::vector<DesignPoint> sweep_symmetric_comm(
+    const ChipConfig& chip, const CommAppParams& app,
+    const GrowthFunction& grow_comp, const GrowthFunction& grow_comm,
+    const std::vector<double>& sizes);
+
+/// Asymmetric sweep under the communication model (Fig. 7(b)).
+std::vector<DesignPoint> sweep_asymmetric_comm(
+    const ChipConfig& chip, const CommAppParams& app,
+    const GrowthFunction& grow_comp, const GrowthFunction& grow_comm,
+    const std::vector<double>& sizes, double r);
+
+}  // namespace mergescale::core

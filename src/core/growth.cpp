@@ -1,0 +1,53 @@
+#include "core/growth.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace mergescale::core {
+
+GrowthFunction::GrowthFunction(GrowthKind kind, std::string name,
+                               double exponent,
+                               std::function<double(double)> fn)
+    : kind_(kind),
+      name_(std::move(name)),
+      exponent_(exponent),
+      fn_(std::move(fn)) {}
+
+GrowthFunction GrowthFunction::linear() {
+  return GrowthFunction(GrowthKind::kLinear, "linear", 1.0,
+                        [](double nc) { return nc - 1.0; });
+}
+
+GrowthFunction GrowthFunction::logarithmic() {
+  return GrowthFunction(GrowthKind::kLogarithmic, "log", 1.0,
+                        [](double nc) { return std::log2(nc); });
+}
+
+GrowthFunction GrowthFunction::parallel() {
+  return GrowthFunction(GrowthKind::kParallel, "parallel", 1.0,
+                        [](double) { return 0.0; });
+}
+
+GrowthFunction GrowthFunction::superlinear(double exponent) {
+  MS_CHECK(exponent > 1.0, "superlinear growth requires exponent > 1");
+  return GrowthFunction(
+      GrowthKind::kSuperlinear, "superlinear", exponent,
+      [exponent](double nc) { return std::pow(nc - 1.0, exponent); });
+}
+
+GrowthFunction GrowthFunction::custom(std::string name,
+                                      std::function<double(double)> fn) {
+  MS_CHECK(static_cast<bool>(fn), "custom growth function must be callable");
+  MS_CHECK(fn(1.0) == 0.0, "growth function must satisfy g(1) == 0");
+  return GrowthFunction(GrowthKind::kCustom, std::move(name), 1.0,
+                        std::move(fn));
+}
+
+double GrowthFunction::operator()(double nc) const {
+  MS_CHECK(nc >= 1.0, "growth functions are defined for nc >= 1");
+  return fn_(nc);
+}
+
+}  // namespace mergescale::core

@@ -1,0 +1,71 @@
+#pragma once
+// Growth functions for the reduction-overhead term of the extended
+// Amdahl model (paper §III).
+//
+// The paper's serial fraction is  s·[fcon + fred·(1 + fored·g(nc))]  where
+// g(nc) describes how the *overhead* part of the merging phase scales with
+// the number of cores nc participating in the reduction:
+//   linear        g(nc) = nc − 1      serial accumulation loop (Alg. 1)
+//   logarithmic   g(nc) = log2(nc)    tree reduction
+//   parallel      g(nc) = 0           privatized parallel reduction
+//                                     (computation does not grow; its
+//                                     communication cost is modelled
+//                                     separately, §V-E)
+// g(1) == 0 always holds: with one core there is no merging overhead.
+//
+// A superlinear variant, g(nc) = (nc − 1)^e with e > 1, is provided for
+// workloads like HOP whose merging phase the paper observes to grow
+// super-linearly due to memory effects.
+
+#include <functional>
+#include <string>
+
+namespace mergescale::core {
+
+/// Built-in growth-function families.
+enum class GrowthKind {
+  kLinear,       ///< g(nc) = nc − 1
+  kLogarithmic,  ///< g(nc) = log2(nc)
+  kParallel,     ///< g(nc) = 0 (privatized parallel reduction)
+  kSuperlinear,  ///< g(nc) = (nc − 1)^exponent, exponent > 1
+  kCustom,       ///< user-supplied callable
+};
+
+/// Value-type wrapper around a growth function g(nc).
+///
+/// Invariants enforced on evaluation: nc >= 1 and g(1) == 0.
+class GrowthFunction {
+ public:
+  /// Linear growth, g(nc) = nc − 1 (the paper's default).
+  static GrowthFunction linear();
+  /// Logarithmic growth, g(nc) = log2(nc) (tree reduction).
+  static GrowthFunction logarithmic();
+  /// No computational growth (parallel/privatized reduction).
+  static GrowthFunction parallel();
+  /// Superlinear growth, g(nc) = (nc − 1)^exponent with exponent > 1.
+  static GrowthFunction superlinear(double exponent);
+  /// Arbitrary growth law; `fn(1)` must be 0.  `name` is used in reports.
+  static GrowthFunction custom(std::string name,
+                               std::function<double(double)> fn);
+
+  /// Evaluates g(nc); throws std::invalid_argument for nc < 1.
+  double operator()(double nc) const;
+
+  /// Which family this function belongs to.
+  GrowthKind kind() const noexcept { return kind_; }
+  /// Human-readable name ("linear", "log", ...).
+  const std::string& name() const noexcept { return name_; }
+  /// Exponent for kSuperlinear (1.0 otherwise).
+  double exponent() const noexcept { return exponent_; }
+
+ private:
+  GrowthFunction(GrowthKind kind, std::string name, double exponent,
+                 std::function<double(double)> fn);
+
+  GrowthKind kind_;
+  std::string name_;
+  double exponent_;
+  std::function<double(double)> fn_;
+};
+
+}  // namespace mergescale::core

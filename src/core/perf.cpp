@@ -1,0 +1,39 @@
+#include "core/perf.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace mergescale::core {
+
+PerfLaw::PerfLaw(std::string name, double exponent,
+                 std::function<double(double)> fn)
+    : name_(std::move(name)), exponent_(exponent), fn_(std::move(fn)) {}
+
+PerfLaw PerfLaw::pollack() { return power(0.5); }
+
+PerfLaw PerfLaw::linear() { return power(1.0); }
+
+PerfLaw PerfLaw::power(double exponent) {
+  MS_CHECK(exponent > 0.0 && exponent <= 1.0,
+           "perf-law exponent must lie in (0, 1]");
+  std::string name =
+      exponent == 0.5 ? "pollack" : (exponent == 1.0 ? "linear" : "power");
+  return PerfLaw(std::move(name), exponent, [exponent](double r) {
+    return std::pow(r, exponent);
+  });
+}
+
+PerfLaw PerfLaw::custom(std::string name, std::function<double(double)> fn) {
+  MS_CHECK(static_cast<bool>(fn), "custom perf law must be callable");
+  MS_CHECK(fn(1.0) == 1.0, "perf law must satisfy perf(1) == 1");
+  return PerfLaw(std::move(name), 0.0, std::move(fn));
+}
+
+double PerfLaw::operator()(double r) const {
+  MS_CHECK(r >= 1.0, "perf laws are defined for r >= 1");
+  return fn_(r);
+}
+
+}  // namespace mergescale::core

@@ -1,0 +1,46 @@
+#pragma once
+// Core-performance laws perf(r): sequential performance of a core built
+// from r base-core equivalents (BCEs), normalized to perf(1) = 1.
+//
+// The paper follows Hill & Marty / Borkar and assumes performance
+// proportional to the square root of core area: perf(r) = √r ("a core made
+// up of four BCEs performs twice as high as a single BCE").  Other laws
+// are provided for ablation: linear (perfect area-to-performance
+// conversion, the upper bound) and a general power law perf(r) = r^e.
+
+#include <functional>
+#include <string>
+
+namespace mergescale::core {
+
+/// Value-type wrapper around perf(r).  Invariants: r >= 1, perf(1) == 1,
+/// perf non-decreasing (checked for the built-in laws by construction).
+class PerfLaw {
+ public:
+  /// Pollack's rule, perf(r) = √r — the paper's assumption.
+  static PerfLaw pollack();
+  /// perf(r) = r (idealized linear scaling).
+  static PerfLaw linear();
+  /// perf(r) = r^exponent for exponent in (0, 1].
+  static PerfLaw power(double exponent);
+  /// Arbitrary law; fn(1) must equal 1.
+  static PerfLaw custom(std::string name, std::function<double(double)> fn);
+
+  /// Evaluates perf(r); throws std::invalid_argument for r < 1.
+  double operator()(double r) const;
+
+  /// Human-readable name used in reports.
+  const std::string& name() const noexcept { return name_; }
+  /// Exponent of the power law (0.5 for pollack(), 1.0 for linear()).
+  double exponent() const noexcept { return exponent_; }
+
+ private:
+  PerfLaw(std::string name, double exponent,
+          std::function<double(double)> fn);
+
+  std::string name_;
+  double exponent_;
+  std::function<double(double)> fn_;
+};
+
+}  // namespace mergescale::core

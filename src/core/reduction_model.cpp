@@ -1,0 +1,61 @@
+#include "core/reduction_model.hpp"
+
+#include "util/check.hpp"
+
+namespace mergescale::core {
+
+double serial_time_at(const AppParams& app, const GrowthFunction& growth,
+                      double nc) {
+  app.validate();
+  MS_CHECK(nc >= 1.0, "core count must be at least 1");
+  const double s = app.serial();
+  return s * (app.fcon + app.fred() * (1.0 + app.fored * growth(nc)));
+}
+
+double serial_growth_factor(const AppParams& app, const GrowthFunction& growth,
+                            double nc) {
+  const double base = serial_time_at(app, growth, 1.0);
+  MS_CHECK(base > 0.0, "application has no serial section (f == 1)");
+  return serial_time_at(app, growth, nc) / base;
+}
+
+double speedup_symmetric(const ChipConfig& chip, const AppParams& app,
+                         const GrowthFunction& growth, double r) {
+  chip.validate_symmetric(r);
+  const double nc = chip.cores_symmetric(r);
+  const double perf_r = chip.perf(r);
+  const double serial_term = serial_time_at(app, growth, nc) / perf_r;
+  const double parallel_term = app.f * r / (perf_r * chip.n);
+  return 1.0 / (serial_term + parallel_term);
+}
+
+double speedup_asymmetric(const ChipConfig& chip, const AppParams& app,
+                          const GrowthFunction& growth, double rl, double r) {
+  chip.validate_asymmetric(rl, r);
+  const double nc = chip.cores_asymmetric(rl, r);
+  const double perf_rl = chip.perf(rl);
+  // Serial section and the full merging phase execute on the large core.
+  const double serial_term = serial_time_at(app, growth, nc) / perf_rl;
+  // Parallel section: all small cores plus the large core work together.
+  const double small_cores = (chip.n - rl) / r;
+  const double parallel_perf = chip.perf(r) * small_cores + perf_rl;
+  const double parallel_term = app.f / parallel_perf;
+  return 1.0 / (serial_term + parallel_term);
+}
+
+double speedup_scaling(const AppParams& app, const GrowthFunction& growth,
+                       double p) {
+  app.validate();
+  MS_CHECK(p >= 1.0, "processor count must be at least 1");
+  return 1.0 / (serial_time_at(app, growth, p) + app.f / p);
+}
+
+double speedup_dynamic(const ChipConfig& chip, const AppParams& app,
+                       const GrowthFunction& growth, double r) {
+  chip.validate_symmetric(r);
+  const double serial_term =
+      serial_time_at(app, growth, chip.n) / chip.perf(r);
+  return 1.0 / (serial_term + app.f / chip.n);
+}
+
+}  // namespace mergescale::core

@@ -1,0 +1,60 @@
+#pragma once
+// The paper's contribution (§III): Amdahl/Hill–Marty speedup models
+// extended with a merging-phase (reduction) term whose cost grows with the
+// number of cores participating in the reduction.
+//
+// Serial time at nc cores, normalized to single-core total time:
+//
+//   S(nc) = s · [ fcon + fred · (1 + fored · g(nc)) ]          (Fig. 1)
+//
+// with s = 1 − f, fcon + fred = 1 (shares of s), fored >= 0 the growth
+// coefficient, and g a GrowthFunction (g(1) = 0, so S(1) = s).
+//
+//   Eq. 4 (symmetric):   1 / ( S(n/r)/perf(r) + f·r/(perf(r)·n) )
+//   Eq. 5 (asymmetric):  1 / ( S(nc)/perf(rl) + f/(perf(r)·(n−rl)/r + perf(rl)) )
+//                        with nc = (n−rl)/r + 1; serial section and the
+//                        whole reduction run on the large core.
+//
+// This formulation reproduces every numeric speedup printed in the paper
+// (§V-C/V-D) to three significant digits; see tests/core/paper_claims.
+
+#include "core/app_params.hpp"
+#include "core/chip.hpp"
+#include "core/growth.hpp"
+
+namespace mergescale::core {
+
+/// S(nc): total serial time (constant serial + merging phase) at `nc`
+/// cooperating cores, as a fraction of single-core execution time.
+double serial_time_at(const AppParams& app, const GrowthFunction& growth,
+                      double nc);
+
+/// S(nc)/S(1): growth of the serial section relative to one core — the
+/// quantity plotted in the paper's Figs. 2(b)–(d).
+double serial_growth_factor(const AppParams& app, const GrowthFunction& growth,
+                            double nc);
+
+/// Eq. 4 — reduction-aware symmetric CMP speedup for cores of r BCEs.
+double speedup_symmetric(const ChipConfig& chip, const AppParams& app,
+                         const GrowthFunction& growth, double r);
+
+/// Eq. 5 — reduction-aware asymmetric CMP speedup: one rl-BCE large core
+/// plus (n − rl)/r small cores of r BCEs each.
+double speedup_asymmetric(const ChipConfig& chip, const AppParams& app,
+                          const GrowthFunction& growth, double rl, double r);
+
+/// Scaling curve used in Fig. 3: speedup on p unit cores (r = 1, n = p),
+/// i.e. 1 / ( S(p) + f/p ).  With fored = 0 this degenerates to Amdahl.
+double speedup_scaling(const AppParams& app, const GrowthFunction& growth,
+                       double p);
+
+/// Reduction-aware *dynamic* CMP (extension beyond the paper, pairing
+/// Hill-Marty's dynamic chip with the merging-phase term): the chip fuses
+/// r BCEs into one core of perf(r) for serial and merging work and splits
+/// into n base cores for the parallel section, so the reduction operates
+/// over n partial results:  1 / ( S(n)/perf(r) + f/n ).
+/// Degenerates to hill_marty_dynamic when fored = 0.
+double speedup_dynamic(const ChipConfig& chip, const AppParams& app,
+                       const GrowthFunction& growth, double r);
+
+}  // namespace mergescale::core

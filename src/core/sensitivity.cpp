@@ -1,0 +1,77 @@
+#include "core/sensitivity.hpp"
+
+#include <algorithm>
+
+#include "core/reduction_model.hpp"
+#include "util/check.hpp"
+
+namespace mergescale::core {
+
+const char* parameter_name(Parameter parameter) noexcept {
+  switch (parameter) {
+    case Parameter::kParallelFraction: return "f";
+    case Parameter::kConstantShare: return "fcon";
+    case Parameter::kGrowthCoefficient: return "fored";
+  }
+  return "?";
+}
+
+AppParams perturbed(const AppParams& app, Parameter parameter,
+                    double relative_delta) {
+  app.validate();
+  AppParams out = app;
+  const double factor = 1.0 + relative_delta;
+  switch (parameter) {
+    case Parameter::kParallelFraction:
+      // Perturb the *serial* fraction (f is typically 0.99+, so relative
+      // error is naturally expressed on s = 1 − f, as the paper measures
+      // serial time, not parallel time).
+      out.f = 1.0 - std::clamp((1.0 - app.f) * factor, 1e-12, 1.0 - 1e-12);
+      break;
+    case Parameter::kConstantShare:
+      out.fcon = std::clamp(app.fcon * factor, 0.0, 1.0);
+      break;
+    case Parameter::kGrowthCoefficient:
+      out.fored = std::max(0.0, app.fored * factor);
+      break;
+  }
+  return out;
+}
+
+double speedup_elasticity(const ChipConfig& chip, const AppParams& app,
+                          const GrowthFunction& growth, double r,
+                          Parameter parameter) {
+  constexpr double kDelta = 0.01;
+  const double up =
+      speedup_symmetric(chip, perturbed(app, parameter, kDelta), growth, r);
+  const double down =
+      speedup_symmetric(chip, perturbed(app, parameter, -kDelta), growth, r);
+  const double nominal = speedup_symmetric(chip, app, growth, r);
+  MS_CHECK(nominal > 0.0, "nominal speedup must be positive");
+  return (up - down) / (2.0 * kDelta * nominal);
+}
+
+SpeedupBand speedup_band(const ChipConfig& chip, const AppParams& app,
+                         const GrowthFunction& growth, double r,
+                         double relative_delta) {
+  MS_CHECK(relative_delta >= 0.0 && relative_delta < 1.0,
+           "relative delta must lie in [0, 1)");
+  SpeedupBand band;
+  band.nominal = speedup_symmetric(chip, app, growth, r);
+  band.low = band.high = band.nominal;
+  for (int corner = 0; corner < 8; ++corner) {
+    AppParams varied = app;
+    varied = perturbed(varied, Parameter::kParallelFraction,
+                       (corner & 1) ? relative_delta : -relative_delta);
+    varied = perturbed(varied, Parameter::kConstantShare,
+                       (corner & 2) ? relative_delta : -relative_delta);
+    varied = perturbed(varied, Parameter::kGrowthCoefficient,
+                       (corner & 4) ? relative_delta : -relative_delta);
+    const double s = speedup_symmetric(chip, varied, growth, r);
+    band.low = std::min(band.low, s);
+    band.high = std::max(band.high, s);
+  }
+  return band;
+}
+
+}  // namespace mergescale::core

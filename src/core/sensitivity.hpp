@@ -1,0 +1,49 @@
+#pragma once
+// Sensitivity analysis of the extended speedup model.
+//
+// The paper's parameters (Table II) are measured quantities with
+// measurement error (its own model-accuracy study reports up to ±18%).
+// This module quantifies how such error propagates into the model's
+// outputs: speedup elasticities with respect to each parameter and
+// worst-case speedup bands under a relative parameter perturbation.
+// Used by tests to demonstrate the design conclusions are robust to the
+// paper's reported measurement error.
+
+#include "core/app_params.hpp"
+#include "core/chip.hpp"
+#include "core/growth.hpp"
+
+namespace mergescale::core {
+
+/// Which scalar parameter of AppParams to perturb.
+enum class Parameter { kParallelFraction, kConstantShare, kGrowthCoefficient };
+
+/// Printable parameter name ("f", "fcon", "fored").
+const char* parameter_name(Parameter parameter) noexcept;
+
+/// Returns `app` with one parameter multiplied by (1 + relative_delta),
+/// clamped into its valid domain.
+AppParams perturbed(const AppParams& app, Parameter parameter,
+                    double relative_delta);
+
+/// Elasticity of the symmetric-CMP speedup with respect to a parameter:
+/// (dS/S) / (dp/p), estimated by central finite differences with a ±1%
+/// perturbation.  |elasticity| >> 1 flags a parameter whose measurement
+/// error is amplified by the model.
+double speedup_elasticity(const ChipConfig& chip, const AppParams& app,
+                          const GrowthFunction& growth, double r,
+                          Parameter parameter);
+
+/// Worst-case band of the symmetric-CMP speedup when every parameter may
+/// independently vary by ±`relative_delta` (evaluated at the 2^3 corner
+/// combinations).
+struct SpeedupBand {
+  double low = 0.0;
+  double high = 0.0;
+  double nominal = 0.0;
+};
+SpeedupBand speedup_band(const ChipConfig& chip, const AppParams& app,
+                         const GrowthFunction& growth, double r,
+                         double relative_delta);
+
+}  // namespace mergescale::core

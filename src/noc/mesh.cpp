@@ -1,0 +1,74 @@
+#include "noc/mesh.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace mergescale::noc {
+
+Mesh2D::Mesh2D(int rows, int cols) : rows_(rows), cols_(cols) {
+  MS_CHECK(rows >= 1 && cols >= 1, "mesh dimensions must be positive");
+}
+
+Mesh2D Mesh2D::for_nodes(int nodes) {
+  MS_CHECK(nodes >= 1, "node count must be positive");
+  const int side = static_cast<int>(std::ceil(std::sqrt(nodes)));
+  // Shrink rows while capacity still suffices, to stay near-square but
+  // avoid an entirely empty row (e.g. 8 nodes -> 2x4, not 3x3).
+  int rows = side;
+  while ((rows - 1) * side >= nodes) --rows;
+  return Mesh2D(rows, side);
+}
+
+int Mesh2D::links() const noexcept {
+  return rows_ * (cols_ - 1) + cols_ * (rows_ - 1);
+}
+
+int Mesh2D::hops(Coord a, Coord b) const noexcept {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+Coord Mesh2D::coord_of(int node) const {
+  MS_CHECK(node >= 0 && node < nodes(), "node id out of range");
+  return Coord{node % cols_, node / cols_};
+}
+
+int Mesh2D::node_of(Coord c) const {
+  MS_CHECK(c.x >= 0 && c.x < cols_ && c.y >= 0 && c.y < rows_,
+           "coordinate out of range");
+  return c.y * cols_ + c.x;
+}
+
+double Mesh2D::average_hops_exact() const noexcept {
+  // Mean |i - j| over an n-point line with uniform ordered pairs
+  // (including i == j) is (n² − 1) / (3n); the two dimensions are
+  // independent so the means add.
+  auto line_mean = [](int n) {
+    return (static_cast<double>(n) * n - 1.0) / (3.0 * n);
+  };
+  return line_mean(rows_) + line_mean(cols_);
+}
+
+double Mesh2D::average_hops_paper() const noexcept {
+  return std::sqrt(static_cast<double>(nodes())) - 1.0;
+}
+
+double reduction_comm_work(int nc, double x) {
+  MS_CHECK(nc >= 1, "core count must be positive");
+  MS_CHECK(x >= 0.0, "element count must be non-negative");
+  const double root = std::sqrt(static_cast<double>(nc));
+  return 2.0 * (nc - 1) * x * (root - 1.0);
+}
+
+double grow_comm_mesh2d(int nc, bool exact) {
+  MS_CHECK(nc >= 1, "core count must be positive");
+  if (nc == 1) return 0.0;
+  const double root = std::sqrt(static_cast<double>(nc));
+  if (!exact) return root / 2.0;
+  // Un-approximated Eq. 8: total work / concurrent capacity, per element.
+  const double work = 2.0 * (nc - 1) * (root - 1.0);
+  const double capacity = 4.0 * root * (root - 1.0);
+  return work / capacity;
+}
+
+}  // namespace mergescale::noc

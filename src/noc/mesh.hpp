@@ -1,0 +1,84 @@
+#pragma once
+// 2-D mesh on-chip network model (paper §V-E, Eq. 8).
+//
+// The paper derives the communication-growth term of the merging phase for
+// the "most commonly used topology in many-core CMP studies": a 2-D mesh
+// with nc cores laid out on a (√nc × √nc) grid.  It counts
+//   links               2·√nc·(√nc − 1)
+//   concurrent ops      4·√nc·(√nc − 1)      (bi-directional links)
+//   average hops        (√nc − 1)
+//   total comm work     2·(nc − 1)·x·(√nc − 1)
+// and arrives at grow_comm(nc) ≈ √nc / 2 per reduction element.
+//
+// This module provides both the paper's closed forms and exact variants
+// (integer link counts, exact average Manhattan distance under uniform
+// traffic and XY routing) so the approximation itself can be ablated.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mergescale::noc {
+
+/// Coordinates of a node on the mesh grid.
+struct Coord {
+  int x = 0;
+  int y = 0;
+  friend bool operator==(const Coord&, const Coord&) = default;
+};
+
+/// Rectangular 2-D mesh of `rows × cols` nodes with bidirectional links and
+/// dimension-ordered (XY) routing.
+class Mesh2D {
+ public:
+  /// Builds a rows×cols mesh; both dimensions must be >= 1.
+  Mesh2D(int rows, int cols);
+
+  /// Builds the smallest near-square mesh holding at least `nodes` nodes
+  /// (the layout the paper implicitly assumes for nc cores).
+  static Mesh2D for_nodes(int nodes);
+
+  int rows() const noexcept { return rows_; }
+  int cols() const noexcept { return cols_; }
+  /// Total node count (rows × cols).
+  int nodes() const noexcept { return rows_ * cols_; }
+
+  /// Number of physical links: rows·(cols-1) + cols·(rows-1).
+  /// For a square √nc×√nc mesh this equals the paper's 2·√nc·(√nc − 1).
+  int links() const noexcept;
+
+  /// Number of simultaneous transfer operations the mesh sustains assuming
+  /// bidirectional links (paper: 4·√nc·(√nc − 1)).
+  int concurrent_ops() const noexcept { return 2 * links(); }
+
+  /// XY-routing hop count between two nodes (Manhattan distance).
+  int hops(Coord a, Coord b) const noexcept;
+
+  /// Node id (row-major) to coordinates and back.
+  Coord coord_of(int node) const;
+  int node_of(Coord c) const;
+
+  /// Exact mean hop count over all ordered src≠dst pairs under uniform
+  /// traffic: (rows²-1)/(3·rows)·... computed exactly by the closed form
+  /// for Manhattan distance on a grid.
+  double average_hops_exact() const noexcept;
+
+  /// The paper's approximation of the average hop count: √nc − 1.
+  double average_hops_paper() const noexcept;
+
+ private:
+  int rows_;
+  int cols_;
+};
+
+/// Total communication work of an all-to-one + broadcast-back reduction of
+/// `x` elements over `nc` cores (paper: 2·(nc − 1)·x element transfers,
+/// each travelling the average hop distance).
+double reduction_comm_work(int nc, double x);
+
+/// Eq. 8 — communication growth per reduction element for a 2-D mesh:
+///   2·(nc−1)·x·(√nc−1) / (4·√nc·(√nc−1))  ≈  √nc / 2.
+/// `exact == false` returns the paper's √nc/2 approximation; `true`
+/// evaluates the un-approximated quotient (they differ by O(1/√nc)).
+double grow_comm_mesh2d(int nc, bool exact = false);
+
+}  // namespace mergescale::noc

@@ -1,0 +1,93 @@
+#include "noc/topology.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace mergescale::noc {
+
+std::string_view topology_name(Topology topology) noexcept {
+  switch (topology) {
+    case Topology::kBus: return "bus";
+    case Topology::kRing: return "ring";
+    case Topology::kMesh2D: return "mesh";
+    case Topology::kTorus2D: return "torus";
+    case Topology::kCrossbar: return "crossbar";
+  }
+  return "?";
+}
+
+Topology parse_topology(std::string_view name) {
+  if (name == "bus") return Topology::kBus;
+  if (name == "ring") return Topology::kRing;
+  if (name == "mesh") return Topology::kMesh2D;
+  if (name == "torus") return Topology::kTorus2D;
+  if (name == "crossbar") return Topology::kCrossbar;
+  throw std::invalid_argument("unknown topology: " + std::string(name));
+}
+
+namespace {
+void check_nc(int nc) { MS_CHECK(nc >= 1, "core count must be positive"); }
+}  // namespace
+
+double links(Topology topology, int nc) {
+  check_nc(nc);
+  const double n = nc;
+  const double root = std::sqrt(n);
+  switch (topology) {
+    case Topology::kBus: return 1.0;
+    case Topology::kRing: return n;
+    case Topology::kMesh2D: return 2.0 * root * (root - 1.0);
+    case Topology::kTorus2D: return 2.0 * n;
+    case Topology::kCrossbar: return n;
+  }
+  MS_CHECK(false, "unknown topology");
+  return 0.0;
+}
+
+double concurrent_capacity(Topology topology, int nc) {
+  check_nc(nc);
+  switch (topology) {
+    case Topology::kBus: return 1.0;
+    case Topology::kRing: return 2.0 * nc;
+    case Topology::kMesh2D: return 2.0 * links(topology, nc);
+    case Topology::kTorus2D: return 4.0 * nc;
+    case Topology::kCrossbar: return nc;
+  }
+  MS_CHECK(false, "unknown topology");
+  return 0.0;
+}
+
+double average_hops(Topology topology, int nc) {
+  check_nc(nc);
+  const double n = nc;
+  const double root = std::sqrt(n);
+  switch (topology) {
+    case Topology::kBus: return 1.0;
+    case Topology::kRing: return n / 4.0;
+    case Topology::kMesh2D: return root - 1.0;  // the paper's approximation
+    case Topology::kTorus2D: return root / 2.0;
+    case Topology::kCrossbar: return 1.0;
+  }
+  MS_CHECK(false, "unknown topology");
+  return 0.0;
+}
+
+double grow_comm(Topology topology, int nc) {
+  check_nc(nc);
+  if (nc == 1) return 0.0;
+  const double n = nc;
+  const double root = std::sqrt(n);
+  switch (topology) {
+    case Topology::kBus: return 2.0 * (n - 1.0);
+    case Topology::kRing: return (n - 1.0) / 4.0;
+    case Topology::kMesh2D: return (n - 1.0) / (2.0 * root);
+    case Topology::kTorus2D: return (n - 1.0) / (4.0 * root);
+    case Topology::kCrossbar: return 2.0 * (n - 1.0) / n;
+  }
+  MS_CHECK(false, "unknown topology");
+  return 0.0;
+}
+
+}  // namespace mergescale::noc

@@ -1,0 +1,57 @@
+#pragma once
+// Interconnect-topology family for the communication model.
+//
+// The paper derives the merging-phase communication growth for one
+// topology (2-D mesh, Eq. 8) using the recipe
+//
+//   grow_comm(nc) = transfers · average_hops / concurrent_capacity
+//
+// with 2·(nc − 1) element transfers (all-to-one + broadcast back).  This
+// module applies the same recipe to the other interconnects common in
+// many-core studies, enabling a topology ablation of Fig. 7:
+//
+//   topology    links     capacity      avg hops     grow_comm(nc)
+//   bus         1         1             1            2(nc−1)
+//   ring        nc        2nc           nc/4         (nc−1)/4
+//   mesh 2-D    2√nc(√nc−1)  4√nc(√nc−1)  √nc−1      (nc−1)/(2√nc)
+//   torus 2-D   2nc       4nc           √nc/2        (nc−1)/(4√nc)
+//   crossbar    nc        nc            1            2(nc−1)/nc
+//
+// All forms use the exact (nc − 1) transfer count, so grow(1) = 0 (a
+// single core communicates nothing); the paper's √nc/2 is the large-nc
+// limit of the mesh row.
+
+#include <string_view>
+
+namespace mergescale::noc {
+
+/// Supported interconnect topologies.
+enum class Topology {
+  kBus,       ///< single shared medium, one transfer at a time
+  kRing,      ///< bidirectional ring
+  kMesh2D,    ///< the paper's topology (Eq. 8)
+  kTorus2D,   ///< mesh with wraparound links
+  kCrossbar,  ///< non-blocking, single-hop
+};
+
+/// Printable topology name ("bus", "ring", ...).
+std::string_view topology_name(Topology topology) noexcept;
+
+/// Parses a topology name (throws std::invalid_argument).
+Topology parse_topology(std::string_view name);
+
+/// Number of physical links for nc cores (idealized closed forms).
+double links(Topology topology, int nc);
+
+/// Simultaneous transfer capacity (bidirectional links).
+double concurrent_capacity(Topology topology, int nc);
+
+/// Average hop count under uniform traffic (closed-form approximations,
+/// matching the paper's style for the mesh).
+double average_hops(Topology topology, int nc);
+
+/// Per-reduction-element communication growth: the quantity plugged into
+/// the communication model's g_comm.  grow_comm(·, 1) == 0.
+double grow_comm(Topology topology, int nc);
+
+}  // namespace mergescale::noc

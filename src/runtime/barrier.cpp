@@ -1,0 +1,9 @@
+#include "runtime/barrier.hpp"
+
+#include <thread>
+
+namespace mergescale::runtime {
+
+void SpinBarrier::sched_yield_shim() noexcept { std::this_thread::yield(); }
+
+}  // namespace mergescale::runtime

@@ -1,0 +1,62 @@
+#pragma once
+// Sense-reversing centralized barrier.  Used by the thread team for the
+// phase boundaries of the clustering workloads (assign | merge | update)
+// and by the tree-reduction strategy between combine levels.
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/check.hpp"
+
+namespace mergescale::runtime {
+
+/// A reusable barrier for a fixed number of participants.  wait() may be
+/// called any number of rounds; the sense flips each round so no
+/// reinitialization is needed.  Spin-based: participants are expected to
+/// be runnable (the workloads' phases are short and compute-bound).
+class SpinBarrier {
+ public:
+  /// `participants` must be >= 1.
+  explicit SpinBarrier(int participants)
+      : participants_(participants), remaining_(participants) {
+    MS_CHECK(participants >= 1, "barrier needs at least one participant");
+  }
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  /// Blocks until all participants have called wait() for this round.
+  void wait() noexcept {
+    const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last arrival: reset the count and release the others.
+      remaining_.store(participants_, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);
+    } else {
+      while (sense_.load(std::memory_order_acquire) != my_sense) {
+        // Yield rather than pure-spin: the host may have fewer hardware
+        // threads than participants (oversubscription is expected in CI).
+        cpu_relax();
+      }
+    }
+  }
+
+  /// Number of participants this barrier synchronizes.
+  int participants() const noexcept { return participants_; }
+
+ private:
+  static void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#endif
+    // Always also yield; see the oversubscription note in wait().
+    sched_yield_shim();
+  }
+  static void sched_yield_shim() noexcept;
+
+  const int participants_;
+  std::atomic<int> remaining_;
+  std::atomic<bool> sense_{false};
+};
+
+}  // namespace mergescale::runtime

@@ -1,0 +1,83 @@
+#include "runtime/phase_ledger.hpp"
+
+#include "util/check.hpp"
+
+namespace mergescale::runtime {
+
+std::string_view phase_name(Phase phase) noexcept {
+  switch (phase) {
+    case Phase::kInit: return "init";
+    case Phase::kSerial: return "serial";
+    case Phase::kReduction: return "reduction";
+    case Phase::kParallel: return "parallel";
+  }
+  return "?";
+}
+
+void PhaseLedger::start(Phase phase) {
+  MS_CHECK(!running_, "phases may not nest");
+  current_ = phase;
+  running_ = true;
+  started_ = Clock::now();
+}
+
+void PhaseLedger::stop() {
+  MS_CHECK(running_, "stop() without start()");
+  const auto elapsed = std::chrono::duration<double>(Clock::now() - started_);
+  seconds_[static_cast<int>(current_)] += elapsed.count();
+  running_ = false;
+}
+
+void PhaseLedger::add_ops(Phase phase, std::uint64_t ops) noexcept {
+  ops_[static_cast<int>(phase)] += ops;
+}
+
+void PhaseLedger::add_seconds(Phase phase, double seconds) noexcept {
+  seconds_[static_cast<int>(phase)] += seconds;
+}
+
+double PhaseLedger::seconds(Phase phase) const noexcept {
+  return seconds_[static_cast<int>(phase)];
+}
+
+std::uint64_t PhaseLedger::ops(Phase phase) const noexcept {
+  return ops_[static_cast<int>(phase)];
+}
+
+double PhaseLedger::total_seconds() const noexcept {
+  return seconds(Phase::kSerial) + seconds(Phase::kReduction) +
+         seconds(Phase::kParallel);
+}
+
+core::PhaseProfile PhaseLedger::profile_seconds(int cores) const {
+  MS_CHECK(cores >= 1, "core count must be positive");
+  core::PhaseProfile profile;
+  profile.cores = cores;
+  profile.init = seconds(Phase::kInit);
+  profile.serial = seconds(Phase::kSerial);
+  profile.reduction = seconds(Phase::kReduction);
+  profile.parallel = seconds(Phase::kParallel);
+  return profile;
+}
+
+core::PhaseProfile PhaseLedger::profile_ops(int cores) const {
+  MS_CHECK(cores >= 1, "core count must be positive");
+  core::PhaseProfile profile;
+  profile.cores = cores;
+  profile.init = static_cast<double>(ops(Phase::kInit));
+  profile.serial = static_cast<double>(ops(Phase::kSerial));
+  profile.reduction = static_cast<double>(ops(Phase::kReduction));
+  // Parallel work is distributed: the wall-clock-equivalent is the
+  // per-core share of the total parallel operations.
+  profile.parallel =
+      static_cast<double>(ops(Phase::kParallel)) / static_cast<double>(cores);
+  return profile;
+}
+
+void PhaseLedger::reset() noexcept {
+  seconds_.fill(0.0);
+  ops_.fill(0);
+  running_ = false;
+}
+
+}  // namespace mergescale::runtime

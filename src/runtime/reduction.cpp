@@ -1,0 +1,38 @@
+#include "runtime/reduction.hpp"
+
+namespace mergescale::runtime {
+
+std::uint64_t critical_path_ops(ReductionStrategy strategy, int threads,
+                                std::size_t width) {
+  MS_CHECK(threads >= 1, "need at least one thread");
+  const auto w = static_cast<std::uint64_t>(width);
+  switch (strategy) {
+    case ReductionStrategy::kSerial:
+      return static_cast<std::uint64_t>(threads) * w;
+    case ReductionStrategy::kTree: {
+      std::uint64_t levels = 0;
+      for (int span = 1; span < threads; span *= 2) ++levels;
+      // +1: the final combine of partial(0) into dest.
+      return (levels + 1) * w;
+    }
+    case ReductionStrategy::kPrivatized: {
+      // Each thread handles width/threads elements across `threads`
+      // partials: width/threads · threads = width on the critical path —
+      // plus remainder imbalance for widths not divisible by threads.
+      const std::uint64_t per_thread =
+          (w + static_cast<std::uint64_t>(threads) - 1) /
+          static_cast<std::uint64_t>(threads);
+      return per_thread * static_cast<std::uint64_t>(threads);
+    }
+  }
+  MS_CHECK(false, "unknown reduction strategy");
+  return 0;
+}
+
+std::uint64_t communication_elements(int threads, std::size_t width) {
+  MS_CHECK(threads >= 1, "need at least one thread");
+  return 2ULL * static_cast<std::uint64_t>(threads - 1) *
+         static_cast<std::uint64_t>(width);
+}
+
+}  // namespace mergescale::runtime

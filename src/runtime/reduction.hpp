@@ -1,0 +1,173 @@
+#pragma once
+// Reduction (merging-phase) strategies over privatized partial results.
+//
+// The paper's Algorithm 1 is the serial strategy: the master walks all
+// threads' partial arrays and accumulates them, so merging work grows
+// linearly with the thread count.  The alternatives it analyzes are a
+// tree (logarithmic critical path) and a privatized parallel reduction
+// (constant computational critical path, communication modelled
+// separately in §V-E).  All three are implemented generically here and
+// used by the workloads and the ablation benches.
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "runtime/thread_team.hpp"
+#include "util/check.hpp"
+
+namespace mergescale::runtime {
+
+/// Identifier for the three merging-phase implementations.
+enum class ReductionStrategy {
+  kSerial,     ///< master accumulates all partials (Algorithm 1); O(t·x)
+  kTree,       ///< pairwise combining in log2(t) levels; O(x·log t) path
+  kPrivatized, ///< each thread reduces a slice of elements; O(x) path
+};
+
+/// Printable strategy name.
+constexpr const char* reduction_strategy_name(ReductionStrategy s) noexcept {
+  switch (s) {
+    case ReductionStrategy::kSerial: return "serial";
+    case ReductionStrategy::kTree: return "tree";
+    case ReductionStrategy::kPrivatized: return "privatized";
+  }
+  return "?";
+}
+
+/// Per-thread privatized accumulation buffers: `threads` rows of `width`
+/// elements, zero-initialized.  Rows are padded to a cache-line multiple
+/// to avoid false sharing between threads in the parallel phases.
+template <typename T>
+class PartialBuffers {
+ public:
+  PartialBuffers(int threads, std::size_t width)
+      : threads_(threads), width_(width), stride_(padded(width)) {
+    MS_CHECK(threads >= 1, "need at least one thread");
+    MS_CHECK(width >= 1, "need at least one reduction element");
+    data_.assign(static_cast<std::size_t>(threads) * stride_, T{});
+  }
+
+  int threads() const noexcept { return threads_; }
+  std::size_t width() const noexcept { return width_; }
+
+  /// Mutable view of thread `tid`'s partial array.
+  std::span<T> partial(int tid) {
+    MS_CHECK(tid >= 0 && tid < threads_, "tid out of range");
+    return {data_.data() + static_cast<std::size_t>(tid) * stride_, width_};
+  }
+  /// Read-only view of thread `tid`'s partial array.
+  std::span<const T> partial(int tid) const {
+    MS_CHECK(tid >= 0 && tid < threads_, "tid out of range");
+    return {data_.data() + static_cast<std::size_t>(tid) * stride_, width_};
+  }
+
+  /// Zeroes all buffers (start of a new iteration).
+  void clear() { std::fill(data_.begin(), data_.end(), T{}); }
+
+ private:
+  static std::size_t padded(std::size_t width) {
+    constexpr std::size_t line = 64 / sizeof(T) == 0 ? 1 : 64 / sizeof(T);
+    return (width + line - 1) / line * line;
+  }
+
+  int threads_;
+  std::size_t width_;
+  std::size_t stride_;
+  std::vector<T> data_;
+};
+
+/// Serial reduction (paper Algorithm 1): `dest[i] = op(dest[i],
+/// partials[t][i])` for every element i and thread t, executed by the
+/// caller.  Work on the critical path: threads · width operations.
+template <typename T, typename Op = std::plus<T>>
+void serial_reduce(std::span<T> dest, const PartialBuffers<T>& partials,
+                   Op op = {}) {
+  MS_CHECK(dest.size() == partials.width(), "dest size mismatch");
+  for (std::size_t i = 0; i < dest.size(); ++i) {
+    for (int t = 0; t < partials.threads(); ++t) {
+      dest[i] = op(dest[i], partials.partial(t)[i]);
+    }
+  }
+}
+
+/// Tree reduction executed by the team: level k combines buffers that are
+/// 2^k apart, halving the live buffer count per level; the result lands in
+/// partial(0) and is copied into `dest`.  Critical path:
+/// ceil(log2(threads)) · width operations.  Destroys the partials.
+template <typename T, typename Op = std::plus<T>>
+void tree_reduce(ThreadTeam& team, std::span<T> dest,
+                 PartialBuffers<T>& partials, Op op = {}) {
+  MS_CHECK(dest.size() == partials.width(), "dest size mismatch");
+  MS_CHECK(team.size() == partials.threads(),
+           "team size must match partial buffer count");
+  const int threads = partials.threads();
+  team.run([&](int tid, int) {
+    for (int stride = 1; stride < threads; stride *= 2) {
+      if (tid % (2 * stride) == 0 && tid + stride < threads) {
+        auto into = partials.partial(tid);
+        auto from = partials.partial(tid + stride);
+        for (std::size_t i = 0; i < into.size(); ++i) {
+          into[i] = op(into[i], from[i]);
+        }
+      }
+      team.barrier();
+    }
+  });
+  auto combined = partials.partial(0);
+  for (std::size_t i = 0; i < dest.size(); ++i) {
+    dest[i] = op(dest[i], combined[i]);
+  }
+}
+
+/// Privatized parallel reduction: each thread owns a contiguous slice of
+/// the elements and accumulates that slice across *all* threads' partials
+/// (all-to-all communication, constant computational critical path of
+/// width operations).
+template <typename T, typename Op = std::plus<T>>
+void privatized_reduce(ThreadTeam& team, std::span<T> dest,
+                       PartialBuffers<T>& partials, Op op = {}) {
+  MS_CHECK(dest.size() == partials.width(), "dest size mismatch");
+  MS_CHECK(team.size() == partials.threads(),
+           "team size must match partial buffer count");
+  team.run([&](int tid, int team_size) {
+    auto [lo, hi] = ThreadTeam::partition(0, dest.size(), tid, team_size);
+    for (std::size_t i = lo; i < hi; ++i) {
+      for (int t = 0; t < partials.threads(); ++t) {
+        dest[i] = op(dest[i], partials.partial(t)[i]);
+      }
+    }
+  });
+}
+
+/// Dispatches to one of the three strategies.
+template <typename T, typename Op = std::plus<T>>
+void reduce(ReductionStrategy strategy, ThreadTeam& team, std::span<T> dest,
+            PartialBuffers<T>& partials, Op op = {}) {
+  switch (strategy) {
+    case ReductionStrategy::kSerial:
+      serial_reduce(dest, partials, op);
+      return;
+    case ReductionStrategy::kTree:
+      tree_reduce(team, dest, partials, op);
+      return;
+    case ReductionStrategy::kPrivatized:
+      privatized_reduce(team, dest, partials, op);
+      return;
+  }
+  MS_CHECK(false, "unknown reduction strategy");
+}
+
+/// Operations on the merging phase's critical path for `threads` partials
+/// of `width` elements — the quantity the analytical model's growth
+/// functions describe (linear / logarithmic / constant respectively).
+std::uint64_t critical_path_ops(ReductionStrategy strategy, int threads,
+                                std::size_t width);
+
+/// Element transfers of the all-to-one + broadcast-back pattern the
+/// communication model charges for: 2·(threads − 1)·width (§V-E).
+std::uint64_t communication_elements(int threads, std::size_t width);
+
+}  // namespace mergescale::runtime

@@ -1,0 +1,63 @@
+#include "runtime/strategy_advisor.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace mergescale::runtime {
+
+void StrategyCostModel::validate() const {
+  MS_CHECK(combine_op >= 0.0 && barrier >= 0.0 && comm_per_element >= 0.0,
+           "cost coefficients must be non-negative");
+}
+
+double predicted_cost(ReductionStrategy strategy, int threads,
+                      std::size_t width, const StrategyCostModel& costs) {
+  costs.validate();
+  MS_CHECK(threads >= 1, "need at least one thread");
+  MS_CHECK(width >= 1, "need at least one element");
+  const double x = static_cast<double>(width);
+  const double t = static_cast<double>(threads);
+  switch (strategy) {
+    case ReductionStrategy::kSerial:
+      // Master walks every thread's partials; no synchronization needed
+      // beyond the phase barrier that all strategies share.
+      return costs.combine_op * t * x;
+    case ReductionStrategy::kTree: {
+      const double levels =
+          threads == 1 ? 0.0 : std::ceil(std::log2(t));
+      // Combine levels run concurrently: critical path is one buffer per
+      // level plus the final fold into the destination, with a barrier
+      // separating each level.
+      return costs.combine_op * (levels + 1.0) * x +
+             costs.barrier * (levels + 1.0);
+    }
+    case ReductionStrategy::kPrivatized: {
+      // Flat compute (each core covers width/t elements across t
+      // partials = x combines on the critical path) plus the all-to-all
+      // traffic of 2(t−1)x element transfers spread over t cores.
+      const double comm =
+          costs.comm_per_element * 2.0 * (t - 1.0) * x / t;
+      return costs.combine_op * x + costs.barrier + comm;
+    }
+  }
+  MS_CHECK(false, "unknown reduction strategy");
+  return 0.0;
+}
+
+ReductionStrategy advise_strategy(int threads, std::size_t width,
+                                  const StrategyCostModel& costs) {
+  ReductionStrategy best = ReductionStrategy::kSerial;
+  double best_cost = predicted_cost(best, threads, width, costs);
+  for (ReductionStrategy candidate :
+       {ReductionStrategy::kTree, ReductionStrategy::kPrivatized}) {
+    const double cost = predicted_cost(candidate, threads, width, costs);
+    if (cost < best_cost) {
+      best = candidate;
+      best_cost = cost;
+    }
+  }
+  return best;
+}
+
+}  // namespace mergescale::runtime

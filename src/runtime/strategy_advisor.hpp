@@ -1,0 +1,44 @@
+#pragma once
+// Model-guided reduction-strategy selection.
+//
+// The analytical model assigns each merging-phase implementation a cost
+// shape: serial ~ t·x, tree ~ ceil(log2 t)·x plus a barrier per combine
+// level, privatized ~ x plus all-to-all communication of 2(t−1)·x
+// elements.  Given a team size and reduction width (plus optional
+// calibrated per-operation costs), the advisor evaluates the three cost
+// expressions and picks the cheapest — turning the paper's analysis into
+// an actionable runtime policy.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "runtime/reduction.hpp"
+
+namespace mergescale::runtime {
+
+/// Cost coefficients (arbitrary but consistent units; the defaults are
+/// abstract operation counts, suitable when only ordering matters).
+struct StrategyCostModel {
+  double combine_op = 1.0;     ///< cost of one element combine
+  double barrier = 64.0;       ///< cost of one team barrier (tree levels,
+                               ///< and one region fork/join for team-wide
+                               ///< strategies)
+  double comm_per_element = 0.25;  ///< cost of moving one element between
+                                   ///< cores (privatized all-to-all)
+
+  /// Throws std::invalid_argument when any coefficient is negative.
+  void validate() const;
+};
+
+/// Predicted critical-path cost of running `strategy` over `threads`
+/// partials of `width` elements.
+double predicted_cost(ReductionStrategy strategy, int threads,
+                      std::size_t width,
+                      const StrategyCostModel& costs = {});
+
+/// The cheapest strategy under the cost model (ties prefer the simpler
+/// strategy in the order serial, tree, privatized).
+ReductionStrategy advise_strategy(int threads, std::size_t width,
+                                  const StrategyCostModel& costs = {});
+
+}  // namespace mergescale::runtime

@@ -1,0 +1,65 @@
+#pragma once
+// Persistent worker-thread team.  Replaces the pthreads runtime the paper
+// used on its Xeon validation machine: a fixed team executes parallel
+// regions (SPMD bodies) with a shared barrier, so workloads are written
+// exactly like their MineBench counterparts (fork once, barrier-separated
+// phases, master executes serial/merging phases).
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "runtime/barrier.hpp"
+
+namespace mergescale::runtime {
+
+/// A team of `size` logical workers backed by `size − 1` std::threads
+/// plus the calling thread (which participates as tid 0).  Workers park
+/// between regions; run() has fork/join semantics.
+class ThreadTeam {
+ public:
+  /// Body of a parallel region: invoked once per worker with
+  /// (tid, team_size).
+  using Body = std::function<void(int tid, int team_size)>;
+
+  /// Creates a team of `size` >= 1 workers.
+  explicit ThreadTeam(int size);
+  ~ThreadTeam();
+
+  ThreadTeam(const ThreadTeam&) = delete;
+  ThreadTeam& operator=(const ThreadTeam&) = delete;
+
+  /// Number of workers (including the master).
+  int size() const noexcept { return size_; }
+
+  /// Runs `body` on every worker and returns when all have finished.
+  /// Exceptions thrown by any worker are rethrown on the caller (first
+  /// one wins; the region still joins fully).
+  void run(const Body& body);
+
+  /// Barrier across the team, callable from inside a region body.
+  void barrier() noexcept { region_barrier_.wait(); }
+
+  /// Static block partition of [begin, end) for worker `tid`: returns
+  /// {chunk_begin, chunk_end}.  Remainder elements go to the low tids so
+  /// chunk sizes differ by at most one.
+  static std::pair<std::size_t, std::size_t> partition(std::size_t begin,
+                                                       std::size_t end,
+                                                       int tid,
+                                                       int team_size);
+
+ private:
+  void worker_loop(int tid);
+
+  const int size_;
+  std::vector<std::thread> threads_;
+  SpinBarrier start_barrier_;   // releases workers into a region
+  SpinBarrier finish_barrier_;  // collects workers at region end
+  SpinBarrier region_barrier_;  // user-visible barrier()
+  const Body* body_ = nullptr;
+  std::vector<std::exception_ptr> errors_;
+  bool shutting_down_ = false;
+};
+
+}  // namespace mergescale::runtime

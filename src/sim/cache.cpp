@@ -1,0 +1,118 @@
+#include "sim/cache.hpp"
+
+#include <bit>
+
+#include "util/check.hpp"
+
+namespace mergescale::sim {
+
+char mesi_letter(Mesi state) noexcept {
+  switch (state) {
+    case Mesi::kInvalid: return 'I';
+    case Mesi::kShared: return 'S';
+    case Mesi::kExclusive: return 'E';
+    case Mesi::kModified: return 'M';
+  }
+  return '?';
+}
+
+Cache::Cache(const CacheGeometry& geometry)
+    : geometry_(geometry),
+      sets_(geometry.sets()),
+      line_shift_(static_cast<std::uint64_t>(
+          std::countr_zero(static_cast<unsigned>(geometry.line_bytes)))) {
+  MS_CHECK((geometry.line_bytes & (geometry.line_bytes - 1)) == 0,
+           "line size must be a power of two");
+  lines_.resize(sets_ * static_cast<std::uint64_t>(geometry_.associativity));
+}
+
+std::uint64_t Cache::set_index(std::uint64_t addr) const noexcept {
+  return (addr >> line_shift_) & (sets_ - 1);
+}
+
+std::uint64_t Cache::tag_of(std::uint64_t addr) const noexcept {
+  return addr >> line_shift_ >> std::countr_zero(sets_);
+}
+
+Cache::Line* Cache::find(std::uint64_t addr) noexcept {
+  const std::uint64_t set = set_index(addr);
+  const std::uint64_t tag = tag_of(addr);
+  Line* base = lines_.data() + set * geometry_.associativity;
+  for (int way = 0; way < geometry_.associativity; ++way) {
+    if (base[way].state != Mesi::kInvalid && base[way].tag == tag) {
+      return &base[way];
+    }
+  }
+  return nullptr;
+}
+
+const Cache::Line* Cache::find(std::uint64_t addr) const noexcept {
+  return const_cast<Cache*>(this)->find(addr);
+}
+
+Mesi Cache::probe(std::uint64_t addr) const noexcept {
+  const Line* line = find(addr);
+  return line != nullptr ? line->state : Mesi::kInvalid;
+}
+
+std::optional<Mesi> Cache::lookup(std::uint64_t addr) noexcept {
+  Line* line = find(addr);
+  if (line == nullptr) return std::nullopt;
+  line->lru = ++lru_clock_;
+  return line->state;
+}
+
+void Cache::set_state(std::uint64_t addr, Mesi state) noexcept {
+  Line* line = find(addr);
+  if (line != nullptr) line->state = state;
+}
+
+Mesi Cache::invalidate(std::uint64_t addr) noexcept {
+  Line* line = find(addr);
+  if (line == nullptr) return Mesi::kInvalid;
+  const Mesi old = line->state;
+  line->state = Mesi::kInvalid;
+  return old;
+}
+
+std::optional<Cache::Eviction> Cache::insert(std::uint64_t addr, Mesi state) {
+  MS_CHECK(state != Mesi::kInvalid, "cannot insert an invalid line");
+  const std::uint64_t set = set_index(addr);
+  Line* base = lines_.data() + set * geometry_.associativity;
+  // Prefer an invalid way; otherwise evict the least recently used.
+  Line* victim = nullptr;
+  for (int way = 0; way < geometry_.associativity; ++way) {
+    if (base[way].state == Mesi::kInvalid) {
+      victim = &base[way];
+      break;
+    }
+    if (victim == nullptr || base[way].lru < victim->lru) {
+      victim = &base[way];
+    }
+  }
+  std::optional<Eviction> evicted;
+  if (victim->state != Mesi::kInvalid) {
+    const std::uint64_t victim_addr =
+        (victim->tag << std::countr_zero(sets_) | set) << line_shift_;
+    evicted = Eviction{victim_addr, victim->state};
+  }
+  victim->tag = tag_of(addr);
+  victim->state = state;
+  victim->lru = ++lru_clock_;
+  return evicted;
+}
+
+std::uint64_t Cache::valid_lines() const noexcept {
+  std::uint64_t count = 0;
+  for (const Line& line : lines_) {
+    if (line.state != Mesi::kInvalid) ++count;
+  }
+  return count;
+}
+
+void Cache::flush() noexcept {
+  for (Line& line : lines_) line.state = Mesi::kInvalid;
+  lru_clock_ = 0;
+}
+
+}  // namespace mergescale::sim

@@ -1,0 +1,81 @@
+#pragma once
+// Set-associative cache with per-line MESI state and LRU replacement.
+// Used for both the private L1 data caches (full MESI) and the shared L2
+// (where only I/S/M are meaningful: present-clean / present-dirty).
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/config.hpp"
+
+namespace mergescale::sim {
+
+/// MESI coherence states.
+enum class Mesi : std::uint8_t { kInvalid, kShared, kExclusive, kModified };
+
+/// Printable state letter (I/S/E/M).
+char mesi_letter(Mesi state) noexcept;
+
+/// A set-associative cache indexed by byte address.  The cache stores
+/// tags and states only (trace-driven timing model: data values live in
+/// the host program).
+class Cache {
+ public:
+  explicit Cache(const CacheGeometry& geometry);
+
+  /// Line-aligned address of `addr`.
+  std::uint64_t line_address(std::uint64_t addr) const noexcept {
+    return addr & ~(static_cast<std::uint64_t>(geometry_.line_bytes) - 1);
+  }
+
+  /// State of the line containing `addr` (kInvalid when absent).
+  /// Does not touch LRU.
+  Mesi probe(std::uint64_t addr) const noexcept;
+
+  /// Looks up `addr`; on hit updates LRU and returns the state.
+  std::optional<Mesi> lookup(std::uint64_t addr) noexcept;
+
+  /// Sets the state of a present line; no-op if absent.
+  void set_state(std::uint64_t addr, Mesi state) noexcept;
+
+  /// Removes the line containing `addr` if present; returns its state.
+  Mesi invalidate(std::uint64_t addr) noexcept;
+
+  /// Inserts the line containing `addr` with `state`, evicting the LRU
+  /// victim of the set if needed.  Returns the victim's line address and
+  /// state when a valid line was displaced.
+  struct Eviction {
+    std::uint64_t line_addr;
+    Mesi state;
+  };
+  std::optional<Eviction> insert(std::uint64_t addr, Mesi state);
+
+  /// Number of valid lines currently cached.
+  std::uint64_t valid_lines() const noexcept;
+
+  /// Drops all lines (between experiment phases if cold caches are wanted).
+  void flush() noexcept;
+
+  const CacheGeometry& geometry() const noexcept { return geometry_; }
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;  // larger = more recently used
+    Mesi state = Mesi::kInvalid;
+  };
+
+  std::uint64_t set_index(std::uint64_t addr) const noexcept;
+  std::uint64_t tag_of(std::uint64_t addr) const noexcept;
+  Line* find(std::uint64_t addr) noexcept;
+  const Line* find(std::uint64_t addr) const noexcept;
+
+  CacheGeometry geometry_;
+  std::uint64_t sets_;
+  std::uint64_t line_shift_;
+  std::uint64_t lru_clock_ = 0;
+  std::vector<Line> lines_;  // sets_ × associativity, set-major
+};
+
+}  // namespace mergescale::sim

@@ -1,0 +1,46 @@
+#include "sim/config.hpp"
+
+#include "util/check.hpp"
+
+namespace mergescale::sim {
+
+std::uint64_t CacheGeometry::sets() const {
+  MS_CHECK(size_bytes > 0 && associativity > 0 && line_bytes > 0,
+           "cache geometry fields must be positive");
+  const std::uint64_t way_bytes =
+      static_cast<std::uint64_t>(associativity) * line_bytes;
+  MS_CHECK(size_bytes % way_bytes == 0,
+           "cache size must be a multiple of associativity * line size");
+  const std::uint64_t n = size_bytes / way_bytes;
+  MS_CHECK((n & (n - 1)) == 0, "set count must be a power of two");
+  return n;
+}
+
+MachineConfig MachineConfig::icpp2011(int cores) {
+  MachineConfig config;
+  config.cores = cores;
+  config.validate();
+  return config;
+}
+
+MachineConfig MachineConfig::icpp2011_mesh(int cores) {
+  MachineConfig config = icpp2011(cores);
+  config.interconnect = Interconnect::kMesh2D;
+  return config;
+}
+
+void MachineConfig::validate() const {
+  MS_CHECK(cores >= 1, "at least one core required");
+  MS_CHECK(issue_width >= 1, "issue width must be positive");
+  (void)l1d.sets();
+  (void)l2.sets();
+  MS_CHECK(l1d.line_bytes == l2.line_bytes,
+           "L1 and L2 must share a line size");
+  MS_CHECK(l1_hit_latency >= 1 && l2_hit_latency >= 1 && memory_latency >= 1,
+           "latencies must be positive");
+  MS_CHECK(cache_to_cache_latency >= 1 && bus_occupancy >= 0,
+           "bus parameters must be non-negative");
+  MS_CHECK(hop_latency >= 1, "hop latency must be positive");
+}
+
+}  // namespace mergescale::sim

@@ -1,0 +1,67 @@
+#pragma once
+// Simulated-machine configuration (paper Table I).
+//
+// The paper extracts model parameters with SESC, a cycle-accurate
+// execution-driven simulator.  mergescale's substitute is a trace-driven
+// timing model (see machine.hpp/replay.hpp); this struct carries the
+// architecture parameters, with defaults matching Table I where the paper
+// specifies them (widths, cache geometry, MESI) and conventional values
+// where it does not (latencies, which SESC derives from its own pipeline
+// model).
+
+#include <cstdint>
+
+namespace mergescale::sim {
+
+/// On-chip interconnect model.
+enum class Interconnect {
+  kBus,     ///< snooping bus: transactions serialize on one shared medium
+  kMesh2D,  ///< 2-D mesh NUCA: L2 is banked across nodes; transaction
+            ///< latency scales with hop distance, contention is per bank
+};
+
+/// Geometry of one cache level.
+struct CacheGeometry {
+  std::uint64_t size_bytes = 0;
+  int associativity = 1;
+  int line_bytes = 64;
+
+  /// Number of sets; size must be divisible by (associativity · line).
+  std::uint64_t sets() const;
+};
+
+/// Full machine configuration.
+struct MachineConfig {
+  int cores = 1;            ///< number of cores (paper simulates up to 16)
+  int issue_width = 4;      ///< Table I: fetch/issue/commit 4
+
+  CacheGeometry l1d{64 * 1024, 4, 64};        ///< Table I: 64K 4-way private
+  CacheGeometry l2{4 * 1024 * 1024, 16, 64};  ///< Table I: 4M 16-way shared
+
+  // Latencies in cycles (conventional values for this cache hierarchy).
+  int l1_hit_latency = 2;
+  int l2_hit_latency = 12;
+  int memory_latency = 120;
+  int cache_to_cache_latency = 16;  ///< dirty-miss forwarding between L1s
+  int bus_occupancy = 4;            ///< shared-bus cycles per transaction
+
+  /// Whether bus/bank contention is modelled (serializes transactions on
+  /// the shared medium or the home L2 bank respectively).
+  bool model_bus_contention = true;
+
+  /// Interconnect model; the paper's SESC setup is bus-like (Table I),
+  /// kMesh2D enables the §V-E topology study on the simulator itself.
+  Interconnect interconnect = Interconnect::kBus;
+  /// Per-hop latency of the mesh (cycles); ignored for kBus.
+  int hop_latency = 2;
+
+  /// Table I configuration with `cores` cores.
+  static MachineConfig icpp2011(int cores);
+  /// Same machine with a 2-D-mesh NUCA interconnect.
+  static MachineConfig icpp2011_mesh(int cores);
+
+  /// Throws std::invalid_argument when inconsistent.
+  void validate() const;
+};
+
+}  // namespace mergescale::sim

@@ -1,0 +1,245 @@
+#include "sim/machine.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace mergescale::sim {
+
+MemoryStats MemoryStats::operator-(const MemoryStats& earlier) const noexcept {
+  MemoryStats d;
+  d.l1_hits = l1_hits - earlier.l1_hits;
+  d.l1_misses = l1_misses - earlier.l1_misses;
+  d.l2_hits = l2_hits - earlier.l2_hits;
+  d.l2_misses = l2_misses - earlier.l2_misses;
+  d.invalidations = invalidations - earlier.invalidations;
+  d.upgrades = upgrades - earlier.upgrades;
+  d.cache_to_cache = cache_to_cache - earlier.cache_to_cache;
+  d.writebacks = writebacks - earlier.writebacks;
+  d.bus_transactions = bus_transactions - earlier.bus_transactions;
+  d.bus_wait_cycles = bus_wait_cycles - earlier.bus_wait_cycles;
+  d.hop_cycles = hop_cycles - earlier.hop_cycles;
+  return d;
+}
+
+MemoryStats& MemoryStats::operator+=(const MemoryStats& other) noexcept {
+  l1_hits += other.l1_hits;
+  l1_misses += other.l1_misses;
+  l2_hits += other.l2_hits;
+  l2_misses += other.l2_misses;
+  invalidations += other.invalidations;
+  upgrades += other.upgrades;
+  cache_to_cache += other.cache_to_cache;
+  writebacks += other.writebacks;
+  bus_transactions += other.bus_transactions;
+  bus_wait_cycles += other.bus_wait_cycles;
+  hop_cycles += other.hop_cycles;
+  return *this;
+}
+
+Machine::Machine(const MachineConfig& config)
+    : config_(config),
+      l2_(config.l2),
+      mesh_(noc::Mesh2D::for_nodes(config.cores)) {
+  config_.validate();
+  l1_.reserve(static_cast<std::size_t>(config_.cores));
+  for (int c = 0; c < config_.cores; ++c) l1_.emplace_back(config_.l1d);
+  bank_free_.assign(static_cast<std::size_t>(config_.cores), 0);
+}
+
+void Machine::advance_to(std::uint64_t cycle) noexcept {
+  now_ = std::max(now_, cycle);
+}
+
+void Machine::flush_caches() noexcept {
+  for (Cache& cache : l1_) cache.flush();
+  l2_.flush();
+  bus_free_ = 0;
+  std::fill(bank_free_.begin(), bank_free_.end(), 0);
+}
+
+int Machine::home_node(std::uint64_t addr) const noexcept {
+  // Lines are interleaved across the cores' L2 banks.
+  const std::uint64_t line = l2_.line_address(addr);
+  return static_cast<int>((line / config_.l2.line_bytes) %
+                          static_cast<std::uint64_t>(config_.cores));
+}
+
+int Machine::mesh_distance(int a, int b) const {
+  return mesh_.hops(mesh_.coord_of(a), mesh_.coord_of(b));
+}
+
+Mesi Machine::l1_state(int core, std::uint64_t addr) const {
+  MS_CHECK(core >= 0 && core < config_.cores, "core id out of range");
+  return l1_[static_cast<std::size_t>(core)].probe(addr);
+}
+
+Mesi Machine::l2_state(std::uint64_t addr) const noexcept {
+  return l2_.probe(addr);
+}
+
+int Machine::arbitrate_bus(std::uint64_t now) {
+  ++stats_.bus_transactions;
+  if (!config_.model_bus_contention) return 0;
+  const std::uint64_t start = std::max(now, bus_free_);
+  const std::uint64_t wait = start - now;
+  bus_free_ = start + static_cast<std::uint64_t>(config_.bus_occupancy);
+  stats_.bus_wait_cycles += wait;
+  return static_cast<int>(wait);
+}
+
+int Machine::begin_transaction(int core, std::uint64_t line,
+                               std::uint64_t now) {
+  if (config_.interconnect == Interconnect::kBus) {
+    return arbitrate_bus(now);
+  }
+  // 2-D mesh NUCA: route to the line's home bank and back; contention is
+  // per home bank rather than global.
+  ++stats_.bus_transactions;
+  const int home = home_node(line);
+  const int route =
+      2 * config_.hop_latency * mesh_distance(core, home);
+  stats_.hop_cycles += static_cast<std::uint64_t>(route);
+  int wait = 0;
+  if (config_.model_bus_contention) {
+    std::uint64_t& free = bank_free_[static_cast<std::size_t>(home)];
+    const std::uint64_t arrival =
+        now + static_cast<std::uint64_t>(config_.hop_latency *
+                                         mesh_distance(core, home));
+    const std::uint64_t start = std::max(arrival, free);
+    wait = static_cast<int>(start - arrival);
+    free = start + static_cast<std::uint64_t>(config_.bus_occupancy);
+    stats_.bus_wait_cycles += static_cast<std::uint64_t>(wait);
+  }
+  return route + wait;
+}
+
+void Machine::install_l1(int core, std::uint64_t line, Mesi state) {
+  auto evicted = l1_[static_cast<std::size_t>(core)].insert(line, state);
+  if (evicted && evicted->state == Mesi::kModified) {
+    // Dirty victim: write back into the L2 (inclusive, so normally
+    // present; re-install if it raced out).
+    ++stats_.writebacks;
+    if (l2_.probe(evicted->line_addr) != Mesi::kInvalid) {
+      l2_.set_state(evicted->line_addr, Mesi::kModified);
+    } else {
+      install_l2(evicted->line_addr, Mesi::kModified);
+    }
+  }
+}
+
+void Machine::install_l2(std::uint64_t line, Mesi state) {
+  auto evicted = l2_.insert(line, state);
+  if (!evicted) return;
+  if (evicted->state == Mesi::kModified) ++stats_.writebacks;
+  // Inclusive hierarchy: the displaced L2 line may not stay in any L1.
+  for (int c = 0; c < config_.cores; ++c) {
+    const Mesi old = l1_[static_cast<std::size_t>(c)].invalidate(
+        evicted->line_addr);
+    if (old == Mesi::kModified) ++stats_.writebacks;
+    if (old != Mesi::kInvalid) ++stats_.invalidations;
+  }
+}
+
+int Machine::fill_from_hierarchy(int core, std::uint64_t line, bool is_write,
+                                 std::uint64_t now) {
+  int latency = begin_transaction(core, line, now);
+
+  // Snoop the other private caches.
+  bool forwarded = false;
+  bool any_remote_copy = false;
+  for (int c = 0; c < config_.cores; ++c) {
+    if (c == core) continue;
+    Cache& remote = l1_[static_cast<std::size_t>(c)];
+    const Mesi state = remote.probe(line);
+    if (state == Mesi::kInvalid) continue;
+    any_remote_copy = true;
+    if (state == Mesi::kModified) {
+      // Dirty remote copy: forward cache-to-cache and write back to L2.
+      latency += config_.cache_to_cache_latency;
+      if (config_.interconnect == Interconnect::kMesh2D) {
+        // Forwarded data travels owner -> requester over the mesh.
+        const int route = config_.hop_latency * mesh_distance(c, core);
+        latency += route;
+        stats_.hop_cycles += static_cast<std::uint64_t>(route);
+      }
+      ++stats_.cache_to_cache;
+      ++stats_.writebacks;
+      if (l2_.probe(line) != Mesi::kInvalid) {
+        l2_.set_state(line, Mesi::kModified);
+      } else {
+        install_l2(line, Mesi::kModified);
+      }
+      forwarded = true;
+    }
+    if (is_write) {
+      remote.invalidate(line);
+      ++stats_.invalidations;
+    } else if (state != Mesi::kShared) {
+      remote.set_state(line, Mesi::kShared);
+    }
+  }
+
+  if (!forwarded) {
+    // Serve from the L2, else DRAM.
+    if (l2_.lookup(line).has_value()) {
+      latency += config_.l2_hit_latency;
+      ++stats_.l2_hits;
+    } else {
+      latency += config_.memory_latency;
+      ++stats_.l2_misses;
+      install_l2(line, Mesi::kExclusive);
+    }
+  }
+
+  const Mesi install_state =
+      is_write ? Mesi::kModified
+               : (any_remote_copy && !is_write ? Mesi::kShared
+                                               : Mesi::kExclusive);
+  install_l1(core, line, install_state);
+  return latency;
+}
+
+int Machine::access(int core, std::uint64_t addr, bool is_write,
+                    std::uint64_t now) {
+  MS_CHECK(core >= 0 && core < config_.cores, "core id out of range");
+  Cache& l1 = l1_[static_cast<std::size_t>(core)];
+  const std::uint64_t line = l1.line_address(addr);
+
+  if (auto state = l1.lookup(line)) {
+    ++stats_.l1_hits;
+    int latency = config_.l1_hit_latency;
+    if (is_write) {
+      switch (*state) {
+        case Mesi::kModified:
+          break;
+        case Mesi::kExclusive:
+          l1.set_state(line, Mesi::kModified);  // silent upgrade
+          break;
+        case Mesi::kShared: {
+          // Upgrade: invalidate remote sharers over the interconnect.
+          latency += begin_transaction(core, line, now) +
+                     config_.bus_occupancy;
+          ++stats_.upgrades;
+          for (int c = 0; c < config_.cores; ++c) {
+            if (c == core) continue;
+            if (l1_[static_cast<std::size_t>(c)].invalidate(line) !=
+                Mesi::kInvalid) {
+              ++stats_.invalidations;
+            }
+          }
+          l1.set_state(line, Mesi::kModified);
+          break;
+        }
+        case Mesi::kInvalid:
+          break;  // unreachable: lookup() only returns valid states
+      }
+    }
+    return latency;
+  }
+
+  ++stats_.l1_misses;
+  return config_.l1_hit_latency + fill_from_hierarchy(core, line, is_write, now);
+}
+
+}  // namespace mergescale::sim

@@ -1,0 +1,101 @@
+#pragma once
+// The simulated chip multiprocessor: N cores with private L1 data caches
+// kept coherent by a MESI snooping protocol over a shared bus, an
+// inclusive shared L2, and DRAM.  This is the timing substrate replacing
+// SESC in the paper's methodology (§IV): workload phases are replayed
+// through it and per-phase cycle counts are extracted.
+
+#include <cstdint>
+#include <vector>
+
+#include "noc/mesh.hpp"
+#include "sim/cache.hpp"
+#include "sim/config.hpp"
+
+namespace mergescale::sim {
+
+/// Cumulative memory-system event counters.
+struct MemoryStats {
+  std::uint64_t l1_hits = 0;
+  std::uint64_t l1_misses = 0;
+  std::uint64_t l2_hits = 0;
+  std::uint64_t l2_misses = 0;
+  std::uint64_t invalidations = 0;    ///< lines invalidated in remote L1s
+  std::uint64_t upgrades = 0;         ///< S->M upgrades (write hits on S)
+  std::uint64_t cache_to_cache = 0;   ///< dirty lines forwarded L1->L1
+  std::uint64_t writebacks = 0;       ///< M lines written back (L1 or L2)
+  std::uint64_t bus_transactions = 0;
+  std::uint64_t bus_wait_cycles = 0;  ///< cycles stalled for bus/bank grant
+  std::uint64_t hop_cycles = 0;       ///< mesh routing cycles (kMesh2D only)
+
+  /// Element-wise difference (this − earlier), for per-phase deltas.
+  MemoryStats operator-(const MemoryStats& earlier) const noexcept;
+  /// Element-wise sum.
+  MemoryStats& operator+=(const MemoryStats& other) noexcept;
+};
+
+/// The coherent memory hierarchy plus a global cycle clock.
+///
+/// Timing model per access: L1 hit costs l1_hit_latency; an S-state write
+/// hit additionally arbitrates the bus to invalidate sharers; a miss
+/// arbitrates the bus, may be served by a dirty remote L1
+/// (cache-to-cache, with writeback to L2), else by the L2, else by DRAM.
+/// L2 is inclusive: an L2 eviction back-invalidates L1 copies.
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& config);
+
+  const MachineConfig& config() const noexcept { return config_; }
+  int cores() const noexcept { return config_.cores; }
+
+  /// Simulates one access by `core` to byte address `addr` starting at
+  /// global cycle `now`; returns the access latency in cycles.
+  int access(int core, std::uint64_t addr, bool is_write, std::uint64_t now);
+
+  /// Cumulative statistics since construction or reset_stats().
+  const MemoryStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = MemoryStats{}; }
+
+  /// Global clock owned by the replay engine.
+  std::uint64_t now() const noexcept { return now_; }
+  void advance_to(std::uint64_t cycle) noexcept;
+
+  /// Invalidates all caches (cold start for a new experiment).
+  void flush_caches() noexcept;
+
+  /// Coherence state of `addr` in `core`'s L1 (test/debug aid).
+  Mesi l1_state(int core, std::uint64_t addr) const;
+  /// Presence state of `addr` in the shared L2 (test/debug aid).
+  Mesi l2_state(std::uint64_t addr) const noexcept;
+
+  /// L2 home bank (mesh node) of the line containing `addr` (kMesh2D).
+  int home_node(std::uint64_t addr) const noexcept;
+  /// XY-routing hop count between two cores' mesh nodes (kMesh2D).
+  int mesh_distance(int a, int b) const;
+
+ private:
+  /// Arbitrates the shared bus at `now`; returns stall cycles.
+  int arbitrate_bus(std::uint64_t now);
+  /// Starts a coherence transaction by `core` for `line` at `now`:
+  /// bus arbitration (kBus) or home-bank arbitration plus request/reply
+  /// routing (kMesh2D).  Returns stall + routing cycles.
+  int begin_transaction(int core, std::uint64_t line, std::uint64_t now);
+  /// Handles an L1 miss fill; returns added latency.
+  int fill_from_hierarchy(int core, std::uint64_t line, bool is_write,
+                          std::uint64_t now);
+  /// Installs `line` into `core`'s L1, handling the victim writeback.
+  void install_l1(int core, std::uint64_t line, Mesi state);
+  /// Installs `line` into the L2, handling inclusive back-invalidation.
+  void install_l2(std::uint64_t line, Mesi state);
+
+  MachineConfig config_;
+  std::vector<Cache> l1_;
+  Cache l2_;
+  MemoryStats stats_;
+  noc::Mesh2D mesh_;
+  std::uint64_t bus_free_ = 0;
+  std::vector<std::uint64_t> bank_free_;  ///< per-home-bank (kMesh2D)
+  std::uint64_t now_ = 0;
+};
+
+}  // namespace mergescale::sim

@@ -1,0 +1,17 @@
+#include "sim/trace.hpp"
+
+namespace mergescale::sim {
+
+TraceSummary summarize(const Trace& trace) {
+  TraceSummary s;
+  for (const Op& op : trace) {
+    switch (op.kind()) {
+      case OpKind::kLoad: ++s.loads; break;
+      case OpKind::kStore: ++s.stores; break;
+      case OpKind::kCompute: s.compute += op.payload(); break;
+    }
+  }
+  return s;
+}
+
+}  // namespace mergescale::sim

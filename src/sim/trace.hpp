@@ -1,0 +1,96 @@
+#pragma once
+// Operation traces.  A workload kernel instantiated with the
+// RecordingExecutor emits one Op per dynamic memory access plus
+// run-length-encoded compute operations; the replay engine then plays the
+// per-core traces through the timing model.  Ops are packed into 8 bytes
+// so full-size phases (tens of millions of ops) stay memory-friendly.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace mergescale::sim {
+
+/// Dynamic operation kinds.
+enum class OpKind : std::uint8_t {
+  kLoad = 0,     ///< data load; payload = byte address
+  kStore = 1,    ///< data store; payload = byte address
+  kCompute = 2,  ///< payload = number of ALU/FPU operations (RLE)
+};
+
+/// One dynamic operation, packed as kind:2 | payload:62.
+struct Op {
+  std::uint64_t bits = 0;
+
+  static Op load(std::uint64_t addr) { return make(OpKind::kLoad, addr); }
+  static Op store(std::uint64_t addr) { return make(OpKind::kStore, addr); }
+  static Op compute(std::uint64_t count) {
+    return make(OpKind::kCompute, count);
+  }
+
+  OpKind kind() const noexcept { return static_cast<OpKind>(bits >> 62); }
+  std::uint64_t payload() const noexcept {
+    return bits & ((1ULL << 62) - 1);
+  }
+
+  friend bool operator==(const Op&, const Op&) = default;
+
+ private:
+  static Op make(OpKind kind, std::uint64_t payload) {
+    MS_CHECK(payload < (1ULL << 62), "op payload exceeds 62 bits");
+    return Op{static_cast<std::uint64_t>(kind) << 62 | payload};
+  }
+};
+
+/// A dynamic operation stream of one core for one phase.
+using Trace = std::vector<Op>;
+
+/// Recording executor: satisfies the workload Executor interface (see
+/// workloads/executor.hpp) by appending operations to a trace.  Compute
+/// operations are run-length-coalesced on the fly.
+class RecordingExecutor {
+ public:
+  /// Records into `trace` (not owned; must outlive the executor).
+  explicit RecordingExecutor(Trace& trace) : trace_(&trace) {}
+
+  /// Records a load of the line containing `p`.
+  void load(const void* p) {
+    flush_compute();
+    trace_->push_back(Op::load(reinterpret_cast<std::uintptr_t>(p)));
+  }
+  /// Records a store to the line containing `p`.
+  void store(const void* p) {
+    flush_compute();
+    trace_->push_back(Op::store(reinterpret_cast<std::uintptr_t>(p)));
+  }
+  /// Records `n` arithmetic operations.
+  void compute(std::uint64_t n) { pending_compute_ += n; }
+
+  /// Flushes any coalesced compute ops (called automatically around
+  /// memory operations; call once at end of kernel).
+  void flush_compute() {
+    if (pending_compute_ > 0) {
+      trace_->push_back(Op::compute(pending_compute_));
+      pending_compute_ = 0;
+    }
+  }
+
+ private:
+  Trace* trace_;
+  std::uint64_t pending_compute_ = 0;
+};
+
+/// Total operation counts of a trace (for sanity checks and reports).
+struct TraceSummary {
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t compute = 0;
+
+  std::uint64_t memory_ops() const noexcept { return loads + stores; }
+};
+
+/// Computes the summary of a trace.
+TraceSummary summarize(const Trace& trace);
+
+}  // namespace mergescale::sim

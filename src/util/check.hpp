@@ -1,0 +1,29 @@
+#pragma once
+// Precondition checking.  MS_CHECK raises std::invalid_argument with a
+// formatted message; it is always on (model code is not hot enough to
+// justify unchecked builds, and silent parameter misuse is the main
+// failure mode for analytical-model libraries).
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mergescale::util {
+
+/// Throws std::invalid_argument with `message` when `condition` is false.
+inline void check(bool condition, const std::string& message) {
+  if (!condition) throw std::invalid_argument(message);
+}
+
+}  // namespace mergescale::util
+
+/// Checks a precondition; on failure throws std::invalid_argument naming
+/// the failing expression and the caller-provided detail message.
+#define MS_CHECK(condition, detail)                                       \
+  do {                                                                    \
+    if (!(condition)) {                                                   \
+      std::ostringstream ms_check_oss;                                    \
+      ms_check_oss << "precondition failed: " #condition " — " << detail; \
+      throw std::invalid_argument(ms_check_oss.str());                    \
+    }                                                                     \
+  } while (false)

@@ -1,0 +1,109 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mergescale::util {
+
+void RunningStats::add(double x) noexcept {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStats::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double geometric_mean(std::span<const double> values) noexcept {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double v : values) log_sum += std::log(v);
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double mean(std::span<const double> values) noexcept {
+  if (values.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : values) s += v;
+  return s / static_cast<double>(values.size());
+}
+
+double median(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  std::vector<double> copy(values.begin(), values.end());
+  std::sort(copy.begin(), copy.end());
+  const std::size_t mid = copy.size() / 2;
+  if (copy.size() % 2 == 1) return copy[mid];
+  return 0.5 * (copy[mid - 1] + copy[mid]);
+}
+
+double max_relative_error(std::span<const double> measured,
+                          std::span<const double> reference) {
+  if (measured.size() != reference.size()) {
+    throw std::invalid_argument(
+        "max_relative_error: spans must have equal length");
+  }
+  double worst = 0.0;
+  for (std::size_t i = 0; i < measured.size(); ++i) {
+    const double denom = std::abs(reference[i]);
+    if (denom == 0.0) {
+      throw std::invalid_argument("max_relative_error: zero reference value");
+    }
+    worst = std::max(worst, std::abs(measured[i] - reference[i]) / denom);
+  }
+  return worst;
+}
+
+double regression_slope(std::span<const double> x,
+                        std::span<const double> y) {
+  if (x.size() != y.size() || x.size() < 2) {
+    throw std::invalid_argument(
+        "regression_slope: need >= 2 points of equal length");
+  }
+  const double mx = mean(x);
+  const double my = mean(y);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+  }
+  if (sxx == 0.0) {
+    throw std::invalid_argument("regression_slope: x values are constant");
+  }
+  return sxy / sxx;
+}
+
+double regression_intercept(std::span<const double> x,
+                            std::span<const double> y) {
+  return mean(y) - regression_slope(x, y) * mean(x);
+}
+
+}  // namespace mergescale::util

@@ -1,0 +1,69 @@
+#pragma once
+// Small statistics helpers used by the instrumentation layer and the
+// experiment harnesses (mean/min/max/stddev accumulation, geometric mean,
+// relative-error summaries for model validation).
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace mergescale::util {
+
+/// Streaming accumulator for count/mean/variance/min/max using Welford's
+/// algorithm (numerically stable for long runs).
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void add(double x) noexcept;
+
+  /// Number of observations added so far.
+  std::size_t count() const noexcept { return n_; }
+  /// Arithmetic mean; 0 when empty.
+  double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance; 0 for fewer than two observations.
+  double variance() const noexcept;
+  /// Square root of variance().
+  double stddev() const noexcept;
+  /// Smallest observation; +inf when empty.
+  double min() const noexcept { return min_; }
+  /// Largest observation; -inf when empty.
+  double max() const noexcept { return max_; }
+  /// Sum of all observations.
+  double sum() const noexcept { return sum_; }
+
+  /// Merges another accumulator into this one (parallel reduction of stats).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Geometric mean of positive values; returns 0 for an empty span.
+double geometric_mean(std::span<const double> values) noexcept;
+
+/// Arithmetic mean; returns 0 for an empty span.
+double mean(std::span<const double> values) noexcept;
+
+/// Median (copies and sorts); returns 0 for an empty span.
+double median(std::span<const double> values);
+
+/// Maximum absolute relative error of `measured` against `reference`
+/// element-wise: max |m_i - r_i| / |r_i|.  Spans must be equal length.
+double max_relative_error(std::span<const double> measured,
+                          std::span<const double> reference);
+
+/// Linear-regression slope of y against x (least squares).  Used to
+/// estimate reduction-growth coefficients from per-core-count timings.
+double regression_slope(std::span<const double> x, std::span<const double> y);
+
+/// Linear-regression intercept paired with regression_slope().
+double regression_intercept(std::span<const double> x,
+                            std::span<const double> y);
+
+}  // namespace mergescale::util

@@ -1,0 +1,60 @@
+#pragma once
+// Disjoint-set forest with path halving and union by size.  Used by the
+// HOP workload's group-merge (merging) phase.
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace mergescale::util {
+
+/// Classic union-find over dense integer ids [0, size).
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t size) : parent_(size), size_(size, 1) {
+    std::iota(parent_.begin(), parent_.end(), 0u);
+  }
+
+  /// Representative of `x`'s set (with path halving).
+  std::uint32_t find(std::uint32_t x) noexcept {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Merges the sets of `a` and `b`; returns true when they were distinct.
+  bool unite(std::uint32_t a, std::uint32_t b) noexcept {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    return true;
+  }
+
+  /// Number of elements.
+  std::size_t size() const noexcept { return parent_.size(); }
+
+  /// Number of members in `x`'s set.
+  std::uint32_t set_size(std::uint32_t x) noexcept { return size_[find(x)]; }
+
+  /// Number of distinct sets.
+  std::size_t set_count() noexcept {
+    std::size_t count = 0;
+    for (std::uint32_t i = 0; i < parent_.size(); ++i) {
+      if (find(i) == i) ++count;
+    }
+    return count;
+  }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint32_t> size_;
+};
+
+}  // namespace mergescale::util

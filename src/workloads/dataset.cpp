@@ -1,0 +1,83 @@
+#include "workloads/dataset.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace mergescale::workloads {
+
+PointSet::PointSet(std::size_t n, int d) : n_(n), d_(d) {
+  MS_CHECK(n >= 1, "point set needs at least one point");
+  MS_CHECK(d >= 1, "point set needs at least one dimension");
+  data_.assign(n * static_cast<std::size_t>(d), 0.0);
+}
+
+PointSet gaussian_mixture(const core::DatasetShape& shape,
+                          std::uint64_t seed) {
+  MS_CHECK(shape.centers >= 1, "mixture needs at least one component");
+  PointSet points(static_cast<std::size_t>(shape.points), shape.dims);
+  util::Xoshiro256 rng(seed);
+
+  // Component means spread on a scaled hypercube diagonal plus jitter so
+  // clusters are well separated in every dimension count.
+  std::vector<double> means(static_cast<std::size_t>(shape.centers) *
+                            static_cast<std::size_t>(shape.dims));
+  for (int c = 0; c < shape.centers; ++c) {
+    for (int d = 0; d < shape.dims; ++d) {
+      means[static_cast<std::size_t>(c) * shape.dims + d] =
+          10.0 * c + 2.0 * rng.uniform();
+    }
+  }
+
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const int c = static_cast<int>(rng.bounded(
+        static_cast<std::uint64_t>(shape.centers)));
+    auto row = points.row(i);
+    for (int d = 0; d < shape.dims; ++d) {
+      row[static_cast<std::size_t>(d)] =
+          rng.normal(means[static_cast<std::size_t>(c) * shape.dims + d], 1.0);
+    }
+  }
+  return points;
+}
+
+PointSet plummer_particles(std::size_t n, std::uint64_t seed) {
+  PointSet points(n, 3);
+  util::Xoshiro256 rng(seed);
+
+  // A handful of Plummer spheres ("halos") of decreasing mass.
+  constexpr int kHalos = 5;
+  const double halo_share[kHalos] = {0.4, 0.25, 0.15, 0.12, 0.08};
+  double halo_center[kHalos][3];
+  for (auto& center : halo_center) {
+    for (double& coord : center) coord = rng.uniform(-50.0, 50.0);
+  }
+
+  std::size_t emitted = 0;
+  for (int h = 0; h < kHalos; ++h) {
+    const std::size_t count =
+        h == kHalos - 1
+            ? n - emitted
+            : static_cast<std::size_t>(halo_share[h] * static_cast<double>(n));
+    const double scale = 4.0 / (1.0 + h);  // smaller halos are denser
+    for (std::size_t i = 0; i < count && emitted < n; ++i, ++emitted) {
+      // Plummer radial profile: r = a / sqrt(u^{-2/3} − 1).
+      double u = rng.uniform();
+      if (u < 1e-9) u = 1e-9;
+      double radius = scale / std::sqrt(std::pow(u, -2.0 / 3.0) - 1.0);
+      radius = std::min(radius, 20.0 * scale);  // clip the rare far tail
+      // Uniform direction on the sphere.
+      const double cos_theta = rng.uniform(-1.0, 1.0);
+      const double sin_theta = std::sqrt(1.0 - cos_theta * cos_theta);
+      const double phi = rng.uniform(0.0, 2.0 * 3.141592653589793);
+      auto row = points.row(emitted);
+      row[0] = halo_center[h][0] + radius * sin_theta * std::cos(phi);
+      row[1] = halo_center[h][1] + radius * sin_theta * std::sin(phi);
+      row[2] = halo_center[h][2] + radius * cos_theta;
+    }
+  }
+  return points;
+}
+
+}  // namespace mergescale::workloads

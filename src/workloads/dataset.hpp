@@ -1,0 +1,62 @@
+#pragma once
+// Synthetic dataset generation replacing the MineBench input files.
+//
+// The paper's dataset-sensitivity analysis (Table IV) shows that the
+// clustering workloads' phase fractions depend only on the dataset shape
+// (points N, dimensions D, centers C) — merging-phase work is D·C and
+// parallel work is N·D·C — so synthetic data with the paper's exact
+// shapes preserves the measured behaviour.  kmeans/fuzzy inputs are
+// Gaussian mixtures; HOP inputs are Plummer-sphere particle positions
+// (the astrophysical N-body distribution HOP was designed for).
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/app_params.hpp"
+
+namespace mergescale::workloads {
+
+/// Row-major N×D matrix of point coordinates.
+class PointSet {
+ public:
+  /// Allocates an N×D point set initialized to zero.
+  PointSet(std::size_t n, int d);
+
+  std::size_t size() const noexcept { return n_; }
+  int dims() const noexcept { return d_; }
+
+  /// Mutable view of point `i` (length dims()).
+  std::span<double> row(std::size_t i) noexcept {
+    return {data_.data() + i * static_cast<std::size_t>(d_),
+            static_cast<std::size_t>(d_)};
+  }
+  /// Read-only view of point `i`.
+  std::span<const double> row(std::size_t i) const noexcept {
+    return {data_.data() + i * static_cast<std::size_t>(d_),
+            static_cast<std::size_t>(d_)};
+  }
+
+  /// Flat coordinate storage (row-major).
+  std::span<const double> flat() const noexcept { return data_; }
+  std::span<double> flat() noexcept { return data_; }
+
+ private:
+  std::size_t n_;
+  int d_;
+  std::vector<double> data_;
+};
+
+/// Generates a Gaussian mixture with `shape.centers` well-separated
+/// components, `shape.points` points and `shape.dims` dimensions.
+/// Deterministic in `seed`.
+PointSet gaussian_mixture(const core::DatasetShape& shape,
+                          std::uint64_t seed);
+
+/// Generates `n` particle positions (3-D) following a Plummer-sphere
+/// density profile with a handful of sub-halos, the clustered structure
+/// HOP's density estimator is designed to find.  Deterministic in `seed`.
+PointSet plummer_particles(std::size_t n, std::uint64_t seed);
+
+}  // namespace mergescale::workloads

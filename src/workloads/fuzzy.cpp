@@ -1,0 +1,110 @@
+#include "workloads/fuzzy.hpp"
+
+#include <algorithm>
+
+#include "runtime/thread_team.hpp"
+#include "util/check.hpp"
+#include "workloads/kmeans.hpp"  // init_centers, merge kernels
+
+namespace mergescale::workloads {
+
+ClusteringResult run_fuzzy_native(const PointSet& points,
+                                  const ClusteringConfig& config, int threads,
+                                  runtime::PhaseLedger& ledger) {
+  MS_CHECK(threads >= 1, "need at least one thread");
+  MS_CHECK(config.iterations >= 1, "need at least one iteration");
+  MS_CHECK(config.fuzziness > 1.0, "fuzziness exponent must exceed 1");
+  const int dims = points.dims();
+  const int clusters = config.clusters;
+  const std::size_t width =
+      static_cast<std::size_t>(clusters) * static_cast<std::size_t>(dims);
+
+  ClusteringResult result;
+  result.centers.assign(width, 0.0);
+  result.assignments.assign(points.size(), -1);
+
+  {
+    runtime::PhaseLedger::Scope scope(ledger, runtime::Phase::kInit);
+    init_centers(points, clusters, config.seed, result.centers);
+    ledger.add_ops(runtime::Phase::kInit, width);
+  }
+
+  runtime::ThreadTeam team(threads);
+  runtime::PartialBuffers<double> num_parts(threads, width);
+  runtime::PartialBuffers<double> den_parts(threads,
+                                            static_cast<std::size_t>(clusters));
+  std::vector<double> num(width);
+  std::vector<double> den(static_cast<std::size_t>(clusters));
+  std::vector<CountingExecutor> counters(static_cast<std::size_t>(threads));
+  std::vector<std::vector<double>> scratch(
+      static_cast<std::size_t>(threads),
+      std::vector<double>(static_cast<std::size_t>(clusters)));
+
+  for (int iter = 0; iter < config.iterations; ++iter) {
+    ledger.start(runtime::Phase::kParallel);
+    num_parts.clear();
+    den_parts.clear();
+    team.run([&](int tid, int team_size) {
+      auto [lo, hi] =
+          runtime::ThreadTeam::partition(0, points.size(), tid, team_size);
+      CountingExecutor& ex = counters[static_cast<std::size_t>(tid)];
+      fuzzy_accumulate_block(ex, points, result.centers, clusters,
+                             config.fuzziness, lo, hi, num_parts.partial(tid),
+                             den_parts.partial(tid),
+                             scratch[static_cast<std::size_t>(tid)]);
+    });
+    ledger.stop();
+    for (auto& ex : counters) {
+      ledger.add_ops(runtime::Phase::kParallel, ex.total());
+      ex = CountingExecutor{};
+    }
+
+    ledger.start(runtime::Phase::kReduction);
+    std::fill(num.begin(), num.end(), 0.0);
+    std::fill(den.begin(), den.end(), 0.0);
+    runtime::reduce(config.strategy, team, std::span<double>(num), num_parts);
+    runtime::reduce(config.strategy, team, std::span<double>(den), den_parts);
+    ledger.stop();
+    ledger.add_ops(
+        runtime::Phase::kReduction,
+        runtime::critical_path_ops(config.strategy, threads, width) +
+            runtime::critical_path_ops(config.strategy, threads,
+                                       static_cast<std::size_t>(clusters)));
+
+    ledger.start(runtime::Phase::kSerial);
+    NativeExecutor native;
+    fuzzy_update_centers(native, std::span<double>(result.centers), num, den,
+                         dims);
+    ledger.stop();
+    ledger.add_ops(runtime::Phase::kSerial, 6 * width);
+
+    result.iterations = iter + 1;
+  }
+
+  // Hard assignments + inertia for result reporting.
+  double inertia = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    auto point = points.row(i);
+    int best = 0;
+    double best_dist = 0.0;
+    for (int c = 0; c < clusters; ++c) {
+      const double* center =
+          result.centers.data() + static_cast<std::size_t>(c) * dims;
+      double dist = 0.0;
+      for (int d = 0; d < dims; ++d) {
+        const double diff = point[d] - center[d];
+        dist += diff * diff;
+      }
+      if (c == 0 || dist < best_dist) {
+        best_dist = dist;
+        best = c;
+      }
+    }
+    result.assignments[i] = best;
+    inertia += best_dist;
+  }
+  result.inertia = inertia;
+  return result;
+}
+
+}  // namespace mergescale::workloads

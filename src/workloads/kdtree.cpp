@@ -1,0 +1,14 @@
+#include "workloads/kdtree.hpp"
+
+#include <numeric>
+
+namespace mergescale::workloads {
+
+KdTree::KdTree(const PointSet& points, int leaf_size)
+    : points_(&points), leaf_size_(leaf_size) {
+  MS_CHECK(leaf_size >= 1, "leaf size must be positive");
+  order_.resize(points.size());
+  std::iota(order_.begin(), order_.end(), 0u);
+}
+
+}  // namespace mergescale::workloads

@@ -1,0 +1,127 @@
+#include "workloads/kmeans.hpp"
+
+#include <algorithm>
+
+#include "runtime/thread_team.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace mergescale::workloads {
+
+void init_centers(const PointSet& points, int clusters, std::uint64_t seed,
+                  std::span<double> centers) {
+  MS_CHECK(clusters >= 1, "need at least one cluster");
+  MS_CHECK(points.size() >= static_cast<std::size_t>(clusters),
+           "need at least as many points as clusters");
+  MS_CHECK(centers.size() ==
+               static_cast<std::size_t>(clusters) * points.dims(),
+           "centers span has the wrong size");
+  util::Xoshiro256 rng(seed);
+  // Sample C distinct indices (small C: rejection sampling is fine).
+  std::vector<std::size_t> chosen;
+  chosen.reserve(static_cast<std::size_t>(clusters));
+  while (chosen.size() < static_cast<std::size_t>(clusters)) {
+    const std::size_t candidate =
+        static_cast<std::size_t>(rng.bounded(points.size()));
+    if (std::find(chosen.begin(), chosen.end(), candidate) == chosen.end()) {
+      chosen.push_back(candidate);
+    }
+  }
+  for (int c = 0; c < clusters; ++c) {
+    auto src = points.row(chosen[static_cast<std::size_t>(c)]);
+    std::copy(src.begin(), src.end(),
+              centers.begin() + static_cast<std::size_t>(c) * points.dims());
+  }
+}
+
+ClusteringResult run_kmeans_native(const PointSet& points,
+                                   const ClusteringConfig& config, int threads,
+                                   runtime::PhaseLedger& ledger) {
+  MS_CHECK(threads >= 1, "need at least one thread");
+  MS_CHECK(config.iterations >= 1, "need at least one iteration");
+  const int dims = points.dims();
+  const int clusters = config.clusters;
+  const std::size_t width =
+      static_cast<std::size_t>(clusters) * static_cast<std::size_t>(dims);
+
+  ClusteringResult result;
+  result.centers.assign(width, 0.0);
+  result.assignments.assign(points.size(), -1);
+
+  {
+    runtime::PhaseLedger::Scope scope(ledger, runtime::Phase::kInit);
+    init_centers(points, clusters, config.seed, result.centers);
+    ledger.add_ops(runtime::Phase::kInit, width);
+  }
+
+  runtime::ThreadTeam team(threads);
+  runtime::PartialBuffers<double> center_parts(threads, width);
+  runtime::PartialBuffers<std::uint64_t> count_parts(
+      threads, static_cast<std::size_t>(clusters));
+  std::vector<double> center_sums(width);
+  std::vector<std::uint64_t> counts(static_cast<std::size_t>(clusters));
+  std::vector<CountingExecutor> counters(static_cast<std::size_t>(threads));
+
+  for (int iter = 0; iter < config.iterations; ++iter) {
+    // --- parallel phase: assignment + privatized accumulation ---
+    ledger.start(runtime::Phase::kParallel);
+    center_parts.clear();
+    count_parts.clear();
+    team.run([&](int tid, int team_size) {
+      auto [lo, hi] =
+          runtime::ThreadTeam::partition(0, points.size(), tid, team_size);
+      CountingExecutor& ex = counters[static_cast<std::size_t>(tid)];
+      kmeans_assign_block(ex, points, result.centers, clusters, lo, hi,
+                          result.assignments, center_parts.partial(tid),
+                          count_parts.partial(tid));
+    });
+    ledger.stop();
+    // Parallel work: total annotated events across the team.
+    for (auto& ex : counters) {
+      ledger.add_ops(runtime::Phase::kParallel, ex.total());
+      ex = CountingExecutor{};
+    }
+
+    // --- merging phase: reduce partial sums into globals ---
+    ledger.start(runtime::Phase::kReduction);
+    std::fill(center_sums.begin(), center_sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    runtime::reduce(config.strategy, team, std::span<double>(center_sums),
+                    center_parts);
+    runtime::reduce(config.strategy, team, std::span<std::uint64_t>(counts),
+                    count_parts);
+    ledger.stop();
+    ledger.add_ops(
+        runtime::Phase::kReduction,
+        runtime::critical_path_ops(config.strategy, threads, width) +
+            runtime::critical_path_ops(config.strategy, threads,
+                                       static_cast<std::size_t>(clusters)));
+
+    // --- serial phase: center update ---
+    ledger.start(runtime::Phase::kSerial);
+    NativeExecutor native;
+    kmeans_update_centers(native, std::span<double>(result.centers),
+                          center_sums, counts, dims);
+    ledger.stop();
+    ledger.add_ops(runtime::Phase::kSerial, 6 * width);
+
+    result.iterations = iter + 1;
+  }
+
+  // Final quality metric (not part of the timed phases).
+  double inertia = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    auto point = points.row(i);
+    const double* center = result.centers.data() +
+                           static_cast<std::size_t>(result.assignments[i]) *
+                               dims;
+    for (int d = 0; d < dims; ++d) {
+      const double diff = point[d] - center[d];
+      inertia += diff * diff;
+    }
+  }
+  result.inertia = inertia;
+  return result;
+}
+
+}  // namespace mergescale::workloads

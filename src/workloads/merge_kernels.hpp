@@ -1,0 +1,91 @@
+#pragma once
+// Executor-annotated merging-phase kernels, one per reduction strategy.
+// These are the simulator-side counterparts of runtime/reduction.hpp's
+// team-parallel implementations: the same arithmetic, expressed as
+// per-core kernels so the simulator adapter can record one trace per
+// participating core and replay them through the timing model.
+//
+// The three strategies realize the three growth functions of the
+// analytical model:
+//   serial      one core walks all partials          -> linear growth
+//   tree        pairwise combine in log2(t) steps    -> logarithmic growth
+//   privatized  every core reduces a slice           -> flat compute
+//                                                       (+ communication)
+
+#include <cstdint>
+#include <span>
+
+#include "runtime/reduction.hpp"
+#include "workloads/executor.hpp"
+
+namespace mergescale::workloads {
+
+/// Serial merge (paper Algorithm 1) of one buffer set into `dest`,
+/// executed by a single core.
+template <Executor E, typename T>
+void merge_serial_kernel(E& ex, const runtime::PartialBuffers<T>& partials,
+                         std::span<T> dest) {
+  for (std::size_t i = 0; i < dest.size(); ++i) {
+    for (int t = 0; t < partials.threads(); ++t) {
+      const T& partial = partials.partial(t)[i];
+      ex.load(&partial);
+      ex.load(&dest[i]);
+      dest[i] += partial;
+      ex.store(&dest[i]);
+      ex.compute(1);
+    }
+  }
+}
+
+/// One core's work in one tree-combine level: fold partial(src) into
+/// partial(into).  Levels are separated by barriers (replay phases).
+template <Executor E, typename T>
+void merge_tree_step_kernel(E& ex, runtime::PartialBuffers<T>& partials,
+                            int into, int src) {
+  auto into_row = partials.partial(into);
+  auto src_row = partials.partial(src);
+  for (std::size_t i = 0; i < into_row.size(); ++i) {
+    ex.load(&src_row[i]);
+    ex.load(&into_row[i]);
+    into_row[i] += src_row[i];
+    ex.store(&into_row[i]);
+    ex.compute(1);
+  }
+}
+
+/// Final combine of partial(0) into `dest` after the tree levels.
+template <Executor E, typename T>
+void merge_tree_final_kernel(E& ex,
+                             const runtime::PartialBuffers<T>& partials,
+                             std::span<T> dest) {
+  auto combined = partials.partial(0);
+  for (std::size_t i = 0; i < dest.size(); ++i) {
+    ex.load(&combined[i]);
+    ex.load(&dest[i]);
+    dest[i] += combined[i];
+    ex.store(&dest[i]);
+    ex.compute(1);
+  }
+}
+
+/// One core's work in the privatized-parallel merge: accumulate elements
+/// [lo, hi) across *all* threads' partials — the all-to-all pattern whose
+/// communication cost §V-E models.
+template <Executor E, typename T>
+void merge_privatized_kernel(E& ex,
+                             const runtime::PartialBuffers<T>& partials,
+                             std::span<T> dest, std::size_t lo,
+                             std::size_t hi) {
+  for (std::size_t i = lo; i < hi; ++i) {
+    for (int t = 0; t < partials.threads(); ++t) {
+      const T& partial = partials.partial(t)[i];
+      ex.load(&partial);
+      ex.load(&dest[i]);
+      dest[i] += partial;
+      ex.store(&dest[i]);
+      ex.compute(1);
+    }
+  }
+}
+
+}  // namespace mergescale::workloads

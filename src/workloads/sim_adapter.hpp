@@ -1,0 +1,65 @@
+#pragma once
+// Simulator adapter: runs the clustering workloads on the sim::Machine
+// timing model, reproducing the paper's SESC methodology (§IV).
+//
+// Every phase of a workload is (a) executed for real — results are
+// identical to the native driver's — while a RecordingExecutor captures
+// each participating core's operation trace, and (b) replayed through the
+// machine's L1/MESI/L2 timing model with interleaving.  Phase durations
+// in cycles are accumulated per phase class, yielding the
+// core::PhaseProfile the calibration pipeline consumes.
+
+#include <cstdint>
+
+#include "core/calibrate.hpp"
+#include "sim/machine.hpp"
+#include "workloads/apriori.hpp"
+#include "workloads/dataset.hpp"
+#include "workloads/workload_types.hpp"
+
+namespace mergescale::workloads {
+
+/// Per-phase simulated cycle totals and memory-system activity.
+struct SimPhases {
+  std::uint64_t init = 0;
+  std::uint64_t serial = 0;     ///< constant serial sections
+  std::uint64_t reduction = 0;  ///< merging phase
+  std::uint64_t parallel = 0;   ///< parallel sections
+  sim::MemoryStats serial_mem;
+  sim::MemoryStats reduction_mem;
+  sim::MemoryStats parallel_mem;
+
+  /// Total cycles excluding initialization.
+  std::uint64_t total() const noexcept {
+    return serial + reduction + parallel;
+  }
+  /// Serial-section cycles (constant serial + merging), paper definition.
+  std::uint64_t serial_section() const noexcept {
+    return serial + reduction;
+  }
+  /// Conversion to the calibration input (cycles as the time unit).
+  core::PhaseProfile profile(int cores) const;
+};
+
+/// Simulates k-means on `machine` (one thread per simulated core).
+/// When `result_out` is non-null the clustering result is stored there
+/// (it matches run_kmeans_native exactly).
+SimPhases simulate_kmeans(const PointSet& points,
+                          const ClusteringConfig& config, sim::Machine& machine,
+                          ClusteringResult* result_out = nullptr);
+
+/// Simulates fuzzy c-means; see simulate_kmeans.
+SimPhases simulate_fuzzy(const PointSet& points, const ClusteringConfig& config,
+                         sim::Machine& machine,
+                         ClusteringResult* result_out = nullptr);
+
+/// Simulates HOP; see simulate_kmeans.
+SimPhases simulate_hop(const PointSet& particles, const HopConfig& config,
+                       sim::Machine& machine, HopResult* result_out = nullptr);
+
+/// Simulates apriori frequent-itemset mining; see simulate_kmeans.
+SimPhases simulate_apriori(const TransactionSet& data,
+                           const AprioriConfig& config, sim::Machine& machine,
+                           AprioriResult* result_out = nullptr);
+
+}  // namespace mergescale::workloads

@@ -1,0 +1,92 @@
+#include "core/amdahl.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mergescale::core {
+namespace {
+
+TEST(Amdahl, ClassicValues) {
+  // f = 0.99 on 100 processors: 1/(0.01 + 0.0099) ~ 50.25.
+  EXPECT_NEAR(amdahl_speedup(0.99, 100), 50.25, 0.01);
+  // Fully parallel scales perfectly.
+  EXPECT_DOUBLE_EQ(amdahl_speedup(1.0, 64), 64.0);
+  // Fully serial never speeds up.
+  EXPECT_DOUBLE_EQ(amdahl_speedup(0.0, 64), 1.0);
+}
+
+TEST(Amdahl, SingleProcessorIsUnity) {
+  for (double f : {0.0, 0.5, 0.999}) {
+    EXPECT_DOUBLE_EQ(amdahl_speedup(f, 1), 1.0) << "f=" << f;
+  }
+}
+
+TEST(Amdahl, LimitIsInverseSerialFraction) {
+  EXPECT_NEAR(amdahl_limit(0.99), 100.0, 1e-9);
+  EXPECT_NEAR(amdahl_limit(0.999), 1000.0, 1e-9);
+  EXPECT_THROW(amdahl_limit(1.0), std::invalid_argument);
+}
+
+TEST(Amdahl, SpeedupBoundedByLimit) {
+  for (double p = 1; p <= 1 << 20; p *= 4) {
+    EXPECT_LT(amdahl_speedup(0.99, p), amdahl_limit(0.99));
+  }
+}
+
+TEST(Amdahl, RejectsInvalidArguments) {
+  EXPECT_THROW(amdahl_speedup(-0.1, 4), std::invalid_argument);
+  EXPECT_THROW(amdahl_speedup(1.1, 4), std::invalid_argument);
+  EXPECT_THROW(amdahl_speedup(0.5, 0.5), std::invalid_argument);
+}
+
+TEST(HillMarty, SymmetricKnownValues) {
+  const ChipConfig chip = ChipConfig::icpp2011();
+  // §V-D: for f = 0.99 the best Hill-Marty symmetric design is r = 2 with
+  // speedup 79.7 (paper: "79.7 for the symmetric case").
+  EXPECT_NEAR(hill_marty_symmetric(chip, 0.99, 2), 79.73, 0.05);
+  // r = 1: 1/(0.01 + 0.99/256).
+  EXPECT_NEAR(hill_marty_symmetric(chip, 0.99, 1), 72.11, 0.05);
+}
+
+TEST(HillMarty, SymmetricReducesToAmdahlAtUnitCores) {
+  const ChipConfig chip = ChipConfig::icpp2011();
+  for (double f : {0.5, 0.9, 0.999}) {
+    EXPECT_DOUBLE_EQ(hill_marty_symmetric(chip, f, 1),
+                     amdahl_speedup(f, 256));
+  }
+}
+
+TEST(HillMarty, AsymmetricKnownValues) {
+  const ChipConfig chip = ChipConfig::icpp2011();
+  // rl = 64: 1/(0.01/8 + 0.99/(8 + 192)) = 161.29...
+  EXPECT_NEAR(hill_marty_asymmetric(chip, 0.99, 64), 161.3, 0.1);
+}
+
+TEST(HillMarty, AsymmetricBeatsSymmetricWithoutReductions) {
+  const ChipConfig chip = ChipConfig::icpp2011();
+  // Hill & Marty's core result: the best ACMP outperforms the best CMP
+  // when serial sections are constant.
+  double best_sym = 0.0;
+  double best_asym = 0.0;
+  for (double r = 1; r <= 256; r *= 2) {
+    best_sym = std::max(best_sym, hill_marty_symmetric(chip, 0.99, r));
+    best_asym = std::max(best_asym, hill_marty_asymmetric(chip, 0.99, r));
+  }
+  EXPECT_GT(best_asym, best_sym);
+}
+
+TEST(HillMarty, DynamicUpperBoundsBoth) {
+  const ChipConfig chip = ChipConfig::icpp2011();
+  for (double f : {0.9, 0.99, 0.999}) {
+    for (double r = 1; r <= 256; r *= 2) {
+      EXPECT_GE(hill_marty_dynamic(chip, f, r) + 1e-9,
+                hill_marty_symmetric(chip, f, r))
+          << "f=" << f << " r=" << r;
+      EXPECT_GE(hill_marty_dynamic(chip, f, 256) + 1e-9,
+                hill_marty_asymmetric(chip, f, r))
+          << "f=" << f << " r=" << r;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mergescale::core

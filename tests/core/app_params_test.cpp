@@ -1,0 +1,111 @@
+#include "core/app_params.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mergescale::core {
+namespace {
+
+TEST(AppParams, FredComplementsFcon) {
+  AppParams app{"x", 0.99, 0.57, 0.72};
+  EXPECT_NEAR(app.fred(), 0.43, 1e-12);
+  EXPECT_NEAR(app.serial(), 0.01, 1e-12);
+}
+
+TEST(AppParams, ValidateAcceptsTableII) {
+  for (const AppParams& app : presets::minebench()) {
+    EXPECT_NO_THROW(app.validate()) << app.name;
+  }
+}
+
+TEST(AppParams, ValidateRejectsOutOfRange) {
+  EXPECT_THROW((AppParams{"x", 0.0, 0.5, 0.1}).validate(),
+               std::invalid_argument);
+  EXPECT_THROW((AppParams{"x", 1.0, 0.5, 0.1}).validate(),
+               std::invalid_argument);
+  EXPECT_THROW((AppParams{"x", 0.9, -0.1, 0.1}).validate(),
+               std::invalid_argument);
+  EXPECT_THROW((AppParams{"x", 0.9, 1.1, 0.1}).validate(),
+               std::invalid_argument);
+  EXPECT_THROW((AppParams{"x", 0.9, 0.5, -0.1}).validate(),
+               std::invalid_argument);
+}
+
+TEST(Presets, TableIIValuesMatchPaper) {
+  const AppParams km = presets::kmeans();
+  EXPECT_DOUBLE_EQ(km.f, 0.99985);
+  EXPECT_DOUBLE_EQ(km.fcon, 0.57);
+  EXPECT_DOUBLE_EQ(km.fored, 0.72);
+
+  const AppParams fz = presets::fuzzy();
+  EXPECT_DOUBLE_EQ(fz.f, 0.99998);
+  EXPECT_DOUBLE_EQ(fz.fcon, 0.65);
+  EXPECT_DOUBLE_EQ(fz.fored, 0.82);
+
+  const AppParams hp = presets::hop();
+  EXPECT_DOUBLE_EQ(hp.f, 0.999);
+  EXPECT_DOUBLE_EQ(hp.fcon, 0.88);
+  EXPECT_DOUBLE_EQ(hp.fored, 1.55);  // 155%: superlinear measured growth
+}
+
+TEST(Presets, TableIIExtrasMatchPaper) {
+  EXPECT_DOUBLE_EQ(presets::kmeans_extras().serial_pct, 0.015);
+  EXPECT_DOUBLE_EQ(presets::kmeans_extras().critical_section_pct, 0.004);
+  EXPECT_DOUBLE_EQ(presets::fuzzy_extras().serial_pct, 0.002);
+  EXPECT_DOUBLE_EQ(presets::hop_extras().serial_pct, 0.100);
+  EXPECT_DOUBLE_EQ(presets::hop_extras().critical_section_pct, 0.0003);
+}
+
+TEST(Presets, TableIIIHasEightDistinctClasses) {
+  const auto classes = presets::application_classes();
+  ASSERT_EQ(classes.size(), 8u);
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    for (std::size_t j = i + 1; j < classes.size(); ++j) {
+      EXPECT_FALSE(classes[i].f == classes[j].f &&
+                   classes[i].fcon == classes[j].fcon &&
+                   classes[i].fored == classes[j].fored)
+          << i << " vs " << j;
+    }
+    EXPECT_NO_THROW(classes[i].validate());
+  }
+}
+
+TEST(Presets, ApplicationClassEncodesDimensions) {
+  const AppParams emb = presets::application_class(true, true, false);
+  EXPECT_DOUBLE_EQ(emb.f, 0.999);
+  EXPECT_DOUBLE_EQ(emb.fcon, 0.90);
+  EXPECT_DOUBLE_EQ(emb.fored, 0.10);
+
+  const AppParams hard = presets::application_class(false, false, true);
+  EXPECT_DOUBLE_EQ(hard.f, 0.99);
+  EXPECT_DOUBLE_EQ(hard.fcon, 0.60);
+  EXPECT_DOUBLE_EQ(hard.fored, 0.80);
+}
+
+TEST(Presets, DatasetShapesMatchTableIV) {
+  EXPECT_EQ(presets::kmeans_base().points, 17695);
+  EXPECT_EQ(presets::kmeans_base().dims, 9);
+  EXPECT_EQ(presets::kmeans_base().centers, 8);
+  EXPECT_EQ(presets::kmeans_point().points, 35390);
+  EXPECT_EQ(presets::kmeans_center().centers, 32);
+  EXPECT_EQ(presets::hop_default_particles(), 61440);
+  EXPECT_EQ(presets::hop_medium_particles(), 491520);
+}
+
+TEST(Presets, ReductionElementsIndependentOfPoints) {
+  // The paper's Table IV observation: merging-phase size is D*C only.
+  EXPECT_EQ(presets::kmeans_base().reduction_elements(), 72);
+  EXPECT_EQ(presets::kmeans_point().reduction_elements(),
+            presets::kmeans_dim().reduction_elements());
+}
+
+TEST(Presets, DatasetSensitivityRowsAreComplete) {
+  const auto rows = presets::dataset_sensitivity();
+  ASSERT_EQ(rows.size(), 10u);
+  for (const auto& row : rows) {
+    EXPECT_GT(row.f, 0.99);
+    EXPECT_NEAR(row.fred_pct + row.fcon_pct, 100.0, 1e-9) << row.shape.label;
+  }
+}
+
+}  // namespace
+}  // namespace mergescale::core

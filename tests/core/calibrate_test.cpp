@@ -1,0 +1,110 @@
+#include "core/calibrate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/reduction_model.hpp"
+
+namespace mergescale::core {
+namespace {
+
+// Builds synthetic profiles that follow the model exactly, so the fit
+// must recover the parameters.
+std::vector<PhaseProfile> synthetic_profiles(const AppParams& app,
+                                             const GrowthFunction& growth,
+                                             double total = 1e6) {
+  std::vector<PhaseProfile> profiles;
+  const double s = app.serial();
+  for (int nc : {1, 2, 4, 8, 16}) {
+    PhaseProfile p;
+    p.cores = nc;
+    p.serial = total * s * app.fcon;
+    p.reduction = total * s * app.fred() * (1.0 + app.fored * growth(nc));
+    p.parallel = total * app.f / nc;
+    profiles.push_back(p);
+  }
+  return profiles;
+}
+
+TEST(PhaseProfile, Accessors) {
+  PhaseProfile p{4, 10.0, 5.0, 3.0, 92.0};
+  EXPECT_DOUBLE_EQ(p.total(), 100.0);
+  EXPECT_DOUBLE_EQ(p.serial_section(), 8.0);
+}
+
+TEST(FitAppParams, RecoversExactLinearModel) {
+  const AppParams truth{"truth", 0.99, 0.6, 0.8};
+  const GrowthFunction g = GrowthFunction::linear();
+  // Synthetic profiles: parallel at 1 core = f*total; note parallel(nc) in
+  // these profiles is the per-core share, exactly like measured wall time.
+  auto profiles = synthetic_profiles(truth, g);
+  // f is measured from the single-core run where parallel = f*total.
+  const AppParams fit = fit_app_params(profiles, g, "fit");
+  EXPECT_NEAR(fit.f, truth.f, 1e-12);
+  EXPECT_NEAR(fit.fcon, truth.fcon, 1e-12);
+  EXPECT_NEAR(fit.fored, truth.fored, 1e-9);
+}
+
+TEST(FitAppParams, RecoversLogModelWhenFitWithLog) {
+  const AppParams truth{"truth", 0.999, 0.4, 1.2};
+  const GrowthFunction g = GrowthFunction::logarithmic();
+  const AppParams fit =
+      fit_app_params(synthetic_profiles(truth, g), g, "fit");
+  EXPECT_NEAR(fit.fored, truth.fored, 1e-9);
+}
+
+TEST(FitAppParams, ZeroGrowthYieldsZeroFored) {
+  AppParams truth{"truth", 0.99, 0.6, 0.0};
+  const GrowthFunction g = GrowthFunction::linear();
+  const AppParams fit =
+      fit_app_params(synthetic_profiles(truth, g), g, "fit");
+  EXPECT_NEAR(fit.fored, 0.0, 1e-12);
+}
+
+TEST(FitAppParams, SingleMultiCoreProfileUsesDirectRatio) {
+  const AppParams truth{"truth", 0.99, 0.5, 0.6};
+  const GrowthFunction g = GrowthFunction::linear();
+  auto profiles = synthetic_profiles(truth, g);
+  profiles.resize(2);  // 1-core + 2-core only
+  const AppParams fit = fit_app_params(profiles, g, "fit");
+  EXPECT_NEAR(fit.fored, 0.6, 1e-9);
+}
+
+TEST(FitAppParams, RequiresSingleCoreProfile) {
+  std::vector<PhaseProfile> profiles{{2, 0, 1, 1, 98}};
+  EXPECT_THROW(fit_app_params(profiles, GrowthFunction::linear(), "x"),
+               std::invalid_argument);
+}
+
+TEST(MeasuredSerialGrowth, MatchesRatio) {
+  PhaseProfile base{1, 0, 6.0, 4.0, 990.0};
+  PhaseProfile at8{8, 0, 6.0, 26.4, 123.75};
+  EXPECT_NEAR(measured_serial_growth(base, at8), 32.4 / 10.0, 1e-12);
+  EXPECT_THROW(measured_serial_growth(at8, base), std::invalid_argument);
+}
+
+TEST(ModelAccuracy, PerfectModelGivesUnity) {
+  const AppParams truth{"truth", 0.99, 0.6, 0.8};
+  const GrowthFunction g = GrowthFunction::linear();
+  auto profiles = synthetic_profiles(truth, g);
+  for (std::size_t i = 1; i < profiles.size(); ++i) {
+    EXPECT_NEAR(model_accuracy(truth, g, profiles[0], profiles[i]), 1.0,
+                1e-9)
+        << profiles[i].cores;
+  }
+}
+
+TEST(ModelAccuracy, OverestimationAboveOne) {
+  // Model with a larger fored than reality predicts too much growth.
+  const AppParams truth{"truth", 0.99, 0.6, 0.4};
+  AppParams inflated = truth;
+  inflated.fored = 0.8;
+  const GrowthFunction g = GrowthFunction::linear();
+  auto profiles = synthetic_profiles(truth, g);
+  EXPECT_GT(model_accuracy(inflated, g, profiles[0], profiles[3]), 1.0);
+  AppParams deflated = truth;
+  deflated.fored = 0.2;
+  EXPECT_LT(model_accuracy(deflated, g, profiles[0], profiles[3]), 1.0);
+}
+
+}  // namespace
+}  // namespace mergescale::core

@@ -1,0 +1,53 @@
+#include "core/chip.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mergescale::core {
+namespace {
+
+TEST(ChipConfig, DefaultIsPaperConfiguration) {
+  const ChipConfig chip = ChipConfig::icpp2011();
+  EXPECT_DOUBLE_EQ(chip.n, 256.0);
+  EXPECT_DOUBLE_EQ(chip.perf(4), 2.0);
+}
+
+TEST(ChipConfig, SymmetricCoreCount) {
+  const ChipConfig chip = ChipConfig::icpp2011();
+  EXPECT_DOUBLE_EQ(chip.cores_symmetric(1), 256.0);
+  EXPECT_DOUBLE_EQ(chip.cores_symmetric(4), 64.0);
+  EXPECT_DOUBLE_EQ(chip.cores_symmetric(256), 1.0);
+}
+
+TEST(ChipConfig, AsymmetricCoreCount) {
+  const ChipConfig chip = ChipConfig::icpp2011();
+  // One 64-BCE core + 192 single-BCE cores = 193 cores.
+  EXPECT_DOUBLE_EQ(chip.cores_asymmetric(64, 1), 193.0);
+  // One 64-BCE core + 48 four-BCE cores = 49 cores (Fig. 5d check).
+  EXPECT_DOUBLE_EQ(chip.cores_asymmetric(64, 4), 49.0);
+}
+
+TEST(ChipConfig, SymmetricValidationRejectsBadSizes) {
+  const ChipConfig chip = ChipConfig::icpp2011();
+  EXPECT_THROW(chip.validate_symmetric(0.5), std::invalid_argument);
+  EXPECT_THROW(chip.validate_symmetric(512), std::invalid_argument);
+  EXPECT_NO_THROW(chip.validate_symmetric(256));
+}
+
+TEST(ChipConfig, AsymmetricValidationRejectsOverflow) {
+  const ChipConfig chip = ChipConfig::icpp2011();
+  EXPECT_THROW(chip.validate_asymmetric(0.0, 1), std::invalid_argument);
+  EXPECT_THROW(chip.validate_asymmetric(255, 4), std::invalid_argument);
+  EXPECT_NO_THROW(chip.validate_asymmetric(255, 1));
+  // rl == n: the whole chip is the large core; r is then irrelevant.
+  EXPECT_NO_THROW(chip.validate_asymmetric(256, 1));
+}
+
+TEST(ChipConfig, CustomBudget) {
+  ChipConfig chip;
+  chip.n = 64;
+  EXPECT_DOUBLE_EQ(chip.cores_symmetric(8), 8.0);
+  EXPECT_THROW(chip.validate_symmetric(128), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mergescale::core

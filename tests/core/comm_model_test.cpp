@@ -1,0 +1,113 @@
+#include "core/comm_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/reduction_model.hpp"
+#include "noc/mesh.hpp"
+
+namespace mergescale::core {
+namespace {
+
+CommAppParams fig7_app() {
+  // Fig. 7 uses the non-embarrassingly-parallel, moderate-constant class.
+  return CommAppParams{"fig7", 0.99, 0.60, 0.5};
+}
+
+TEST(CommAppParams, SharesSplitSerialFraction) {
+  const CommAppParams app = fig7_app();
+  EXPECT_DOUBLE_EQ(app.fcomp(), 0.2);
+  EXPECT_DOUBLE_EQ(app.fcomm(), 0.2);
+  EXPECT_DOUBLE_EQ(app.fcomp() + app.fcomm() + app.fcon, 1.0);
+}
+
+TEST(CommAppParams, FromAppParamsUsesIdealSplit) {
+  const CommAppParams app = CommAppParams::from(AppParams{"x", 0.99, 0.6, 0.8});
+  EXPECT_DOUBLE_EQ(app.f, 0.99);
+  EXPECT_DOUBLE_EQ(app.fcon, 0.6);
+  EXPECT_DOUBLE_EQ(app.comp_share, 0.5);
+}
+
+TEST(CommAppParams, ValidateRejectsBadShares) {
+  CommAppParams app = fig7_app();
+  app.comp_share = 1.5;
+  EXPECT_THROW(app.validate(), std::invalid_argument);
+  app.comp_share = -0.1;
+  EXPECT_THROW(app.validate(), std::invalid_argument);
+}
+
+TEST(CommSerialTime, OneCoreHasNoGrowth) {
+  const CommAppParams app = fig7_app();
+  const GrowthFunction none = GrowthFunction::parallel();
+  const GrowthFunction mesh = mesh_comm_growth();
+  // S(1) = s*(fcon + fcomp)/perf + s*fcomm (communication not sped up).
+  EXPECT_NEAR(comm_serial_time(app, none, mesh, 1, 1.0), 0.01, 1e-12);
+  // On a perf-2 serial core only the compute part shrinks.
+  EXPECT_NEAR(comm_serial_time(app, none, mesh, 1, 2.0),
+              0.01 * 0.8 / 2.0 + 0.01 * 0.2, 1e-12);
+}
+
+TEST(CommSerialTime, CommunicationNotScaledByCorePerformance) {
+  const CommAppParams app = fig7_app();
+  const GrowthFunction none = GrowthFunction::parallel();
+  const GrowthFunction mesh = mesh_comm_growth();
+  const double fast = comm_serial_time(app, none, mesh, 64, 16.0);
+  const double slow = comm_serial_time(app, none, mesh, 64, 1.0);
+  // Faster serial core shrinks compute but leaves the comm term intact:
+  const double comm_term = 0.01 * 0.2 * (1.0 + noc::grow_comm_mesh2d(64));
+  EXPECT_GT(fast, comm_term);
+  EXPECT_GT(slow, fast);
+}
+
+TEST(CommSpeedupSymmetric, MatchesHandComputedFig7Point) {
+  // Verified in DESIGN.md: r = 8 -> speedup 46.68 for the Fig. 7(a) setup.
+  const ChipConfig chip = ChipConfig::icpp2011();
+  const double s = comm_speedup_symmetric(chip, fig7_app(),
+                                          GrowthFunction::parallel(),
+                                          mesh_comm_growth(), 8);
+  EXPECT_NEAR(s, 46.68, 0.05);
+}
+
+TEST(CommSpeedupSymmetric, BelowReductionFreeModel) {
+  const ChipConfig chip = ChipConfig::icpp2011();
+  AppParams no_overhead{"ref", 0.99, 0.60, 0.0};
+  for (double r = 1; r <= 256; r *= 2) {
+    EXPECT_LE(comm_speedup_symmetric(chip, fig7_app(),
+                                     GrowthFunction::parallel(),
+                                     mesh_comm_growth(), r),
+              speedup_symmetric(chip, no_overhead, GrowthFunction::linear(),
+                                r) +
+                  1e-9)
+        << r;
+  }
+}
+
+TEST(CommSpeedupAsymmetric, MatchesHandComputedFig7Point) {
+  // Verified in DESIGN.md: rl = 32, r = 4 -> speedup 51.60 (paper: 51.6).
+  const ChipConfig chip = ChipConfig::icpp2011();
+  const double s = comm_speedup_asymmetric(chip, fig7_app(),
+                                           GrowthFunction::parallel(),
+                                           mesh_comm_growth(), 32, 4);
+  EXPECT_NEAR(s, 51.60, 0.05);
+}
+
+TEST(CommSpeedup, LinearComputeGrowthHurtsVersusParallel) {
+  const ChipConfig chip = ChipConfig::icpp2011();
+  const GrowthFunction mesh = mesh_comm_growth();
+  for (double r = 1; r <= 64; r *= 2) {
+    EXPECT_LE(comm_speedup_symmetric(chip, fig7_app(),
+                                     GrowthFunction::linear(), mesh, r),
+              comm_speedup_symmetric(chip, fig7_app(),
+                                     GrowthFunction::parallel(), mesh, r))
+        << r;
+  }
+}
+
+TEST(MeshCommGrowth, MatchesEquationEight) {
+  const GrowthFunction g = mesh_comm_growth();
+  EXPECT_DOUBLE_EQ(g(1), 0.0);
+  EXPECT_NEAR(g(64), 4.0, 1e-12);    // sqrt(64)/2
+  EXPECT_NEAR(g(256), 8.0, 1e-12);   // sqrt(256)/2
+}
+
+}  // namespace
+}  // namespace mergescale::core

@@ -1,0 +1,142 @@
+#include "core/critical_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/reduction_model.hpp"
+
+namespace mergescale::core {
+namespace {
+
+const ChipConfig kChip = ChipConfig::icpp2011();
+const GrowthFunction kLinear = GrowthFunction::linear();
+
+AppParams app() { return AppParams{"cs", 0.99, 0.6, 0.4}; }
+
+TEST(CriticalSectionParams, Validation) {
+  EXPECT_NO_THROW(CriticalSectionParams{0.0}.validate());
+  EXPECT_NO_THROW(CriticalSectionParams{1.0}.validate());
+  EXPECT_THROW(CriticalSectionParams{-0.1}.validate(),
+               std::invalid_argument);
+  EXPECT_THROW(CriticalSectionParams{1.1}.validate(), std::invalid_argument);
+}
+
+TEST(ContentionProbability, ClosedForm) {
+  const CriticalSectionParams cs{0.1};
+  EXPECT_DOUBLE_EQ(contention_probability(cs, 1), 0.0);
+  EXPECT_DOUBLE_EQ(contention_probability(cs, 2), 0.1);
+  EXPECT_DOUBLE_EQ(contention_probability(cs, 6), 0.5);
+  EXPECT_DOUBLE_EQ(contention_probability(cs, 100), 1.0);  // saturates
+}
+
+TEST(ContentionProbability, ZeroCriticalSectionsNeverContend) {
+  const CriticalSectionParams cs{0.0};
+  for (double nc : {1.0, 16.0, 256.0}) {
+    EXPECT_DOUBLE_EQ(contention_probability(cs, nc), 0.0);
+  }
+}
+
+TEST(ParallelTime, SingleCoreIsF) {
+  const CriticalSectionParams cs{0.2};
+  EXPECT_NEAR(parallel_time_with_critical_sections(app(), cs, 1, 1.0),
+              app().f, 1e-12);
+}
+
+TEST(ParallelTime, FullSerializationAsymptote) {
+  // As nc grows with pc = 1, critical work serializes: T_par ->
+  // f*fcs/perf (plus vanishing non-critical term).
+  const CriticalSectionParams cs{0.05};
+  const double t = parallel_time_with_critical_sections(app(), cs, 1e6, 1.0);
+  EXPECT_NEAR(t, app().f * 0.05, 1e-6);
+}
+
+TEST(SpeedupCombined, DegeneratesToEq4WithoutCriticalSections) {
+  const CriticalSectionParams none{0.0};
+  for (double r : {1.0, 4.0, 32.0, 256.0}) {
+    EXPECT_NEAR(speedup_symmetric_combined(kChip, app(), none, kLinear, r),
+                speedup_symmetric(kChip, app(), kLinear, r), 1e-12)
+        << r;
+  }
+}
+
+TEST(SpeedupCombined, DegeneratesToEq5WithoutCriticalSections) {
+  const CriticalSectionParams none{0.0};
+  for (double rl : {4.0, 64.0}) {
+    for (double r : {1.0, 4.0}) {
+      EXPECT_NEAR(
+          speedup_asymmetric_combined(kChip, app(), none, kLinear, rl, r),
+          speedup_asymmetric(kChip, app(), kLinear, rl, r), 1e-12)
+          << rl << "," << r;
+    }
+  }
+}
+
+TEST(SpeedupCombined, CriticalSectionsAlwaysHurt) {
+  const CriticalSectionParams some{0.05};
+  for (double r = 1; r <= 128; r *= 2) {
+    EXPECT_LT(speedup_symmetric_combined(kChip, app(), some, kLinear, r),
+              speedup_symmetric(kChip, app(), kLinear, r))
+        << r;
+  }
+}
+
+TEST(SpeedupCombined, MonotoneDecreasingInFcs) {
+  double prev = 1e300;
+  for (double fcs : {0.0, 0.01, 0.05, 0.2, 0.5}) {
+    const double s = speedup_symmetric_combined(
+        kChip, app(), CriticalSectionParams{fcs}, kLinear, 4);
+    EXPECT_LT(s, prev + 1e-12) << fcs;
+    prev = s;
+  }
+}
+
+TEST(SpeedupCombined, BoundedByCriticalSectionLimit) {
+  // Eyerman-Eeckhout asymptote: speedup <= 1 / (s + f*fcs) in the limit;
+  // at finite sizes it must respect the bound scaled by the largest
+  // serial-core performance perf(n).
+  const CriticalSectionParams cs{0.1};
+  AppParams no_reduction = app();
+  no_reduction.fored = 0.0;
+  const double bound =
+      kChip.perf(kChip.n) /
+      ((1.0 - no_reduction.f) + no_reduction.f * cs.fcs);
+  for (double r = 1; r <= 256; r *= 2) {
+    EXPECT_LE(
+        speedup_symmetric_combined(kChip, no_reduction, cs, kLinear, r),
+        bound)
+        << r;
+  }
+}
+
+TEST(SpeedupCombined, BothBottlenecksCompose) {
+  // With reduction overhead *and* critical sections, speedup is below
+  // either single-bottleneck model.
+  const CriticalSectionParams cs{0.05};
+  AppParams no_reduction = app();
+  no_reduction.fored = 0.0;
+  for (double r : {1.0, 4.0, 16.0}) {
+    const double combined =
+        speedup_symmetric_combined(kChip, app(), cs, kLinear, r);
+    EXPECT_LT(combined, speedup_symmetric(kChip, app(), kLinear, r)) << r;
+    EXPECT_LT(combined, speedup_symmetric_combined(kChip, no_reduction, cs,
+                                                   kLinear, r))
+        << r;
+  }
+}
+
+TEST(SpeedupCombined, PaperWorkloadsBarelyAffected) {
+  // Table II: critical sections <= 0.004% of execution — the paper
+  // argues they are negligible.  The combined model confirms: adding
+  // them changes kmeans' predicted speedup by well under 1%.
+  const AppParams km = presets::kmeans();
+  // 0.004% of runtime ~ 0.004%/f of the parallel section.
+  const CriticalSectionParams cs{0.00004 / km.f};
+  for (double r : {1.0, 4.0, 16.0}) {
+    const double with_cs =
+        speedup_symmetric_combined(kChip, km, cs, kLinear, r);
+    const double without = speedup_symmetric(kChip, km, kLinear, r);
+    EXPECT_NEAR(with_cs / without, 1.0, 0.01) << r;
+  }
+}
+
+}  // namespace
+}  // namespace mergescale::core

@@ -1,0 +1,106 @@
+#include "core/design_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/reduction_model.hpp"
+
+namespace mergescale::core {
+namespace {
+
+const ChipConfig kChip = ChipConfig::icpp2011();
+const GrowthFunction kLinear = GrowthFunction::linear();
+
+AppParams sample() { return AppParams{"sample", 0.99, 0.6, 0.8}; }
+
+TEST(PowerOfTwoSizes, CoversBudget) {
+  const auto sizes = power_of_two_sizes(256);
+  ASSERT_EQ(sizes.size(), 9u);  // 1..256
+  EXPECT_DOUBLE_EQ(sizes.front(), 1.0);
+  EXPECT_DOUBLE_EQ(sizes.back(), 256.0);
+  for (std::size_t i = 1; i < sizes.size(); ++i) {
+    EXPECT_DOUBLE_EQ(sizes[i], 2 * sizes[i - 1]);
+  }
+}
+
+TEST(PowerOfTwoSizes, NonPowerBudgetStopsBelow) {
+  const auto sizes = power_of_two_sizes(100);
+  EXPECT_DOUBLE_EQ(sizes.back(), 64.0);
+}
+
+TEST(SweepSymmetric, EvaluatesEverySize) {
+  const auto sizes = power_of_two_sizes(kChip.n);
+  const auto sweep = sweep_symmetric(kChip, sample(), kLinear, sizes);
+  ASSERT_EQ(sweep.size(), sizes.size());
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    EXPECT_DOUBLE_EQ(sweep[i].r, sizes[i]);
+    EXPECT_DOUBLE_EQ(sweep[i].speedup,
+                     speedup_symmetric(kChip, sample(), kLinear, sizes[i]));
+  }
+}
+
+TEST(SweepAsymmetric, SkipsInfeasiblePoints) {
+  const auto sizes = power_of_two_sizes(kChip.n);
+  // r = 16: rl = 248..255 infeasible, but all power-of-two rl values fit
+  // except r > n - rl cases; for rl = 256 the large core fills the chip.
+  const auto sweep = sweep_asymmetric(kChip, sample(), kLinear, sizes, 16);
+  for (const auto& p : sweep) {
+    EXPECT_TRUE(p.rl == kChip.n || 16 <= kChip.n - p.rl) << p.rl;
+  }
+}
+
+TEST(BestPoint, PicksMaximum) {
+  std::vector<DesignPoint> sweep{{1, 0, 10.0}, {2, 0, 30.0}, {4, 0, 20.0}};
+  EXPECT_DOUBLE_EQ(best_point(sweep).speedup, 30.0);
+  EXPECT_DOUBLE_EQ(best_point(sweep).r, 2.0);
+}
+
+TEST(BestPoint, ThrowsOnEmpty) {
+  EXPECT_THROW(best_point({}), std::invalid_argument);
+}
+
+TEST(OptimalSymmetric, ConsistentWithExhaustiveSweep) {
+  const auto sweep = sweep_symmetric(kChip, sample(), kLinear,
+                                     power_of_two_sizes(kChip.n));
+  const DesignPoint expected = best_point(sweep);
+  const DesignPoint actual = optimal_symmetric(kChip, sample(), kLinear);
+  EXPECT_DOUBLE_EQ(actual.r, expected.r);
+  EXPECT_DOUBLE_EQ(actual.speedup, expected.speedup);
+}
+
+TEST(OptimalAsymmetric, AtLeastAsGoodAsAnySweptPair) {
+  const DesignPoint best = optimal_asymmetric(kChip, sample(), kLinear);
+  const auto sizes = power_of_two_sizes(kChip.n);
+  for (double r : {1.0, 4.0, 16.0}) {
+    for (const auto& p :
+         sweep_asymmetric(kChip, sample(), kLinear, sizes, r)) {
+      EXPECT_GE(best.speedup + 1e-9, p.speedup) << "rl=" << p.rl << " r=" << r;
+    }
+  }
+}
+
+TEST(SweepSymmetricComm, MatchesDirectEvaluation) {
+  const CommAppParams app = CommAppParams::from(sample());
+  const auto sizes = power_of_two_sizes(kChip.n);
+  const auto sweep = sweep_symmetric_comm(
+      kChip, app, GrowthFunction::parallel(), mesh_comm_growth(), sizes);
+  ASSERT_EQ(sweep.size(), sizes.size());
+  for (const auto& p : sweep) {
+    EXPECT_DOUBLE_EQ(
+        p.speedup,
+        comm_speedup_symmetric(kChip, app, GrowthFunction::parallel(),
+                               mesh_comm_growth(), p.r));
+  }
+}
+
+TEST(SweepAsymmetricComm, SkipsInfeasiblePoints) {
+  const CommAppParams app = CommAppParams::from(sample());
+  const auto sweep = sweep_asymmetric_comm(
+      kChip, app, GrowthFunction::parallel(), mesh_comm_growth(),
+      power_of_two_sizes(kChip.n), 64);
+  for (const auto& p : sweep) {
+    EXPECT_TRUE(p.rl == kChip.n || 64 <= kChip.n - p.rl) << p.rl;
+  }
+}
+
+}  // namespace
+}  // namespace mergescale::core

@@ -1,0 +1,99 @@
+#include "core/growth.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace mergescale::core {
+namespace {
+
+TEST(GrowthFunction, LinearMatchesClosedForm) {
+  const GrowthFunction g = GrowthFunction::linear();
+  EXPECT_DOUBLE_EQ(g(1), 0.0);
+  EXPECT_DOUBLE_EQ(g(2), 1.0);
+  EXPECT_DOUBLE_EQ(g(16), 15.0);
+  EXPECT_DOUBLE_EQ(g(256), 255.0);
+}
+
+TEST(GrowthFunction, LogarithmicMatchesClosedForm) {
+  const GrowthFunction g = GrowthFunction::logarithmic();
+  EXPECT_DOUBLE_EQ(g(1), 0.0);
+  EXPECT_DOUBLE_EQ(g(2), 1.0);
+  EXPECT_DOUBLE_EQ(g(8), 3.0);
+  EXPECT_DOUBLE_EQ(g(256), 8.0);
+}
+
+TEST(GrowthFunction, ParallelIsIdenticallyZero) {
+  const GrowthFunction g = GrowthFunction::parallel();
+  for (double nc : {1.0, 2.0, 7.0, 64.0, 1024.0}) {
+    EXPECT_DOUBLE_EQ(g(nc), 0.0) << "nc=" << nc;
+  }
+}
+
+TEST(GrowthFunction, SuperlinearMatchesPower) {
+  const GrowthFunction g = GrowthFunction::superlinear(1.5);
+  EXPECT_DOUBLE_EQ(g(1), 0.0);
+  EXPECT_DOUBLE_EQ(g(2), 1.0);
+  EXPECT_DOUBLE_EQ(g(5), std::pow(4.0, 1.5));
+  EXPECT_EQ(g.kind(), GrowthKind::kSuperlinear);
+  EXPECT_DOUBLE_EQ(g.exponent(), 1.5);
+}
+
+TEST(GrowthFunction, SuperlinearRequiresExponentAboveOne) {
+  EXPECT_THROW(GrowthFunction::superlinear(1.0), std::invalid_argument);
+  EXPECT_THROW(GrowthFunction::superlinear(0.5), std::invalid_argument);
+}
+
+TEST(GrowthFunction, CustomFunctionIsUsed) {
+  const GrowthFunction g =
+      GrowthFunction::custom("halves", [](double nc) { return (nc - 1) / 2; });
+  EXPECT_DOUBLE_EQ(g(9), 4.0);
+  EXPECT_EQ(g.name(), "halves");
+  EXPECT_EQ(g.kind(), GrowthKind::kCustom);
+}
+
+TEST(GrowthFunction, CustomMustVanishAtOneCore) {
+  EXPECT_THROW(
+      GrowthFunction::custom("bad", [](double nc) { return nc; }),
+      std::invalid_argument);
+}
+
+TEST(GrowthFunction, CustomMustBeCallable) {
+  EXPECT_THROW(GrowthFunction::custom("null", nullptr),
+               std::invalid_argument);
+}
+
+TEST(GrowthFunction, RejectsCoreCountBelowOne) {
+  const GrowthFunction g = GrowthFunction::linear();
+  EXPECT_THROW(g(0.5), std::invalid_argument);
+  EXPECT_THROW(g(0.0), std::invalid_argument);
+}
+
+TEST(GrowthFunction, NamesAreStable) {
+  EXPECT_EQ(GrowthFunction::linear().name(), "linear");
+  EXPECT_EQ(GrowthFunction::logarithmic().name(), "log");
+  EXPECT_EQ(GrowthFunction::parallel().name(), "parallel");
+}
+
+// Monotonicity: every built-in growth function is non-decreasing in nc.
+class GrowthMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(GrowthMonotonicity, BuiltinsNonDecreasing) {
+  const int which = GetParam();
+  const GrowthFunction g = which == 0   ? GrowthFunction::linear()
+                           : which == 1 ? GrowthFunction::logarithmic()
+                           : which == 2 ? GrowthFunction::parallel()
+                                        : GrowthFunction::superlinear(1.7);
+  double prev = g(1);
+  for (double nc = 2; nc <= 256; nc *= 2) {
+    const double cur = g(nc);
+    EXPECT_GE(cur, prev) << g.name() << " at nc=" << nc;
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, GrowthMonotonicity,
+                         ::testing::Values(0, 1, 2, 3));
+
+}  // namespace
+}  // namespace mergescale::core

@@ -1,0 +1,69 @@
+#include "core/perf.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace mergescale::core {
+namespace {
+
+TEST(PerfLaw, PollackIsSquareRoot) {
+  const PerfLaw perf = PerfLaw::pollack();
+  EXPECT_DOUBLE_EQ(perf(1), 1.0);
+  EXPECT_DOUBLE_EQ(perf(4), 2.0);   // the paper's "4 BCEs -> 2x" example
+  EXPECT_DOUBLE_EQ(perf(16), 4.0);
+  EXPECT_DOUBLE_EQ(perf(256), 16.0);
+  EXPECT_EQ(perf.name(), "pollack");
+  EXPECT_DOUBLE_EQ(perf.exponent(), 0.5);
+}
+
+TEST(PerfLaw, LinearIsIdentity) {
+  const PerfLaw perf = PerfLaw::linear();
+  for (double r : {1.0, 2.0, 7.0, 64.0}) {
+    EXPECT_DOUBLE_EQ(perf(r), r);
+  }
+}
+
+TEST(PerfLaw, PowerLawMatchesExponent) {
+  const PerfLaw perf = PerfLaw::power(0.3);
+  EXPECT_DOUBLE_EQ(perf(1), 1.0);
+  EXPECT_DOUBLE_EQ(perf(32), std::pow(32.0, 0.3));
+}
+
+TEST(PerfLaw, PowerExponentMustBeInUnitInterval) {
+  EXPECT_THROW(PerfLaw::power(0.0), std::invalid_argument);
+  EXPECT_THROW(PerfLaw::power(-0.5), std::invalid_argument);
+  EXPECT_THROW(PerfLaw::power(1.5), std::invalid_argument);
+}
+
+TEST(PerfLaw, CustomMustNormalizeToOne) {
+  EXPECT_THROW(
+      PerfLaw::custom("bad", [](double r) { return 2.0 * r; }),
+      std::invalid_argument);
+  const PerfLaw ok = PerfLaw::custom("table", [](double r) {
+    return r < 2.0 ? 1.0 : 1.5;
+  });
+  EXPECT_DOUBLE_EQ(ok(8), 1.5);
+}
+
+TEST(PerfLaw, RejectsSubUnitCoreSize) {
+  EXPECT_THROW(PerfLaw::pollack()(0.5), std::invalid_argument);
+}
+
+// perf must be non-decreasing and concave-ish (diminishing returns) for
+// power laws with exponent < 1.
+TEST(PerfLaw, PollackHasDiminishingReturns) {
+  const PerfLaw perf = PerfLaw::pollack();
+  double prev_gain = perf(2) - perf(1);
+  for (double r = 2; r <= 128; r *= 2) {
+    const double gain = perf(2 * r) - perf(r);
+    EXPECT_GT(perf(2 * r), perf(r));
+    // Gains per doubling grow in absolute terms for sqrt? sqrt(2r)-sqrt(r)
+    // = sqrt(r)(sqrt2-1) increases; but per-BCE efficiency must fall:
+    EXPECT_LT(perf(2 * r) / (2 * r), perf(r) / r);
+    prev_gain = gain;
+  }
+}
+
+}  // namespace
+}  // namespace mergescale::core

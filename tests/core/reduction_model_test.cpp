@@ -1,0 +1,216 @@
+#include "core/reduction_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/amdahl.hpp"
+
+namespace mergescale::core {
+namespace {
+
+AppParams sample() { return AppParams{"sample", 0.99, 0.6, 0.8}; }
+
+TEST(SerialTime, OneCoreEqualsSerialFraction) {
+  // g(1) = 0, so S(1) = s regardless of the growth function or fored.
+  for (const auto& g : {GrowthFunction::linear(),
+                        GrowthFunction::logarithmic(),
+                        GrowthFunction::parallel()}) {
+    EXPECT_NEAR(serial_time_at(sample(), g, 1), sample().serial(), 1e-15)
+        << g.name();
+  }
+}
+
+TEST(SerialTime, LinearGrowthClosedForm) {
+  // S(nc) = s*(fcon + fred*(1 + fored*(nc-1)))
+  const AppParams app = sample();
+  const GrowthFunction g = GrowthFunction::linear();
+  EXPECT_NEAR(serial_time_at(app, g, 8),
+              0.01 * (0.6 + 0.4 * (1 + 0.8 * 7)), 1e-12);
+  EXPECT_NEAR(serial_time_at(app, g, 64),
+              0.01 * (0.6 + 0.4 * (1 + 0.8 * 63)), 1e-12);
+}
+
+TEST(SerialTime, ZeroForedIsConstant) {
+  AppParams app = sample();
+  app.fored = 0.0;
+  const GrowthFunction g = GrowthFunction::linear();
+  for (double nc : {1.0, 4.0, 64.0, 256.0}) {
+    EXPECT_NEAR(serial_time_at(app, g, nc), app.serial(), 1e-15) << nc;
+  }
+}
+
+TEST(SerialGrowthFactor, MatchesRatio) {
+  const AppParams app = sample();
+  const GrowthFunction g = GrowthFunction::linear();
+  EXPECT_DOUBLE_EQ(serial_growth_factor(app, g, 1), 1.0);
+  EXPECT_NEAR(serial_growth_factor(app, g, 16),
+              serial_time_at(app, g, 16) / app.serial(), 1e-12);
+  // kmeans at 16 cores: 0.57 + 0.43*(1 + 0.72*15) = 5.644x.
+  EXPECT_NEAR(serial_growth_factor(presets::kmeans(), g, 16), 5.644, 0.001);
+}
+
+TEST(SpeedupSymmetric, ReducesToHillMartyWithoutOverhead) {
+  const ChipConfig chip = ChipConfig::icpp2011();
+  AppParams app = sample();
+  app.fored = 0.0;
+  const GrowthFunction g = GrowthFunction::linear();
+  for (double r : {1.0, 4.0, 16.0, 256.0}) {
+    EXPECT_NEAR(speedup_symmetric(chip, app, g, r),
+                hill_marty_symmetric(chip, app.f, r), 1e-9)
+        << r;
+  }
+}
+
+TEST(SpeedupAsymmetric, ReducesToHillMartyWithoutOverhead) {
+  const ChipConfig chip = ChipConfig::icpp2011();
+  AppParams app = sample();
+  app.fored = 0.0;
+  const GrowthFunction g = GrowthFunction::linear();
+  // Hill-Marty Eq. 3 assumes single-BCE small cores (r = 1).
+  for (double rl : {2.0, 16.0, 64.0}) {
+    EXPECT_NEAR(speedup_asymmetric(chip, app, g, rl, 1),
+                hill_marty_asymmetric(chip, app.f, rl), 1e-9)
+        << rl;
+  }
+}
+
+TEST(SpeedupSymmetric, ReductionOverheadAlwaysHurts) {
+  const ChipConfig chip = ChipConfig::icpp2011();
+  const GrowthFunction g = GrowthFunction::linear();
+  AppParams low = sample();
+  low.fored = 0.1;
+  AppParams high = sample();
+  high.fored = 0.8;
+  for (double r = 1; r <= 128; r *= 2) {
+    EXPECT_LT(speedup_symmetric(chip, high, g, r),
+              speedup_symmetric(chip, low, g, r))
+        << r;
+  }
+  // r = n means one core: no merging happens and overhead is irrelevant.
+  EXPECT_DOUBLE_EQ(speedup_symmetric(chip, high, g, 256),
+                   speedup_symmetric(chip, low, g, 256));
+}
+
+TEST(SpeedupSymmetric, LogGrowthDominatesLinear) {
+  const ChipConfig chip = ChipConfig::icpp2011();
+  const AppParams app = sample();
+  // A logarithmic merging phase can never be slower than a linear one.
+  for (double r = 1; r <= 128; r *= 2) {
+    EXPECT_GE(speedup_symmetric(chip, app, GrowthFunction::logarithmic(), r),
+              speedup_symmetric(chip, app, GrowthFunction::linear(), r))
+        << r;
+  }
+}
+
+TEST(SpeedupScaling, MatchesAmdahlWithoutOverhead) {
+  AppParams app = sample();
+  app.fored = 0.0;
+  const GrowthFunction g = GrowthFunction::linear();
+  for (double p : {1.0, 16.0, 256.0}) {
+    EXPECT_NEAR(speedup_scaling(app, g, p), amdahl_speedup(app.f, p), 1e-12);
+  }
+}
+
+TEST(SpeedupScaling, PeaksAndDeclines) {
+  // With linear reduction growth, per-core overhead eventually outweighs
+  // added parallelism: speedup(256) < max over p <= 256.
+  const AppParams app = presets::kmeans();
+  const GrowthFunction g = GrowthFunction::linear();
+  double best = 0.0;
+  for (double p = 1; p <= 256; p *= 2) {
+    best = std::max(best, speedup_scaling(app, g, p));
+  }
+  EXPECT_GT(best, speedup_scaling(app, g, 256));
+}
+
+TEST(SpeedupScaling, AlwaysBelowAmdahl) {
+  const GrowthFunction g = GrowthFunction::linear();
+  for (const AppParams& app : presets::minebench()) {
+    for (double p = 2; p <= 256; p *= 2) {
+      EXPECT_LT(speedup_scaling(app, g, p), amdahl_speedup(app.f, p))
+          << app.name << " p=" << p;
+    }
+  }
+}
+
+TEST(SpeedupDynamic, DegeneratesToHillMartyDynamic) {
+  const ChipConfig chip = ChipConfig::icpp2011();
+  AppParams app = sample();
+  app.fored = 0.0;
+  const GrowthFunction g = GrowthFunction::linear();
+  for (double r : {1.0, 16.0, 256.0}) {
+    EXPECT_NEAR(speedup_dynamic(chip, app, g, r),
+                hill_marty_dynamic(chip, app.f, r), 1e-9)
+        << r;
+  }
+}
+
+TEST(SpeedupDynamic, ReductionOverNPartialsHurts) {
+  // The dynamic chip's parallel section always uses n base cores, so the
+  // merging phase always reduces n partials — the reduction penalty is
+  // maximal, eroding the dynamic chip's textbook dominance.
+  const ChipConfig chip = ChipConfig::icpp2011();
+  const GrowthFunction g = GrowthFunction::linear();
+  const AppParams app = sample();
+  for (double r : {16.0, 64.0, 256.0}) {
+    EXPECT_LT(speedup_dynamic(chip, app, g, r),
+              hill_marty_dynamic(chip, app.f, r))
+        << r;
+  }
+  // With high overhead, even the best symmetric CMP can beat the dynamic
+  // chip (which is impossible under constant-serial-section models).
+  AppParams heavy = sample();
+  heavy.fored = 1.5;
+  const double best_dynamic = speedup_dynamic(chip, heavy, g, 256);
+  double best_sym = 0.0;
+  for (double r = 1; r <= 256; r *= 2) {
+    best_sym = std::max(best_sym, speedup_symmetric(chip, heavy, g, r));
+  }
+  EXPECT_GT(best_sym, best_dynamic);
+}
+
+TEST(Model, InvalidInputsThrow) {
+  const ChipConfig chip = ChipConfig::icpp2011();
+  const GrowthFunction g = GrowthFunction::linear();
+  EXPECT_THROW(serial_time_at(sample(), g, 0.5), std::invalid_argument);
+  EXPECT_THROW(speedup_symmetric(chip, sample(), g, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(speedup_asymmetric(chip, sample(), g, 300, 1),
+               std::invalid_argument);
+  EXPECT_THROW(speedup_scaling(sample(), g, 0.0), std::invalid_argument);
+}
+
+// Property sweep: for every Table III class and both growth functions,
+// the reduction-aware speedup is bounded by the Hill-Marty speedup.
+struct ClassCase {
+  int class_index;
+  bool log_growth;
+};
+
+class BoundedByHillMarty : public ::testing::TestWithParam<ClassCase> {};
+
+TEST_P(BoundedByHillMarty, SymmetricBound) {
+  const auto param = GetParam();
+  const ChipConfig chip = ChipConfig::icpp2011();
+  const AppParams app =
+      presets::application_classes()[static_cast<std::size_t>(
+          param.class_index)];
+  const GrowthFunction g = param.log_growth ? GrowthFunction::logarithmic()
+                                            : GrowthFunction::linear();
+  for (double r = 1; r <= 256; r *= 2) {
+    EXPECT_LE(speedup_symmetric(chip, app, g, r),
+              hill_marty_symmetric(chip, app.f, r) + 1e-9)
+        << app.name << " r=" << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllClasses, BoundedByHillMarty,
+    ::testing::Values(ClassCase{0, false}, ClassCase{1, false},
+                      ClassCase{2, false}, ClassCase{3, false},
+                      ClassCase{4, false}, ClassCase{5, false},
+                      ClassCase{6, false}, ClassCase{7, false},
+                      ClassCase{0, true}, ClassCase{3, true},
+                      ClassCase{4, true}, ClassCase{7, true}));
+
+}  // namespace
+}  // namespace mergescale::core

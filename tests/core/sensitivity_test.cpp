@@ -1,0 +1,122 @@
+#include "core/sensitivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/reduction_model.hpp"
+
+namespace mergescale::core {
+namespace {
+
+const ChipConfig kChip = ChipConfig::icpp2011();
+const GrowthFunction kLinear = GrowthFunction::linear();
+
+AppParams app() { return AppParams{"s", 0.99, 0.6, 0.8}; }
+
+TEST(ParameterName, Printable) {
+  EXPECT_STREQ(parameter_name(Parameter::kParallelFraction), "f");
+  EXPECT_STREQ(parameter_name(Parameter::kConstantShare), "fcon");
+  EXPECT_STREQ(parameter_name(Parameter::kGrowthCoefficient), "fored");
+}
+
+TEST(Perturbed, ScalesSerialFraction) {
+  // +10% on the serial fraction: s 0.01 -> 0.011.
+  const AppParams p = perturbed(app(), Parameter::kParallelFraction, 0.10);
+  EXPECT_NEAR(p.serial(), 0.011, 1e-12);
+  EXPECT_NEAR(p.f, 0.989, 1e-12);
+}
+
+TEST(Perturbed, ScalesOtherParameters) {
+  EXPECT_NEAR(perturbed(app(), Parameter::kConstantShare, 0.5).fcon, 0.9,
+              1e-12);
+  EXPECT_NEAR(perturbed(app(), Parameter::kGrowthCoefficient, -0.25).fored,
+              0.6, 1e-12);
+}
+
+TEST(Perturbed, ClampsToDomain) {
+  AppParams high_con = app();
+  high_con.fcon = 0.9;
+  EXPECT_DOUBLE_EQ(perturbed(high_con, Parameter::kConstantShare, 0.5).fcon,
+                   1.0);
+  EXPECT_DOUBLE_EQ(
+      perturbed(app(), Parameter::kGrowthCoefficient, -2.0).fored, 0.0);
+}
+
+TEST(Elasticity, SignsMatchIntuition) {
+  // More serial fraction, more constant-vs-reduction share shifts, more
+  // growth — speedup must *fall* with s and fored.
+  const double wrt_s = speedup_elasticity(kChip, app(), kLinear, 4,
+                                          Parameter::kParallelFraction);
+  const double wrt_fored = speedup_elasticity(
+      kChip, app(), kLinear, 4, Parameter::kGrowthCoefficient);
+  EXPECT_LT(wrt_s, 0.0);
+  EXPECT_LT(wrt_fored, 0.0);
+  // Shifting serial share from reduction to constant (raising fcon)
+  // removes growing work: speedup rises.
+  EXPECT_GT(speedup_elasticity(kChip, app(), kLinear, 4,
+                               Parameter::kConstantShare),
+            0.0);
+}
+
+TEST(Elasticity, BoundedForPaperWorkloads) {
+  // Parameter errors are not explosively amplified at the paper's design
+  // points.  The largest conditioning is hop's fcon (~3x): with a high
+  // constant share (0.88), a relative error on fcon shifts the small
+  // reduction share (0.12) much more strongly — a real caveat for
+  // calibrating high-fcon workloads.
+  for (const AppParams& workload : presets::minebench()) {
+    for (Parameter p : {Parameter::kParallelFraction,
+                        Parameter::kConstantShare,
+                        Parameter::kGrowthCoefficient}) {
+      const double e = speedup_elasticity(kChip, workload, kLinear, 4, p);
+      EXPECT_LT(std::abs(e), 4.0)
+          << workload.name << " " << parameter_name(p);
+    }
+  }
+  // hop's fcon is the worst-conditioned parameter of the study.
+  const double hop_fcon = speedup_elasticity(
+      kChip, presets::hop(), kLinear, 4, Parameter::kConstantShare);
+  EXPECT_GT(std::abs(hop_fcon), 2.0);
+}
+
+TEST(SpeedupBand, ContainsNominalAndOrdered) {
+  const SpeedupBand band = speedup_band(kChip, app(), kLinear, 8, 0.18);
+  EXPECT_LE(band.low, band.nominal);
+  EXPECT_GE(band.high, band.nominal);
+  EXPECT_GT(band.low, 0.0);
+}
+
+TEST(SpeedupBand, ZeroDeltaIsDegenerate) {
+  const SpeedupBand band = speedup_band(kChip, app(), kLinear, 8, 0.0);
+  EXPECT_DOUBLE_EQ(band.low, band.nominal);
+  EXPECT_DOUBLE_EQ(band.high, band.nominal);
+}
+
+TEST(SpeedupBand, WiderDeltaWiderBand) {
+  const SpeedupBand narrow = speedup_band(kChip, app(), kLinear, 8, 0.05);
+  const SpeedupBand wide = speedup_band(kChip, app(), kLinear, 8, 0.20);
+  EXPECT_LE(wide.low, narrow.low);
+  EXPECT_GE(wide.high, narrow.high);
+}
+
+TEST(SpeedupBand, PaperConclusionsRobustToReportedError) {
+  // The paper's accuracy study shows up to ~18% parameter error.  Under
+  // an 18% band, the conclusion "Amdahl overestimates the 256-core
+  // speedup" must survive: the band's high end stays at or below the
+  // *best-case* Amdahl value (serial fraction also shrunk by 18%).
+  // Equality is attainable: hop's fcon (0.88) clamps to 1.0 at +18%,
+  // removing the reduction term entirely and degenerating to Amdahl.
+  for (const AppParams& workload : presets::minebench()) {
+    const SpeedupBand band =
+        speedup_band(kChip, workload, kLinear, 1.0, 0.18);
+    const double best_serial = (1.0 - workload.f) * (1.0 - 0.18);
+    const double amdahl_best =
+        1.0 / (best_serial + (1.0 - best_serial) / 256.0);
+    EXPECT_LE(band.high, amdahl_best + 1e-9) << workload.name;
+    // The nominal prediction is always strictly below nominal Amdahl.
+    const double amdahl = 1.0 / ((1.0 - workload.f) + workload.f / 256.0);
+    EXPECT_LT(band.nominal, amdahl) << workload.name;
+  }
+}
+
+}  // namespace
+}  // namespace mergescale::core

@@ -1,0 +1,204 @@
+// Property-based sweeps over the model family: invariants that must hold
+// across a grid of application parameters, chip budgets, and growth
+// functions.  These encode the paper's qualitative claims as universally
+// quantified checks rather than single examples.
+
+#include <gtest/gtest.h>
+
+#include "core/amdahl.hpp"
+#include "core/comm_model.hpp"
+#include "core/design_space.hpp"
+#include "core/reduction_model.hpp"
+
+namespace mergescale::core {
+namespace {
+
+struct GridCase {
+  double f;
+  double fcon;
+  double fored;
+};
+
+std::string case_name(const ::testing::TestParamInfo<GridCase>& info) {
+  auto fmt = [](double v) {
+    std::string s = std::to_string(v);
+    for (char& ch : s) {
+      if (ch == '.' || ch == '-') ch = '_';
+    }
+    return s.substr(0, 6);
+  };
+  return "f" + fmt(info.param.f) + "_c" + fmt(info.param.fcon) + "_o" +
+         fmt(info.param.fored);
+}
+
+class ModelGrid : public ::testing::TestWithParam<GridCase> {
+ protected:
+  AppParams app() const {
+    const GridCase& c = GetParam();
+    return AppParams{"grid", c.f, c.fcon, c.fored};
+  }
+  const ChipConfig chip_ = ChipConfig::icpp2011();
+  const GrowthFunction linear_ = GrowthFunction::linear();
+};
+
+// Speedup is always positive and at most the chip's ideal throughput.
+TEST_P(ModelGrid, SpeedupWithinPhysicalBounds) {
+  for (double r = 1; r <= 256; r *= 2) {
+    const double s = speedup_symmetric(chip_, app(), linear_, r);
+    EXPECT_GT(s, 0.0) << r;
+    EXPECT_LE(s, chip_.n) << r;
+  }
+}
+
+// More reduction overhead can never help, at any design point.
+TEST_P(ModelGrid, SpeedupMonotoneDecreasingInFored) {
+  AppParams more = app();
+  more.fored += 0.3;
+  for (double r = 1; r <= 256; r *= 2) {
+    EXPECT_LE(speedup_symmetric(chip_, more, linear_, r),
+              speedup_symmetric(chip_, app(), linear_, r) + 1e-12)
+        << r;
+  }
+}
+
+// A larger parallel fraction can never hurt (fixed decomposition).
+TEST_P(ModelGrid, SpeedupMonotoneIncreasingInF) {
+  AppParams better = app();
+  better.f = app().f + 0.5 * (1.0 - app().f);
+  for (double r = 1; r <= 256; r *= 2) {
+    EXPECT_GE(speedup_symmetric(chip_, better, linear_, r) + 1e-12,
+              speedup_symmetric(chip_, app(), linear_, r))
+        << r;
+  }
+}
+
+// The serial-time model is monotone in core count.
+TEST_P(ModelGrid, SerialTimeMonotoneInCores) {
+  double prev = serial_time_at(app(), linear_, 1);
+  for (double nc = 2; nc <= 256; nc *= 2) {
+    const double cur = serial_time_at(app(), linear_, nc);
+    EXPECT_GE(cur, prev) << nc;
+    prev = cur;
+  }
+}
+
+// Scaling curve: bounded by Amdahl everywhere, equal at p = 1.
+TEST_P(ModelGrid, ScalingCurveBoundedByAmdahl) {
+  EXPECT_NEAR(speedup_scaling(app(), linear_, 1), 1.0, 1e-12);
+  for (double p = 2; p <= 256; p *= 2) {
+    EXPECT_LE(speedup_scaling(app(), linear_, p),
+              amdahl_speedup(app().f, p) + 1e-12)
+        << p;
+  }
+}
+
+// ACMP advantage shrinks (or at least never grows) when fored rises from
+// low to high, measured at the respective optima — conclusion (c).
+// The paper makes this claim for non-embarrassingly parallel applications
+// (f = 0.99); for f >= 0.999 the serial section is so small that ACMPs
+// can retain or even grow their edge, so the property is scoped to the
+// regime the paper analyzes.
+TEST_P(ModelGrid, AcmpAdvantageShrinksWithOverhead) {
+  if (app().f > 0.995) {
+    GTEST_SKIP() << "paper claim applies to non-embarrassingly parallel";
+  }
+  AppParams low = app();
+  low.fored = 0.05;
+  AppParams high = app();
+  high.fored = 1.0;
+  const double adv_low = optimal_asymmetric(chip_, low, linear_).speedup /
+                         optimal_symmetric(chip_, low, linear_).speedup;
+  const double adv_high = optimal_asymmetric(chip_, high, linear_).speedup /
+                          optimal_symmetric(chip_, high, linear_).speedup;
+  EXPECT_LE(adv_high, adv_low + 1e-9);
+}
+
+// The optimal symmetric core size never shrinks as fored grows —
+// conclusion (b): "a shift towards fewer and more capable cores".
+TEST_P(ModelGrid, OptimalCoreSizeMonotoneInOverhead) {
+  double prev_r = 0.0;
+  for (double fored : {0.0, 0.2, 0.4, 0.8, 1.6}) {
+    AppParams varied = app();
+    varied.fored = fored;
+    const double r = optimal_symmetric(chip_, varied, linear_).r;
+    EXPECT_GE(r, prev_r) << "fored=" << fored;
+    prev_r = r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParameterGrid, ModelGrid,
+    ::testing::Values(GridCase{0.99, 0.9, 0.1}, GridCase{0.99, 0.9, 0.8},
+                      GridCase{0.99, 0.6, 0.1}, GridCase{0.99, 0.6, 0.8},
+                      GridCase{0.999, 0.9, 0.1}, GridCase{0.999, 0.9, 0.8},
+                      GridCase{0.999, 0.6, 0.1}, GridCase{0.999, 0.6, 0.8},
+                      GridCase{0.95, 0.5, 0.4}, GridCase{0.9999, 0.3, 1.5}),
+    case_name);
+
+// Growth-function dominance: parallel <= log <= linear serial time, hence
+// the reverse ordering of speedups, for any app and core size.
+class GrowthDominance : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(GrowthDominance, OrderingHolds) {
+  const GridCase& c = GetParam();
+  const AppParams app{"g", c.f, c.fcon, c.fored};
+  const ChipConfig chip = ChipConfig::icpp2011();
+  for (double r : {1.0, 4.0, 32.0}) {
+    const double with_parallel =
+        speedup_symmetric(chip, app, GrowthFunction::parallel(), r);
+    const double with_log =
+        speedup_symmetric(chip, app, GrowthFunction::logarithmic(), r);
+    const double with_linear =
+        speedup_symmetric(chip, app, GrowthFunction::linear(), r);
+    EXPECT_GE(with_parallel + 1e-12, with_log) << r;
+    EXPECT_GE(with_log + 1e-12, with_linear) << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ParameterGrid, GrowthDominance,
+                         ::testing::Values(GridCase{0.99, 0.9, 0.1},
+                                           GridCase{0.99, 0.6, 0.8},
+                                           GridCase{0.999, 0.6, 0.8},
+                                           GridCase{0.999, 0.9, 1.5}),
+                         case_name);
+
+// Communication model: speedup decreases once communication growth kicks
+// in, and the ACMP advantage under communication is bounded.
+TEST(CommProperties, MeshGrowthReducesSpeedupMonotonically) {
+  const ChipConfig chip = ChipConfig::icpp2011();
+  const CommAppParams app{"p", 0.99, 0.6, 0.5};
+  // Compare no-comm-growth vs mesh-comm-growth at every design point.
+  for (double r = 1; r <= 256; r *= 2) {
+    const double ideal = comm_speedup_symmetric(
+        chip, app, GrowthFunction::parallel(), GrowthFunction::parallel(), r);
+    const double mesh = comm_speedup_symmetric(
+        chip, app, GrowthFunction::parallel(), mesh_comm_growth(), r);
+    EXPECT_LE(mesh, ideal + 1e-12) << r;
+  }
+}
+
+TEST(CommProperties, CompShareExtremesBracketIdealSplit) {
+  const ChipConfig chip = ChipConfig::icpp2011();
+  // All-compute reductions benefit from big cores; all-comm reductions
+  // don't.  The ideal 50/50 split must lie between the extremes at the
+  // all-compute-optimal design point.
+  CommAppParams all_comp{"c", 0.99, 0.6, 1.0};
+  CommAppParams all_comm{"m", 0.99, 0.6, 0.0};
+  CommAppParams half{"h", 0.99, 0.6, 0.5};
+  const GrowthFunction none = GrowthFunction::parallel();
+  const GrowthFunction mesh = mesh_comm_growth();
+  for (double r : {4.0, 16.0, 64.0}) {
+    const double lo = std::min(
+        comm_speedup_symmetric(chip, all_comp, none, mesh, r),
+        comm_speedup_symmetric(chip, all_comm, none, mesh, r));
+    const double hi = std::max(
+        comm_speedup_symmetric(chip, all_comp, none, mesh, r),
+        comm_speedup_symmetric(chip, all_comm, none, mesh, r));
+    const double mid = comm_speedup_symmetric(chip, half, none, mesh, r);
+    EXPECT_GE(mid + 1e-9, lo) << r;
+    EXPECT_LE(mid - 1e-9, hi) << r;
+  }
+}
+
+}  // namespace
+}  // namespace mergescale::core

@@ -1,0 +1,100 @@
+#include "noc/mesh.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace mergescale::noc {
+namespace {
+
+TEST(Mesh2D, SquareLinkCountMatchesPaperFormula) {
+  // Paper: 2*sqrt(nc)*(sqrt(nc)-1) links for a square mesh.
+  for (int side : {2, 4, 8, 16}) {
+    const Mesh2D mesh(side, side);
+    EXPECT_EQ(mesh.links(), 2 * side * (side - 1)) << side;
+    EXPECT_EQ(mesh.concurrent_ops(), 4 * side * (side - 1)) << side;
+  }
+}
+
+TEST(Mesh2D, RectangularLinkCount) {
+  const Mesh2D mesh(2, 4);  // 2 rows x 4 cols
+  // rows*(cols-1) + cols*(rows-1) = 2*3 + 4*1 = 10.
+  EXPECT_EQ(mesh.links(), 10);
+  EXPECT_EQ(mesh.nodes(), 8);
+}
+
+TEST(Mesh2D, ForNodesPicksNearSquare) {
+  EXPECT_EQ(Mesh2D::for_nodes(16).rows(), 4);
+  EXPECT_EQ(Mesh2D::for_nodes(16).cols(), 4);
+  const Mesh2D m8 = Mesh2D::for_nodes(8);
+  EXPECT_GE(m8.nodes(), 8);
+  EXPECT_EQ(m8.rows() * m8.cols(), m8.nodes());
+  EXPECT_LE(m8.nodes(), 9);  // 2x4 fits better than 3x3
+  EXPECT_EQ(Mesh2D::for_nodes(1).nodes(), 1);
+}
+
+TEST(Mesh2D, HopsIsManhattanDistance) {
+  const Mesh2D mesh(4, 4);
+  EXPECT_EQ(mesh.hops({0, 0}, {3, 3}), 6);
+  EXPECT_EQ(mesh.hops({1, 2}, {1, 2}), 0);
+  EXPECT_EQ(mesh.hops({0, 3}, {2, 0}), 5);
+}
+
+TEST(Mesh2D, NodeCoordinateRoundTrip) {
+  const Mesh2D mesh(3, 5);
+  for (int n = 0; n < mesh.nodes(); ++n) {
+    EXPECT_EQ(mesh.node_of(mesh.coord_of(n)), n);
+  }
+  EXPECT_THROW(mesh.coord_of(15), std::invalid_argument);
+  EXPECT_THROW(mesh.node_of({5, 0}), std::invalid_argument);
+}
+
+TEST(Mesh2D, AverageHopsExactMatchesBruteForce) {
+  const Mesh2D mesh(4, 4);
+  double total = 0.0;
+  for (int a = 0; a < mesh.nodes(); ++a) {
+    for (int b = 0; b < mesh.nodes(); ++b) {
+      total += mesh.hops(mesh.coord_of(a), mesh.coord_of(b));
+    }
+  }
+  EXPECT_NEAR(mesh.average_hops_exact(),
+              total / (mesh.nodes() * mesh.nodes()), 1e-12);
+}
+
+TEST(Mesh2D, PaperAverageHopsApproximation) {
+  const Mesh2D mesh(16, 16);
+  EXPECT_DOUBLE_EQ(mesh.average_hops_paper(), 15.0);
+  // Exact uniform-traffic mean: 2*(m^2-1)/(3m) = 10.625 for m = 16; the
+  // paper's sqrt(nc)-1 = 15 approximation overestimates it by ~40%.
+  EXPECT_NEAR(mesh.average_hops_exact(), 2.0 * 255.0 / 48.0, 1e-9);
+  EXPECT_GT(mesh.average_hops_paper(), mesh.average_hops_exact());
+}
+
+TEST(ReductionCommWork, MatchesPaperExpression) {
+  // 2*(nc-1)*x*(sqrt(nc)-1).
+  EXPECT_DOUBLE_EQ(reduction_comm_work(16, 10.0), 2.0 * 15 * 10 * 3);
+  EXPECT_DOUBLE_EQ(reduction_comm_work(1, 10.0), 0.0);
+}
+
+TEST(GrowCommMesh2D, ApproximationIsSqrtOverTwo) {
+  EXPECT_DOUBLE_EQ(grow_comm_mesh2d(64), 4.0);
+  EXPECT_DOUBLE_EQ(grow_comm_mesh2d(256), 8.0);
+  EXPECT_DOUBLE_EQ(grow_comm_mesh2d(1), 0.0);
+}
+
+TEST(GrowCommMesh2D, ExactApproachesApproximation) {
+  for (int nc : {16, 64, 256, 1024}) {
+    const double exact = grow_comm_mesh2d(nc, true);
+    const double approx = grow_comm_mesh2d(nc, false);
+    // exact = (nc-1)/(2*sqrt(nc)) = approx*(1 - 1/nc)... ratio -> 1.
+    EXPECT_NEAR(exact / approx, 1.0, 1.0 / nc + 1e-12) << nc;
+    EXPECT_LT(exact, approx) << nc;
+  }
+}
+
+TEST(GrowCommMesh2D, RejectsNonPositiveCores) {
+  EXPECT_THROW(grow_comm_mesh2d(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mergescale::noc

@@ -1,0 +1,121 @@
+#include "noc/topology.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "noc/mesh.hpp"
+
+namespace mergescale::noc {
+namespace {
+
+constexpr Topology kAll[] = {Topology::kBus, Topology::kRing,
+                             Topology::kMesh2D, Topology::kTorus2D,
+                             Topology::kCrossbar};
+
+TEST(Topology, NamesRoundTrip) {
+  for (Topology t : kAll) {
+    EXPECT_EQ(parse_topology(topology_name(t)), t);
+  }
+  EXPECT_THROW(parse_topology("hypercube"), std::invalid_argument);
+}
+
+TEST(Topology, LinkCounts) {
+  EXPECT_DOUBLE_EQ(links(Topology::kBus, 64), 1.0);
+  EXPECT_DOUBLE_EQ(links(Topology::kRing, 64), 64.0);
+  EXPECT_DOUBLE_EQ(links(Topology::kMesh2D, 64), 2.0 * 8 * 7);
+  EXPECT_DOUBLE_EQ(links(Topology::kTorus2D, 64), 128.0);
+  EXPECT_DOUBLE_EQ(links(Topology::kCrossbar, 64), 64.0);
+}
+
+TEST(Topology, CapacityIsBidirectional) {
+  EXPECT_DOUBLE_EQ(concurrent_capacity(Topology::kBus, 64), 1.0);
+  EXPECT_DOUBLE_EQ(concurrent_capacity(Topology::kRing, 64), 128.0);
+  EXPECT_DOUBLE_EQ(concurrent_capacity(Topology::kMesh2D, 64),
+                   4.0 * 8 * 7);
+  EXPECT_DOUBLE_EQ(concurrent_capacity(Topology::kTorus2D, 64), 256.0);
+  EXPECT_DOUBLE_EQ(concurrent_capacity(Topology::kCrossbar, 64), 64.0);
+}
+
+TEST(Topology, AverageHops) {
+  EXPECT_DOUBLE_EQ(average_hops(Topology::kBus, 64), 1.0);
+  EXPECT_DOUBLE_EQ(average_hops(Topology::kRing, 64), 16.0);
+  EXPECT_DOUBLE_EQ(average_hops(Topology::kMesh2D, 64), 7.0);
+  EXPECT_DOUBLE_EQ(average_hops(Topology::kTorus2D, 64), 4.0);
+  EXPECT_DOUBLE_EQ(average_hops(Topology::kCrossbar, 64), 1.0);
+}
+
+TEST(Topology, GrowCommClosedForms) {
+  EXPECT_DOUBLE_EQ(grow_comm(Topology::kBus, 64), 126.0);
+  EXPECT_DOUBLE_EQ(grow_comm(Topology::kRing, 64), 63.0 / 4.0);
+  EXPECT_DOUBLE_EQ(grow_comm(Topology::kMesh2D, 64), 63.0 / 16.0);
+  EXPECT_DOUBLE_EQ(grow_comm(Topology::kTorus2D, 64), 63.0 / 32.0);
+  EXPECT_DOUBLE_EQ(grow_comm(Topology::kCrossbar, 64), 126.0 / 64.0);
+}
+
+TEST(Topology, GrowCommVanishesAtOneCore) {
+  for (Topology t : kAll) {
+    EXPECT_DOUBLE_EQ(grow_comm(t, 1), 0.0) << topology_name(t);
+  }
+}
+
+TEST(Topology, RicherTopologiesCommunicateFaster) {
+  // bus > ring > mesh > torus at every scale >= 16.
+  for (int nc : {16, 64, 256, 1024}) {
+    EXPECT_GT(grow_comm(Topology::kBus, nc), grow_comm(Topology::kRing, nc));
+    EXPECT_GT(grow_comm(Topology::kRing, nc),
+              grow_comm(Topology::kMesh2D, nc));
+    EXPECT_GT(grow_comm(Topology::kMesh2D, nc),
+              grow_comm(Topology::kTorus2D, nc));
+  }
+}
+
+TEST(Topology, TorusCrossbarCrossoverAt64) {
+  // A crossbar's growth saturates at 2 while the torus grows as
+  // ~sqrt(nc)/4: below 64 cores the torus's distributed capacity wins,
+  // above 64 the single-hop crossbar wins.  They tie exactly at 64.
+  EXPECT_LT(grow_comm(Topology::kTorus2D, 16),
+            grow_comm(Topology::kCrossbar, 16));
+  EXPECT_DOUBLE_EQ(grow_comm(Topology::kTorus2D, 64),
+                   grow_comm(Topology::kCrossbar, 64));
+  EXPECT_GT(grow_comm(Topology::kTorus2D, 256),
+            grow_comm(Topology::kCrossbar, 256));
+}
+
+TEST(Topology, MeshMatchesEquationEightExactForm) {
+  // (nc-1)/(2*sqrt(nc)) is the exact Eq. 8 quotient; the paper's sqrt/2
+  // is its large-nc limit.
+  for (int nc : {4, 16, 64, 256}) {
+    EXPECT_NEAR(grow_comm(Topology::kMesh2D, nc),
+                grow_comm_mesh2d(nc, /*exact=*/true), 1e-12)
+        << nc;
+    EXPECT_LT(grow_comm(Topology::kMesh2D, nc), grow_comm_mesh2d(nc, false));
+  }
+}
+
+TEST(Topology, GrowCommMonotoneInCores) {
+  for (Topology t : kAll) {
+    double prev = 0.0;
+    for (int nc = 2; nc <= 1024; nc *= 2) {
+      const double g = grow_comm(t, nc);
+      EXPECT_GT(g, prev) << topology_name(t) << " nc=" << nc;
+      prev = g;
+    }
+  }
+}
+
+TEST(Topology, CrossbarGrowthBounded) {
+  // A non-blocking crossbar's per-element growth saturates at 2 (one
+  // gather + one broadcast round).
+  for (int nc : {16, 256, 65536}) {
+    EXPECT_LT(grow_comm(Topology::kCrossbar, nc), 2.0);
+  }
+}
+
+TEST(Topology, RejectsNonPositiveCores) {
+  EXPECT_THROW(grow_comm(Topology::kBus, 0), std::invalid_argument);
+  EXPECT_THROW(links(Topology::kRing, -1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mergescale::noc

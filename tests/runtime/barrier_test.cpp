@@ -1,0 +1,69 @@
+#include "runtime/barrier.hpp"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mergescale::runtime {
+namespace {
+
+TEST(SpinBarrier, SingleParticipantNeverBlocks) {
+  SpinBarrier barrier(1);
+  for (int i = 0; i < 100; ++i) barrier.wait();
+  EXPECT_EQ(barrier.participants(), 1);
+}
+
+TEST(SpinBarrier, RejectsNonPositiveCount) {
+  EXPECT_THROW(SpinBarrier(0), std::invalid_argument);
+}
+
+TEST(SpinBarrier, SynchronizesPhases) {
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 50;
+  SpinBarrier barrier(kThreads);
+  std::atomic<int> phase_counter{0};
+  std::vector<int> failures(kThreads, 0);
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        phase_counter.fetch_add(1, std::memory_order_relaxed);
+        barrier.wait();
+        // After the barrier every thread of this round has incremented.
+        if (phase_counter.load(std::memory_order_relaxed) <
+            (round + 1) * kThreads) {
+          ++failures[t];
+        }
+        barrier.wait();  // keep rounds separated
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(failures[t], 0) << "thread " << t;
+  }
+  EXPECT_EQ(phase_counter.load(), kThreads * kRounds);
+}
+
+TEST(SpinBarrier, ReusableManyRounds) {
+  constexpr int kThreads = 3;
+  SpinBarrier barrier(kThreads);
+  std::atomic<int> sum{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < 200; ++round) {
+        sum.fetch_add(1);
+        barrier.wait();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(sum.load(), kThreads * 200);
+}
+
+}  // namespace
+}  // namespace mergescale::runtime

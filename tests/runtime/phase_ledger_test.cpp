@@ -1,0 +1,123 @@
+#include "runtime/phase_ledger.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace mergescale::runtime {
+namespace {
+
+TEST(PhaseLedger, StartsEmpty) {
+  PhaseLedger ledger;
+  for (Phase p : {Phase::kInit, Phase::kSerial, Phase::kReduction,
+                  Phase::kParallel}) {
+    EXPECT_DOUBLE_EQ(ledger.seconds(p), 0.0);
+    EXPECT_EQ(ledger.ops(p), 0u);
+  }
+  EXPECT_FALSE(ledger.running());
+}
+
+TEST(PhaseLedger, TimesAPhase) {
+  PhaseLedger ledger;
+  ledger.start(Phase::kParallel);
+  EXPECT_TRUE(ledger.running());
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ledger.stop();
+  EXPECT_FALSE(ledger.running());
+  EXPECT_GT(ledger.seconds(Phase::kParallel), 0.004);
+  EXPECT_DOUBLE_EQ(ledger.seconds(Phase::kSerial), 0.0);
+}
+
+TEST(PhaseLedger, AccumulatesAcrossScopes) {
+  PhaseLedger ledger;
+  ledger.add_seconds(Phase::kReduction, 1.5);
+  ledger.add_seconds(Phase::kReduction, 2.5);
+  EXPECT_DOUBLE_EQ(ledger.seconds(Phase::kReduction), 4.0);
+}
+
+TEST(PhaseLedger, NestingIsRejected) {
+  PhaseLedger ledger;
+  ledger.start(Phase::kSerial);
+  EXPECT_THROW(ledger.start(Phase::kParallel), std::invalid_argument);
+  ledger.stop();
+  EXPECT_THROW(ledger.stop(), std::invalid_argument);
+}
+
+TEST(PhaseLedger, ScopeIsRaii) {
+  PhaseLedger ledger;
+  {
+    PhaseLedger::Scope scope(ledger, Phase::kInit);
+    EXPECT_TRUE(ledger.running());
+  }
+  EXPECT_FALSE(ledger.running());
+  EXPECT_GE(ledger.seconds(Phase::kInit), 0.0);
+}
+
+TEST(PhaseLedger, OpsAccumulate) {
+  PhaseLedger ledger;
+  ledger.add_ops(Phase::kParallel, 100);
+  ledger.add_ops(Phase::kParallel, 23);
+  ledger.add_ops(Phase::kReduction, 7);
+  EXPECT_EQ(ledger.ops(Phase::kParallel), 123u);
+  EXPECT_EQ(ledger.ops(Phase::kReduction), 7u);
+}
+
+TEST(PhaseLedger, TotalExcludesInit) {
+  PhaseLedger ledger;
+  ledger.add_seconds(Phase::kInit, 100.0);
+  ledger.add_seconds(Phase::kSerial, 1.0);
+  ledger.add_seconds(Phase::kReduction, 2.0);
+  ledger.add_seconds(Phase::kParallel, 3.0);
+  EXPECT_DOUBLE_EQ(ledger.total_seconds(), 6.0);
+}
+
+TEST(PhaseLedger, ProfileSecondsMapsFields) {
+  PhaseLedger ledger;
+  ledger.add_seconds(Phase::kInit, 0.5);
+  ledger.add_seconds(Phase::kSerial, 1.0);
+  ledger.add_seconds(Phase::kReduction, 2.0);
+  ledger.add_seconds(Phase::kParallel, 8.0);
+  const core::PhaseProfile profile = ledger.profile_seconds(4);
+  EXPECT_EQ(profile.cores, 4);
+  EXPECT_DOUBLE_EQ(profile.init, 0.5);
+  EXPECT_DOUBLE_EQ(profile.serial, 1.0);
+  EXPECT_DOUBLE_EQ(profile.reduction, 2.0);
+  EXPECT_DOUBLE_EQ(profile.parallel, 8.0);
+}
+
+TEST(PhaseLedger, ProfileOpsDividesParallelByCores) {
+  PhaseLedger ledger;
+  ledger.add_ops(Phase::kSerial, 10);
+  ledger.add_ops(Phase::kReduction, 20);
+  ledger.add_ops(Phase::kParallel, 800);
+  const core::PhaseProfile profile = ledger.profile_ops(8);
+  EXPECT_DOUBLE_EQ(profile.serial, 10.0);
+  EXPECT_DOUBLE_EQ(profile.reduction, 20.0);
+  EXPECT_DOUBLE_EQ(profile.parallel, 100.0);
+}
+
+TEST(PhaseLedger, ResetClearsEverything) {
+  PhaseLedger ledger;
+  ledger.add_seconds(Phase::kSerial, 1.0);
+  ledger.add_ops(Phase::kSerial, 5);
+  ledger.reset();
+  EXPECT_DOUBLE_EQ(ledger.seconds(Phase::kSerial), 0.0);
+  EXPECT_EQ(ledger.ops(Phase::kSerial), 0u);
+}
+
+TEST(PhaseLedger, ProfileRejectsBadCoreCount) {
+  PhaseLedger ledger;
+  EXPECT_THROW(ledger.profile_seconds(0), std::invalid_argument);
+  EXPECT_THROW(ledger.profile_ops(-1), std::invalid_argument);
+}
+
+TEST(PhaseName, AllNamesPrintable) {
+  EXPECT_EQ(phase_name(Phase::kInit), "init");
+  EXPECT_EQ(phase_name(Phase::kSerial), "serial");
+  EXPECT_EQ(phase_name(Phase::kReduction), "reduction");
+  EXPECT_EQ(phase_name(Phase::kParallel), "parallel");
+}
+
+}  // namespace
+}  // namespace mergescale::runtime

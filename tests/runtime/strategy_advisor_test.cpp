@@ -1,0 +1,100 @@
+#include "runtime/strategy_advisor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mergescale::runtime {
+namespace {
+
+TEST(PredictedCost, SingleThreadAllEqualModuloOverheads) {
+  // With one thread every strategy is a plain walk of width elements.
+  StrategyCostModel costs;
+  costs.barrier = 0.0;
+  costs.comm_per_element = 0.0;
+  for (ReductionStrategy s :
+       {ReductionStrategy::kSerial, ReductionStrategy::kTree,
+        ReductionStrategy::kPrivatized}) {
+    EXPECT_DOUBLE_EQ(predicted_cost(s, 1, 100, costs), 100.0)
+        << reduction_strategy_name(s);
+  }
+}
+
+TEST(PredictedCost, SerialLinearInThreads) {
+  EXPECT_DOUBLE_EQ(predicted_cost(ReductionStrategy::kSerial, 8, 100),
+                   800.0);
+  EXPECT_DOUBLE_EQ(predicted_cost(ReductionStrategy::kSerial, 16, 100),
+                   1600.0);
+}
+
+TEST(PredictedCost, TreeLogarithmicInThreads) {
+  StrategyCostModel costs;
+  costs.barrier = 0.0;
+  EXPECT_DOUBLE_EQ(predicted_cost(ReductionStrategy::kTree, 8, 100, costs),
+                   400.0);  // (3 levels + final) * 100
+  EXPECT_DOUBLE_EQ(predicted_cost(ReductionStrategy::kTree, 16, 100, costs),
+                   500.0);
+}
+
+TEST(PredictedCost, PrivatizedFlatComputePlusComm) {
+  StrategyCostModel costs;
+  costs.barrier = 0.0;
+  costs.comm_per_element = 0.0;
+  EXPECT_DOUBLE_EQ(
+      predicted_cost(ReductionStrategy::kPrivatized, 16, 100, costs), 100.0);
+  costs.comm_per_element = 1.0;
+  // + 2*(16-1)*100/16 = 187.5 communication.
+  EXPECT_DOUBLE_EQ(
+      predicted_cost(ReductionStrategy::kPrivatized, 16, 100, costs), 287.5);
+}
+
+TEST(AdviseStrategy, SingleThreadPrefersSerial) {
+  EXPECT_EQ(advise_strategy(1, 100), ReductionStrategy::kSerial);
+}
+
+TEST(AdviseStrategy, SmallWidthManyThreadsAvoidsBarrierHeavyTree) {
+  // Tiny reductions: barrier costs dominate; serial stays competitive.
+  StrategyCostModel costs;
+  costs.barrier = 1000.0;
+  EXPECT_EQ(advise_strategy(4, 8, costs), ReductionStrategy::kSerial);
+}
+
+TEST(AdviseStrategy, WideReductionsManyThreadsGoParallel) {
+  // Large width, many threads, cheap communication: privatized wins.
+  StrategyCostModel costs;
+  costs.comm_per_element = 0.05;
+  EXPECT_EQ(advise_strategy(16, 1 << 16, costs),
+            ReductionStrategy::kPrivatized);
+}
+
+TEST(AdviseStrategy, ExpensiveCommunicationFavorsTree) {
+  StrategyCostModel costs;
+  costs.comm_per_element = 10.0;  // e.g. a bus-bound machine
+  costs.barrier = 1.0;
+  EXPECT_EQ(advise_strategy(16, 1 << 16, costs), ReductionStrategy::kTree);
+}
+
+TEST(AdviseStrategy, AdvisedIsNeverWorse) {
+  // The advised strategy's predicted cost is minimal over the grid.
+  for (int threads : {1, 2, 4, 8, 16, 32}) {
+    for (std::size_t width : {8ull, 72ull, 1024ull, 65536ull}) {
+      const ReductionStrategy advised = advise_strategy(threads, width);
+      const double advised_cost = predicted_cost(advised, threads, width);
+      for (ReductionStrategy s :
+           {ReductionStrategy::kSerial, ReductionStrategy::kTree,
+            ReductionStrategy::kPrivatized}) {
+        EXPECT_LE(advised_cost, predicted_cost(s, threads, width) + 1e-9)
+            << threads << "x" << width;
+      }
+    }
+  }
+}
+
+TEST(StrategyCostModel, RejectsNegativeCoefficients) {
+  StrategyCostModel costs;
+  costs.barrier = -1.0;
+  EXPECT_THROW(costs.validate(), std::invalid_argument);
+  EXPECT_THROW(predicted_cost(ReductionStrategy::kSerial, 2, 2, costs),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mergescale::runtime

@@ -1,0 +1,159 @@
+#include "runtime/thread_team.hpp"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mergescale::runtime {
+namespace {
+
+TEST(ThreadTeam, SizeOneRunsOnCaller) {
+  ThreadTeam team(1);
+  int calls = 0;
+  team.run([&](int tid, int size) {
+    EXPECT_EQ(tid, 0);
+    EXPECT_EQ(size, 1);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadTeam, EveryWorkerRunsExactlyOnce) {
+  constexpr int kThreads = 4;
+  ThreadTeam team(kThreads);
+  std::vector<std::atomic<int>> calls(kThreads);
+  team.run([&](int tid, int size) {
+    EXPECT_EQ(size, kThreads);
+    calls[tid].fetch_add(1);
+  });
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(calls[t].load(), 1) << t;
+  }
+}
+
+TEST(ThreadTeam, MultipleRegionsReuseWorkers) {
+  ThreadTeam team(3);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 20; ++round) {
+    team.run([&](int, int) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 60);
+}
+
+TEST(ThreadTeam, BarrierInsideRegion) {
+  constexpr int kThreads = 4;
+  ThreadTeam team(kThreads);
+  std::vector<int> before(kThreads, 0);
+  std::atomic<int> count{0};
+  team.run([&](int tid, int) {
+    count.fetch_add(1);
+    team.barrier();
+    before[tid] = count.load();  // everyone has incremented by now
+  });
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(before[t], kThreads) << t;
+  }
+}
+
+TEST(ThreadTeam, ExceptionPropagatesToCaller) {
+  ThreadTeam team(2);
+  EXPECT_THROW(
+      team.run([](int tid, int) {
+        if (tid == 1) throw std::runtime_error("worker failure");
+      }),
+      std::runtime_error);
+  // Team must still be usable after a failed region.
+  std::atomic<int> ok{0};
+  team.run([&](int, int) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 2);
+}
+
+TEST(ThreadTeam, MasterExceptionPropagates) {
+  ThreadTeam team(2);
+  EXPECT_THROW(team.run([](int tid, int) {
+                 if (tid == 0) throw std::logic_error("master failure");
+               }),
+               std::logic_error);
+}
+
+TEST(ThreadTeam, RejectsInvalidConstruction) {
+  EXPECT_THROW(ThreadTeam(0), std::invalid_argument);
+  ThreadTeam team(1);
+  EXPECT_THROW(team.run(nullptr), std::invalid_argument);
+}
+
+TEST(Partition, CoversRangeWithoutOverlap) {
+  constexpr std::size_t kBegin = 3;
+  constexpr std::size_t kEnd = 103;
+  for (int team_size : {1, 2, 3, 7, 16}) {
+    std::size_t expected_next = kBegin;
+    std::size_t total = 0;
+    for (int tid = 0; tid < team_size; ++tid) {
+      auto [lo, hi] = ThreadTeam::partition(kBegin, kEnd, tid, team_size);
+      EXPECT_EQ(lo, expected_next) << "tid=" << tid << " ts=" << team_size;
+      EXPECT_LE(lo, hi);
+      expected_next = hi;
+      total += hi - lo;
+    }
+    EXPECT_EQ(expected_next, kEnd);
+    EXPECT_EQ(total, kEnd - kBegin);
+  }
+}
+
+TEST(Partition, BalancedWithinOne) {
+  for (int team_size : {3, 5, 8}) {
+    std::size_t smallest = ~0ull;
+    std::size_t largest = 0;
+    for (int tid = 0; tid < team_size; ++tid) {
+      auto [lo, hi] = ThreadTeam::partition(0, 100, tid, team_size);
+      smallest = std::min(smallest, hi - lo);
+      largest = std::max(largest, hi - lo);
+    }
+    EXPECT_LE(largest - smallest, 1u) << team_size;
+  }
+}
+
+TEST(Partition, EmptyRangeGivesEmptyChunks) {
+  for (int tid = 0; tid < 4; ++tid) {
+    auto [lo, hi] = ThreadTeam::partition(5, 5, tid, 4);
+    EXPECT_EQ(lo, hi);
+  }
+}
+
+TEST(Partition, MoreThreadsThanWork) {
+  std::size_t total = 0;
+  for (int tid = 0; tid < 8; ++tid) {
+    auto [lo, hi] = ThreadTeam::partition(0, 3, tid, 8);
+    total += hi - lo;
+  }
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(Partition, RejectsBadArguments) {
+  EXPECT_THROW(ThreadTeam::partition(0, 10, -1, 4), std::invalid_argument);
+  EXPECT_THROW(ThreadTeam::partition(0, 10, 4, 4), std::invalid_argument);
+  EXPECT_THROW(ThreadTeam::partition(10, 0, 0, 4), std::invalid_argument);
+}
+
+TEST(ThreadTeam, ParallelSumMatchesSerial) {
+  constexpr std::size_t kN = 10000;
+  std::vector<double> data(kN);
+  std::iota(data.begin(), data.end(), 0.0);
+  const double expected = std::accumulate(data.begin(), data.end(), 0.0);
+
+  ThreadTeam team(4);
+  std::vector<double> partial(4, 0.0);
+  team.run([&](int tid, int size) {
+    auto [lo, hi] = ThreadTeam::partition(0, kN, tid, size);
+    double sum = 0.0;
+    for (std::size_t i = lo; i < hi; ++i) sum += data[i];
+    partial[tid] = sum;
+  });
+  EXPECT_DOUBLE_EQ(std::accumulate(partial.begin(), partial.end(), 0.0),
+                   expected);
+}
+
+}  // namespace
+}  // namespace mergescale::runtime

@@ -1,0 +1,115 @@
+#include "sim/cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mergescale::sim {
+namespace {
+
+Cache small_cache() {
+  // 4 sets x 2 ways x 64B lines = 512 bytes.
+  return Cache(CacheGeometry{512, 2, 64});
+}
+
+TEST(Cache, MissOnEmpty) {
+  Cache cache = small_cache();
+  EXPECT_EQ(cache.probe(0x1000), Mesi::kInvalid);
+  EXPECT_FALSE(cache.lookup(0x1000).has_value());
+  EXPECT_EQ(cache.valid_lines(), 0u);
+}
+
+TEST(Cache, InsertThenHit) {
+  Cache cache = small_cache();
+  EXPECT_FALSE(cache.insert(0x1000, Mesi::kExclusive).has_value());
+  EXPECT_EQ(cache.probe(0x1000), Mesi::kExclusive);
+  EXPECT_EQ(cache.probe(0x1004), Mesi::kExclusive);  // same line
+  EXPECT_EQ(cache.probe(0x1040), Mesi::kInvalid);    // next line
+  EXPECT_EQ(cache.valid_lines(), 1u);
+}
+
+TEST(Cache, LineAddressMasksOffset) {
+  Cache cache = small_cache();
+  EXPECT_EQ(cache.line_address(0x1234), 0x1200u);
+  EXPECT_EQ(cache.line_address(0x1240), 0x1240u);
+}
+
+TEST(Cache, SetStateAndInvalidate) {
+  Cache cache = small_cache();
+  cache.insert(0x2000, Mesi::kShared);
+  cache.set_state(0x2000, Mesi::kModified);
+  EXPECT_EQ(cache.probe(0x2000), Mesi::kModified);
+  EXPECT_EQ(cache.invalidate(0x2000), Mesi::kModified);
+  EXPECT_EQ(cache.probe(0x2000), Mesi::kInvalid);
+  EXPECT_EQ(cache.invalidate(0x2000), Mesi::kInvalid);  // already gone
+}
+
+TEST(Cache, EvictsLruWithinSet) {
+  Cache cache = small_cache();  // 4 sets -> set stride 0x100 per 4 lines
+  // Three addresses in the same set (set index bits = addr[7:6]).
+  const std::uint64_t a = 0x0000;
+  const std::uint64_t b = 0x0100;
+  const std::uint64_t c = 0x0200;
+  cache.insert(a, Mesi::kExclusive);
+  cache.insert(b, Mesi::kExclusive);
+  (void)cache.lookup(a);  // touch a so b becomes LRU
+  auto evicted = cache.insert(c, Mesi::kExclusive);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->line_addr, b);
+  EXPECT_EQ(cache.probe(a), Mesi::kExclusive);
+  EXPECT_EQ(cache.probe(c), Mesi::kExclusive);
+  EXPECT_EQ(cache.probe(b), Mesi::kInvalid);
+}
+
+TEST(Cache, EvictionReportsState) {
+  Cache cache = small_cache();
+  cache.insert(0x0000, Mesi::kModified);
+  cache.insert(0x0100, Mesi::kShared);
+  auto evicted = cache.insert(0x0200, Mesi::kExclusive);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->state, Mesi::kModified);  // 0x0000 was LRU
+}
+
+TEST(Cache, VictimAddressReconstruction) {
+  Cache cache(CacheGeometry{64 * 1024, 4, 64});
+  const std::uint64_t addr = 0xabcdef40;
+  cache.insert(addr, Mesi::kModified);
+  // Fill the same set until the original is evicted.
+  const std::uint64_t set_stride = 64 * 256;  // sets = 256
+  std::optional<Cache::Eviction> evicted;
+  for (int i = 1; i <= 4 && !evicted; ++i) {
+    evicted = cache.insert(addr + i * set_stride, Mesi::kExclusive);
+  }
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->line_addr, cache.line_address(addr));
+}
+
+TEST(Cache, DifferentSetsDoNotInterfere) {
+  Cache cache = small_cache();
+  for (std::uint64_t line = 0; line < 8; ++line) {
+    cache.insert(line * 64, Mesi::kExclusive);
+  }
+  EXPECT_EQ(cache.valid_lines(), 8u);  // 4 sets x 2 ways, no eviction yet
+}
+
+TEST(Cache, FlushDropsEverything) {
+  Cache cache = small_cache();
+  cache.insert(0x1000, Mesi::kModified);
+  cache.insert(0x2000, Mesi::kShared);
+  cache.flush();
+  EXPECT_EQ(cache.valid_lines(), 0u);
+  EXPECT_EQ(cache.probe(0x1000), Mesi::kInvalid);
+}
+
+TEST(Cache, InsertRejectsInvalidState) {
+  Cache cache = small_cache();
+  EXPECT_THROW(cache.insert(0x0, Mesi::kInvalid), std::invalid_argument);
+}
+
+TEST(MesiLetter, Printable) {
+  EXPECT_EQ(mesi_letter(Mesi::kInvalid), 'I');
+  EXPECT_EQ(mesi_letter(Mesi::kShared), 'S');
+  EXPECT_EQ(mesi_letter(Mesi::kExclusive), 'E');
+  EXPECT_EQ(mesi_letter(Mesi::kModified), 'M');
+}
+
+}  // namespace
+}  // namespace mergescale::sim

@@ -1,0 +1,46 @@
+#include "sim/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mergescale::sim {
+namespace {
+
+TEST(CacheGeometry, SetsComputed) {
+  CacheGeometry g{64 * 1024, 4, 64};
+  EXPECT_EQ(g.sets(), 256u);
+  CacheGeometry l2{4 * 1024 * 1024, 16, 64};
+  EXPECT_EQ(l2.sets(), 4096u);
+}
+
+TEST(CacheGeometry, RejectsInconsistentShape) {
+  EXPECT_THROW((CacheGeometry{0, 4, 64}).sets(), std::invalid_argument);
+  EXPECT_THROW((CacheGeometry{1000, 4, 64}).sets(), std::invalid_argument);
+  // Non-power-of-two set count.
+  EXPECT_THROW((CacheGeometry{3 * 64 * 4, 4, 64}).sets(),
+               std::invalid_argument);
+}
+
+TEST(MachineConfig, PaperPresetMatchesTableI) {
+  const MachineConfig config = MachineConfig::icpp2011(16);
+  EXPECT_EQ(config.cores, 16);
+  EXPECT_EQ(config.issue_width, 4);             // fetch/issue/commit 4
+  EXPECT_EQ(config.l1d.size_bytes, 64u * 1024); // 64K private L1D
+  EXPECT_EQ(config.l1d.associativity, 4);
+  EXPECT_EQ(config.l2.size_bytes, 4u * 1024 * 1024);  // 4M shared L2
+  EXPECT_EQ(config.l2.associativity, 16);
+}
+
+TEST(MachineConfig, ValidateCatchesBadValues) {
+  MachineConfig config = MachineConfig::icpp2011(4);
+  config.cores = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = MachineConfig::icpp2011(4);
+  config.l1d.line_bytes = 32;  // mismatch with L2 line
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = MachineConfig::icpp2011(4);
+  config.memory_latency = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mergescale::sim

@@ -1,0 +1,215 @@
+#include "sim/machine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mergescale::sim {
+namespace {
+
+Machine make_machine(int cores) {
+  MachineConfig config = MachineConfig::icpp2011(cores);
+  config.model_bus_contention = false;  // deterministic latencies for tests
+  return Machine(config);
+}
+
+TEST(Machine, ColdReadMissesToMemory) {
+  Machine m = make_machine(2);
+  const int latency = m.access(0, 0x10000, false, 0);
+  EXPECT_EQ(latency,
+            m.config().l1_hit_latency + m.config().memory_latency);
+  EXPECT_EQ(m.stats().l1_misses, 1u);
+  EXPECT_EQ(m.stats().l2_misses, 1u);
+  EXPECT_EQ(m.l1_state(0, 0x10000), Mesi::kExclusive);
+  EXPECT_NE(m.l2_state(0x10000), Mesi::kInvalid);
+}
+
+TEST(Machine, SecondReadHitsL1) {
+  Machine m = make_machine(2);
+  m.access(0, 0x10000, false, 0);
+  const int latency = m.access(0, 0x10008, false, 10);  // same line
+  EXPECT_EQ(latency, m.config().l1_hit_latency);
+  EXPECT_EQ(m.stats().l1_hits, 1u);
+}
+
+TEST(Machine, WriteUpgradesExclusiveSilently) {
+  Machine m = make_machine(2);
+  m.access(0, 0x10000, false, 0);   // E
+  const auto before = m.stats();
+  m.access(0, 0x10000, true, 10);   // E -> M, no bus traffic
+  EXPECT_EQ(m.l1_state(0, 0x10000), Mesi::kModified);
+  EXPECT_EQ(m.stats().bus_transactions, before.bus_transactions);
+  EXPECT_EQ(m.stats().upgrades, 0u);
+}
+
+TEST(Machine, ReadSharingDowngradesToShared) {
+  Machine m = make_machine(2);
+  m.access(0, 0x10000, false, 0);  // core 0: E
+  m.access(1, 0x10000, false, 10); // core 1 reads too
+  EXPECT_EQ(m.l1_state(0, 0x10000), Mesi::kShared);
+  EXPECT_EQ(m.l1_state(1, 0x10000), Mesi::kShared);
+}
+
+TEST(Machine, SecondReaderServedByL2NotMemory) {
+  Machine m = make_machine(2);
+  m.access(0, 0x10000, false, 0);
+  const int latency = m.access(1, 0x10000, false, 10);
+  EXPECT_EQ(latency,
+            m.config().l1_hit_latency + m.config().l2_hit_latency);
+  EXPECT_EQ(m.stats().l2_hits, 1u);
+}
+
+TEST(Machine, WriteInvalidatesSharers) {
+  Machine m = make_machine(4);
+  for (int c = 0; c < 4; ++c) m.access(c, 0x10000, false, c * 10);
+  const auto before = m.stats();
+  m.access(0, 0x10000, true, 100);  // S -> M upgrade
+  EXPECT_EQ(m.stats().upgrades - before.upgrades, 1u);
+  EXPECT_EQ(m.stats().invalidations - before.invalidations, 3u);
+  EXPECT_EQ(m.l1_state(0, 0x10000), Mesi::kModified);
+  for (int c = 1; c < 4; ++c) {
+    EXPECT_EQ(m.l1_state(c, 0x10000), Mesi::kInvalid) << c;
+  }
+}
+
+TEST(Machine, DirtyMissForwardsCacheToCache) {
+  Machine m = make_machine(2);
+  m.access(0, 0x10000, false, 0);
+  m.access(0, 0x10000, true, 5);   // core 0 holds M
+  const auto before = m.stats();
+  const int latency = m.access(1, 0x10000, false, 20);
+  EXPECT_EQ(latency,
+            m.config().l1_hit_latency + m.config().cache_to_cache_latency);
+  EXPECT_EQ(m.stats().cache_to_cache - before.cache_to_cache, 1u);
+  EXPECT_EQ(m.stats().writebacks - before.writebacks, 1u);
+  // Owner downgraded to S, requester installed S.
+  EXPECT_EQ(m.l1_state(0, 0x10000), Mesi::kShared);
+  EXPECT_EQ(m.l1_state(1, 0x10000), Mesi::kShared);
+  EXPECT_EQ(m.l2_state(0x10000), Mesi::kModified);  // writeback landed
+}
+
+TEST(Machine, WriteMissInvalidatesDirtyOwner) {
+  Machine m = make_machine(2);
+  m.access(0, 0x10000, true, 0);   // core 0: M (write-allocate)
+  m.access(1, 0x10000, true, 10);  // core 1 writes
+  EXPECT_EQ(m.l1_state(0, 0x10000), Mesi::kInvalid);
+  EXPECT_EQ(m.l1_state(1, 0x10000), Mesi::kModified);
+}
+
+TEST(Machine, PingPongCountsCoherenceTraffic) {
+  Machine m = make_machine(2);
+  // Alternating writes to the same line from two cores.
+  for (int round = 0; round < 10; ++round) {
+    m.access(round % 2, 0x10000, true, round * 100);
+  }
+  EXPECT_GE(m.stats().cache_to_cache + m.stats().invalidations, 9u);
+}
+
+TEST(Machine, BusContentionSerializesMisses) {
+  MachineConfig config = MachineConfig::icpp2011(4);
+  config.model_bus_contention = true;
+  Machine m(config);
+  // Four cores miss at the same instant: later bus grants must wait.
+  int total_wait = 0;
+  for (int c = 0; c < 4; ++c) {
+    total_wait += m.access(c, 0x40000 + c * 0x10000, false, 0);
+  }
+  EXPECT_GT(m.stats().bus_wait_cycles, 0u);
+  EXPECT_EQ(m.stats().bus_transactions, 4u);
+}
+
+TEST(Machine, DirtyL1EvictionWritesBack) {
+  MachineConfig config = MachineConfig::icpp2011(1);
+  config.model_bus_contention = false;
+  config.l1d = CacheGeometry{512, 2, 64};  // tiny L1: 4 sets x 2 ways
+  Machine m(config);
+  const std::uint64_t set_stride = 64 * 4;
+  m.access(0, 0x0, true, 0);  // dirty line in set 0
+  const auto before = m.stats();
+  m.access(0, set_stride, false, 10);
+  m.access(0, 2 * set_stride, false, 20);  // evicts the dirty line
+  EXPECT_EQ(m.stats().writebacks - before.writebacks, 1u);
+  EXPECT_EQ(m.l2_state(0x0), Mesi::kModified);
+}
+
+TEST(Machine, StatsDeltaArithmetic) {
+  MemoryStats a;
+  a.l1_hits = 10;
+  a.bus_wait_cycles = 100;
+  MemoryStats b;
+  b.l1_hits = 4;
+  b.bus_wait_cycles = 30;
+  const MemoryStats d = a - b;
+  EXPECT_EQ(d.l1_hits, 6u);
+  EXPECT_EQ(d.bus_wait_cycles, 70u);
+  MemoryStats sum = b;
+  sum += d;
+  EXPECT_EQ(sum.l1_hits, a.l1_hits);
+}
+
+TEST(Machine, FlushCachesResetsState) {
+  Machine m = make_machine(2);
+  m.access(0, 0x10000, true, 0);
+  m.flush_caches();
+  EXPECT_EQ(m.l1_state(0, 0x10000), Mesi::kInvalid);
+  EXPECT_EQ(m.l2_state(0x10000), Mesi::kInvalid);
+}
+
+TEST(Machine, L2EvictionBackInvalidatesL1) {
+  // Inclusive hierarchy: when the L2 displaces a line, every L1 copy must
+  // go too.  Use a tiny L2 so one set overflows quickly.
+  MachineConfig config = MachineConfig::icpp2011(2);
+  config.model_bus_contention = false;
+  config.l2 = CacheGeometry{2 * 64 * 2, 2, 64};  // 2 sets x 2 ways
+  Machine m(config);
+  const std::uint64_t set_stride = 64 * 2;
+  // Core 0 caches line A (present in L1 and L2, set 0).
+  m.access(0, 0x0, false, 0);
+  ASSERT_EQ(m.l1_state(0, 0x0), Mesi::kExclusive);
+  // Two more lines in the same L2 set evict A from the L2.
+  const auto before = m.stats();
+  m.access(1, 1 * set_stride, false, 10);
+  m.access(1, 2 * set_stride, false, 20);
+  EXPECT_EQ(m.l2_state(0x0), Mesi::kInvalid);
+  EXPECT_EQ(m.l1_state(0, 0x0), Mesi::kInvalid)
+      << "L1 copy must be back-invalidated";
+  EXPECT_GE(m.stats().invalidations - before.invalidations, 1u);
+}
+
+TEST(Machine, DirtyL1CopySurvivesViaWritebackOnL2Eviction) {
+  // A dirty L1 line whose L2 twin is evicted counts a writeback (data
+  // would go to memory) and the L1 copy is invalidated.
+  MachineConfig config = MachineConfig::icpp2011(2);
+  config.model_bus_contention = false;
+  config.l2 = CacheGeometry{2 * 64 * 2, 2, 64};
+  Machine m(config);
+  const std::uint64_t set_stride = 64 * 2;
+  m.access(0, 0x0, true, 0);  // dirty in L1
+  const auto before = m.stats();
+  m.access(1, 1 * set_stride, false, 10);
+  m.access(1, 2 * set_stride, false, 20);
+  EXPECT_EQ(m.l1_state(0, 0x0), Mesi::kInvalid);
+  EXPECT_GE(m.stats().writebacks - before.writebacks, 1u);
+}
+
+TEST(Machine, ReadAfterRemoteWriteReturnsToSharing) {
+  // Full MESI cycle: E -> M (remote) -> S/S (reader) -> M (writer again).
+  Machine m = make_machine(2);
+  m.access(0, 0x40, true, 0);
+  m.access(1, 0x40, false, 10);
+  EXPECT_EQ(m.l1_state(0, 0x40), Mesi::kShared);
+  EXPECT_EQ(m.l1_state(1, 0x40), Mesi::kShared);
+  m.access(0, 0x40, true, 20);
+  EXPECT_EQ(m.l1_state(0, 0x40), Mesi::kModified);
+  EXPECT_EQ(m.l1_state(1, 0x40), Mesi::kInvalid);
+  m.access(1, 0x40, false, 30);
+  EXPECT_EQ(m.l1_state(0, 0x40), Mesi::kShared);
+  EXPECT_EQ(m.l1_state(1, 0x40), Mesi::kShared);
+}
+
+TEST(Machine, RejectsBadCoreId) {
+  Machine m = make_machine(2);
+  EXPECT_THROW(m.access(2, 0x0, false, 0), std::invalid_argument);
+  EXPECT_THROW(m.l1_state(-1, 0x0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mergescale::sim

@@ -1,0 +1,85 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mergescale::sim {
+namespace {
+
+TEST(Op, PacksAndUnpacks) {
+  const Op load = Op::load(0xdeadbeef);
+  EXPECT_EQ(load.kind(), OpKind::kLoad);
+  EXPECT_EQ(load.payload(), 0xdeadbeefULL);
+
+  const Op store = Op::store(0x1000);
+  EXPECT_EQ(store.kind(), OpKind::kStore);
+  EXPECT_EQ(store.payload(), 0x1000ULL);
+
+  const Op compute = Op::compute(12345);
+  EXPECT_EQ(compute.kind(), OpKind::kCompute);
+  EXPECT_EQ(compute.payload(), 12345ULL);
+}
+
+TEST(Op, RejectsOversizedPayload) {
+  EXPECT_THROW(Op::load(1ULL << 62), std::invalid_argument);
+  EXPECT_NO_THROW(Op::load((1ULL << 62) - 1));
+}
+
+TEST(Op, IsEightBytes) {
+  static_assert(sizeof(Op) == 8);
+  SUCCEED();
+}
+
+TEST(RecordingExecutor, RecordsMemoryOps) {
+  Trace trace;
+  RecordingExecutor ex(trace);
+  int x = 0;
+  ex.load(&x);
+  ex.store(&x);
+  ex.flush_compute();
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[0].kind(), OpKind::kLoad);
+  EXPECT_EQ(trace[0].payload(), reinterpret_cast<std::uintptr_t>(&x));
+  EXPECT_EQ(trace[1].kind(), OpKind::kStore);
+}
+
+TEST(RecordingExecutor, CoalescesComputeRuns) {
+  Trace trace;
+  RecordingExecutor ex(trace);
+  ex.compute(3);
+  ex.compute(4);
+  int x = 0;
+  ex.load(&x);  // flushes the pending run
+  ex.compute(5);
+  ex.flush_compute();
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace[0].kind(), OpKind::kCompute);
+  EXPECT_EQ(trace[0].payload(), 7u);
+  EXPECT_EQ(trace[1].kind(), OpKind::kLoad);
+  EXPECT_EQ(trace[2].payload(), 5u);
+}
+
+TEST(RecordingExecutor, EmptyComputeNotEmitted) {
+  Trace trace;
+  RecordingExecutor ex(trace);
+  ex.flush_compute();
+  EXPECT_TRUE(trace.empty());
+}
+
+TEST(Summarize, CountsKinds) {
+  Trace trace;
+  RecordingExecutor ex(trace);
+  int a = 0;
+  ex.load(&a);
+  ex.load(&a);
+  ex.store(&a);
+  ex.compute(10);
+  ex.flush_compute();
+  const TraceSummary s = summarize(trace);
+  EXPECT_EQ(s.loads, 2u);
+  EXPECT_EQ(s.stores, 1u);
+  EXPECT_EQ(s.compute, 10u);
+  EXPECT_EQ(s.memory_ops(), 3u);
+}
+
+}  // namespace
+}  // namespace mergescale::sim

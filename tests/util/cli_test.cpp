@@ -1,0 +1,107 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mergescale::util {
+namespace {
+
+Cli make_cli() {
+  Cli cli("prog", "test program");
+  cli.opt("name", std::string("default"), "a string");
+  cli.opt("count", static_cast<long long>(4), "an int");
+  cli.opt("ratio", 0.5, "a double");
+  cli.flag("verbose", "a flag");
+  return cli;
+}
+
+std::vector<const char*> argv_of(std::initializer_list<const char*> args) {
+  std::vector<const char*> v{"prog"};
+  v.insert(v.end(), args.begin(), args.end());
+  return v;
+}
+
+TEST(Cli, DefaultsApply) {
+  Cli cli = make_cli();
+  auto argv = argv_of({});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.get_string("name"), "default");
+  EXPECT_EQ(cli.get_int("count"), 4);
+  EXPECT_DOUBLE_EQ(cli.get_double("ratio"), 0.5);
+  EXPECT_FALSE(cli.get_flag("verbose"));
+}
+
+TEST(Cli, SpaceSeparatedValues) {
+  Cli cli = make_cli();
+  auto argv = argv_of({"--name", "abc", "--count", "9"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.get_string("name"), "abc");
+  EXPECT_EQ(cli.get_int("count"), 9);
+}
+
+TEST(Cli, EqualsSeparatedValues) {
+  Cli cli = make_cli();
+  auto argv = argv_of({"--ratio=2.25", "--name=x"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_DOUBLE_EQ(cli.get_double("ratio"), 2.25);
+  EXPECT_EQ(cli.get_string("name"), "x");
+}
+
+TEST(Cli, FlagForms) {
+  {
+    Cli cli = make_cli();
+    auto argv = argv_of({"--verbose"});
+    ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+    EXPECT_TRUE(cli.get_flag("verbose"));
+  }
+  {
+    Cli cli = make_cli();
+    auto argv = argv_of({"--verbose=false"});
+    ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+    EXPECT_FALSE(cli.get_flag("verbose"));
+  }
+}
+
+TEST(Cli, UnknownOptionThrows) {
+  Cli cli = make_cli();
+  auto argv = argv_of({"--nope", "1"});
+  EXPECT_THROW(cli.parse(static_cast<int>(argv.size()), argv.data()),
+               std::out_of_range);
+}
+
+TEST(Cli, MissingValueThrows) {
+  Cli cli = make_cli();
+  auto argv = argv_of({"--name"});
+  EXPECT_THROW(cli.parse(static_cast<int>(argv.size()), argv.data()),
+               std::invalid_argument);
+}
+
+TEST(Cli, BadNumberThrows) {
+  Cli cli = make_cli();
+  auto argv = argv_of({"--count", "four"});
+  EXPECT_THROW(cli.parse(static_cast<int>(argv.size()), argv.data()),
+               std::invalid_argument);
+}
+
+TEST(Cli, PositionalArgumentRejected) {
+  Cli cli = make_cli();
+  auto argv = argv_of({"stray"});
+  EXPECT_THROW(cli.parse(static_cast<int>(argv.size()), argv.data()),
+               std::invalid_argument);
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  Cli cli = make_cli();
+  auto argv = argv_of({"--help"});
+  EXPECT_FALSE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(Cli, HelpTextMentionsAllOptions) {
+  Cli cli = make_cli();
+  const std::string help = cli.help_text();
+  for (const char* name : {"--name", "--count", "--ratio", "--verbose"}) {
+    EXPECT_NE(help.find(name), std::string::npos) << name;
+  }
+}
+
+}  // namespace
+}  // namespace mergescale::util

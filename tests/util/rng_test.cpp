@@ -1,0 +1,110 @@
+#include "util/rng.hpp"
+
+#include <array>
+
+#include <gtest/gtest.h>
+
+namespace mergescale::util {
+namespace {
+
+TEST(SplitMix64, KnownSequence) {
+  // Reference values for seed 0 (from the public-domain reference code).
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.next(), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(sm.next(), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(sm.next(), 0x06c45d188009454fULL);
+}
+
+TEST(Xoshiro256, DeterministicAcrossInstances) {
+  Xoshiro256 a(123);
+  Xoshiro256 b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Xoshiro256, DifferentSeedsDiverge) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Xoshiro256, UniformInUnitInterval) {
+  Xoshiro256 rng(7);
+  double sum = 0.0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, UniformRangeRespectsBounds) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(v, -3.0);
+    ASSERT_LT(v, 5.0);
+  }
+}
+
+TEST(Xoshiro256, BoundedCoversRangeUniformly) {
+  Xoshiro256 rng(99);
+  constexpr std::uint64_t kBound = 8;
+  std::array<int, kBound> histogram{};
+  constexpr int kSamples = 80000;
+  for (int i = 0; i < kSamples; ++i) {
+    const std::uint64_t v = rng.bounded(kBound);
+    ASSERT_LT(v, kBound);
+    ++histogram[v];
+  }
+  for (int count : histogram) {
+    EXPECT_NEAR(count, kSamples / static_cast<int>(kBound),
+                kSamples / static_cast<int>(kBound) / 10);
+  }
+}
+
+TEST(Xoshiro256, BoundedDegenerateCases) {
+  Xoshiro256 rng(1);
+  EXPECT_EQ(rng.bounded(0), 0u);
+  EXPECT_EQ(rng.bounded(1), 0u);
+}
+
+TEST(Xoshiro256, NormalHasUnitMoments) {
+  Xoshiro256 rng(2024);
+  constexpr int kSamples = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double z = rng.normal();
+    sum += z;
+    sum_sq += z * z;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kSamples, 1.0, 0.03);
+}
+
+TEST(Xoshiro256, NormalScalesMeanAndStddev) {
+  Xoshiro256 rng(5);
+  constexpr int kSamples = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < kSamples; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / kSamples, 10.0, 0.05);
+}
+
+TEST(Xoshiro256, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Xoshiro256::min() == 0);
+  static_assert(Xoshiro256::max() == ~0ULL);
+  Xoshiro256 rng(1);
+  EXPECT_NE(rng(), rng());
+}
+
+}  // namespace
+}  // namespace mergescale::util

@@ -1,0 +1,116 @@
+#include "util/stats.hpp"
+
+#include <array>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace mergescale::util {
+namespace {
+
+TEST(RunningStats, EmptyDefaults) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleValueHasZeroVariance) {
+  RunningStats s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats whole;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10.0;
+    whole.add(x);
+    (i < 37 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsNoop) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(3.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(GeometricMean, KnownValues) {
+  const std::array<double, 3> v{1.0, 4.0, 16.0};
+  EXPECT_NEAR(geometric_mean(v), 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(geometric_mean({}), 0.0);
+}
+
+TEST(Mean, KnownValues) {
+  const std::array<double, 4> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Median, OddAndEven) {
+  const std::array<double, 5> odd{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(median(odd), 3.0);
+  const std::array<double, 4> even{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+TEST(MaxRelativeError, ComputesWorstCase) {
+  const std::array<double, 3> measured{1.1, 2.0, 2.7};
+  const std::array<double, 3> reference{1.0, 2.0, 3.0};
+  EXPECT_NEAR(max_relative_error(measured, reference), 0.1, 1e-12);
+}
+
+TEST(MaxRelativeError, RejectsBadInput) {
+  const std::array<double, 2> a{1.0, 2.0};
+  const std::array<double, 3> b{1.0, 2.0, 3.0};
+  EXPECT_THROW(max_relative_error(a, b), std::invalid_argument);
+  const std::array<double, 2> zeros{0.0, 1.0};
+  EXPECT_THROW(max_relative_error(a, zeros), std::invalid_argument);
+}
+
+TEST(Regression, RecoversLine) {
+  // y = 3x + 2 exactly.
+  const std::array<double, 4> x{1.0, 2.0, 3.0, 4.0};
+  const std::array<double, 4> y{5.0, 8.0, 11.0, 14.0};
+  EXPECT_NEAR(regression_slope(x, y), 3.0, 1e-12);
+  EXPECT_NEAR(regression_intercept(x, y), 2.0, 1e-12);
+}
+
+TEST(Regression, RejectsDegenerateInput) {
+  const std::array<double, 1> one{1.0};
+  EXPECT_THROW(regression_slope(one, one), std::invalid_argument);
+  const std::array<double, 3> constant{2.0, 2.0, 2.0};
+  const std::array<double, 3> y{1.0, 2.0, 3.0};
+  EXPECT_THROW(regression_slope(constant, y), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mergescale::util

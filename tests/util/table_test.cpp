@@ -1,0 +1,80 @@
+#include "util/table.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace mergescale::util {
+namespace {
+
+TEST(Table, RequiresHeaders) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, TracksShape) {
+  Table t({"a", "b"});
+  EXPECT_EQ(t.columns(), 2u);
+  EXPECT_EQ(t.rows(), 0u);
+  t.new_row().cell("x").cell("y");
+  t.new_row().cell("z");
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, TypedCellsFormat) {
+  Table t({"name", "int", "float"});
+  t.new_row().cell("pi").num(static_cast<long long>(3)).num(3.14159, 2);
+  EXPECT_EQ(t.at(0, 0), "pi");
+  EXPECT_EQ(t.at(0, 1), "3");
+  EXPECT_EQ(t.at(0, 2), "3.14");
+}
+
+TEST(Table, OverfullRowThrows) {
+  Table t({"only"});
+  t.new_row().cell("x");
+  EXPECT_THROW(t.cell("y"), std::out_of_range);
+}
+
+TEST(Table, TextOutputAligned) {
+  Table t({"col", "value"});
+  t.new_row().cell("short").cell("1");
+  t.new_row().cell("a-much-longer-cell").cell("2");
+  const std::string text = t.to_text("demo");
+  EXPECT_NE(text.find("== demo =="), std::string::npos);
+  EXPECT_NE(text.find("a-much-longer-cell"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(text.find("----"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t({"k", "v"});
+  t.new_row().cell("with,comma").cell("with\"quote");
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, CsvPadsShortRows) {
+  Table t({"a", "b", "c"});
+  t.new_row().cell("1");
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("1,,"), std::string::npos);
+}
+
+TEST(Table, PrintWritesToStream) {
+  Table t({"x"});
+  t.new_row().num(static_cast<long long>(7));
+  std::ostringstream os;
+  t.print(os, "title");
+  EXPECT_NE(os.str().find("title"), std::string::npos);
+  EXPECT_NE(os.str().find('7'), std::string::npos);
+}
+
+TEST(FormatDouble, RoundsHalfAway) {
+  EXPECT_EQ(format_double(1.005, 2), "1.00");  // binary repr of 1.005
+  EXPECT_EQ(format_double(2.5, 0), "2");       // round-to-even at .5
+  EXPECT_EQ(format_double(-1.25, 1), "-1.2");
+  EXPECT_EQ(format_double(104.46, 1), "104.5");
+}
+
+}  // namespace
+}  // namespace mergescale::util

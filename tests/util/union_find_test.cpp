@@ -1,0 +1,50 @@
+#include "util/union_find.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mergescale::util {
+namespace {
+
+TEST(UnionFind, InitiallyAllSingletons) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.size(), 5u);
+  EXPECT_EQ(uf.set_count(), 5u);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(uf.find(i), i);
+    EXPECT_EQ(uf.set_size(i), 1u);
+  }
+}
+
+TEST(UnionFind, UniteMergesAndReports) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_FALSE(uf.unite(1, 0));  // already merged
+  EXPECT_EQ(uf.find(0), uf.find(1));
+  EXPECT_EQ(uf.set_count(), 3u);
+  EXPECT_EQ(uf.set_size(0), 2u);
+}
+
+TEST(UnionFind, TransitiveMerges) {
+  UnionFind uf(6);
+  uf.unite(0, 1);
+  uf.unite(2, 3);
+  uf.unite(1, 2);
+  EXPECT_EQ(uf.find(0), uf.find(3));
+  EXPECT_NE(uf.find(0), uf.find(4));
+  EXPECT_EQ(uf.set_size(3), 4u);
+  EXPECT_EQ(uf.set_count(), 3u);
+}
+
+TEST(UnionFind, ChainCompression) {
+  UnionFind uf(64);
+  for (std::uint32_t i = 1; i < 64; ++i) uf.unite(i - 1, i);
+  EXPECT_EQ(uf.set_count(), 1u);
+  EXPECT_EQ(uf.set_size(63), 64u);
+  const std::uint32_t rep = uf.find(0);
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(uf.find(i), rep);
+  }
+}
+
+}  // namespace
+}  // namespace mergescale::util

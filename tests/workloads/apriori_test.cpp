@@ -1,0 +1,177 @@
+#include "workloads/apriori.hpp"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace mergescale::workloads {
+namespace {
+
+// A tiny hand-written database with known frequent itemsets at 50%:
+//   {1}, {2}, {3}, {1,2}, {2,3}... computed by hand below.
+TransactionSet tiny_database() {
+  TransactionSet data;
+  const std::vector<std::vector<std::int32_t>> txns = {
+      {1, 2, 3}, {1, 2}, {2, 3}, {1, 2, 3}, {3, 4}, {1, 2, 4},
+  };
+  data.offsets.push_back(0);
+  for (const auto& txn : txns) {
+    data.items.insert(data.items.end(), txn.begin(), txn.end());
+    data.offsets.push_back(static_cast<std::uint32_t>(data.items.size()));
+  }
+  return data;
+}
+
+bool contains_itemset(const std::vector<FrequentItemset>& level,
+                      std::vector<std::int32_t> items,
+                      std::uint64_t expected_support = 0) {
+  for (const auto& f : level) {
+    if (f.items == items) {
+      return expected_support == 0 || f.support == expected_support;
+    }
+  }
+  return false;
+}
+
+TEST(TransactionSet, Accessors) {
+  const TransactionSet data = tiny_database();
+  EXPECT_EQ(data.transactions(), 6u);
+  const auto txn = data.transaction(1);
+  ASSERT_EQ(txn.size(), 2u);
+  EXPECT_EQ(txn[0], 1);
+  EXPECT_EQ(txn[1], 2);
+}
+
+TEST(AprioriNative, HandComputedSupports) {
+  const TransactionSet data = tiny_database();
+  AprioriConfig config;
+  config.min_support = 0.5;  // >= 3 of 6 transactions
+  config.max_level = 3;
+  runtime::PhaseLedger ledger;
+  const AprioriResult result = run_apriori_native(data, config, 2, ledger);
+
+  ASSERT_GE(result.levels.size(), 2u);
+  // Level 1: item supports are 1:4, 2:5, 3:4, 4:2 -> {1},{2},{3} frequent.
+  EXPECT_EQ(result.levels[0].size(), 3u);
+  EXPECT_TRUE(contains_itemset(result.levels[0], {1}, 4));
+  EXPECT_TRUE(contains_itemset(result.levels[0], {2}, 5));
+  EXPECT_TRUE(contains_itemset(result.levels[0], {3}, 4));
+  EXPECT_FALSE(contains_itemset(result.levels[0], {4}));
+
+  // Level 2: {1,2}:4, {1,3}:2, {2,3}:3 -> {1,2} and {2,3} frequent.
+  EXPECT_EQ(result.levels[1].size(), 2u);
+  EXPECT_TRUE(contains_itemset(result.levels[1], {1, 2}, 4));
+  EXPECT_TRUE(contains_itemset(result.levels[1], {2, 3}, 3));
+
+  // Level 3: candidate {1,2,3} requires {1,3} frequent — pruned, so no
+  // level-3 itemsets.
+  if (result.levels.size() >= 3) {
+    EXPECT_TRUE(result.levels[2].empty());
+  }
+}
+
+TEST(AprioriNative, DownwardClosureHolds) {
+  const TransactionSet data = synthetic_transactions(2000, 64, 8, 7);
+  AprioriConfig config;
+  config.min_support = 0.05;
+  runtime::PhaseLedger ledger;
+  const AprioriResult result = run_apriori_native(data, config, 2, ledger);
+  // Every frequent 2-itemset's members are frequent 1-itemsets.
+  for (const auto& pair : result.levels.size() > 1
+                              ? result.levels[1]
+                              : std::vector<FrequentItemset>{}) {
+    for (std::int32_t item : pair.items) {
+      EXPECT_TRUE(contains_itemset(result.levels[0], {item}))
+          << "item " << item;
+    }
+  }
+}
+
+TEST(AprioriNative, PlantedPatternsFound) {
+  const TransactionSet data = synthetic_transactions(4000, 128, 10, 3);
+  AprioriConfig config;
+  config.min_support = 0.08;  // planted pairs appear in 20-30%
+  runtime::PhaseLedger ledger;
+  const AprioriResult result = run_apriori_native(data, config, 4, ledger);
+  ASSERT_GE(result.levels.size(), 2u);
+  EXPECT_TRUE(contains_itemset(result.levels[1], {0, 1}));  // 30% pattern
+  EXPECT_TRUE(contains_itemset(result.levels[1], {1, 5}));  // 20% pattern
+}
+
+TEST(AprioriNative, ResultIndependentOfThreadCount) {
+  const TransactionSet data = synthetic_transactions(1500, 64, 8, 11);
+  AprioriConfig config;
+  config.min_support = 0.05;
+  runtime::PhaseLedger l1;
+  const AprioriResult r1 = run_apriori_native(data, config, 1, l1);
+  for (int threads : {2, 4}) {
+    runtime::PhaseLedger lt;
+    const AprioriResult rt = run_apriori_native(data, config, threads, lt);
+    ASSERT_EQ(rt.levels.size(), r1.levels.size()) << threads;
+    for (std::size_t lvl = 0; lvl < r1.levels.size(); ++lvl) {
+      ASSERT_EQ(rt.levels[lvl].size(), r1.levels[lvl].size());
+      for (std::size_t i = 0; i < r1.levels[lvl].size(); ++i) {
+        EXPECT_EQ(rt.levels[lvl][i].items, r1.levels[lvl][i].items);
+        EXPECT_EQ(rt.levels[lvl][i].support, r1.levels[lvl][i].support);
+      }
+    }
+  }
+}
+
+TEST(AprioriNative, ReductionStrategiesAgree) {
+  const TransactionSet data = synthetic_transactions(1000, 48, 6, 13);
+  AprioriConfig config;
+  config.min_support = 0.05;
+  runtime::PhaseLedger l1;
+  config.strategy = runtime::ReductionStrategy::kSerial;
+  const AprioriResult serial = run_apriori_native(data, config, 4, l1);
+  for (auto strategy : {runtime::ReductionStrategy::kTree,
+                        runtime::ReductionStrategy::kPrivatized}) {
+    runtime::PhaseLedger lt;
+    config.strategy = strategy;
+    const AprioriResult other = run_apriori_native(data, config, 4, lt);
+    EXPECT_EQ(other.total(), serial.total());
+  }
+}
+
+TEST(AprioriNative, ReductionOpsGrowWithThreads) {
+  const TransactionSet data = synthetic_transactions(1000, 64, 8, 17);
+  AprioriConfig config;
+  config.min_support = 0.05;
+  auto reduction_ops = [&](int threads) {
+    runtime::PhaseLedger ledger;
+    run_apriori_native(data, config, threads, ledger);
+    return ledger.ops(runtime::Phase::kReduction);
+  };
+  const auto ops1 = reduction_ops(1);
+  EXPECT_EQ(reduction_ops(2), 2 * ops1);
+  EXPECT_EQ(reduction_ops(8), 8 * ops1);
+}
+
+TEST(AprioriNative, ValidatesConfig) {
+  const TransactionSet data = tiny_database();
+  runtime::PhaseLedger ledger;
+  AprioriConfig bad;
+  bad.min_support = 0.0;
+  EXPECT_THROW(run_apriori_native(data, bad, 1, ledger),
+               std::invalid_argument);
+  bad = AprioriConfig{};
+  bad.max_level = 0;
+  EXPECT_THROW(run_apriori_native(data, bad, 1, ledger),
+               std::invalid_argument);
+}
+
+TEST(SyntheticTransactions, DeterministicAndSorted) {
+  const TransactionSet a = synthetic_transactions(500, 64, 8, 5);
+  const TransactionSet b = synthetic_transactions(500, 64, 8, 5);
+  EXPECT_EQ(a.items, b.items);
+  EXPECT_EQ(a.offsets, b.offsets);
+  for (std::size_t t = 0; t < a.transactions(); ++t) {
+    const auto txn = a.transaction(t);
+    EXPECT_TRUE(std::is_sorted(txn.begin(), txn.end()));
+    EXPECT_TRUE(std::adjacent_find(txn.begin(), txn.end()) == txn.end());
+  }
+}
+
+}  // namespace
+}  // namespace mergescale::workloads

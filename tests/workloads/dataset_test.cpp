@@ -1,0 +1,120 @@
+#include "workloads/dataset.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/app_params.hpp"
+
+namespace mergescale::workloads {
+namespace {
+
+TEST(PointSet, ShapeAndZeroInit) {
+  PointSet points(10, 3);
+  EXPECT_EQ(points.size(), 10u);
+  EXPECT_EQ(points.dims(), 3);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (double v : points.row(i)) EXPECT_DOUBLE_EQ(v, 0.0);
+  }
+  EXPECT_EQ(points.flat().size(), 30u);
+}
+
+TEST(PointSet, RowsAreViewsIntoFlatStorage) {
+  PointSet points(4, 2);
+  points.row(1)[0] = 7.0;
+  EXPECT_DOUBLE_EQ(points.flat()[2], 7.0);
+}
+
+TEST(PointSet, RejectsDegenerateShape) {
+  EXPECT_THROW(PointSet(0, 3), std::invalid_argument);
+  EXPECT_THROW(PointSet(3, 0), std::invalid_argument);
+}
+
+TEST(GaussianMixture, MatchesRequestedShape) {
+  const core::DatasetShape shape{"test", 500, 7, 4};
+  const PointSet points = gaussian_mixture(shape, 1);
+  EXPECT_EQ(points.size(), 500u);
+  EXPECT_EQ(points.dims(), 7);
+}
+
+TEST(GaussianMixture, DeterministicInSeed) {
+  const core::DatasetShape shape{"test", 100, 3, 2};
+  const PointSet a = gaussian_mixture(shape, 42);
+  const PointSet b = gaussian_mixture(shape, 42);
+  for (std::size_t i = 0; i < a.flat().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.flat()[i], b.flat()[i]);
+  }
+  const PointSet c = gaussian_mixture(shape, 43);
+  bool any_different = false;
+  for (std::size_t i = 0; i < a.flat().size(); ++i) {
+    if (a.flat()[i] != c.flat()[i]) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(GaussianMixture, ComponentsAreSeparated) {
+  // Means are spread ~10 apart per component with sigma 1, so the global
+  // spread must far exceed the within-cluster spread.
+  const core::DatasetShape shape{"test", 2000, 2, 4};
+  const PointSet points = gaussian_mixture(shape, 7);
+  double lo = 1e300;
+  double hi = -1e300;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    lo = std::min(lo, points.row(i)[0]);
+    hi = std::max(hi, points.row(i)[0]);
+  }
+  EXPECT_GT(hi - lo, 20.0);
+}
+
+TEST(PlummerParticles, ShapeAndDeterminism) {
+  const PointSet a = plummer_particles(1000, 5);
+  EXPECT_EQ(a.size(), 1000u);
+  EXPECT_EQ(a.dims(), 3);
+  const PointSet b = plummer_particles(1000, 5);
+  for (std::size_t i = 0; i < a.flat().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.flat()[i], b.flat()[i]);
+  }
+}
+
+TEST(PlummerParticles, BoundedByClipRadius) {
+  const PointSet points = plummer_particles(5000, 11);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (double v : points.row(i)) {
+      // halo centers within +-50, radii clipped at 20*scale <= 80.
+      EXPECT_LT(std::abs(v), 150.0);
+    }
+  }
+}
+
+TEST(PlummerParticles, CentrallyConcentrated) {
+  // A Plummer sphere has most mass within a few scale radii: the median
+  // distance to the nearest halo center must be small relative to the
+  // clip radius.
+  const PointSet points = plummer_particles(4000, 3);
+  // Estimate concentration via coordinate dispersion around the densest
+  // region: compute fraction of particles within 15 units of the mean of
+  // the largest halo (first 40% of points by construction).
+  double cx = 0.0;
+  double cy = 0.0;
+  double cz = 0.0;
+  const std::size_t first_halo = 1600;
+  for (std::size_t i = 0; i < first_halo; ++i) {
+    cx += points.row(i)[0];
+    cy += points.row(i)[1];
+    cz += points.row(i)[2];
+  }
+  cx /= first_halo;
+  cy /= first_halo;
+  cz /= first_halo;
+  std::size_t near = 0;
+  for (std::size_t i = 0; i < first_halo; ++i) {
+    const double dx = points.row(i)[0] - cx;
+    const double dy = points.row(i)[1] - cy;
+    const double dz = points.row(i)[2] - cz;
+    if (std::sqrt(dx * dx + dy * dy + dz * dz) < 15.0) ++near;
+  }
+  EXPECT_GT(static_cast<double>(near) / first_halo, 0.8);
+}
+
+}  // namespace
+}  // namespace mergescale::workloads

@@ -1,0 +1,107 @@
+#include "workloads/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/trace.hpp"
+#include "workloads/merge_kernels.hpp"
+
+namespace mergescale::workloads {
+namespace {
+
+TEST(ExecutorConcept, AllExecutorsSatisfyIt) {
+  static_assert(Executor<NativeExecutor>);
+  static_assert(Executor<CountingExecutor>);
+  static_assert(Executor<sim::RecordingExecutor>);
+  SUCCEED();
+}
+
+TEST(CountingExecutor, CountsEachAnnotationKind) {
+  CountingExecutor ex;
+  int x = 0;
+  ex.load(&x);
+  ex.load(&x);
+  ex.store(&x);
+  ex.compute(5);
+  ex.compute(2);
+  EXPECT_EQ(ex.loads, 2u);
+  EXPECT_EQ(ex.stores, 1u);
+  EXPECT_EQ(ex.ops, 7u);
+  EXPECT_EQ(ex.total(), 10u);
+}
+
+TEST(MergeKernels, SerialKernelEqualsRuntimeSerialReduce) {
+  runtime::PartialBuffers<double> partials(3, 8);
+  for (int t = 0; t < 3; ++t) {
+    auto row = partials.partial(t);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      row[i] = static_cast<double>((t + 1) * (i + 2));
+    }
+  }
+  std::vector<double> via_kernel(8, 1.0);
+  std::vector<double> via_runtime(8, 1.0);
+  NativeExecutor ex;
+  merge_serial_kernel(ex, partials, std::span<double>(via_kernel));
+  runtime::serial_reduce(std::span<double>(via_runtime), partials);
+  EXPECT_EQ(via_kernel, via_runtime);
+}
+
+TEST(MergeKernels, TreeStepsComposeToFullSum) {
+  constexpr int kThreads = 8;
+  constexpr std::size_t kWidth = 5;
+  runtime::PartialBuffers<double> partials(kThreads, kWidth);
+  for (int t = 0; t < kThreads; ++t) {
+    auto row = partials.partial(t);
+    for (std::size_t i = 0; i < kWidth; ++i) {
+      row[i] = static_cast<double>(t + 1);
+    }
+  }
+  NativeExecutor ex;
+  for (int stride = 1; stride < kThreads; stride *= 2) {
+    for (int t = 0; t + stride < kThreads; t += 2 * stride) {
+      merge_tree_step_kernel(ex, partials, t, t + stride);
+    }
+  }
+  std::vector<double> dest(kWidth, 0.0);
+  merge_tree_final_kernel(ex, partials, std::span<double>(dest));
+  for (double v : dest) {
+    EXPECT_DOUBLE_EQ(v, 36.0);  // 1+2+...+8
+  }
+}
+
+TEST(MergeKernels, PrivatizedSlicesCoverEverything) {
+  constexpr int kThreads = 4;
+  constexpr std::size_t kWidth = 11;  // not divisible by kThreads
+  runtime::PartialBuffers<std::uint64_t> partials(kThreads, kWidth);
+  for (int t = 0; t < kThreads; ++t) {
+    auto row = partials.partial(t);
+    for (std::size_t i = 0; i < kWidth; ++i) row[i] = i + 1;
+  }
+  std::vector<std::uint64_t> dest(kWidth, 0);
+  NativeExecutor ex;
+  for (int tid = 0; tid < kThreads; ++tid) {
+    auto [lo, hi] =
+        runtime::ThreadTeam::partition(0, kWidth, tid, kThreads);
+    merge_privatized_kernel(ex, partials, std::span<std::uint64_t>(dest), lo,
+                            hi);
+  }
+  for (std::size_t i = 0; i < kWidth; ++i) {
+    EXPECT_EQ(dest[i], kThreads * (i + 1)) << i;
+  }
+}
+
+TEST(MergeKernels, RecordingExecutorSeesAllElements) {
+  runtime::PartialBuffers<double> partials(2, 4);
+  std::vector<double> dest(4, 0.0);
+  sim::Trace trace;
+  sim::RecordingExecutor ex(trace);
+  merge_serial_kernel(ex, partials, std::span<double>(dest));
+  ex.flush_compute();
+  const sim::TraceSummary summary = sim::summarize(trace);
+  // Per element and thread: load partial + load dest + store dest.
+  EXPECT_EQ(summary.loads, 2u * 4u * 2u);
+  EXPECT_EQ(summary.stores, 4u * 2u);
+  EXPECT_EQ(summary.compute, 4u * 2u);
+}
+
+}  // namespace
+}  // namespace mergescale::workloads

@@ -1,0 +1,212 @@
+#include "workloads/kdtree.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+#include "workloads/dataset.hpp"
+
+namespace mergescale::workloads {
+namespace {
+
+PointSet random_points(std::size_t n, int dims, std::uint64_t seed) {
+  PointSet points(n, dims);
+  util::Xoshiro256 rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int d = 0; d < dims; ++d) {
+      points.row(i)[static_cast<std::size_t>(d)] = rng.uniform(-10.0, 10.0);
+    }
+  }
+  return points;
+}
+
+std::vector<Neighbor> brute_force_knn(const PointSet& points,
+                                      std::uint32_t query, int k) {
+  std::vector<Neighbor> all;
+  const auto q = points.row(query);
+  for (std::uint32_t i = 0; i < points.size(); ++i) {
+    if (i == query) continue;
+    double dist2 = 0.0;
+    for (int d = 0; d < points.dims(); ++d) {
+      const double diff = q[static_cast<std::size_t>(d)] -
+                          points.row(i)[static_cast<std::size_t>(d)];
+      dist2 += diff * diff;
+    }
+    all.push_back({dist2, i});
+  }
+  std::sort(all.begin(), all.end(), [](const Neighbor& a, const Neighbor& b) {
+    return a.dist2 < b.dist2 || (a.dist2 == b.dist2 && a.index < b.index);
+  });
+  all.resize(std::min<std::size_t>(all.size(), static_cast<std::size_t>(k)));
+  return all;
+}
+
+TEST(KdTree, BuildCoversAllPointsExactlyOnce) {
+  const PointSet points = random_points(500, 3, 1);
+  KdTree tree(points, 8);
+  NativeExecutor ex;
+  tree.build_all(ex);
+  // Collect leaf ranges and verify they partition [0, n).
+  std::vector<bool> seen(points.size(), false);
+  std::vector<std::size_t> stack{tree.root()};
+  while (!stack.empty()) {
+    const KdTree::Node& node = tree.node(stack.back());
+    stack.pop_back();
+    if (node.is_leaf()) {
+      for (std::uint32_t i = node.begin; i < node.end; ++i) {
+        const std::uint32_t p = tree.order()[i];
+        EXPECT_FALSE(seen[p]) << "point " << p << " in two leaves";
+        seen[p] = true;
+      }
+    } else {
+      stack.push_back(static_cast<std::size_t>(node.left));
+      stack.push_back(static_cast<std::size_t>(node.right));
+    }
+  }
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_TRUE(seen[i]) << "point " << i << " missing";
+  }
+}
+
+TEST(KdTree, SplitInvariantHolds) {
+  const PointSet points = random_points(300, 3, 2);
+  KdTree tree(points, 4);
+  NativeExecutor ex;
+  tree.build_all(ex);
+  std::vector<std::size_t> stack{tree.root()};
+  while (!stack.empty()) {
+    const KdTree::Node& node = tree.node(stack.back());
+    stack.pop_back();
+    if (node.is_leaf()) continue;
+    const KdTree::Node& left = tree.node(static_cast<std::size_t>(node.left));
+    const KdTree::Node& right =
+        tree.node(static_cast<std::size_t>(node.right));
+    for (std::uint32_t i = left.begin; i < left.end; ++i) {
+      EXPECT_LE(points.row(tree.order()[i])[node.axis], node.split);
+    }
+    for (std::uint32_t i = right.begin; i < right.end; ++i) {
+      EXPECT_GE(points.row(tree.order()[i])[node.axis], node.split);
+    }
+    stack.push_back(static_cast<std::size_t>(node.left));
+    stack.push_back(static_cast<std::size_t>(node.right));
+  }
+}
+
+TEST(KdTree, KnnMatchesBruteForce) {
+  const PointSet points = random_points(400, 3, 3);
+  KdTree tree(points, 8);
+  NativeExecutor ex;
+  tree.build_all(ex);
+  std::vector<Neighbor> result;
+  for (std::uint32_t query : {0u, 13u, 200u, 399u}) {
+    tree.knn(ex, query, 10, result);
+    const auto expected = brute_force_knn(points, query, 10);
+    ASSERT_EQ(result.size(), expected.size()) << query;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_NEAR(result[i].dist2, expected[i].dist2, 1e-12)
+          << "query " << query << " rank " << i;
+    }
+  }
+}
+
+TEST(KdTree, KnnExcludesQueryItself) {
+  const PointSet points = random_points(100, 2, 4);
+  KdTree tree(points, 4);
+  NativeExecutor ex;
+  tree.build_all(ex);
+  std::vector<Neighbor> result;
+  tree.knn(ex, 5, 20, result);
+  for (const Neighbor& nb : result) {
+    EXPECT_NE(nb.index, 5u);
+  }
+}
+
+TEST(KdTree, KnnResultsSortedAscending) {
+  const PointSet points = random_points(256, 3, 5);
+  KdTree tree(points, 8);
+  NativeExecutor ex;
+  tree.build_all(ex);
+  std::vector<Neighbor> result;
+  tree.knn(ex, 17, 15, result);
+  for (std::size_t i = 1; i < result.size(); ++i) {
+    EXPECT_LE(result[i - 1].dist2, result[i].dist2);
+  }
+}
+
+TEST(KdTree, KSmallerThanPointCountIsClamped) {
+  const PointSet points = random_points(5, 2, 6);
+  KdTree tree(points, 2);
+  NativeExecutor ex;
+  tree.build_all(ex);
+  std::vector<Neighbor> result;
+  tree.knn(ex, 0, 50, result);
+  EXPECT_EQ(result.size(), 4u);  // everything except the query
+}
+
+TEST(KdTree, ParallelFrontierBuildEqualsSerialBuild) {
+  const PointSet points = random_points(1000, 3, 7);
+  // Serial full build.
+  KdTree serial_tree(points, 8);
+  NativeExecutor ex;
+  serial_tree.build_all(ex);
+  // Frontier build with 8 tasks (any interleaving of tasks is valid; we
+  // build them in reverse order to prove independence).
+  KdTree frontier_tree(points, 8);
+  auto tasks = frontier_tree.build_top(ex, 8);
+  EXPECT_GE(tasks.size(), 8u);
+  for (auto it = tasks.rbegin(); it != tasks.rend(); ++it) {
+    frontier_tree.build_subtree(ex, *it);
+  }
+  // Both trees must answer kNN identically.
+  std::vector<Neighbor> a;
+  std::vector<Neighbor> b;
+  for (std::uint32_t query : {1u, 99u, 512u}) {
+    serial_tree.knn(ex, query, 8, a);
+    frontier_tree.knn(ex, query, 8, b);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_DOUBLE_EQ(a[i].dist2, b[i].dist2) << query;
+    }
+  }
+}
+
+TEST(KdTree, DuplicatePointsHandled) {
+  PointSet points(64, 2);  // all identical coordinates
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    points.row(i)[0] = 1.0;
+    points.row(i)[1] = 2.0;
+  }
+  KdTree tree(points, 4);
+  NativeExecutor ex;
+  tree.build_all(ex);  // must terminate despite equal keys
+  std::vector<Neighbor> result;
+  tree.knn(ex, 0, 5, result);
+  EXPECT_EQ(result.size(), 5u);
+  for (const Neighbor& nb : result) {
+    EXPECT_DOUBLE_EQ(nb.dist2, 0.0);
+  }
+}
+
+TEST(KdTree, BuildTopOnlyOnce) {
+  const PointSet points = random_points(100, 3, 8);
+  KdTree tree(points, 8);
+  NativeExecutor ex;
+  tree.build_top(ex, 2);
+  EXPECT_THROW(tree.build_top(ex, 2), std::invalid_argument);
+}
+
+TEST(KdTree, RejectsInvalidParameters) {
+  const PointSet points = random_points(10, 2, 9);
+  EXPECT_THROW(KdTree(points, 0), std::invalid_argument);
+  KdTree tree(points, 4);
+  NativeExecutor ex;
+  std::vector<Neighbor> result;
+  EXPECT_THROW(tree.knn(ex, 0, 3, result), std::invalid_argument);  // unbuilt
+  tree.build_all(ex);
+  EXPECT_THROW(tree.knn(ex, 0, 0, result), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mergescale::workloads
