@@ -1,0 +1,115 @@
+// bench_explore_scaling: throughput of the parallel exploration engine —
+// (a) sweep evaluation rate across worker-thread counts on a cold cache,
+// and (b) cache-hit speedup of a repeated sweep on a warm cache.  The
+// scenario is a dense grid (unit-step core sizes instead of the paper's
+// powers of two) so the job list is large enough to time meaningfully.
+//
+//   ./build/bench_explore_scaling --threads 1,2,4,8 --step 1 --budgets 256,512
+
+#include <chrono>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/app_params.hpp"
+#include "explore/engine.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace mergescale;
+
+namespace {
+
+double time_run(explore::ExploreEngine& engine,
+                const std::vector<explore::EvalJob>& jobs,
+                std::vector<explore::EvalResult>* results) {
+  const auto start = std::chrono::steady_clock::now();
+  *results = engine.run(jobs);
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  util::Cli cli("bench_explore_scaling",
+                "explore-engine throughput: thread scaling on a cold memo "
+                "cache and cache-hit speedup on a warm one");
+  cli.opt("threads", std::string("1,2,4"),
+          "comma list of worker-thread counts");
+  cli.opt("budgets", std::string("256,512"),
+          "comma list of chip budgets (BCEs)");
+  cli.opt("step", 4.0, "core-size grid step in BCEs (smaller = more jobs)");
+  cli.opt("repeats", static_cast<long long>(3),
+          "timed repetitions per configuration (best is reported)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  explore::ScenarioSpec spec;
+  spec.name = "bench";
+  spec.chip_budgets.clear();
+  double max_budget = 0.0;
+  {
+    std::istringstream in(cli.get_string("budgets"));
+    for (std::string part; std::getline(in, part, ',');) {
+      spec.chip_budgets.push_back(std::stod(part));
+      max_budget = std::max(max_budget, spec.chip_budgets.back());
+    }
+  }
+  spec.apps = core::presets::minebench();
+  spec.growths = {core::GrowthFunction::linear(),
+                  core::GrowthFunction::logarithmic(),
+                  core::GrowthFunction::parallel()};
+  spec.variants = {core::ModelVariant::kSymmetric,
+                   core::ModelVariant::kAsymmetric,
+                   core::ModelVariant::kSymmetricComm,
+                   core::ModelVariant::kAsymmetricComm};
+  spec.topologies = {noc::Topology::kMesh2D, noc::Topology::kBus};
+  const double step = cli.get_double("step");
+  for (double r = 1.0; r <= max_budget; r += step) spec.sizes.push_back(r);
+
+  const auto jobs = spec.expand();
+  const long long repeats = std::max<long long>(1, cli.get_int("repeats"));
+  std::cout << "scenario: " << jobs.size() << " jobs ("
+            << spec.chip_budgets.size() << " budgets x " << spec.apps.size()
+            << " apps x " << spec.growths.size() << " growths x "
+            << spec.variants.size() << " variants, grid step " << step
+            << ")\n\n";
+
+  util::Table table({"threads", "cold (ms)", "cold evals/s", "warm (ms)",
+                     "warm evals/s", "cache speedup", "vs 1 thread"});
+  double cold_base = 0.0;
+  std::vector<explore::EvalResult> results;
+  std::istringstream threads_in(cli.get_string("threads"));
+  for (std::string part; std::getline(threads_in, part, ',');) {
+    const int threads = std::stoi(part);
+    double cold = 0.0, warm = 0.0;
+    for (long long i = 0; i < repeats; ++i) {
+      explore::ExploreEngine engine({.threads = threads});
+      const double c = time_run(engine, jobs, &results);   // cold cache
+      const double w = time_run(engine, jobs, &results);   // warm cache
+      if (i == 0 || c < cold) cold = c;
+      if (i == 0 || w < warm) warm = w;
+    }
+    if (cold_base == 0.0) cold_base = cold;
+    table.new_row()
+        .num(static_cast<long long>(threads))
+        .num(cold * 1e3, 2)
+        .num(jobs.size() / cold, 0)
+        .num(warm * 1e3, 2)
+        .num(jobs.size() / warm, 0)
+        .num(cold / warm, 2)
+        .num(cold_base / cold, 2);
+  }
+  table.print(std::cout, "explore-engine throughput (best of repeats)");
+
+  std::size_t feasible = 0;
+  for (const auto& result : results) feasible += result.feasible;
+  std::cout << "feasible points: " << feasible << " / " << results.size()
+            << "\n";
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "bench_explore_scaling: " << e.what() << "\n";
+  return 1;
+}

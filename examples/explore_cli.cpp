@@ -1,0 +1,200 @@
+// explore_cli: batch design-space exploration driver — the end-to-end
+// face of src/explore/.  One invocation expands a declarative scenario
+// (chip budgets × apps × growth functions × model variants × topologies)
+// into evaluation jobs, fans them out over a thread team with memoized
+// evaluation, and writes the full result set plus best/top-k/Pareto
+// summaries.
+//
+//   ./build/explore_cli                                # paper defaults
+//   ./build/explore_cli --apps kmeans,hop --budgets 64,256,1024
+//       --variants symmetric,asymmetric,symmetric-comm
+//       --growths linear,log --topologies mesh,bus --threads 8
+//       --repeat 2 --out /tmp/explore
+//
+// Writes <out>.csv and <out>.ndjson.
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/app_params.hpp"
+#include "explore/engine.hpp"
+#include "explore/report.hpp"
+#include "util/cli.hpp"
+
+using namespace mergescale;
+
+namespace {
+
+std::vector<std::string> split(const std::string& text, char sep = ',') {
+  std::vector<std::string> parts;
+  std::istringstream in(text);
+  for (std::string part; std::getline(in, part, sep);) {
+    if (!part.empty()) parts.push_back(part);
+  }
+  return parts;
+}
+
+core::AppParams app_from_name(const std::string& name, const util::Cli& cli) {
+  if (name == "kmeans") return core::presets::kmeans();
+  if (name == "fuzzy") return core::presets::fuzzy();
+  if (name == "hop") return core::presets::hop();
+  if (name == "custom") {
+    core::AppParams app{"custom", cli.get_double("f"), cli.get_double("fcon"),
+                        cli.get_double("fored")};
+    app.validate();
+    return app;
+  }
+  throw std::invalid_argument("unknown app: " + name +
+                              " (expected kmeans|fuzzy|hop|custom)");
+}
+
+core::GrowthFunction growth_from_name(const std::string& name) {
+  if (name == "linear") return core::GrowthFunction::linear();
+  if (name == "log") return core::GrowthFunction::logarithmic();
+  if (name == "parallel") return core::GrowthFunction::parallel();
+  throw std::invalid_argument("unknown growth function: " + name +
+                              " (expected linear|log|parallel)");
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  util::Cli cli("explore_cli",
+                "parallel design-space exploration: expand a scenario spec, "
+                "evaluate it over a thread team with memoization, and report "
+                "best / top-k / Pareto-frontier designs");
+  cli.opt("apps", std::string("kmeans,fuzzy,hop"),
+          "comma list: kmeans|fuzzy|hop|custom");
+  cli.opt("budgets", std::string("64,256"), "comma list of chip budgets (BCEs)");
+  cli.opt("growths", std::string("linear"),
+          "comma list: linear|log|parallel");
+  cli.opt("variants", std::string("symmetric,asymmetric,symmetric-comm"),
+          "comma list: symmetric|asymmetric|symmetric-comm|asymmetric-comm");
+  cli.opt("topologies", std::string("mesh"),
+          "comma list: bus|ring|mesh|torus|crossbar (comm variants)");
+  cli.opt("small-cores", std::string("1,4,16"),
+          "comma list of small-core sizes r (asymmetric variants)");
+  cli.opt("comp-share", 0.5, "fcomp/(fcomp+fcomm) split (comm variants)");
+  cli.opt("f", 0.99, "parallel fraction (apps=custom)");
+  cli.opt("fcon", 0.60, "constant serial share (apps=custom)");
+  cli.opt("fored", 0.80, "reduction growth coefficient (apps=custom)");
+  cli.opt("threads", static_cast<long long>(0),
+          "worker threads (0 = hardware concurrency)");
+  cli.opt("repeat", static_cast<long long>(1),
+          "run the sweep this many times (later runs hit the memo cache)");
+  cli.opt("top", static_cast<long long>(5), "top-k designs to print");
+  cli.opt("cost", std::string("area"),
+          "Pareto cost metric: area | cores");
+  cli.opt("out", std::string("explore_results"),
+          "output prefix for <out>.csv and <out>.ndjson");
+  cli.flag("no-cache", "disable the memoization cache");
+  cli.flag("quiet", "suppress the per-point result table");
+  if (!cli.parse(argc, argv)) return 0;
+
+  explore::ScenarioSpec spec;
+  spec.name = "explore_cli";
+  spec.chip_budgets.clear();
+  for (const auto& n : split(cli.get_string("budgets"))) {
+    spec.chip_budgets.push_back(std::stod(n));
+  }
+  for (const auto& name : split(cli.get_string("apps"))) {
+    spec.apps.push_back(app_from_name(name, cli));
+  }
+  spec.growths.clear();
+  for (const auto& name : split(cli.get_string("growths"))) {
+    spec.growths.push_back(growth_from_name(name));
+  }
+  spec.variants.clear();
+  for (const auto& name : split(cli.get_string("variants"))) {
+    spec.variants.push_back(core::parse_model_variant(name));
+  }
+  spec.topologies.clear();
+  for (const auto& name : split(cli.get_string("topologies"))) {
+    spec.topologies.push_back(noc::parse_topology(name));
+  }
+  spec.small_core_sizes.clear();
+  for (const auto& r : split(cli.get_string("small-cores"))) {
+    spec.small_core_sizes.push_back(std::stod(r));
+  }
+  spec.comp_share = cli.get_double("comp-share");
+
+  const explore::CostMetric cost = [&] {
+    const std::string name = cli.get_string("cost");
+    if (name == "area") return explore::CostMetric::kCoreArea;
+    if (name == "cores") return explore::CostMetric::kCoreCount;
+    throw std::invalid_argument("unknown cost metric: " + name);
+  }();
+
+  explore::EngineOptions options;
+  options.threads = static_cast<int>(cli.get_int("threads"));
+  options.use_cache = !cli.get_flag("no-cache");
+  explore::ExploreEngine engine(options);
+
+  const std::size_t total_jobs = spec.job_count();  // validates the spec
+  std::cout << "scenario: " << total_jobs << " jobs over "
+            << engine.threads() << " thread(s), cache "
+            << (options.use_cache ? "on" : "off") << "\n";
+
+  std::vector<explore::EvalResult> results;
+  const long long repeat = std::max<long long>(1, cli.get_int("repeat"));
+  for (long long run = 0; run < repeat; ++run) {
+    const auto start = std::chrono::steady_clock::now();
+    results = engine.run(spec);
+    const double elapsed = seconds_since(start);
+    const auto stats = engine.cache().stats();
+    std::cout << "run " << (run + 1) << ": " << results.size() << " points in "
+              << util::format_double(elapsed * 1e3, 2) << " ms ("
+              << util::format_double(results.size() / elapsed, 0)
+              << " evals/s); cache hits " << stats.hits << ", misses "
+              << stats.misses << ", entries " << engine.cache().size() << "\n";
+  }
+
+  // Persist the full result set.
+  const std::string prefix = cli.get_string("out");
+  {
+    std::ofstream csv(prefix + ".csv");
+    explore::write_csv(csv, results);
+    std::ofstream ndjson(prefix + ".ndjson");
+    explore::write_ndjson(ndjson, results);
+  }
+  std::cout << "wrote " << prefix << ".csv and " << prefix << ".ndjson\n\n";
+
+  if (!cli.get_flag("quiet")) {
+    explore::to_table(results).print(std::cout, "all evaluated points");
+  }
+
+  if (const explore::EvalResult* best = explore::best_result(results)) {
+    std::cout << "best: " << core::model_variant_name(best->variant) << " n="
+              << best->n << " app=" << best->app << " growth=" << best->growth
+              << " r=" << best->r << " rl=" << best->rl << " speedup "
+              << util::format_double(best->speedup, 2) << "\n\n";
+  } else {
+    std::cout << "no feasible design point\n";
+    return 1;
+  }
+
+  const auto top =
+      explore::top_k(results, static_cast<std::size_t>(cli.get_int("top")));
+  explore::to_table(top).print(std::cout, "top-k designs by speedup");
+
+  const auto frontier = explore::pareto_frontier(results, cost);
+  explore::to_table(frontier).print(
+      std::cout, std::string("Pareto frontier (speedup vs. ") +
+                     (cost == explore::CostMetric::kCoreArea ? "core area"
+                                                             : "core count") +
+                     ")");
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "explore_cli: " << e.what() << "\n";
+  return 1;
+}

@@ -7,6 +7,79 @@
 
 namespace mergescale::core {
 
+namespace {
+
+/// Small cores of r BCEs do not fit next to an rl-BCE large core.
+bool asymmetric_infeasible(const ChipConfig& chip, double rl, double r) {
+  return rl < chip.n && r > chip.n - rl;
+}
+
+}  // namespace
+
+std::string_view model_variant_name(ModelVariant variant) noexcept {
+  switch (variant) {
+    case ModelVariant::kSymmetric: return "symmetric";
+    case ModelVariant::kAsymmetric: return "asymmetric";
+    case ModelVariant::kSymmetricComm: return "symmetric-comm";
+    case ModelVariant::kAsymmetricComm: return "asymmetric-comm";
+  }
+  return "unknown";
+}
+
+ModelVariant parse_model_variant(std::string_view name) {
+  for (ModelVariant v :
+       {ModelVariant::kSymmetric, ModelVariant::kAsymmetric,
+        ModelVariant::kSymmetricComm, ModelVariant::kAsymmetricComm}) {
+    if (name == model_variant_name(v)) return v;
+  }
+  throw std::invalid_argument("unknown model variant: " + std::string(name));
+}
+
+bool is_comm_variant(ModelVariant variant) noexcept {
+  return variant == ModelVariant::kSymmetricComm ||
+         variant == ModelVariant::kAsymmetricComm;
+}
+
+bool is_asymmetric_variant(ModelVariant variant) noexcept {
+  return variant == ModelVariant::kAsymmetric ||
+         variant == ModelVariant::kAsymmetricComm;
+}
+
+std::optional<DesignPoint> evaluate(const EvalRequest& request) {
+  const ChipConfig& chip = request.chip;
+  if (is_asymmetric_variant(request.variant) &&
+      asymmetric_infeasible(chip, request.rl, request.r)) {
+    return std::nullopt;
+  }
+  switch (request.variant) {
+    case ModelVariant::kSymmetric:
+      return DesignPoint{
+          request.r, 0.0,
+          speedup_symmetric(chip, request.app, request.growth, request.r)};
+    case ModelVariant::kAsymmetric:
+      return DesignPoint{request.r, request.rl,
+                         speedup_asymmetric(chip, request.app, request.growth,
+                                            request.rl, request.r)};
+    case ModelVariant::kSymmetricComm: {
+      CommAppParams app = CommAppParams::from(request.app);
+      app.comp_share = request.comp_share;
+      return DesignPoint{
+          request.r, 0.0,
+          comm_speedup_symmetric(chip, app, request.growth,
+                                 request.comm_growth, request.r)};
+    }
+    case ModelVariant::kAsymmetricComm: {
+      CommAppParams app = CommAppParams::from(request.app);
+      app.comp_share = request.comp_share;
+      return DesignPoint{
+          request.r, request.rl,
+          comm_speedup_asymmetric(chip, app, request.growth,
+                                  request.comm_growth, request.rl, request.r)};
+    }
+  }
+  throw std::invalid_argument("unknown model variant");
+}
+
 std::vector<double> power_of_two_sizes(double n) {
   MS_CHECK(n >= 1.0, "chip budget must be at least one BCE");
   std::vector<double> sizes;
@@ -18,10 +91,12 @@ std::vector<DesignPoint> sweep_symmetric(const ChipConfig& chip,
                                          const AppParams& app,
                                          const GrowthFunction& growth,
                                          const std::vector<double>& sizes) {
+  EvalRequest request{ModelVariant::kSymmetric, chip, app, growth};
   std::vector<DesignPoint> points;
   points.reserve(sizes.size());
   for (double r : sizes) {
-    points.push_back({r, 0.0, speedup_symmetric(chip, app, growth, r)});
+    request.r = r;
+    points.push_back(*evaluate(request));
   }
   return points;
 }
@@ -31,17 +106,25 @@ std::vector<DesignPoint> sweep_asymmetric(const ChipConfig& chip,
                                           const GrowthFunction& growth,
                                           const std::vector<double>& sizes,
                                           double r) {
+  EvalRequest request{ModelVariant::kAsymmetric, chip, app, growth};
+  request.r = r;
   std::vector<DesignPoint> points;
   points.reserve(sizes.size());
   for (double rl : sizes) {
-    if (rl < chip.n && r > chip.n - rl) continue;  // small cores don't fit
-    points.push_back({r, rl, speedup_asymmetric(chip, app, growth, rl, r)});
+    request.rl = rl;
+    if (auto point = evaluate(request)) points.push_back(*point);
   }
   return points;
 }
 
 DesignPoint best_point(const std::vector<DesignPoint>& sweep) {
   MS_CHECK(!sweep.empty(), "cannot take the best point of an empty sweep");
+  return *try_best_point(sweep);
+}
+
+std::optional<DesignPoint> try_best_point(
+    const std::vector<DesignPoint>& sweep) noexcept {
+  if (sweep.empty()) return std::nullopt;
   return *std::max_element(sweep.begin(), sweep.end(),
                            [](const DesignPoint& a, const DesignPoint& b) {
                              return a.speedup < b.speedup;
@@ -60,9 +143,10 @@ DesignPoint optimal_asymmetric(const ChipConfig& chip, const AppParams& app,
   for (double r : power_of_two_sizes(chip.n)) {
     auto sweep =
         sweep_asymmetric(chip, app, growth, power_of_two_sizes(chip.n), r);
-    if (sweep.empty()) continue;
-    DesignPoint candidate = best_point(sweep);
-    if (candidate.speedup > best.speedup) best = candidate;
+    if (auto candidate = try_best_point(sweep);
+        candidate && candidate->speedup > best.speedup) {
+      best = *candidate;
+    }
   }
   return best;
 }
@@ -71,12 +155,17 @@ std::vector<DesignPoint> sweep_symmetric_comm(
     const ChipConfig& chip, const CommAppParams& app,
     const GrowthFunction& grow_comp, const GrowthFunction& grow_comm,
     const std::vector<double>& sizes) {
+  EvalRequest request{ModelVariant::kSymmetricComm,
+                      chip,
+                      AppParams{app.name, app.f, app.fcon, 0.0},
+                      grow_comp,
+                      grow_comm,
+                      app.comp_share};
   std::vector<DesignPoint> points;
   points.reserve(sizes.size());
   for (double r : sizes) {
-    points.push_back(
-        {r, 0.0,
-         comm_speedup_symmetric(chip, app, grow_comp, grow_comm, r)});
+    request.r = r;
+    points.push_back(*evaluate(request));
   }
   return points;
 }
@@ -85,13 +174,18 @@ std::vector<DesignPoint> sweep_asymmetric_comm(
     const ChipConfig& chip, const CommAppParams& app,
     const GrowthFunction& grow_comp, const GrowthFunction& grow_comm,
     const std::vector<double>& sizes, double r) {
+  EvalRequest request{ModelVariant::kAsymmetricComm,
+                      chip,
+                      AppParams{app.name, app.f, app.fcon, 0.0},
+                      grow_comp,
+                      grow_comm,
+                      app.comp_share};
+  request.r = r;
   std::vector<DesignPoint> points;
   points.reserve(sizes.size());
   for (double rl : sizes) {
-    if (rl < chip.n && r > chip.n - rl) continue;
-    points.push_back(
-        {r, rl,
-         comm_speedup_asymmetric(chip, app, grow_comp, grow_comm, rl, r)});
+    request.rl = rl;
+    if (auto point = evaluate(request)) points.push_back(*point);
   }
   return points;
 }

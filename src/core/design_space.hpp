@@ -5,6 +5,8 @@
 // Figs. 4, 5 and 7 and its §V-D peak-speedup comparisons.
 
 #include <functional>
+#include <optional>
+#include <string_view>
 #include <vector>
 
 #include "core/app_params.hpp"
@@ -20,6 +22,49 @@ struct DesignPoint {
   double rl = 0.0;       ///< large-core size in BCEs (0 for symmetric)
   double speedup = 0.0;  ///< predicted speedup vs. one BCE
 };
+
+/// Which speedup model a design point is evaluated under.
+enum class ModelVariant {
+  kSymmetric,       ///< Eq. 4 — reduction-aware symmetric CMP
+  kAsymmetric,      ///< Eq. 5 — reduction-aware asymmetric CMP
+  kSymmetricComm,   ///< Eq. 6 — communication-aware symmetric CMP
+  kAsymmetricComm,  ///< Eq. 7 — communication-aware asymmetric CMP
+};
+
+/// Printable variant name ("symmetric", "asymmetric-comm", ...).
+std::string_view model_variant_name(ModelVariant variant) noexcept;
+
+/// Parses a variant name (throws std::invalid_argument).
+ModelVariant parse_model_variant(std::string_view name);
+
+/// True for the communication-aware variants (Eqs. 6/7).
+bool is_comm_variant(ModelVariant variant) noexcept;
+
+/// True for the asymmetric variants (Eqs. 5/7), which sweep rl at fixed r.
+bool is_asymmetric_variant(ModelVariant variant) noexcept;
+
+/// Everything needed to evaluate one candidate design under one model —
+/// the unified entry point behind the sweep_* helpers and the explore
+/// engine.  For the comm variants the AppParams are split into
+/// computation/communication shares via `comp_share` (paper: 0.5) and
+/// `growth` acts as the computation growth g_comp while `comm_growth`
+/// supplies the interconnect growth g_comm.
+struct EvalRequest {
+  ModelVariant variant = ModelVariant::kSymmetric;
+  ChipConfig chip;
+  AppParams app;
+  GrowthFunction growth = GrowthFunction::linear();
+  GrowthFunction comm_growth = GrowthFunction::parallel();
+  double comp_share = 0.5;  ///< fcomp / (fcomp + fcomm), comm variants only
+  double r = 1.0;           ///< small/uniform core size in BCEs
+  double rl = 0.0;          ///< large-core size, asymmetric variants only
+};
+
+/// Evaluates one design point.  Returns std::nullopt for *infeasible*
+/// asymmetric points (the r-BCE small cores do not fit next to the large
+/// core); invalid parameters (r < 1, out-of-range fractions, ...) still
+/// throw std::invalid_argument.
+std::optional<DesignPoint> evaluate(const EvalRequest& request);
 
 /// The power-of-two core sizes 1, 2, 4, …, n used as the x-axis of the
 /// paper's Figs. 4/5/7.
@@ -40,8 +85,21 @@ std::vector<DesignPoint> sweep_asymmetric(const ChipConfig& chip,
                                           const std::vector<double>& sizes,
                                           double r);
 
-/// Best point of a sweep (throws std::invalid_argument when empty).
+/// Best (highest-speedup) point of a sweep.
+///
+/// Contract: throws std::invalid_argument when `sweep` is empty.  Callers
+/// must be aware that sweep_asymmetric / sweep_asymmetric_comm silently
+/// *skip* infeasible points and can therefore return an empty vector (e.g.
+/// r larger than every n − rl); use try_best_point when an empty sweep is
+/// an expected outcome rather than a caller bug.
 DesignPoint best_point(const std::vector<DesignPoint>& sweep);
+
+/// Best point of a sweep, or std::nullopt when the sweep is empty.  Never
+/// throws; this is the form the explore engine uses so that fully
+/// infeasible scenario slices degrade to "no result" instead of aborting
+/// a batch.
+std::optional<DesignPoint> try_best_point(
+    const std::vector<DesignPoint>& sweep) noexcept;
 
 /// Speedup-optimal symmetric design over power-of-two core sizes.
 DesignPoint optimal_symmetric(const ChipConfig& chip, const AppParams& app,

@@ -1,0 +1,93 @@
+#include "explore/engine.hpp"
+
+#include <atomic>
+#include <thread>
+
+#include "util/check.hpp"
+
+namespace mergescale::explore {
+
+namespace {
+
+/// Jobs claimed per queue pop — amortizes the atomic increment across the
+/// very cheap analytical evaluations.
+constexpr std::size_t kClaimBlock = 32;
+
+int resolve_threads(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+/// Evaluates one job (through the cache when enabled) into a result.
+EvalResult compute(const EvalJob& job, MemoCache* cache, bool use_cache) {
+  EvalResult result;
+  result.index = job.index;
+  result.scenario = job.scenario;
+  result.variant = job.request.variant;
+  result.n = job.request.chip.n;
+  result.app = job.request.app.name;
+  result.growth = job.request.growth.name();
+  result.topology = job.topology;
+  result.r = job.request.r;
+  result.rl = job.request.rl;
+
+  EvalOutcome outcome;
+  if (use_cache) {
+    const CacheKey key = cache_key(job.request);
+    if (cache->lookup(key, &outcome)) {
+      result.from_cache = true;
+    } else {
+      const auto point = core::evaluate(job.request);
+      outcome = point ? EvalOutcome{true, *point} : EvalOutcome{};
+      cache->insert(key, outcome);
+    }
+  } else {
+    const auto point = core::evaluate(job.request);
+    outcome = point ? EvalOutcome{true, *point} : EvalOutcome{};
+  }
+
+  result.feasible = outcome.feasible;
+  if (outcome.feasible) {
+    result.speedup = outcome.point.speedup;
+    result.cores =
+        core::is_asymmetric_variant(job.request.variant)
+            ? job.request.chip.cores_asymmetric(job.request.rl, job.request.r)
+            : job.request.chip.cores_symmetric(job.request.r);
+  }
+  return result;
+}
+
+}  // namespace
+
+ExploreEngine::ExploreEngine(EngineOptions options)
+    : options_(options),
+      team_(resolve_threads(options.threads)),
+      cache_(options.cache_shards) {}
+
+std::vector<EvalResult> ExploreEngine::run(const ScenarioSpec& spec) {
+  return run(spec.expand());
+}
+
+std::vector<EvalResult> ExploreEngine::run(const std::vector<EvalJob>& jobs) {
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    MS_CHECK(jobs[i].index == i, "job indices must match their positions");
+  }
+  std::vector<EvalResult> results(jobs.size());
+  if (jobs.empty()) return results;
+
+  std::atomic<std::size_t> next{0};
+  team_.run([&](int /*tid*/, int /*team_size*/) {
+    for (;;) {
+      const std::size_t begin = next.fetch_add(kClaimBlock);
+      if (begin >= jobs.size()) break;
+      const std::size_t end = std::min(begin + kClaimBlock, jobs.size());
+      for (std::size_t i = begin; i < end; ++i) {
+        results[i] = compute(jobs[i], &cache_, options_.use_cache);
+      }
+    }
+  });
+  return results;
+}
+
+}  // namespace mergescale::explore

@@ -1,0 +1,79 @@
+#pragma once
+// Parallel design-space exploration engine.  Expands a ScenarioSpec (or
+// takes a pre-expanded job list), fans the jobs out over a persistent
+// runtime::ThreadTeam via a shared work queue, and memoizes every
+// evaluation in a sharded cache so overlapping or repeated sweeps are
+// served from memory.
+//
+// Determinism: result i always corresponds to job i (workers claim job
+// *indices* and write results into the matching slot), so the evaluated
+// fields are identical across thread counts and cache states.  The one
+// exception is the `from_cache` flag, which reports what the cache did
+// on *this* run — it flips on repeats and, for duplicate design points
+// inside one batch, can differ with scheduling.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "explore/memo_cache.hpp"
+#include "explore/scenario.hpp"
+#include "runtime/thread_team.hpp"
+
+namespace mergescale::explore {
+
+/// One evaluated (or infeasible) design point with its scenario
+/// coordinates, self-contained for reporting and persistence.
+struct EvalResult {
+  std::size_t index = 0;       ///< job index (expansion order)
+  std::string scenario;        ///< ScenarioSpec::name
+  core::ModelVariant variant = core::ModelVariant::kSymmetric;
+  double n = 0.0;              ///< chip budget in BCEs
+  std::string app;             ///< application label
+  std::string growth;          ///< growth-function label
+  std::string topology = "-";  ///< interconnect label, "-" for Eqs. 4/5
+  double r = 0.0;              ///< small/uniform core size
+  double rl = 0.0;             ///< large-core size (0 for symmetric)
+  bool feasible = false;       ///< false: small cores don't fit (Eq. 5/7)
+  double cores = 0.0;          ///< total core count (0 when infeasible)
+  double speedup = 0.0;        ///< predicted speedup (0 when infeasible)
+  bool from_cache = false;     ///< served by the memo cache
+};
+
+/// Engine configuration.
+struct EngineOptions {
+  int threads = 0;             ///< worker count; 0 = hardware concurrency
+  bool use_cache = true;       ///< memoize evaluations
+  std::size_t cache_shards = 16;
+};
+
+/// Reusable exploration engine: the thread team and the memo cache
+/// persist across run() calls, so a long-lived engine serves successive
+/// (possibly overlapping) scenarios with warm workers and a warm cache.
+class ExploreEngine {
+ public:
+  explicit ExploreEngine(EngineOptions options = {});
+
+  /// Expands `spec` and evaluates every job.  Results are ordered by job
+  /// index regardless of thread count.
+  std::vector<EvalResult> run(const ScenarioSpec& spec);
+
+  /// Evaluates a pre-expanded job list (jobs[i].index must equal i).
+  std::vector<EvalResult> run(const std::vector<EvalJob>& jobs);
+
+  /// Worker count actually in use.
+  int threads() const noexcept { return team_.size(); }
+
+  /// The memo cache (hit/miss stats, size) — cumulative across runs.
+  const MemoCache& cache() const noexcept { return cache_; }
+
+  /// Drops memoized entries and resets the cache counters.
+  void clear_cache() { cache_.clear(); }
+
+ private:
+  EngineOptions options_;
+  runtime::ThreadTeam team_;
+  MemoCache cache_;
+};
+
+}  // namespace mergescale::explore

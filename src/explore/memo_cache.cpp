@@ -1,0 +1,120 @@
+#include "explore/memo_cache.hpp"
+
+#include <bit>
+#include <string_view>
+
+#include "util/check.hpp"
+
+namespace mergescale::explore {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv1a(std::uint64_t h, std::string_view bytes) {
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  // splitmix64 finalizer over the running hash xor the value.
+  h ^= v;
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return h;
+}
+
+}  // namespace
+
+CacheKey cache_key(const core::EvalRequest& request) {
+  CacheKey key;
+  key.variant = static_cast<std::uint8_t>(request.variant);
+  key.growth_kind = static_cast<std::uint8_t>(request.growth.kind());
+  key.comm_growth_kind = static_cast<std::uint8_t>(request.comm_growth.kind());
+  key.nums = {request.chip.n,          request.chip.perf.exponent(),
+              request.app.f,           request.app.fcon,
+              request.app.fored,       request.comp_share,
+              request.growth.exponent(), request.comm_growth.exponent(),
+              request.r,               request.rl};
+  std::uint64_t names = kFnvOffset;
+  names = fnv1a(names, request.chip.perf.name());
+  names = fnv1a(names, "|");
+  names = fnv1a(names, request.growth.name());
+  names = fnv1a(names, "|");
+  names = fnv1a(names, request.comm_growth.name());
+  key.name_hash = names;
+  return key;
+}
+
+std::size_t CacheKeyHash::operator()(const CacheKey& key) const noexcept {
+  std::uint64_t h = kFnvOffset;
+  h = mix(h, (static_cast<std::uint64_t>(key.variant) << 16) |
+                 (static_cast<std::uint64_t>(key.growth_kind) << 8) |
+                 key.comm_growth_kind);
+  for (double v : key.nums) h = mix(h, std::bit_cast<std::uint64_t>(v));
+  h = mix(h, key.name_hash);
+  return static_cast<std::size_t>(h);
+}
+
+MemoCache::MemoCache(std::size_t shard_count) {
+  MS_CHECK(shard_count >= 1, "cache needs at least one shard");
+  shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+MemoCache::Shard& MemoCache::shard_for(const CacheKey& key) const {
+  return *shards_[CacheKeyHash{}(key) % shards_.size()];
+}
+
+bool MemoCache::lookup(const CacheKey& key, EvalOutcome* out) const {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  *out = it->second;
+  return true;
+}
+
+void MemoCache::insert(const CacheKey& key, const EvalOutcome& outcome) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.map[key] = outcome;
+}
+
+std::size_t MemoCache::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->map.size();
+  }
+  return total;
+}
+
+MemoCache::Stats MemoCache::stats() const {
+  return Stats{hits_.load(std::memory_order_relaxed),
+               misses_.load(std::memory_order_relaxed)};
+}
+
+void MemoCache::clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->map.clear();
+  }
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace mergescale::explore

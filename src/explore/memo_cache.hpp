@@ -1,0 +1,96 @@
+#pragma once
+// Sharded memoization cache for design-point evaluations.  Repeated
+// sweeps — bench reruns, overlapping scenario grids, refined specs — hit
+// the cache instead of re-evaluating the analytical models.  The key is a
+// value fingerprint of the EvalRequest (not the app's label), so two
+// scenarios that touch the same numeric design point share one entry.
+//
+// Custom PerfLaw / GrowthFunction instances are distinguished by their
+// *name* (the callable itself cannot be fingerprinted); give custom laws
+// unique names or caching will conflate them.  The built-in families are
+// fully captured by kind + exponent.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/design_space.hpp"
+
+namespace mergescale::explore {
+
+/// Cacheable outcome of one evaluation: a feasible point or a recorded
+/// infeasibility (so infeasible asymmetric points also memoize).
+struct EvalOutcome {
+  bool feasible = false;
+  core::DesignPoint point;
+};
+
+/// Value fingerprint of an EvalRequest.  Compared by full equality, so a
+/// 64-bit hash collision cannot return a wrong result.
+struct CacheKey {
+  std::uint8_t variant = 0;
+  std::uint8_t growth_kind = 0;
+  std::uint8_t comm_growth_kind = 0;
+  std::array<double, 10> nums{};  ///< n, perf exp, f, fcon, fored,
+                                  ///< comp_share, growth exp, comm exp, r, rl
+  std::uint64_t name_hash = 0;    ///< perf/growth names (custom laws)
+
+  bool operator==(const CacheKey&) const = default;
+};
+
+/// Builds the fingerprint of a request.
+CacheKey cache_key(const core::EvalRequest& request);
+
+/// Hash functor for CacheKey (also used for shard selection).
+struct CacheKeyHash {
+  std::size_t operator()(const CacheKey& key) const noexcept;
+};
+
+/// Thread-safe memoization cache, sharded to keep lock contention off the
+/// explore engine's hot path.  Shard count is fixed at construction.
+class MemoCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+
+  explicit MemoCache(std::size_t shard_count = 16);
+
+  /// Looks `key` up; on a hit copies the outcome into `*out`.  Updates
+  /// the hit/miss counters.
+  bool lookup(const CacheKey& key, EvalOutcome* out) const;
+
+  /// Inserts (or overwrites) the outcome for `key`.
+  void insert(const CacheKey& key, const EvalOutcome& outcome);
+
+  /// Number of distinct memoized design points.
+  std::size_t size() const;
+
+  /// Cumulative hit/miss counters since construction or clear().
+  Stats stats() const;
+
+  /// Drops all entries and resets the counters.
+  void clear();
+
+  /// Number of shards (for tests).
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<CacheKey, EvalOutcome, CacheKeyHash> map;
+  };
+
+  Shard& shard_for(const CacheKey& key) const;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace mergescale::explore

@@ -1,0 +1,154 @@
+#include "explore/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace mergescale::explore {
+
+namespace {
+
+/// speedup-descending, index-ascending on ties.
+bool better(const EvalResult& a, const EvalResult& b) {
+  if (a.speedup != b.speedup) return a.speedup > b.speedup;
+  return a.index < b.index;
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    const auto u = static_cast<unsigned char>(c);
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (u < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Shortest exact-enough rendering of a value that may be fractional
+/// (core sizes and counts are usually integers but need not be).
+std::string compact(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+}  // namespace
+
+const EvalResult* best_result(
+    const std::vector<EvalResult>& results) noexcept {
+  const EvalResult* best = nullptr;
+  for (const auto& result : results) {
+    if (!result.feasible) continue;
+    if (best == nullptr || better(result, *best)) best = &result;
+  }
+  return best;
+}
+
+std::vector<EvalResult> top_k(const std::vector<EvalResult>& results,
+                              std::size_t k) {
+  std::vector<EvalResult> feasible;
+  feasible.reserve(results.size());
+  for (const auto& result : results) {
+    if (result.feasible) feasible.push_back(result);
+  }
+  const std::size_t keep = std::min(k, feasible.size());
+  std::partial_sort(feasible.begin(), feasible.begin() + keep, feasible.end(),
+                    better);
+  feasible.resize(keep);
+  return feasible;
+}
+
+double cost_of(const EvalResult& result, CostMetric metric) noexcept {
+  switch (metric) {
+    case CostMetric::kCoreArea: return std::max(result.r, result.rl);
+    case CostMetric::kCoreCount: return result.cores;
+  }
+  return 0.0;
+}
+
+std::vector<EvalResult> pareto_frontier(const std::vector<EvalResult>& results,
+                                        CostMetric metric) {
+  std::vector<EvalResult> feasible;
+  feasible.reserve(results.size());
+  for (const auto& result : results) {
+    if (result.feasible) feasible.push_back(result);
+  }
+  // Cost ascending; within one cost the best candidate first.
+  std::stable_sort(feasible.begin(), feasible.end(),
+                   [metric](const EvalResult& a, const EvalResult& b) {
+                     const double ca = cost_of(a, metric);
+                     const double cb = cost_of(b, metric);
+                     if (ca != cb) return ca < cb;
+                     return better(a, b);
+                   });
+  std::vector<EvalResult> frontier;
+  double last_cost = 0.0;
+  for (const auto& result : feasible) {
+    const double cost = cost_of(result, metric);
+    if (!frontier.empty() && cost == last_cost) continue;  // dominated twin
+    if (frontier.empty() || result.speedup > frontier.back().speedup) {
+      frontier.push_back(result);
+      last_cost = cost;
+    }
+  }
+  return frontier;
+}
+
+util::Table to_table(const std::vector<EvalResult>& results) {
+  util::Table table({"scenario", "variant", "n", "app", "growth", "topology",
+                     "r", "rl", "cores", "feasible", "speedup", "cached"});
+  for (const auto& result : results) {
+    table.new_row()
+        .cell(result.scenario)
+        .cell(std::string(core::model_variant_name(result.variant)))
+        .cell(compact(result.n))
+        .cell(result.app)
+        .cell(result.growth)
+        .cell(result.topology)
+        .cell(compact(result.r))
+        .cell(compact(result.rl))
+        .cell(compact(result.cores))
+        .cell(result.feasible ? "yes" : "no")
+        .num(result.speedup, 3)
+        .cell(result.from_cache ? "yes" : "no");
+  }
+  return table;
+}
+
+void write_csv(std::ostream& os, const std::vector<EvalResult>& results) {
+  os << to_table(results).to_csv();
+}
+
+void write_ndjson(std::ostream& os, const std::vector<EvalResult>& results) {
+  for (const auto& result : results) {
+    std::ostringstream line;
+    line << "{\"index\":" << result.index                                //
+         << ",\"scenario\":\"" << json_escape(result.scenario) << '"'    //
+         << ",\"variant\":\"" << core::model_variant_name(result.variant)
+         << '"'                                                          //
+         << ",\"n\":" << compact(result.n)                               //
+         << ",\"app\":\"" << json_escape(result.app) << '"'              //
+         << ",\"growth\":\"" << json_escape(result.growth) << '"'        //
+         << ",\"topology\":\"" << json_escape(result.topology) << '"'    //
+         << ",\"r\":" << compact(result.r)                               //
+         << ",\"rl\":" << compact(result.rl)                             //
+         << ",\"cores\":" << compact(result.cores)                       //
+         << ",\"feasible\":" << (result.feasible ? "true" : "false")     //
+         << ",\"speedup\":" << compact(result.speedup)                   //
+         << ",\"cached\":" << (result.from_cache ? "true" : "false")     //
+         << "}\n";
+    os << line.str();
+  }
+}
+
+}  // namespace mergescale::explore

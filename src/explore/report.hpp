@@ -1,0 +1,51 @@
+#pragma once
+// Aggregation and persistence of exploration results: best point, top-k,
+// 2-D Pareto frontier (speedup vs. a cost metric), and CSV / NDJSON
+// emission for downstream plotting.
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+#include "explore/engine.hpp"
+#include "util/table.hpp"
+
+namespace mergescale::explore {
+
+/// Highest-speedup feasible result, or nullptr when every result is
+/// infeasible (the aggregate analogue of core::try_best_point).
+const EvalResult* best_result(const std::vector<EvalResult>& results) noexcept;
+
+/// The k highest-speedup feasible results, speedup-descending; ties break
+/// toward the lower job index so the output is deterministic.
+std::vector<EvalResult> top_k(const std::vector<EvalResult>& results,
+                              std::size_t k);
+
+/// Cost axis of the Pareto frontier.
+enum class CostMetric {
+  kCoreArea,   ///< area of the largest core, max(r, rl), in BCEs
+  kCoreCount,  ///< total number of cores on the chip
+};
+
+/// Cost of one (feasible) result under `metric`.
+double cost_of(const EvalResult& result, CostMetric metric) noexcept;
+
+/// 2-D Pareto frontier over feasible results: maximize speedup, minimize
+/// cost.  Returns the non-dominated set sorted by cost ascending (one
+/// result per cost value, the speedup-best; ties toward lower index), so
+/// speedup is strictly increasing along the returned vector.
+std::vector<EvalResult> pareto_frontier(const std::vector<EvalResult>& results,
+                                        CostMetric metric);
+
+/// Renders results as a util::Table (one row per result, header
+/// scenario/variant/n/app/growth/topology/r/rl/cores/feasible/speedup/
+/// cached).
+util::Table to_table(const std::vector<EvalResult>& results);
+
+/// Writes to_table(results).to_csv() to `os`.
+void write_csv(std::ostream& os, const std::vector<EvalResult>& results);
+
+/// Writes one JSON object per line (NDJSON) to `os`.
+void write_ndjson(std::ostream& os, const std::vector<EvalResult>& results);
+
+}  // namespace mergescale::explore

@@ -1,0 +1,126 @@
+#include "explore/scenario.hpp"
+
+#include "core/comm_model.hpp"
+#include "util/check.hpp"
+
+namespace mergescale::explore {
+
+namespace {
+
+/// Sizes from `candidates` that fit budget n (a core cannot exceed the
+/// whole chip).
+std::vector<double> fitting(const std::vector<double>& candidates, double n) {
+  std::vector<double> kept;
+  kept.reserve(candidates.size());
+  for (double size : candidates) {
+    if (size <= n) kept.push_back(size);
+  }
+  return kept;
+}
+
+/// Candidate core sizes for one chip budget.
+std::vector<double> sizes_for(const ScenarioSpec& spec, double n) {
+  return spec.sizes.empty() ? core::power_of_two_sizes(n)
+                            : fitting(spec.sizes, n);
+}
+
+/// Number of (topology, size-grid) combinations one variant contributes
+/// per (budget, app, growth) cell.
+std::size_t variant_jobs(const ScenarioSpec& spec, core::ModelVariant variant,
+                         std::size_t n_sizes, std::size_t n_smalls) {
+  const std::size_t topo =
+      core::is_comm_variant(variant) ? spec.topologies.size() : 1;
+  const std::size_t pairs =
+      core::is_asymmetric_variant(variant) ? n_smalls * n_sizes : n_sizes;
+  return topo * pairs;
+}
+
+}  // namespace
+
+void ScenarioSpec::validate() const {
+  MS_CHECK(!chip_budgets.empty(), "scenario needs at least one chip budget");
+  MS_CHECK(!apps.empty(), "scenario needs at least one application");
+  MS_CHECK(!growths.empty(), "scenario needs at least one growth function");
+  MS_CHECK(!variants.empty(), "scenario needs at least one model variant");
+  MS_CHECK(comp_share >= 0.0 && comp_share <= 1.0,
+           "comp_share must lie in [0, 1]");
+  for (double n : chip_budgets) {
+    MS_CHECK(n >= 1.0, "chip budget must be at least one BCE");
+  }
+  for (double size : sizes) {
+    MS_CHECK(size >= 1.0, "candidate core sizes must be at least one BCE");
+  }
+  for (double r : small_core_sizes) {
+    MS_CHECK(r >= 1.0, "small-core sizes must be at least one BCE");
+  }
+  for (const auto& app : apps) app.validate();
+  for (core::ModelVariant variant : variants) {
+    if (core::is_comm_variant(variant)) {
+      MS_CHECK(!topologies.empty(), "comm variants need at least one topology");
+    }
+    if (core::is_asymmetric_variant(variant)) {
+      MS_CHECK(!small_core_sizes.empty(),
+               "asymmetric variants need at least one small-core size");
+    }
+  }
+}
+
+std::size_t ScenarioSpec::job_count() const {
+  validate();
+  std::size_t count = 0;
+  for (double n : chip_budgets) {
+    const std::size_t n_sizes = sizes_for(*this, n).size();
+    const std::size_t n_smalls = fitting(small_core_sizes, n).size();
+    std::size_t per_cell = 0;
+    for (core::ModelVariant variant : variants) {
+      per_cell += variant_jobs(*this, variant, n_sizes, n_smalls);
+    }
+    count += apps.size() * growths.size() * per_cell;
+  }
+  return count;
+}
+
+std::vector<EvalJob> ScenarioSpec::expand() const {
+  validate();
+  std::vector<EvalJob> jobs;
+  jobs.reserve(job_count());
+
+  for (double n : chip_budgets) {
+    const core::ChipConfig chip{n, perf};
+    const std::vector<double> grid = sizes_for(*this, n);
+    const std::vector<double> smalls = fitting(small_core_sizes, n);
+    for (const auto& app : apps) {
+      for (const auto& growth : growths) {
+        for (core::ModelVariant variant : variants) {
+          const bool comm = core::is_comm_variant(variant);
+          const std::size_t n_topologies = comm ? topologies.size() : 1;
+          for (std::size_t t = 0; t < n_topologies; ++t) {
+            core::EvalRequest request{variant, chip, app, growth};
+            std::string topology_label = "-";
+            if (comm) {
+              request.comm_growth = core::comm_growth(topologies[t]);
+              request.comp_share = comp_share;
+              topology_label = std::string(noc::topology_name(topologies[t]));
+            }
+            auto emit = [&](double r, double rl) {
+              request.r = r;
+              request.rl = rl;
+              jobs.push_back(
+                  EvalJob{jobs.size(), request, name, topology_label});
+            };
+            if (core::is_asymmetric_variant(variant)) {
+              for (double r : smalls) {
+                for (double rl : grid) emit(r, rl);
+              }
+            } else {
+              for (double r : grid) emit(r, 0.0);
+            }
+          }
+        }
+      }
+    }
+  }
+  return jobs;
+}
+
+}  // namespace mergescale::explore

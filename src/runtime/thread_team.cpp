@@ -6,7 +6,6 @@ namespace mergescale::runtime {
 
 ThreadTeam::ThreadTeam(int size)
     : size_(size),
-      start_barrier_(size),
       finish_barrier_(size),
       region_barrier_(size),
       errors_(static_cast<std::size_t>(size)) {
@@ -18,9 +17,11 @@ ThreadTeam::ThreadTeam(int size)
 }
 
 ThreadTeam::~ThreadTeam() {
-  shutting_down_ = true;
-  body_ = nullptr;
-  start_barrier_.wait();  // release workers so they can observe shutdown
+  {
+    std::lock_guard<std::mutex> lock(start_mu_);
+    shutting_down_ = true;
+  }
+  start_cv_.notify_all();
   for (auto& t : threads_) t.join();
 }
 
@@ -28,7 +29,14 @@ void ThreadTeam::run(const Body& body) {
   MS_CHECK(static_cast<bool>(body), "parallel region body must be callable");
   body_ = &body;
   for (auto& e : errors_) e = nullptr;
-  start_barrier_.wait();  // releases workers into the region
+  {
+    // Release the workers into the region.  The finish barrier of the
+    // previous run() keeps the team in lockstep, so no worker can still
+    // be executing an older generation here.
+    std::lock_guard<std::mutex> lock(start_mu_);
+    ++start_generation_;
+  }
+  start_cv_.notify_all();
   try {
     body(0, size_);
   } catch (...) {
@@ -42,9 +50,16 @@ void ThreadTeam::run(const Body& body) {
 }
 
 void ThreadTeam::worker_loop(int tid) {
+  std::uint64_t executed = 0;
   for (;;) {
-    start_barrier_.wait();
-    if (shutting_down_) return;
+    {
+      std::unique_lock<std::mutex> lock(start_mu_);
+      start_cv_.wait(lock, [&] {
+        return shutting_down_ || start_generation_ != executed;
+      });
+      if (shutting_down_) return;
+      executed = start_generation_;
+    }
     const Body* body = body_;
     if (body != nullptr) {
       try {

@@ -5,8 +5,11 @@
 // exactly like their MineBench counterparts (fork once, barrier-separated
 // phases, master executes serial/merging phases).
 
+#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -16,7 +19,10 @@ namespace mergescale::runtime {
 
 /// A team of `size` logical workers backed by `size − 1` std::threads
 /// plus the calling thread (which participates as tid 0).  Workers park
-/// between regions; run() has fork/join semantics.
+/// between regions on a condition variable — an idle team burns no CPU,
+/// so long-lived teams (e.g. a resident explore engine) are free between
+/// batches.  Inside a region the barriers stay spin-based (phases are
+/// short and compute-bound).  run() has fork/join semantics.
 class ThreadTeam {
  public:
   /// Body of a parallel region: invoked once per worker with
@@ -54,12 +60,16 @@ class ThreadTeam {
 
   const int size_;
   std::vector<std::thread> threads_;
-  SpinBarrier start_barrier_;   // releases workers into a region
+  // Parking start gate: run() bumps the generation and notifies; workers
+  // wake when they observe a generation they have not executed yet.
+  std::mutex start_mu_;
+  std::condition_variable start_cv_;
+  std::uint64_t start_generation_ = 0;
   SpinBarrier finish_barrier_;  // collects workers at region end
   SpinBarrier region_barrier_;  // user-visible barrier()
   const Body* body_ = nullptr;
   std::vector<std::exception_ptr> errors_;
-  bool shutting_down_ = false;
+  bool shutting_down_ = false;  // written under start_mu_
 };
 
 }  // namespace mergescale::runtime

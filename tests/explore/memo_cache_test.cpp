@@ -1,0 +1,120 @@
+#include "explore/memo_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/app_params.hpp"
+
+namespace mergescale::explore {
+namespace {
+
+core::EvalRequest sample_request() {
+  core::EvalRequest request;
+  request.app = core::presets::kmeans();
+  request.r = 4.0;
+  return request;
+}
+
+TEST(CacheKey, IdenticalRequestsShareAKey) {
+  EXPECT_EQ(cache_key(sample_request()), cache_key(sample_request()));
+}
+
+TEST(CacheKey, IgnoresTheAppLabel) {
+  core::EvalRequest a = sample_request();
+  core::EvalRequest b = sample_request();
+  b.app.name = "renamed";
+  EXPECT_EQ(cache_key(a), cache_key(b));
+}
+
+TEST(CacheKey, DistinguishesNumericFields) {
+  const core::EvalRequest base = sample_request();
+  core::EvalRequest other = base;
+  other.r = 8.0;
+  EXPECT_FALSE(cache_key(base) == cache_key(other));
+
+  other = base;
+  other.app.f = 0.95;
+  EXPECT_FALSE(cache_key(base) == cache_key(other));
+
+  other = base;
+  other.chip.n = 128.0;
+  EXPECT_FALSE(cache_key(base) == cache_key(other));
+}
+
+TEST(CacheKey, DistinguishesVariantAndGrowth) {
+  const core::EvalRequest base = sample_request();
+  core::EvalRequest other = base;
+  other.variant = core::ModelVariant::kAsymmetric;
+  EXPECT_FALSE(cache_key(base) == cache_key(other));
+
+  other = base;
+  other.growth = core::GrowthFunction::logarithmic();
+  EXPECT_FALSE(cache_key(base) == cache_key(other));
+
+  other = base;
+  other.growth = core::GrowthFunction::superlinear(1.5);
+  core::EvalRequest other2 = base;
+  other2.growth = core::GrowthFunction::superlinear(2.0);
+  EXPECT_FALSE(cache_key(other) == cache_key(other2));
+}
+
+TEST(CacheKey, DistinguishesCustomGrowthsByName) {
+  core::EvalRequest a = sample_request();
+  a.growth = core::GrowthFunction::custom("halves",
+                                          [](double nc) { return nc / 2 - 0.5; });
+  core::EvalRequest b = sample_request();
+  b.growth = core::GrowthFunction::custom("thirds",
+                                          [](double nc) { return nc / 3 - 1.0 / 3; });
+  EXPECT_FALSE(cache_key(a) == cache_key(b));
+}
+
+TEST(MemoCache, LookupAfterInsertRoundTrips) {
+  MemoCache cache(4);
+  const CacheKey key = cache_key(sample_request());
+  EvalOutcome out;
+  EXPECT_FALSE(cache.lookup(key, &out));
+
+  cache.insert(key, EvalOutcome{true, {4.0, 0.0, 37.5}});
+  ASSERT_TRUE(cache.lookup(key, &out));
+  EXPECT_TRUE(out.feasible);
+  EXPECT_DOUBLE_EQ(out.point.speedup, 37.5);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(MemoCache, CountsHitsAndMisses) {
+  MemoCache cache(2);
+  const CacheKey key = cache_key(sample_request());
+  EvalOutcome out;
+  cache.lookup(key, &out);
+  cache.insert(key, EvalOutcome{});
+  cache.lookup(key, &out);
+  cache.lookup(key, &out);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 2u);
+}
+
+TEST(MemoCache, ClearDropsEntriesAndResetsStats) {
+  MemoCache cache;
+  const CacheKey key = cache_key(sample_request());
+  cache.insert(key, EvalOutcome{});
+  EvalOutcome out;
+  cache.lookup(key, &out);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_FALSE(cache.lookup(key, &out));
+}
+
+TEST(MemoCache, SpreadsDistinctKeysAcrossEntries) {
+  MemoCache cache(8);
+  EXPECT_EQ(cache.shard_count(), 8u);
+  core::EvalRequest request = sample_request();
+  for (double r = 1.0; r <= 64.0; r += 1.0) {
+    request.r = r;
+    cache.insert(cache_key(request), EvalOutcome{});
+  }
+  EXPECT_EQ(cache.size(), 64u);
+}
+
+}  // namespace
+}  // namespace mergescale::explore

@@ -1,0 +1,121 @@
+#include "explore/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mergescale::explore {
+namespace {
+
+EvalResult point(std::size_t index, double r, double rl, double cores,
+                 double speedup, bool feasible = true) {
+  EvalResult result;
+  result.index = index;
+  result.scenario = "hand";
+  result.app = "app";
+  result.growth = "linear";
+  result.r = r;
+  result.rl = rl;
+  result.cores = cores;
+  result.speedup = speedup;
+  result.feasible = feasible;
+  return result;
+}
+
+/// Hand-checked 5-point set (plus one infeasible):
+///   A idx0: area 1, 256 cores, speedup 10
+///   B idx1: area 2, 128 cores, speedup 14
+///   C idx2: area 4,  64 cores, speedup 12   (area-dominated by B)
+///   D idx3: area 8,  32 cores, speedup 20
+///   E idx4: area 8,  32 cores, speedup 18   (equal-cost twin of D)
+///   F idx5: infeasible, never reported
+std::vector<EvalResult> hand_set() {
+  return {point(0, 1, 0, 256, 10), point(1, 2, 0, 128, 14),
+          point(2, 4, 0, 64, 12),  point(3, 8, 0, 32, 20),
+          point(4, 8, 0, 32, 18),  point(5, 64, 0, 0, 0, false)};
+}
+
+TEST(BestResult, PicksHighestFeasibleSpeedup) {
+  const auto results = hand_set();
+  const EvalResult* best = best_result(results);
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->index, 3u);
+  EXPECT_DOUBLE_EQ(best->speedup, 20.0);
+}
+
+TEST(BestResult, NullWhenNothingFeasible) {
+  std::vector<EvalResult> results{point(0, 1, 0, 0, 0, false)};
+  EXPECT_EQ(best_result(results), nullptr);
+  EXPECT_EQ(best_result({}), nullptr);
+}
+
+TEST(TopK, SpeedupDescendingSkippingInfeasible) {
+  const auto top = top_k(hand_set(), 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].index, 3u);  // 20
+  EXPECT_EQ(top[1].index, 4u);  // 18
+  EXPECT_EQ(top[2].index, 1u);  // 14
+}
+
+TEST(TopK, KLargerThanFeasibleSetReturnsAllFeasible) {
+  EXPECT_EQ(top_k(hand_set(), 100).size(), 5u);
+}
+
+TEST(ParetoFrontier, ByCoreAreaKeepsStrictImprovements) {
+  const auto frontier = pareto_frontier(hand_set(), CostMetric::kCoreArea);
+  // A (1, 10) → B (2, 14) → D (8, 20); C dominated by B, E by D.
+  ASSERT_EQ(frontier.size(), 3u);
+  EXPECT_EQ(frontier[0].index, 0u);
+  EXPECT_EQ(frontier[1].index, 1u);
+  EXPECT_EQ(frontier[2].index, 3u);
+  for (std::size_t i = 1; i < frontier.size(); ++i) {
+    EXPECT_GT(frontier[i].speedup, frontier[i - 1].speedup);
+    EXPECT_GT(cost_of(frontier[i], CostMetric::kCoreArea),
+              cost_of(frontier[i - 1], CostMetric::kCoreArea));
+  }
+}
+
+TEST(ParetoFrontier, ByCoreCountCollapsesToTheCheapestBest) {
+  // Under core-count cost, D (32 cores, speedup 20) dominates everything:
+  // all other points have both more cores and less speedup.
+  const auto frontier = pareto_frontier(hand_set(), CostMetric::kCoreCount);
+  ASSERT_EQ(frontier.size(), 1u);
+  EXPECT_EQ(frontier[0].index, 3u);
+}
+
+TEST(CostOf, AreaIsLargestCore) {
+  EXPECT_DOUBLE_EQ(cost_of(point(0, 4, 0, 64, 1), CostMetric::kCoreArea), 4.0);
+  EXPECT_DOUBLE_EQ(cost_of(point(0, 4, 32, 60, 1), CostMetric::kCoreArea),
+                   32.0);
+  EXPECT_DOUBLE_EQ(cost_of(point(0, 4, 0, 64, 1), CostMetric::kCoreCount),
+                   64.0);
+}
+
+TEST(Report, TableAndCsvCoverEveryResult) {
+  const auto results = hand_set();
+  const util::Table table = to_table(results);
+  EXPECT_EQ(table.rows(), results.size());
+  EXPECT_EQ(table.columns(), 12u);
+
+  std::ostringstream csv;
+  write_csv(csv, results);
+  // Header plus one line per result.
+  std::size_t lines = 0;
+  for (char c : csv.str()) lines += (c == '\n');
+  EXPECT_EQ(lines, results.size() + 1);
+  EXPECT_NE(csv.str().find("scenario,variant,n,app"), std::string::npos);
+}
+
+TEST(Report, NdjsonEmitsOneObjectPerResult) {
+  const auto results = hand_set();
+  std::ostringstream os;
+  write_ndjson(os, results);
+  std::size_t lines = 0;
+  for (char c : os.str()) lines += (c == '\n');
+  EXPECT_EQ(lines, results.size());
+  EXPECT_NE(os.str().find("\"variant\":\"symmetric\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"feasible\":false"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mergescale::explore

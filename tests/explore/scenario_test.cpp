@@ -1,0 +1,143 @@
+#include "explore/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/app_params.hpp"
+
+namespace mergescale::explore {
+namespace {
+
+using core::ModelVariant;
+
+ScenarioSpec two_by_two() {
+  ScenarioSpec spec;
+  spec.name = "test";
+  spec.chip_budgets = {64.0, 256.0};
+  spec.apps = {core::presets::kmeans(), core::presets::fuzzy()};
+  return spec;
+}
+
+TEST(ScenarioSpec, JobCountMatchesCrossProduct) {
+  const ScenarioSpec spec = two_by_two();
+  // Defaults: 1 growth, variants {symmetric, asymmetric}, 3 small-core
+  // sizes, power-of-two grids of 7 (n=64) and 9 (n=256) sizes.
+  // Per budget: apps(2) × growths(1) × (sizes + 3·sizes) = 2 × 4·sizes.
+  EXPECT_EQ(spec.job_count(), 2u * 4u * 7u + 2u * 4u * 9u);
+}
+
+TEST(ScenarioSpec, ExpandProducesJobCountJobsWithSequentialIndices) {
+  const ScenarioSpec spec = two_by_two();
+  const auto jobs = spec.expand();
+  ASSERT_EQ(jobs.size(), spec.job_count());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(jobs[i].index, i);
+    EXPECT_EQ(jobs[i].scenario, "test");
+  }
+}
+
+TEST(ScenarioSpec, ExpansionIsDeterministic) {
+  const ScenarioSpec spec = two_by_two();
+  const auto a = spec.expand();
+  const auto b = spec.expand();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].request.variant, b[i].request.variant);
+    EXPECT_EQ(a[i].request.chip.n, b[i].request.chip.n);
+    EXPECT_EQ(a[i].request.app.name, b[i].request.app.name);
+    EXPECT_EQ(a[i].request.r, b[i].request.r);
+    EXPECT_EQ(a[i].request.rl, b[i].request.rl);
+    EXPECT_EQ(a[i].topology, b[i].topology);
+  }
+}
+
+TEST(ScenarioSpec, CommVariantsMultiplyByTopologies) {
+  ScenarioSpec spec;
+  spec.chip_budgets = {256.0};
+  spec.apps = {core::presets::kmeans()};
+  spec.variants = {ModelVariant::kSymmetricComm};
+  spec.topologies = {noc::Topology::kMesh2D, noc::Topology::kBus};
+  EXPECT_EQ(spec.job_count(), 2u * 9u);
+  const auto jobs = spec.expand();
+  ASSERT_EQ(jobs.size(), 18u);
+  EXPECT_EQ(jobs.front().topology, "mesh");
+  EXPECT_EQ(jobs.back().topology, "bus");
+}
+
+TEST(ScenarioSpec, ReductionVariantsIgnoreTopologies) {
+  ScenarioSpec spec;
+  spec.chip_budgets = {256.0};
+  spec.apps = {core::presets::kmeans()};
+  spec.variants = {ModelVariant::kSymmetric};
+  spec.topologies = {noc::Topology::kMesh2D, noc::Topology::kBus,
+                     noc::Topology::kRing};
+  EXPECT_EQ(spec.job_count(), 9u);
+  for (const auto& job : spec.expand()) EXPECT_EQ(job.topology, "-");
+}
+
+TEST(ScenarioSpec, ExplicitSizesOverridePowerOfTwoGrid) {
+  ScenarioSpec spec;
+  spec.chip_budgets = {64.0, 256.0};
+  spec.apps = {core::presets::kmeans()};
+  spec.variants = {ModelVariant::kSymmetric};
+  spec.sizes = {1.0, 3.0, 9.0, 27.0};
+  EXPECT_EQ(spec.job_count(), 2u * 4u);
+}
+
+TEST(ScenarioSpec, SizesBeyondABudgetAreDroppedForThatBudget) {
+  ScenarioSpec spec;
+  spec.chip_budgets = {64.0, 256.0};
+  spec.apps = {core::presets::kmeans()};
+  spec.variants = {ModelVariant::kSymmetric};
+  spec.sizes = {1.0, 64.0, 128.0, 256.0};
+  // n = 64 keeps {1, 64}; n = 256 keeps all four.
+  EXPECT_EQ(spec.job_count(), 2u + 4u);
+  const auto jobs = spec.expand();
+  ASSERT_EQ(jobs.size(), spec.job_count());
+  for (const auto& job : jobs) {
+    EXPECT_LE(job.request.r, job.request.chip.n);
+  }
+}
+
+TEST(ScenarioSpec, AsymmetricJobsCoverSmallCoreTimesGrid) {
+  ScenarioSpec spec;
+  spec.chip_budgets = {256.0};
+  spec.apps = {core::presets::kmeans()};
+  spec.variants = {ModelVariant::kAsymmetric};
+  spec.small_core_sizes = {1.0, 4.0};
+  const auto jobs = spec.expand();
+  ASSERT_EQ(jobs.size(), 2u * 9u);
+  // r is the outer loop, rl the inner.
+  EXPECT_EQ(jobs[0].request.r, 1.0);
+  EXPECT_EQ(jobs[0].request.rl, 1.0);
+  EXPECT_EQ(jobs[8].request.rl, 256.0);
+  EXPECT_EQ(jobs[9].request.r, 4.0);
+}
+
+TEST(ScenarioSpec, ValidateRejectsEmptyAxes) {
+  ScenarioSpec spec;  // no apps
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+  spec.apps = {core::presets::kmeans()};
+  EXPECT_NO_THROW(spec.validate());
+
+  spec.variants.clear();
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+  spec.variants = {ModelVariant::kSymmetricComm};
+  spec.topologies.clear();
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+TEST(ScenarioSpec, ValidateRejectsSubBceSizes) {
+  ScenarioSpec spec;
+  spec.apps = {core::presets::kmeans()};
+  spec.sizes = {1.0, 0.5};
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+  spec.sizes.clear();
+  spec.small_core_sizes = {0.25};
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mergescale::explore
