@@ -2,7 +2,7 @@
 // arbitrary application parameters — the generalized form of the paper's
 // Figs. 4/5/7.
 //
-//   ./build/examples/design_explorer --f 0.99 --fcon 0.6 --fored 0.8 \
+//   ./build/examples/design_explorer --f 0.99 --fcon 0.6 --fored 0.8
 //       --growth linear --model reduction --csv
 //
 // Prints one row per candidate core size r (symmetric) and per large-core

@@ -1,21 +1,32 @@
-// explore_cli: batch design-space exploration driver — the end-to-end
-// face of src/explore/.  One invocation expands a declarative scenario
-// (chip budgets × apps × growth functions × model variants × topologies)
-// into evaluation jobs, fans them out over a thread team with memoized
-// evaluation, and writes the full result set plus best/top-k/Pareto
-// summaries.
+// explore_cli: design-space exploration driver — the end-to-end face of
+// src/explore/ and src/search/.  One invocation expands a declarative
+// scenario (chip budgets × apps × growth functions × model variants ×
+// topologies), then either enumerates it exhaustively over a thread team
+// or searches it adaptively (random / hill-climb / anneal) under an
+// evaluation budget.  Results stream into an optional run directory as
+// append-only NDJSON, so a killed run resumed with --resume continues
+// where it stopped instead of recomputing.
 //
 //   ./build/explore_cli                                # paper defaults
 //   ./build/explore_cli --apps kmeans,hop --budgets 64,256,1024
 //       --variants symmetric,asymmetric,symmetric-comm
 //       --growths linear,log --topologies mesh,bus --threads 8
 //       --repeat 2 --out /tmp/explore
+//   ./build/explore_cli --strategy hill-climb --budget 500
+//       --run-dir /tmp/run1              # persist fresh evaluations
+//   ./build/explore_cli --strategy hill-climb --budget 500
+//       --resume /tmp/run1               # warm-start from the run log
 //
-// Writes <out>.csv and <out>.ndjson.
+// Writes <out>.csv and <out>.ndjson (exhaustive runs), and
+// <dir>/results.ndjson + <dir>/meta.json when persistence is on.
 
+#include <algorithm>
 #include <chrono>
+#include <cstdint>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -23,6 +34,9 @@
 #include "core/app_params.hpp"
 #include "explore/engine.hpp"
 #include "explore/report.hpp"
+#include "search/run_log.hpp"
+#include "search/space.hpp"
+#include "search/strategy.hpp"
 #include "util/cli.hpp"
 
 using namespace mergescale;
@@ -66,6 +80,61 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+/// Canonical fingerprint of the options a resume must replay under: the
+/// axes that define the search space, plus — for the adaptive
+/// strategies — everything that shapes the proposal sequence (strategy,
+/// seed, batch).  Resuming under a different space would silently warm
+/// the cache with foreign points; resuming under a different proposal
+/// sequence would charge the prior run's spend against an unrelated
+/// trajectory.  Budget is deliberately *not* pinned: extending a
+/// finished search with a larger budget is a legitimate continuation.
+std::string run_config(const util::Cli& cli) {
+  std::ostringstream config;
+  config << "apps=" << cli.get_string("apps")
+         << ";budgets=" << cli.get_string("budgets")
+         << ";growths=" << cli.get_string("growths")
+         << ";variants=" << cli.get_string("variants")
+         << ";topologies=" << cli.get_string("topologies")
+         << ";small-cores=" << cli.get_string("small-cores")
+         << ";sizes=" << cli.get_string("sizes")
+         << ";comp-share=" << cli.get_double("comp-share")
+         << ";f=" << cli.get_double("f") << ";fcon=" << cli.get_double("fcon")
+         << ";fored=" << cli.get_double("fored")
+         << ";strategy=" << cli.get_string("strategy");
+  if (cli.get_string("strategy") != "exhaustive") {
+    config << ";seed=" << cli.get_int("seed")
+           << ";batch=" << cli.get_int("batch");
+  }
+  return config.str();
+}
+
+/// Runs `jobs` in chunks, appending each chunk's fresh (non-cached)
+/// results to `log` as soon as the chunk completes — the checkpoint
+/// granularity a killed exhaustive run resumes at.  Without a log there
+/// is nothing to checkpoint, so the whole batch goes to the engine in
+/// one dispatch (no per-chunk barriers or job copies).
+std::vector<explore::EvalResult> run_chunked(explore::ExploreEngine& engine,
+                                             std::vector<explore::EvalJob> jobs,
+                                             search::RunLog* log,
+                                             std::size_t chunk = 512) {
+  if (log == nullptr) return engine.run(jobs);
+  std::vector<explore::EvalResult> results;
+  results.reserve(jobs.size());
+  for (std::size_t begin = 0; begin < jobs.size(); begin += chunk) {
+    const std::size_t end = std::min(begin + chunk, jobs.size());
+    std::vector<explore::EvalJob> slice(jobs.begin() + begin,
+                                        jobs.begin() + end);
+    for (std::size_t i = 0; i < slice.size(); ++i) slice[i].index = i;
+    std::vector<explore::EvalResult> part = engine.run(slice);
+    for (std::size_t i = 0; i < part.size(); ++i) {
+      part[i].index = begin + i;  // restore global expansion order
+      if (log != nullptr && !part[i].from_cache) log->append(part[i]);
+      results.push_back(std::move(part[i]));
+    }
+  }
+  return results;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) try {
@@ -84,6 +153,8 @@ int main(int argc, char** argv) try {
           "comma list: bus|ring|mesh|torus|crossbar (comm variants)");
   cli.opt("small-cores", std::string("1,4,16"),
           "comma list of small-core sizes r (asymmetric variants)");
+  cli.opt("sizes", std::string(),
+          "comma list of candidate core sizes (empty = powers of two)");
   cli.opt("comp-share", 0.5, "fcomp/(fcomp+fcomm) split (comm variants)");
   cli.opt("f", 0.99, "parallel fraction (apps=custom)");
   cli.opt("fcon", 0.60, "constant serial share (apps=custom)");
@@ -97,6 +168,17 @@ int main(int argc, char** argv) try {
           "Pareto cost metric: area | cores");
   cli.opt("out", std::string("explore_results"),
           "output prefix for <out>.csv and <out>.ndjson");
+  cli.opt("strategy", std::string("exhaustive"),
+          "exhaustive|random|hill-climb|anneal");
+  cli.opt("budget", static_cast<long long>(2000),
+          "max unique evaluations for the adaptive strategies");
+  cli.opt("seed", static_cast<long long>(1), "search RNG seed");
+  cli.opt("batch", static_cast<long long>(64),
+          "random-search proposals per round");
+  cli.opt("run-dir", std::string(),
+          "persist fresh evaluations to <dir>/results.ndjson");
+  cli.opt("resume", std::string(),
+          "resume from a previous --run-dir (implies --run-dir <dir>)");
   cli.flag("no-cache", "disable the memoization cache");
   cli.flag("quiet", "suppress the per-point result table");
   if (!cli.parse(argc, argv)) return 0;
@@ -126,6 +208,9 @@ int main(int argc, char** argv) try {
   for (const auto& r : split(cli.get_string("small-cores"))) {
     spec.small_core_sizes.push_back(std::stod(r));
   }
+  for (const auto& size : split(cli.get_string("sizes"))) {
+    spec.sizes.push_back(std::stod(size));
+  }
   spec.comp_share = cli.get_double("comp-share");
 
   const explore::CostMetric cost = [&] {
@@ -135,10 +220,122 @@ int main(int argc, char** argv) try {
     throw std::invalid_argument("unknown cost metric: " + name);
   }();
 
+  const std::string strategy_text = cli.get_string("strategy");
+  const bool adaptive = strategy_text != "exhaustive";
+
+  const std::string resume_dir = cli.get_string("resume");
+  const std::string run_dir =
+      resume_dir.empty() ? cli.get_string("run-dir") : resume_dir;
+
   explore::EngineOptions options;
   options.threads = static_cast<int>(cli.get_int("threads"));
   options.use_cache = !cli.get_flag("no-cache");
+  if (!options.use_cache && (adaptive || !run_dir.empty())) {
+    throw std::invalid_argument(
+        "--no-cache is incompatible with adaptive strategies and with "
+        "--run-dir/--resume: budgets and resume both work through the memo "
+        "cache");
+  }
   explore::ExploreEngine engine(options);
+
+  // Persistence: --run-dir starts a *fresh* recorded run (the directory
+  // must not already hold one), --resume continues an existing one — it
+  // verifies the recorded space config, then warm-loads the memo cache so
+  // already-done points are served as hits instead of recomputed.
+  std::unique_ptr<search::RunLog> log;
+  std::vector<explore::EvalResult> prior_records;
+  std::size_t warmed = 0;
+  if (!run_dir.empty()) {
+    const std::string config = run_config(cli);
+    const auto meta = search::RunLog::read_meta(run_dir);
+    if (!resume_dir.empty()) {
+      if (!meta) {
+        throw std::runtime_error(
+            "nothing to resume in " + run_dir +
+            " (no meta.json — was this directory recorded with --run-dir?)");
+      }
+      if (*meta != config) {
+        throw std::runtime_error("cannot resume " + run_dir +
+                                 ": it was recorded under a different "
+                                 "configuration (" + *meta + ")");
+      }
+      prior_records = search::RunLog::load(run_dir);
+      warmed = search::RunLog::warm(prior_records, spec, engine);
+      std::cout << "resume: warmed " << warmed << " cache entries from "
+                << run_dir << "\n";
+      // meta.json already holds exactly `config`; rewriting it would
+      // reopen a truncate-then-write window in which a kill bricks the
+      // directory for every later resume.
+    } else {
+      if (meta || std::filesystem::exists(
+                      search::RunLog::results_path(run_dir))) {
+        // Appending a fresh run to an old log — possibly recorded under
+        // a different configuration — would poison later resumes.
+        throw std::runtime_error(
+            run_dir + " already contains a recorded run; pass --resume " +
+            run_dir + " to continue it, or pick a fresh --run-dir");
+      }
+      search::RunLog::write_meta(run_dir, config);
+    }
+    log = std::make_unique<search::RunLog>(run_dir);
+  }
+
+  auto print_best = [](const explore::EvalResult& best) {
+    std::cout << "best: " << core::model_variant_name(best.variant)
+              << " n=" << best.n << " app=" << best.app
+              << " growth=" << best.growth << " r=" << best.r
+              << " rl=" << best.rl << " speedup "
+              << util::format_double(best.speedup, 2) << "\n\n";
+  };
+
+  if (adaptive) {
+    search::SearchSpace space(spec);
+    search::SearchOptions search_options;
+    search_options.strategy = search::parse_strategy(strategy_text);
+    search_options.budget = static_cast<std::uint64_t>(
+        std::max<long long>(1, cli.get_int("budget")));
+    search_options.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    search_options.batch =
+        static_cast<std::size_t>(std::max<long long>(1, cli.get_int("batch")));
+    // A resumed run continues the *same* budget: the warm-loaded log is
+    // what the killed run already spent, so the sum of fresh evaluations
+    // across all resumes never exceeds --budget and the final best
+    // matches an uninterrupted run's.
+    search_options.already_spent = warmed;
+    std::cout << "search: " << strategy_text << " over " << space.size()
+              << " grid points, budget " << search_options.budget
+              << " unique evaluations (" << warmed << " already spent), "
+              << engine.threads() << " thread(s)\n";
+
+    const auto start = std::chrono::steady_clock::now();
+    const search::SearchOutcome outcome =
+        search::run_search(engine, space, search_options, log.get());
+    const double elapsed = seconds_since(start);
+    std::cout << "search: " << outcome.evaluations << " unique evaluations ("
+              << outcome.proposals << " proposals, " << outcome.restarts
+              << " restarts) in " << util::format_double(elapsed * 1e3, 2)
+              << " ms\n";
+    if (log) {
+      std::cout << "log: " << log->appended() << " fresh results appended to "
+                << search::RunLog::results_path(run_dir) << "\n";
+    }
+    // The replayed trajectory normally re-surfaces the prior best (same
+    // seed → same proposals), but if the budget was already exhausted at
+    // resume time no rounds run at all — recover the best from the log.
+    const explore::EvalResult* prior_best =
+        explore::best_result(prior_records);
+    const explore::EvalResult* best = outcome.found ? &outcome.best : nullptr;
+    if (prior_best != nullptr &&
+        (best == nullptr || prior_best->speedup > best->speedup)) {
+      best = prior_best;
+    }
+    if (best == nullptr) {
+      std::cout << "no feasible design point\n";
+      return 1;
+    }
+    print_best(*best);
+    return 0;
+  }
 
   const std::size_t total_jobs = spec.job_count();  // validates the spec
   std::cout << "scenario: " << total_jobs << " jobs over "
@@ -149,7 +346,7 @@ int main(int argc, char** argv) try {
   const long long repeat = std::max<long long>(1, cli.get_int("repeat"));
   for (long long run = 0; run < repeat; ++run) {
     const auto start = std::chrono::steady_clock::now();
-    results = engine.run(spec);
+    results = run_chunked(engine, spec.expand(), log.get());
     const double elapsed = seconds_since(start);
     const auto stats = engine.cache().stats();
     std::cout << "run " << (run + 1) << ": " << results.size() << " points in "
@@ -174,10 +371,7 @@ int main(int argc, char** argv) try {
   }
 
   if (const explore::EvalResult* best = explore::best_result(results)) {
-    std::cout << "best: " << core::model_variant_name(best->variant) << " n="
-              << best->n << " app=" << best->app << " growth=" << best->growth
-              << " r=" << best->r << " rl=" << best->rl << " speedup "
-              << util::format_double(best->speedup, 2) << "\n\n";
+    print_best(*best);
   } else {
     std::cout << "no feasible design point\n";
     return 1;

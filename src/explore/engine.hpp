@@ -67,6 +67,10 @@ class ExploreEngine {
   /// The memo cache (hit/miss stats, size) — cumulative across runs.
   const MemoCache& cache() const noexcept { return cache_; }
 
+  /// Mutable cache access, for warm-loading persisted results before a
+  /// run (see search::RunLog::warm).
+  MemoCache& cache() noexcept { return cache_; }
+
   /// Drops memoized entries and resets the cache counters.
   void clear_cache() { cache_.clear(); }
 

@@ -34,22 +34,37 @@ std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
 }  // namespace
 
 CacheKey cache_key(const core::EvalRequest& request) {
+  // Normalize fields the variant does not read so logically identical
+  // requests from different scenarios share one entry: the comm growth
+  // and comp_share only matter for Eqs. 6/7, rl only for the asymmetric
+  // variants.
+  const bool comm = core::is_comm_variant(request.variant);
+  const bool asym = core::is_asymmetric_variant(request.variant);
+
   CacheKey key;
   key.variant = static_cast<std::uint8_t>(request.variant);
   key.growth_kind = static_cast<std::uint8_t>(request.growth.kind());
-  key.comm_growth_kind = static_cast<std::uint8_t>(request.comm_growth.kind());
-  key.nums = {request.chip.n,          request.chip.perf.exponent(),
-              request.app.f,           request.app.fcon,
-              request.app.fored,       request.comp_share,
-              request.growth.exponent(), request.comm_growth.exponent(),
-              request.r,               request.rl};
-  std::uint64_t names = kFnvOffset;
-  names = fnv1a(names, request.chip.perf.name());
-  names = fnv1a(names, "|");
-  names = fnv1a(names, request.growth.name());
-  names = fnv1a(names, "|");
-  names = fnv1a(names, request.comm_growth.name());
-  key.name_hash = names;
+  key.comm_growth_kind =
+      comm ? static_cast<std::uint8_t>(request.comm_growth.kind()) : 0;
+  key.nums = {request.chip.n,
+              request.chip.perf.exponent(),
+              request.app.f,
+              request.app.fcon,
+              request.app.fored,
+              comm ? request.comp_share : 0.0,
+              request.growth.exponent(),
+              comm ? request.comm_growth.exponent() : 0.0,
+              request.r,
+              asym ? request.rl : 0.0};
+  // NUL-separated verbatim names: unambiguous (names cannot contain NUL
+  // bytes that survive the label pipeline) and compared by full equality
+  // in operator==, so distinct custom laws can never conflate — not via
+  // a hash collision and not via a crafted separator inside a name.
+  key.names = request.chip.perf.name();
+  key.names.push_back('\0');
+  key.names += request.growth.name();
+  key.names.push_back('\0');
+  if (comm) key.names += request.comm_growth.name();
   return key;
 }
 
@@ -59,7 +74,7 @@ std::size_t CacheKeyHash::operator()(const CacheKey& key) const noexcept {
                  (static_cast<std::uint64_t>(key.growth_kind) << 8) |
                  key.comm_growth_kind);
   for (double v : key.nums) h = mix(h, std::bit_cast<std::uint64_t>(v));
-  h = mix(h, key.name_hash);
+  h = mix(h, fnv1a(kFnvOffset, key.names));
   return static_cast<std::size_t>(h);
 }
 

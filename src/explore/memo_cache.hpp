@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -29,15 +30,23 @@ struct EvalOutcome {
   core::DesignPoint point;
 };
 
-/// Value fingerprint of an EvalRequest.  Compared by full equality, so a
-/// 64-bit hash collision cannot return a wrong result.
+/// Value fingerprint of an EvalRequest.  Compared by full equality —
+/// including the verbatim perf/growth names — so neither a 64-bit hash
+/// collision nor two name tuples that happen to concatenate identically
+/// can return a wrong result.
+///
+/// Fields that a variant does not read are normalized away: the comm
+/// growth, comp_share, and (for the comm variants' label) topology only
+/// enter the key for Eqs. 6/7, and rl only for the asymmetric variants.
+/// Two requests that evaluate identically therefore share one entry no
+/// matter which scenario produced them.
 struct CacheKey {
   std::uint8_t variant = 0;
   std::uint8_t growth_kind = 0;
   std::uint8_t comm_growth_kind = 0;
   std::array<double, 10> nums{};  ///< n, perf exp, f, fcon, fored,
                                   ///< comp_share, growth exp, comm exp, r, rl
-  std::uint64_t name_hash = 0;    ///< perf/growth names (custom laws)
+  std::string names;  ///< perf/growth/comm-growth names, NUL-separated
 
   bool operator==(const CacheKey&) const = default;
 };

@@ -5,9 +5,13 @@
 #include <ostream>
 #include <sstream>
 
+#include "util/json.hpp"
+
 namespace mergescale::explore {
 
 namespace {
+
+using util::json_escape;
 
 /// speedup-descending, index-ascending on ties.
 bool better(const EvalResult& a, const EvalResult& b) {
@@ -15,30 +19,20 @@ bool better(const EvalResult& a, const EvalResult& b) {
   return a.index < b.index;
 }
 
-std::string json_escape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size());
-  for (char c : text) {
-    const auto u = static_cast<unsigned char>(c);
-    if (c == '"' || c == '\\') {
-      out.push_back('\\');
-      out.push_back(c);
-    } else if (u < 0x20) {
-      char buf[8];
-      std::snprintf(buf, sizeof(buf), "\\u%04x", u);
-      out += buf;
-    } else {
-      out.push_back(c);
-    }
-  }
-  return out;
-}
-
 /// Shortest exact-enough rendering of a value that may be fractional
 /// (core sizes and counts are usually integers but need not be).
 std::string compact(double value) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+/// Full-precision rendering for the NDJSON persistence path: 17
+/// significant digits round-trip any double exactly, so a resumed run
+/// re-reads the very values it computed.
+std::string precise(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
   return buf;
 }
 
@@ -129,6 +123,37 @@ void write_csv(std::ostream& os, const std::vector<EvalResult>& results) {
   os << to_table(results).to_csv();
 }
 
+util::Table strategy_comparison(
+    const StrategySummary& baseline,
+    const std::vector<StrategySummary>& strategies) {
+  util::Table table({"strategy", "evals", "evals%", "best speedup", "gap%",
+                     "evals to 1%"});
+  auto row = [&](const StrategySummary& summary) {
+    const double eval_share =
+        baseline.evaluations == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(summary.evaluations) /
+                  static_cast<double>(baseline.evaluations);
+    const double gap =
+        baseline.best_speedup == 0.0
+            ? 0.0
+            : 100.0 * (baseline.best_speedup - summary.best_speedup) /
+                  baseline.best_speedup;
+    table.new_row()
+        .cell(summary.strategy)
+        .num(static_cast<long long>(summary.evaluations))
+        .num(eval_share, 1)
+        .num(summary.best_speedup, 3)
+        .num(gap, 2)
+        .cell(summary.to_within_1pct == 0
+                  ? "-"
+                  : std::to_string(summary.to_within_1pct));
+  };
+  row(baseline);
+  for (const auto& summary : strategies) row(summary);
+  return table;
+}
+
 void write_ndjson(std::ostream& os, const std::vector<EvalResult>& results) {
   for (const auto& result : results) {
     std::ostringstream line;
@@ -136,15 +161,15 @@ void write_ndjson(std::ostream& os, const std::vector<EvalResult>& results) {
          << ",\"scenario\":\"" << json_escape(result.scenario) << '"'    //
          << ",\"variant\":\"" << core::model_variant_name(result.variant)
          << '"'                                                          //
-         << ",\"n\":" << compact(result.n)                               //
+         << ",\"n\":" << precise(result.n)                               //
          << ",\"app\":\"" << json_escape(result.app) << '"'              //
          << ",\"growth\":\"" << json_escape(result.growth) << '"'        //
          << ",\"topology\":\"" << json_escape(result.topology) << '"'    //
-         << ",\"r\":" << compact(result.r)                               //
-         << ",\"rl\":" << compact(result.rl)                             //
-         << ",\"cores\":" << compact(result.cores)                       //
+         << ",\"r\":" << precise(result.r)                               //
+         << ",\"rl\":" << precise(result.rl)                             //
+         << ",\"cores\":" << precise(result.cores)                       //
          << ",\"feasible\":" << (result.feasible ? "true" : "false")     //
-         << ",\"speedup\":" << compact(result.speedup)                   //
+         << ",\"speedup\":" << precise(result.speedup)                   //
          << ",\"cached\":" << (result.from_cache ? "true" : "false")     //
          << "}\n";
     os << line.str();

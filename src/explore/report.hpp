@@ -4,7 +4,9 @@
 // emission for downstream plotting.
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "explore/engine.hpp"
@@ -47,5 +49,23 @@ void write_csv(std::ostream& os, const std::vector<EvalResult>& results);
 
 /// Writes one JSON object per line (NDJSON) to `os`.
 void write_ndjson(std::ostream& os, const std::vector<EvalResult>& results);
+
+/// One row of a strategy-vs-baseline comparison (filled in by callers —
+/// typically from a search::SearchOutcome, but report stays independent
+/// of the search layer).
+struct StrategySummary {
+  std::string strategy;            ///< display label ("exhaustive", ...)
+  std::uint64_t evaluations = 0;   ///< unique model evaluations consumed
+  double best_speedup = 0.0;       ///< best feasible speedup found
+  std::uint64_t to_within_1pct = 0;  ///< evaluations until within 1% of
+                                     ///< the baseline best (0 = never)
+};
+
+/// Renders a comparison of adaptive strategies against the exhaustive
+/// baseline: per strategy, the budget consumed (absolute and as a
+/// fraction of the baseline), the best speedup, its gap to the baseline
+/// optimum, and the evaluations-to-within-1% convergence figure.
+util::Table strategy_comparison(const StrategySummary& baseline,
+                                const std::vector<StrategySummary>& strategies);
 
 }  // namespace mergescale::explore

@@ -1,0 +1,126 @@
+#include "search/ndjson.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace mergescale::search {
+
+namespace {
+
+/// Cursor over one line; every helper returns false on malformed input.
+struct Cursor {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  bool done() const noexcept { return pos >= text.size(); }
+  char peek() const noexcept { return text[pos]; }
+  void skip_ws() {
+    while (!done() && (peek() == ' ' || peek() == '\t')) ++pos;
+  }
+  bool consume(char c) {
+    if (done() || peek() != c) return false;
+    ++pos;
+    return true;
+  }
+};
+
+/// Parses a JSON string literal (after the opening quote) and unescapes
+/// the subset write_ndjson emits: \" \\ and \uXXXX for control bytes.
+bool parse_string(Cursor& cur, std::string* out) {
+  out->clear();
+  while (!cur.done()) {
+    const char c = cur.text[cur.pos++];
+    if (c == '"') return true;
+    if (c != '\\') {
+      out->push_back(c);
+      continue;
+    }
+    if (cur.done()) return false;
+    const char esc = cur.text[cur.pos++];
+    switch (esc) {
+      case '"': out->push_back('"'); break;
+      case '\\': out->push_back('\\'); break;
+      case '/': out->push_back('/'); break;
+      case 'n': out->push_back('\n'); break;
+      case 't': out->push_back('\t'); break;
+      case 'r': out->push_back('\r'); break;
+      case 'b': out->push_back('\b'); break;
+      case 'f': out->push_back('\f'); break;
+      case 'u': {
+        if (cur.pos + 4 > cur.text.size()) return false;
+        unsigned value = 0;
+        for (int i = 0; i < 4; ++i) {
+          const char h = cur.text[cur.pos++];
+          value <<= 4;
+          if (h >= '0' && h <= '9') value |= static_cast<unsigned>(h - '0');
+          else if (h >= 'a' && h <= 'f') value |= static_cast<unsigned>(h - 'a' + 10);
+          else if (h >= 'A' && h <= 'F') value |= static_cast<unsigned>(h - 'A' + 10);
+          else return false;
+        }
+        if (value > 0x7f) return false;  // the writer only escapes ASCII
+        out->push_back(static_cast<char>(value));
+        break;
+      }
+      default: return false;
+    }
+  }
+  return false;  // unterminated string (torn line)
+}
+
+/// Parses a bare token — number, true/false/null — as literal text.
+bool parse_token(Cursor& cur, std::string* out) {
+  out->clear();
+  while (!cur.done()) {
+    const char c = cur.peek();
+    if (c == ',' || c == '}' || c == ' ' || c == '\t') break;
+    if (c == '{' || c == '[' || c == '"') return false;  // nested value
+    out->push_back(c);
+    ++cur.pos;
+  }
+  return !out->empty();
+}
+
+}  // namespace
+
+std::optional<FlatObject> parse_flat_object(std::string_view line) {
+  // Trim the trailing newline the reader may hand us.
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+    line.remove_suffix(1);
+  }
+  Cursor cur{line};
+  cur.skip_ws();
+  if (!cur.consume('{')) return std::nullopt;
+
+  FlatObject object;
+  cur.skip_ws();
+  if (cur.consume('}')) {
+    cur.skip_ws();
+    return cur.done() ? std::optional<FlatObject>(std::move(object))
+                      : std::nullopt;
+  }
+  for (;;) {
+    cur.skip_ws();
+    if (!cur.consume('"')) return std::nullopt;
+    std::string key;
+    if (!parse_string(cur, &key)) return std::nullopt;
+    cur.skip_ws();
+    if (!cur.consume(':')) return std::nullopt;
+    cur.skip_ws();
+    std::string value;
+    if (cur.consume('"')) {
+      if (!parse_string(cur, &value)) return std::nullopt;
+    } else if (!parse_token(cur, &value)) {
+      return std::nullopt;
+    }
+    object[std::move(key)] = std::move(value);
+    cur.skip_ws();
+    if (cur.consume(',')) continue;
+    if (cur.consume('}')) break;
+    return std::nullopt;
+  }
+  cur.skip_ws();
+  if (!cur.done()) return std::nullopt;
+  return object;
+}
+
+}  // namespace mergescale::search

@@ -1,0 +1,25 @@
+#pragma once
+// Minimal NDJSON record parsing for the run log.  The log writer
+// (explore::write_ndjson) emits flat objects — string, number, and
+// boolean fields only — so this parser handles exactly that subset and
+// rejects everything else.  A rejected line returns std::nullopt rather
+// than throwing: a killed run may leave a torn final line, and resume
+// must shrug it off.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace mergescale::search {
+
+/// Field values of one parsed line, keyed by field name.  Strings are
+/// unescaped; numbers and booleans keep their literal text ("1.5",
+/// "true") for the caller to convert.
+using FlatObject = std::map<std::string, std::string, std::less<>>;
+
+/// Parses one `{"k":v,...}` line.  Returns std::nullopt for anything but
+/// a complete flat object (nested values, arrays, torn lines, garbage).
+std::optional<FlatObject> parse_flat_object(std::string_view line);
+
+}  // namespace mergescale::search

@@ -1,0 +1,203 @@
+#include "search/run_log.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "core/comm_model.hpp"
+#include "explore/memo_cache.hpp"
+#include "explore/report.hpp"
+#include "noc/topology.hpp"
+#include "util/json.hpp"
+
+namespace mergescale::search {
+
+namespace {
+
+/// Strict double parse of a JSON number token.
+std::optional<double> to_double(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+RunLog::RunLog(std::string dir) : dir_(std::move(dir)) {
+  std::filesystem::create_directories(dir_);
+  const std::string path = results_path(dir_);
+  // A kill mid-write can leave a torn final line with no newline; without
+  // repair, the next append would glue onto the fragment and corrupt a
+  // *second* record.  Terminating the fragment keeps it an isolated
+  // unparseable line that load() skips.
+  bool torn_tail = false;
+  if (std::ifstream in(path, std::ios::binary); in) {
+    in.seekg(0, std::ios::end);
+    if (in.tellg() > 0) {
+      in.seekg(-1, std::ios::end);
+      char last = '\n';
+      in.get(last);
+      torn_tail = last != '\n';
+    }
+  }
+  out_.open(path, std::ios::app);
+  if (!out_) {
+    throw std::runtime_error("run log: cannot open " + path);
+  }
+  if (torn_tail) {
+    out_ << '\n';
+    out_.flush();
+  }
+}
+
+void RunLog::append(const explore::EvalResult& result) {
+  explore::write_ndjson(out_, {result});
+  out_.flush();
+  ++appended_;
+}
+
+std::string RunLog::results_path(const std::string& dir) {
+  return (std::filesystem::path(dir) / "results.ndjson").string();
+}
+
+std::string RunLog::meta_path(const std::string& dir) {
+  return (std::filesystem::path(dir) / "meta.json").string();
+}
+
+std::vector<explore::EvalResult> RunLog::load(const std::string& dir) {
+  std::vector<explore::EvalResult> records;
+  std::ifstream in(results_path(dir));
+  if (!in) return records;
+  for (std::string line; std::getline(in, line);) {
+    if (auto record = parse_result(line)) records.push_back(std::move(*record));
+  }
+  return records;
+}
+
+std::optional<explore::EvalResult> RunLog::parse_result(
+    std::string_view line) {
+  const auto object = parse_flat_object(line);
+  if (!object) return std::nullopt;
+
+  auto text = [&](std::string_view key) -> const std::string* {
+    const auto it = object->find(key);
+    return it == object->end() ? nullptr : &it->second;
+  };
+  auto number = [&](std::string_view key) -> std::optional<double> {
+    const std::string* raw = text(key);
+    return raw ? to_double(*raw) : std::nullopt;
+  };
+  auto boolean = [&](std::string_view key) -> std::optional<bool> {
+    const std::string* raw = text(key);
+    if (!raw) return std::nullopt;
+    if (*raw == "true") return true;
+    if (*raw == "false") return false;
+    return std::nullopt;
+  };
+
+  explore::EvalResult result;
+  const auto index = number("index");
+  const auto n = number("n");
+  const auto r = number("r");
+  const auto rl = number("rl");
+  const auto cores = number("cores");
+  const auto speedup = number("speedup");
+  const auto feasible = boolean("feasible");
+  const auto cached = boolean("cached");
+  const std::string* scenario = text("scenario");
+  const std::string* variant = text("variant");
+  const std::string* app = text("app");
+  const std::string* growth = text("growth");
+  const std::string* topology = text("topology");
+  if (!index || !n || !r || !rl || !cores || !speedup || !feasible ||
+      !cached || !scenario || !variant || !app || !growth || !topology) {
+    return std::nullopt;
+  }
+  try {
+    result.variant = core::parse_model_variant(*variant);
+  } catch (const std::invalid_argument&) {
+    return std::nullopt;
+  }
+  result.index = static_cast<std::size_t>(*index);
+  result.scenario = *scenario;
+  result.n = *n;
+  result.app = *app;
+  result.growth = *growth;
+  result.topology = *topology;
+  result.r = *r;
+  result.rl = *rl;
+  result.cores = *cores;
+  result.feasible = *feasible;
+  result.speedup = *speedup;
+  result.from_cache = *cached;
+  return result;
+}
+
+std::size_t RunLog::warm(const std::vector<explore::EvalResult>& records,
+                         const explore::ScenarioSpec& spec,
+                         explore::ExploreEngine& engine) {
+  // Label → axis value maps (labels are how the log names spec entries).
+  std::unordered_map<std::string, const core::AppParams*> apps;
+  for (const auto& app : spec.apps) apps.emplace(app.name, &app);
+  std::unordered_map<std::string, const core::GrowthFunction*> growths;
+  for (const auto& growth : spec.growths) growths.emplace(growth.name(), &growth);
+  std::unordered_map<std::string, noc::Topology> topologies;
+  for (noc::Topology topology : spec.topologies) {
+    topologies.emplace(std::string(noc::topology_name(topology)), topology);
+  }
+
+  std::size_t warmed = 0;
+  for (const auto& record : records) {
+    const auto app = apps.find(record.app);
+    const auto growth = growths.find(record.growth);
+    if (app == apps.end() || growth == growths.end()) continue;
+
+    core::EvalRequest request;
+    request.variant = record.variant;
+    request.chip = core::ChipConfig{record.n, spec.perf};
+    request.app = *app->second;
+    request.growth = *growth->second;
+    request.r = record.r;
+    request.rl = record.rl;
+    if (core::is_comm_variant(record.variant)) {
+      const auto topology = topologies.find(record.topology);
+      if (topology == topologies.end()) continue;
+      request.comm_growth = core::comm_growth(topology->second);
+      request.comp_share = spec.comp_share;
+    }
+
+    explore::EvalOutcome outcome;
+    outcome.feasible = record.feasible;
+    if (record.feasible) {
+      outcome.point = core::DesignPoint{record.r, record.rl, record.speedup};
+    }
+    engine.cache().insert(explore::cache_key(request), outcome);
+    ++warmed;
+  }
+  return warmed;
+}
+
+void RunLog::write_meta(const std::string& dir, const std::string& config) {
+  std::filesystem::create_directories(dir);
+  std::ofstream out(meta_path(dir), std::ios::trunc);
+  if (!out) throw std::runtime_error("run log: cannot open " + meta_path(dir));
+  out << "{\"config\":\"" << util::json_escape(config) << "\"}\n";
+}
+
+std::optional<std::string> RunLog::read_meta(const std::string& dir) {
+  std::ifstream in(meta_path(dir));
+  if (!in) return std::nullopt;
+  std::string line;
+  if (!std::getline(in, line)) return std::nullopt;
+  const auto object = parse_flat_object(line);
+  if (!object) return std::nullopt;
+  const auto it = object->find("config");
+  if (it == object->end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace mergescale::search

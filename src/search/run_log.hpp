@@ -1,0 +1,73 @@
+#pragma once
+// Disk persistence for exploration runs: an append-only NDJSON result
+// log plus a small meta record, both under one run directory.
+//
+//   <dir>/results.ndjson   one explore::write_ndjson line per *fresh*
+//                          evaluation, flushed line-by-line so a killed
+//                          run loses at most the line being written
+//   <dir>/meta.json        the run configuration fingerprint, used to
+//                          refuse resuming under a different setup
+//
+// Resume is cache warming: load() parses the log (tolerating a torn
+// final line), warm() reconstructs each record's EvalRequest against the
+// spec and seeds the engine's memo cache, and the re-run then serves
+// every already-done point as a hit — identical results, no recompute.
+
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "explore/engine.hpp"
+#include "search/ndjson.hpp"
+
+namespace mergescale::search {
+
+class RunLog {
+ public:
+  /// Opens `<dir>/results.ndjson` for append, creating `dir` if needed.
+  /// Throws std::runtime_error when the file cannot be opened.
+  explicit RunLog(std::string dir);
+
+  /// Appends one result line and flushes it.
+  void append(const explore::EvalResult& result);
+
+  /// Results appended through *this* log instance (not the file total).
+  std::uint64_t appended() const noexcept { return appended_; }
+
+  const std::string& dir() const noexcept { return dir_; }
+
+  static std::string results_path(const std::string& dir);
+  static std::string meta_path(const std::string& dir);
+
+  /// Parses every well-formed record of `<dir>/results.ndjson`.  A
+  /// missing file yields an empty vector; malformed or torn lines are
+  /// skipped.
+  static std::vector<explore::EvalResult> load(const std::string& dir);
+
+  /// Decodes one log line (exposed for round-trip tests).
+  static std::optional<explore::EvalResult> parse_result(
+      std::string_view line);
+
+  /// Seeds `engine`'s memo cache from `records`, reconstructing each
+  /// record's EvalRequest against `spec` (labels are matched to the
+  /// spec's axes; records that no longer match any axis are skipped).
+  /// Returns the number of cache entries written.
+  static std::size_t warm(const std::vector<explore::EvalResult>& records,
+                          const explore::ScenarioSpec& spec,
+                          explore::ExploreEngine& engine);
+
+  /// Writes `<dir>/meta.json` recording `config` (creates `dir`).
+  static void write_meta(const std::string& dir, const std::string& config);
+
+  /// Reads the config string back; std::nullopt when absent or malformed.
+  static std::optional<std::string> read_meta(const std::string& dir);
+
+ private:
+  std::string dir_;
+  std::ofstream out_;
+  std::uint64_t appended_ = 0;
+};
+
+}  // namespace mergescale::search

@@ -1,0 +1,95 @@
+#include "search/space.hpp"
+
+#include <algorithm>
+
+#include "core/comm_model.hpp"
+#include "util/check.hpp"
+
+namespace mergescale::search {
+
+SearchSpace::SearchSpace(explore::ScenarioSpec spec) : spec_(std::move(spec)) {
+  spec_.validate();
+  if (spec_.sizes.empty()) {
+    const double max_budget = *std::max_element(spec_.chip_budgets.begin(),
+                                                spec_.chip_budgets.end());
+    sizes_ = core::power_of_two_sizes(max_budget);
+  } else {
+    sizes_ = spec_.sizes;
+  }
+  // Inert axes still need one value so the grid stays a plain product.
+  smalls_ = spec_.small_core_sizes.empty() ? std::vector<double>{1.0}
+                                           : spec_.small_core_sizes;
+  size_ = 1;
+  for (std::size_t dim = 0; dim < kDims; ++dim) size_ *= axis_size(dim);
+}
+
+std::size_t SearchSpace::axis_size(std::size_t dim) const {
+  switch (dim) {
+    case 0: return spec_.chip_budgets.size();
+    case 1: return spec_.apps.size();
+    case 2: return spec_.growths.size();
+    case 3: return spec_.variants.size();
+    case 4: return std::max<std::size_t>(1, spec_.topologies.size());
+    case 5: return smalls_.size();
+    case 6: return sizes_.size();
+  }
+  MS_CHECK(false, "axis dimension out of range");
+  return 0;
+}
+
+Coords SearchSpace::decode(std::uint64_t flat) const {
+  MS_CHECK(flat < size_, "flat index out of range");
+  Coords coords{};
+  for (std::size_t dim = kDims; dim-- > 0;) {
+    const std::uint64_t radix = axis_size(dim);
+    coords[dim] = static_cast<std::size_t>(flat % radix);
+    flat /= radix;
+  }
+  return coords;
+}
+
+std::uint64_t SearchSpace::encode(const Coords& coords) const {
+  std::uint64_t flat = 0;
+  for (std::size_t dim = 0; dim < kDims; ++dim) {
+    MS_CHECK(coords[dim] < axis_size(dim), "coordinate out of range");
+    flat = flat * axis_size(dim) + coords[dim];
+  }
+  return flat;
+}
+
+bool SearchSpace::job_at(const Coords& coords, explore::EvalJob* out) const {
+  const double n = spec_.chip_budgets[coords[0]];
+  const core::ModelVariant variant = spec_.variants[coords[3]];
+  const bool asym = core::is_asymmetric_variant(variant);
+  const double size = sizes_[coords[6]];
+  const double small = smalls_[coords[5]];
+  // The shared size grid spans the largest budget; reject candidates that
+  // do not fit this point's own chip.
+  if (size > n) return false;
+  if (asym && small > n) return false;
+
+  explore::EvalJob job;
+  job.index = 0;
+  job.scenario = spec_.name;
+  job.request.variant = variant;
+  job.request.chip = core::ChipConfig{n, spec_.perf};
+  job.request.app = spec_.apps[coords[1]];
+  job.request.growth = spec_.growths[coords[2]];
+  if (core::is_comm_variant(variant)) {
+    const noc::Topology topology = spec_.topologies[coords[4]];
+    job.request.comm_growth = core::comm_growth(topology);
+    job.request.comp_share = spec_.comp_share;
+    job.topology = std::string(noc::topology_name(topology));
+  }
+  if (asym) {
+    job.request.r = small;
+    job.request.rl = size;
+  } else {
+    job.request.r = size;
+    job.request.rl = 0.0;
+  }
+  *out = std::move(job);
+  return true;
+}
+
+}  // namespace mergescale::search

@@ -1,0 +1,70 @@
+#pragma once
+// Coordinate view of a ScenarioSpec for adaptive search.  Exhaustive
+// exploration expands the spec's cross product into a flat job list; the
+// adaptive strategies instead need random access to individual design
+// points and a notion of neighborhood.  SearchSpace provides both: it
+// treats the spec's axes — chip budgets × apps × growths × variants ×
+// topologies × small-core sizes × core sizes — as a uniform mixed-radix
+// grid and materializes single evaluation jobs on demand, so spaces with
+// 10^5..10^9 points are searchable without ever enumerating them.
+//
+// The grid is deliberately *uniform*: the topology coordinate is inert
+// for the non-comm variants and the small-core coordinate is inert for
+// the symmetric ones, so several coordinates can denote the same design
+// point.  The engine's memo cache collapses those duplicates to a single
+// model evaluation, which keeps the budget accounting (unique
+// evaluations, i.e. cache misses) honest.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "explore/scenario.hpp"
+
+namespace mergescale::search {
+
+/// One point of the uniform grid, as indices into the spec's axes in the
+/// order budget, app, growth, variant, topology, small-core size, size.
+using Coords = std::array<std::size_t, 7>;
+
+class SearchSpace {
+ public:
+  static constexpr std::size_t kDims = 7;
+
+  /// Validates and captures `spec`.  An empty `spec.sizes` resolves to
+  /// power_of_two_sizes(max budget) once, shared by every budget.
+  explicit SearchSpace(explore::ScenarioSpec spec);
+
+  /// Number of values along axis `dim` (>= 1 for every axis).
+  std::size_t axis_size(std::size_t dim) const;
+
+  /// Total number of grid points (product of the axis sizes).
+  std::uint64_t size() const noexcept { return size_; }
+
+  /// Mixed-radix decode of a flat index in [0, size()).
+  Coords decode(std::uint64_t flat) const;
+
+  /// Inverse of decode().
+  std::uint64_t encode(const Coords& coords) const;
+
+  /// Builds the evaluation job for `coords` (job index 0; callers
+  /// renumber for batching).  Returns false — without touching `*out` —
+  /// when the point is out of bounds for its own budget: a candidate
+  /// core larger than the whole chip is not a design point, merely an
+  /// artifact of sharing one size grid across budgets.
+  bool job_at(const Coords& coords, explore::EvalJob* out) const;
+
+  /// The resolved candidate-size grid (never empty).
+  const std::vector<double>& sizes() const noexcept { return sizes_; }
+
+  const explore::ScenarioSpec& spec() const noexcept { return spec_; }
+
+ private:
+  explore::ScenarioSpec spec_;
+  std::vector<double> sizes_;   ///< resolved size grid
+  std::vector<double> smalls_;  ///< small-core grid (>= 1 entry)
+  std::uint64_t size_ = 0;
+};
+
+}  // namespace mergescale::search

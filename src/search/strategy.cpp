@@ -1,0 +1,309 @@
+#include "search/strategy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "explore/memo_cache.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace mergescale::search {
+
+namespace {
+
+/// Consecutive rounds allowed to propose nothing the run has not already
+/// proposed before a strategy concludes the reachable space is
+/// exhausted.  Without this a budget larger than the space would spin
+/// forever on cache hits.  Stalls are measured against *distinct
+/// proposals of this run* — not cache misses — so replaying a resumed
+/// trajectory through a warm cache (all hits, zero fresh evaluations)
+/// registers as progress rather than as a stall.
+constexpr std::uint64_t kMaxStallRounds = 64;
+
+/// Funnels candidate coordinates through the engine: batches become job
+/// lists (parallel + memoized), out-of-bounds points short-circuit to
+/// infeasible placeholders, fresh evaluations stream into the run log,
+/// and the incumbent best is tracked as results arrive.
+class Funnel {
+ public:
+  Funnel(explore::ExploreEngine& engine, const SearchSpace& space,
+         RunLog* log, SearchOutcome* outcome, std::uint64_t already_spent)
+      : engine_(engine),
+        space_(space),
+        log_(log),
+        outcome_(outcome),
+        already_spent_(already_spent),
+        base_misses_(engine.cache().stats().misses) {}
+
+  /// Unique model evaluations charged against the budget: the fresh
+  /// misses of this run plus whatever a resumed predecessor spent.
+  std::uint64_t evaluations() const {
+    return already_spent_ + engine_.cache().stats().misses - base_misses_;
+  }
+
+  double best_speedup() const noexcept {
+    return outcome_->found ? outcome_->best.speedup : 0.0;
+  }
+
+  /// Distinct in-bounds points this run has proposed so far (by key
+  /// fingerprint).  The strategies' stall detection watches this: a
+  /// round that proposes only already-visited points is a stall even
+  /// when the cache made it free, and a replayed (resumed) trajectory
+  /// is progress even though it costs no fresh evaluations.
+  std::uint64_t distinct_proposed() const {
+    return static_cast<std::uint64_t>(proposed_.size());
+  }
+
+  /// Evaluates one batch; result i corresponds to batch[i] (out-of-bounds
+  /// coordinates yield a default infeasible result).  Coordinates that
+  /// fingerprint to the same cache key — inert-axis twins, revisited
+  /// neighbors — are submitted once and fanned back out, so the cache
+  /// miss count (the budget currency) is independent of thread
+  /// scheduling inside the engine.
+  std::vector<explore::EvalResult> evaluate(const std::vector<Coords>& batch) {
+    constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+    std::vector<explore::EvalJob> jobs;
+    std::vector<std::size_t> job_of(batch.size(), kNone);
+    std::unordered_map<explore::CacheKey, std::size_t, explore::CacheKeyHash>
+        unique;
+    jobs.reserve(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      explore::EvalJob job;
+      if (!space_.job_at(batch[i], &job)) continue;
+      explore::CacheKey key = explore::cache_key(job.request);
+      proposed_.insert(explore::CacheKeyHash{}(key));
+      const auto [it, inserted] =
+          unique.try_emplace(std::move(key), jobs.size());
+      if (inserted) {
+        job.index = jobs.size();
+        jobs.push_back(std::move(job));
+      }
+      job_of[i] = it->second;
+    }
+    outcome_->proposals += batch.size();
+
+    const std::vector<explore::EvalResult> evaluated = engine_.run(jobs);
+    for (const explore::EvalResult& result : evaluated) {
+      if (log_ != nullptr && !result.from_cache) log_->append(result);
+      if (result.feasible &&
+          (!outcome_->found || result.speedup > outcome_->best.speedup)) {
+        outcome_->found = true;
+        outcome_->best = result;
+      }
+    }
+    std::vector<explore::EvalResult> results(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (job_of[i] != kNone) results[i] = evaluated[job_of[i]];
+    }
+    return results;
+  }
+
+  void record_trace() {
+    outcome_->evaluations = evaluations();
+    outcome_->trace.push_back(TracePoint{evaluations(), best_speedup()});
+  }
+
+ private:
+  explore::ExploreEngine& engine_;
+  const SearchSpace& space_;
+  RunLog* log_;
+  SearchOutcome* outcome_;
+  std::uint64_t already_spent_;
+  std::uint64_t base_misses_;
+  /// Key fingerprints of every in-bounds point proposed this run.  A
+  /// 64-bit hash stands in for the full key: a collision can only make
+  /// the stall heuristic marginally more eager, never corrupt results.
+  std::unordered_set<std::size_t> proposed_;
+};
+
+Coords random_coords(const SearchSpace& space, util::Xoshiro256& rng) {
+  Coords coords{};
+  for (std::size_t dim = 0; dim < SearchSpace::kDims; ++dim) {
+    coords[dim] = static_cast<std::size_t>(rng.bounded(space.axis_size(dim)));
+  }
+  return coords;
+}
+
+double value_of(const explore::EvalResult& result) noexcept {
+  return result.feasible ? result.speedup : 0.0;
+}
+
+void random_search(Funnel& funnel, const SearchSpace& space,
+                   const SearchOptions& options, util::Xoshiro256& rng) {
+  const std::size_t batch_size = std::max<std::size_t>(1, options.batch);
+  std::uint64_t stalls = 0;
+  while (funnel.evaluations() < options.budget && stalls < kMaxStallRounds) {
+    // Clamp the round to the remaining budget: proposals can only consume
+    // at most one evaluation each, so overshoot stays bounded by the
+    // proposals-to-misses slack, not the nominal batch size.
+    const std::size_t round = static_cast<std::size_t>(
+        std::min<std::uint64_t>(batch_size,
+                                options.budget - funnel.evaluations()));
+    std::vector<Coords> batch;
+    batch.reserve(round);
+    for (std::size_t i = 0; i < round; ++i) {
+      batch.push_back(random_coords(space, rng));
+    }
+    const std::uint64_t before = funnel.distinct_proposed();
+    funnel.evaluate(batch);
+    stalls = funnel.distinct_proposed() == before ? stalls + 1 : 0;
+    funnel.record_trace();
+  }
+}
+
+/// The ±1 coordinate neighborhood of `center` (up to 2 × kDims points).
+std::vector<Coords> neighbors_of(const SearchSpace& space,
+                                 const Coords& center) {
+  std::vector<Coords> neighbors;
+  neighbors.reserve(2 * SearchSpace::kDims);
+  for (std::size_t dim = 0; dim < SearchSpace::kDims; ++dim) {
+    if (center[dim] > 0) {
+      Coords down = center;
+      --down[dim];
+      neighbors.push_back(down);
+    }
+    if (center[dim] + 1 < space.axis_size(dim)) {
+      Coords up = center;
+      ++up[dim];
+      neighbors.push_back(up);
+    }
+  }
+  return neighbors;
+}
+
+void hill_climb(Funnel& funnel, const SearchSpace& space,
+                const SearchOptions& options, util::Xoshiro256& rng,
+                SearchOutcome* outcome) {
+  std::uint64_t stalls = 0;
+  while (funnel.evaluations() < options.budget && stalls < kMaxStallRounds) {
+    const std::uint64_t climb_start = funnel.distinct_proposed();
+    Coords current = random_coords(space, rng);
+    double current_value = value_of(funnel.evaluate({current})[0]);
+    ++outcome->restarts;
+    for (;;) {
+      if (funnel.evaluations() >= options.budget) break;
+      const std::vector<Coords> neighbors = neighbors_of(space, current);
+      const std::vector<explore::EvalResult> results =
+          funnel.evaluate(neighbors);
+      std::size_t best_index = neighbors.size();
+      double best_value = current_value;
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        if (value_of(results[i]) > best_value) {
+          best_value = value_of(results[i]);
+          best_index = i;
+        }
+      }
+      funnel.record_trace();
+      if (best_index == neighbors.size()) break;  // local optimum
+      current = neighbors[best_index];
+      current_value = best_value;
+    }
+    funnel.record_trace();
+    stalls = funnel.distinct_proposed() == climb_start ? stalls + 1 : 0;
+  }
+}
+
+void anneal(Funnel& funnel, const SearchSpace& space,
+            const SearchOptions& options, util::Xoshiro256& rng,
+            SearchOutcome* outcome) {
+  std::uint64_t stalls = 0;
+  while (funnel.evaluations() < options.budget && stalls < kMaxStallRounds) {
+    const std::uint64_t walk_start = funnel.distinct_proposed();
+    Coords current = random_coords(space, rng);
+    double current_value = value_of(funnel.evaluate({current})[0]);
+    ++outcome->restarts;
+    double temperature = options.t0;
+    while (temperature > options.t_min &&
+           funnel.evaluations() < options.budget) {
+      // Mostly local ±1 moves; an occasional full-axis jump escapes
+      // plateaus that single steps cannot cross.
+      Coords candidate = current;
+      const auto dim =
+          static_cast<std::size_t>(rng.bounded(SearchSpace::kDims));
+      const std::size_t axis = space.axis_size(dim);
+      if (axis > 1) {
+        if (rng.bounded(8) == 0) {
+          candidate[dim] = static_cast<std::size_t>(rng.bounded(axis));
+        } else if (candidate[dim] == 0) {
+          candidate[dim] = 1;
+        } else if (candidate[dim] + 1 >= axis) {
+          --candidate[dim];
+        } else if (rng.bounded(2) == 0) {
+          ++candidate[dim];
+        } else {
+          --candidate[dim];
+        }
+      }
+      const double candidate_value =
+          value_of(funnel.evaluate({candidate})[0]);
+      // Relative acceptance: deltas are normalized by the incumbent best
+      // so t0 is a speedup *fraction*, independent of the space's scale.
+      const double scale = std::max(funnel.best_speedup(), 1.0);
+      const double delta = (candidate_value - current_value) / scale;
+      if (delta >= 0.0 || rng.uniform() < std::exp(delta / temperature)) {
+        current = candidate;
+        current_value = candidate_value;
+      }
+      temperature *= options.cooling;
+      funnel.record_trace();
+    }
+    stalls = funnel.distinct_proposed() == walk_start ? stalls + 1 : 0;
+  }
+}
+
+}  // namespace
+
+std::string_view strategy_name(Strategy strategy) noexcept {
+  switch (strategy) {
+    case Strategy::kRandom: return "random";
+    case Strategy::kHillClimb: return "hill-climb";
+    case Strategy::kAnneal: return "anneal";
+  }
+  return "unknown";
+}
+
+Strategy parse_strategy(std::string_view name) {
+  for (Strategy strategy :
+       {Strategy::kRandom, Strategy::kHillClimb, Strategy::kAnneal}) {
+    if (name == strategy_name(strategy)) return strategy;
+  }
+  throw std::invalid_argument("unknown strategy: " + std::string(name));
+}
+
+TracePoint SearchOutcome::first_within(double target,
+                                       double fraction) const noexcept {
+  for (const TracePoint& point : trace) {
+    if (point.best_speedup >= target * (1.0 - fraction)) return point;
+  }
+  return TracePoint{};
+}
+
+SearchOutcome run_search(explore::ExploreEngine& engine,
+                         const SearchSpace& space,
+                         const SearchOptions& options, RunLog* log) {
+  MS_CHECK(options.budget >= 1, "search budget must be at least 1");
+  MS_CHECK(options.t0 > 0.0 && options.cooling > 0.0 &&
+               options.cooling < 1.0 && options.t_min > 0.0,
+           "annealing schedule parameters out of range");
+  SearchOutcome outcome;
+  Funnel funnel(engine, space, log, &outcome, options.already_spent);
+  util::Xoshiro256 rng(options.seed);
+  switch (options.strategy) {
+    case Strategy::kRandom:
+      random_search(funnel, space, options, rng);
+      break;
+    case Strategy::kHillClimb:
+      hill_climb(funnel, space, options, rng, &outcome);
+      break;
+    case Strategy::kAnneal:
+      anneal(funnel, space, options, rng, &outcome);
+      break;
+  }
+  funnel.record_trace();
+  return outcome;
+}
+
+}  // namespace mergescale::search

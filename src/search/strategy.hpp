@@ -1,0 +1,91 @@
+#pragma once
+// Adaptive search strategies over a SearchSpace: random sampling,
+// hill-climbing with random restarts, and simulated annealing.  All three
+// funnel their candidate points through an ExploreEngine, so evaluations
+// are parallel (neighborhoods and random batches are evaluated as one
+// job list) and memoized — revisiting a point costs a cache hit, not a
+// model evaluation.
+//
+// Budget accounting: `SearchOptions::budget` caps *unique* model
+// evaluations, measured as the engine cache's miss delta.  Duplicate
+// coordinates, revisited neighbors, and warm-loaded (resumed) results are
+// free, which makes budgets comparable to the exhaustive baseline's job
+// count.  A batch is submitted whole, so a run can overshoot the budget
+// by at most one batch (neighborhood size or `batch`, whichever applies).
+//
+// Determinism: given the same space, options, and engine cache state,
+// every strategy proposes the same point sequence (util::Xoshiro256
+// seeded from `seed`), and same-key points inside one batch are deduped
+// before submission — so the miss count cannot race inside the engine
+// and searches are bit-reproducible across runs and thread counts.
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "explore/engine.hpp"
+#include "search/run_log.hpp"
+#include "search/space.hpp"
+
+namespace mergescale::search {
+
+/// Available adaptive strategies.
+enum class Strategy {
+  kRandom,     ///< uniform random sampling of the grid
+  kHillClimb,  ///< steepest-ascent over ±1 coordinate steps, with restarts
+  kAnneal,     ///< simulated annealing with geometric cooling + restarts
+};
+
+/// Printable strategy name ("random", "hill-climb", "anneal").
+std::string_view strategy_name(Strategy strategy) noexcept;
+
+/// Parses a strategy name (throws std::invalid_argument).
+Strategy parse_strategy(std::string_view name);
+
+struct SearchOptions {
+  Strategy strategy = Strategy::kHillClimb;
+  std::uint64_t budget = 1000;  ///< max unique model evaluations
+  /// Unique evaluations a previous (killed, then resumed) run already
+  /// spent against the same budget — typically the warm-loaded run-log
+  /// size.  Counted toward `budget`, so a resumed run replays the prior
+  /// trajectory for free (same seed → same proposals, all cache hits)
+  /// and then stops exactly where an uninterrupted run would have.
+  std::uint64_t already_spent = 0;
+  std::uint64_t seed = 0x2011'1CBBULL;
+  std::size_t batch = 64;       ///< random-search proposals per round
+  double t0 = 0.05;             ///< annealing: initial temperature, as a
+                                ///< fraction of the current best speedup
+  double cooling = 0.98;        ///< annealing: geometric factor per move
+  double t_min = 1e-4;          ///< annealing: restart threshold
+};
+
+/// One point of a strategy's convergence curve, recorded after every
+/// round (batch, climb step, or annealing move).
+struct TracePoint {
+  std::uint64_t evaluations = 0;  ///< unique evaluations consumed so far
+  double best_speedup = 0.0;      ///< best feasible speedup found so far
+};
+
+struct SearchOutcome {
+  bool found = false;             ///< at least one feasible point was seen
+  explore::EvalResult best;       ///< best feasible result (when found)
+  std::uint64_t evaluations = 0;  ///< unique model evaluations consumed,
+                                  ///< including `already_spent`
+  std::uint64_t proposals = 0;    ///< points proposed (incl. cache hits)
+  std::uint64_t restarts = 0;     ///< restarts taken (hill-climb / anneal)
+  std::vector<TracePoint> trace;  ///< convergence curve, best nondecreasing
+
+  /// First trace point whose best speedup is within `fraction` (e.g.
+  /// 0.01) of `target`; returns 0 evaluations when never reached.
+  TracePoint first_within(double target, double fraction) const noexcept;
+};
+
+/// Runs `options.strategy` over `space` through `engine` (which must have
+/// memoization enabled — budgets are measured as cache misses).  When
+/// `log` is non-null every *fresh* evaluation (cache miss) is appended,
+/// so a killed search can be resumed by warm-loading the log.
+SearchOutcome run_search(explore::ExploreEngine& engine,
+                         const SearchSpace& space,
+                         const SearchOptions& options, RunLog* log = nullptr);
+
+}  // namespace mergescale::search

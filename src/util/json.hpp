@@ -1,0 +1,15 @@
+#pragma once
+// JSON string escaping shared by every NDJSON/JSON writer in the tree
+// (explore::write_ndjson, search::RunLog metadata).  Kept in util so the
+// writers and the search-side parser cannot drift apart.
+
+#include <string>
+
+namespace mergescale::util {
+
+/// Escapes `text` for embedding inside a JSON string literal: quote,
+/// backslash, and control bytes (as \u00XX).  The inverse lives in
+/// search::parse_flat_object's string handling.
+std::string json_escape(const std::string& text);
+
+}  // namespace mergescale::util

@@ -58,6 +58,48 @@ TEST(BestPoint, ThrowsOnEmpty) {
   EXPECT_THROW(best_point({}), std::invalid_argument);
 }
 
+TEST(TryBestPoint, EmptySweepYieldsNulloptInsteadOfThrowing) {
+  const std::vector<DesignPoint> empty;
+  static_assert(noexcept(try_best_point(empty)),
+                "the engine relies on try_best_point never throwing");
+  EXPECT_FALSE(try_best_point(empty).has_value());
+}
+
+TEST(TryBestPoint, SingletonSweepReturnsItsOnlyPoint) {
+  const auto best = try_best_point({{8, 0, 42.0}});
+  ASSERT_TRUE(best.has_value());
+  EXPECT_DOUBLE_EQ(best->r, 8.0);
+  EXPECT_DOUBLE_EQ(best->speedup, 42.0);
+}
+
+TEST(TryBestPoint, TiesResolveToTheEarliestPoint) {
+  // Equal speedups: the first point in sweep order wins, so callers get
+  // a deterministic (and reproducible) design choice.
+  const auto best =
+      try_best_point({{1, 0, 30.0}, {2, 0, 30.0}, {4, 0, 10.0}});
+  ASSERT_TRUE(best.has_value());
+  EXPECT_DOUBLE_EQ(best->r, 1.0);
+}
+
+TEST(TryBestPoint, AgreesWithBestPointOnNonEmptySweeps) {
+  const std::vector<DesignPoint> sweep{{1, 0, 10.0}, {2, 0, 30.0},
+                                       {4, 0, 20.0}};
+  const auto best = try_best_point(sweep);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_DOUBLE_EQ(best->speedup, best_point(sweep).speedup);
+  EXPECT_DOUBLE_EQ(best->r, best_point(sweep).r);
+}
+
+TEST(TryBestPoint, FullyInfeasibleAsymmetricSweepDegradesToNullopt) {
+  // r = 255 cannot sit next to any power-of-two large core on a 256-BCE
+  // chip (rl = 256 leaves no room, smaller rl leaves < 255): the sweep
+  // comes back empty and try_best_point reports "no design" gracefully.
+  const auto sweep = sweep_asymmetric(kChip, sample(), kLinear,
+                                      {2.0, 4.0, 8.0, 16.0}, 255.0);
+  EXPECT_TRUE(sweep.empty());
+  EXPECT_FALSE(try_best_point(sweep).has_value());
+}
+
 TEST(OptimalSymmetric, ConsistentWithExhaustiveSweep) {
   const auto sweep = sweep_symmetric(kChip, sample(), kLinear,
                                      power_of_two_sizes(kChip.n));

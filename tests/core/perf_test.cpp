@@ -54,14 +54,11 @@ TEST(PerfLaw, RejectsSubUnitCoreSize) {
 // power laws with exponent < 1.
 TEST(PerfLaw, PollackHasDiminishingReturns) {
   const PerfLaw perf = PerfLaw::pollack();
-  double prev_gain = perf(2) - perf(1);
   for (double r = 2; r <= 128; r *= 2) {
-    const double gain = perf(2 * r) - perf(r);
     EXPECT_GT(perf(2 * r), perf(r));
-    // Gains per doubling grow in absolute terms for sqrt? sqrt(2r)-sqrt(r)
-    // = sqrt(r)(sqrt2-1) increases; but per-BCE efficiency must fall:
+    // Absolute gains per doubling grow for sqrt (sqrt(2r) − sqrt(r) =
+    // sqrt(r)(sqrt2 − 1) increases), but per-BCE efficiency must fall:
     EXPECT_LT(perf(2 * r) / (2 * r), perf(r) / r);
-    prev_gain = gain;
   }
 }
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/app_params.hpp"
+#include "core/comm_model.hpp"
 
 namespace mergescale::explore {
 namespace {
@@ -64,6 +65,64 @@ TEST(CacheKey, DistinguishesCustomGrowthsByName) {
   core::EvalRequest b = sample_request();
   b.growth = core::GrowthFunction::custom("thirds",
                                           [](double nc) { return nc / 3 - 1.0 / 3; });
+  EXPECT_FALSE(cache_key(a) == cache_key(b));
+}
+
+// Regression: the key used to fold all names into one 64-bit hash with a
+// "|" separator, so name tuples that concatenate identically — or collide
+// in the hash — were conflated.  Keys now carry the verbatim names.
+TEST(CacheKey, SeparatorInjectionInCustomNamesCannotCollide) {
+  core::EvalRequest a = sample_request();
+  a.growth = core::GrowthFunction::custom("a|b", [](double nc) { return nc - 1; });
+  a.comm_growth = core::GrowthFunction::custom("c", [](double nc) { return nc - 1; });
+  core::EvalRequest b = sample_request();
+  b.growth = core::GrowthFunction::custom("a", [](double nc) { return nc - 1; });
+  b.comm_growth = core::GrowthFunction::custom("b|c", [](double nc) { return nc - 1; });
+  // Both requests must target a comm variant for comm_growth to matter.
+  a.variant = core::ModelVariant::kSymmetricComm;
+  b.variant = core::ModelVariant::kSymmetricComm;
+  EXPECT_FALSE(cache_key(a) == cache_key(b));
+
+  MemoCache cache;
+  cache.insert(cache_key(a), EvalOutcome{true, {4.0, 0.0, 1.0}});
+  cache.insert(cache_key(b), EvalOutcome{true, {4.0, 0.0, 2.0}});
+  EXPECT_EQ(cache.size(), 2u);
+  EvalOutcome out;
+  ASSERT_TRUE(cache.lookup(cache_key(a), &out));
+  EXPECT_DOUBLE_EQ(out.point.speedup, 1.0);
+}
+
+// Regression: every topology maps to a *custom* growth function (kind and
+// exponent identical across topologies), so distinguishing them leans
+// entirely on the comm-growth name reaching the key intact.
+TEST(CacheKey, DistinguishesTopologiesUnderCommVariants) {
+  core::EvalRequest mesh = sample_request();
+  mesh.variant = core::ModelVariant::kSymmetricComm;
+  mesh.comm_growth = core::comm_growth(noc::Topology::kMesh2D);
+  core::EvalRequest torus = mesh;
+  torus.comm_growth = core::comm_growth(noc::Topology::kTorus2D);
+  EXPECT_FALSE(cache_key(mesh) == cache_key(torus));
+
+  MemoCache cache;
+  cache.insert(cache_key(mesh), EvalOutcome{true, {4.0, 0.0, 10.0}});
+  EvalOutcome out;
+  EXPECT_FALSE(cache.lookup(cache_key(torus), &out));
+}
+
+// Fields a variant does not read are normalized out of its key, so the
+// same logical design point is shared across scenarios that only differ
+// in unused axes.
+TEST(CacheKey, NormalizesFieldsTheVariantIgnores) {
+  core::EvalRequest a = sample_request();  // kSymmetric
+  core::EvalRequest b = sample_request();
+  b.comm_growth = core::comm_growth(noc::Topology::kBus);
+  b.comp_share = 0.25;
+  b.rl = 64.0;  // symmetric evaluation never reads rl
+  EXPECT_EQ(cache_key(a), cache_key(b));
+
+  // Under a comm variant the same fields become significant.
+  a.variant = core::ModelVariant::kSymmetricComm;
+  b.variant = core::ModelVariant::kSymmetricComm;
   EXPECT_FALSE(cache_key(a) == cache_key(b));
 }
 

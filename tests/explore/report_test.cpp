@@ -117,5 +117,87 @@ TEST(Report, NdjsonEmitsOneObjectPerResult) {
   EXPECT_NE(os.str().find("\"feasible\":false"), std::string::npos);
 }
 
+/// Minimal RFC-4180 CSV reader (quotes, escaped quotes, embedded commas
+/// and newlines) — just enough to verify the writer round-trips.
+std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows(1);
+  std::string field;
+  bool quoted = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (quoted) {
+      if (c == '"' && i + 1 < text.size() && text[i + 1] == '"') {
+        field.push_back('"');
+        ++i;
+      } else if (c == '"') {
+        quoted = false;
+      } else {
+        field.push_back(c);
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      rows.back().push_back(std::move(field));
+      field.clear();
+    } else if (c == '\n') {
+      rows.back().push_back(std::move(field));
+      field.clear();
+      rows.emplace_back();
+    } else {
+      field.push_back(c);
+    }
+  }
+  if (rows.back().empty()) rows.pop_back();  // trailing newline
+  return rows;
+}
+
+TEST(Report, CsvRoundTripsFieldsWithCommasAndQuotes) {
+  EvalResult tricky = point(0, 2, 0, 128, 14);
+  tricky.scenario = "sweep, the \"big\" one";
+  tricky.app = "app\nwith newline";
+  tricky.growth = "a,b\"c\"";
+  std::ostringstream os;
+  write_csv(os, {tricky});
+  const auto rows = parse_csv(os.str());
+  ASSERT_EQ(rows.size(), 2u);  // header + one record
+  ASSERT_EQ(rows[1].size(), 12u);
+  EXPECT_EQ(rows[1][0], tricky.scenario);
+  EXPECT_EQ(rows[1][3], tricky.app);
+  EXPECT_EQ(rows[1][4], tricky.growth);
+}
+
+TEST(Report, EmptySweepsProduceHeaderOnlyCsvAndEmptyNdjson) {
+  std::ostringstream csv;
+  write_csv(csv, {});
+  const auto rows = parse_csv(csv.str());
+  ASSERT_EQ(rows.size(), 1u);  // header only
+  EXPECT_EQ(rows[0].size(), 12u);
+  EXPECT_EQ(rows[0][0], "scenario");
+
+  std::ostringstream ndjson;
+  write_ndjson(ndjson, {});
+  EXPECT_TRUE(ndjson.str().empty());
+
+  // The aggregations tolerate empty input too.
+  EXPECT_EQ(best_result({}), nullptr);
+  EXPECT_TRUE(top_k({}, 3).empty());
+  EXPECT_TRUE(pareto_frontier({}, CostMetric::kCoreArea).empty());
+}
+
+TEST(Report, StrategyComparisonReportsGapsAgainstTheBaseline) {
+  StrategySummary baseline{"exhaustive", 1000, 200.0, 1000};
+  StrategySummary good{"hill-climb", 100, 200.0, 40};
+  StrategySummary never{"random", 100, 150.0, 0};
+  const util::Table table = strategy_comparison(baseline, {good, never});
+  ASSERT_EQ(table.rows(), 3u);
+  EXPECT_EQ(table.at(0, 0), "exhaustive");
+  EXPECT_EQ(table.at(1, 0), "hill-climb");
+  EXPECT_EQ(table.at(1, 2), "10.0");   // 100 / 1000 evaluations
+  EXPECT_EQ(table.at(1, 4), "0.00");   // no gap
+  EXPECT_EQ(table.at(1, 5), "40");
+  EXPECT_EQ(table.at(2, 4), "25.00");  // (200 - 150) / 200
+  EXPECT_EQ(table.at(2, 5), "-");      // never reached 1%
+}
+
 }  // namespace
 }  // namespace mergescale::explore

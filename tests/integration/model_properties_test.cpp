@@ -27,8 +27,13 @@ std::string case_name(const ::testing::TestParamInfo<GridCase>& info) {
     }
     return s.substr(0, 6);
   };
-  return "f" + fmt(info.param.f) + "_c" + fmt(info.param.fcon) + "_o" +
-         fmt(info.param.fored);
+  std::string name = "f";
+  name += fmt(info.param.f);
+  name += "_c";
+  name += fmt(info.param.fcon);
+  name += "_o";
+  name += fmt(info.param.fored);
+  return name;
 }
 
 class ModelGrid : public ::testing::TestWithParam<GridCase> {

@@ -1,0 +1,247 @@
+#include "search/run_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/app_params.hpp"
+#include "explore/report.hpp"
+#include "search/ndjson.hpp"
+
+namespace mergescale::search {
+namespace {
+
+class RunLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("mergescale_run_log_" +
+             std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+             "_" + ::testing::UnitTest::GetInstance()
+                       ->current_test_info()
+                       ->name()))
+               .string();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+explore::ScenarioSpec sample_spec() {
+  explore::ScenarioSpec spec;
+  spec.name = "run-log-test";
+  spec.chip_budgets = {64.0, 256.0};
+  spec.apps = {core::presets::kmeans(), core::presets::hop()};
+  spec.variants = {core::ModelVariant::kSymmetric,
+                   core::ModelVariant::kAsymmetric,
+                   core::ModelVariant::kSymmetricComm};
+  return spec;
+}
+
+void expect_equal(const explore::EvalResult& a, const explore::EvalResult& b) {
+  EXPECT_EQ(a.index, b.index);
+  EXPECT_EQ(a.scenario, b.scenario);
+  EXPECT_EQ(a.variant, b.variant);
+  EXPECT_DOUBLE_EQ(a.n, b.n);
+  EXPECT_EQ(a.app, b.app);
+  EXPECT_EQ(a.growth, b.growth);
+  EXPECT_EQ(a.topology, b.topology);
+  EXPECT_DOUBLE_EQ(a.r, b.r);
+  EXPECT_DOUBLE_EQ(a.rl, b.rl);
+  EXPECT_EQ(a.feasible, b.feasible);
+  EXPECT_DOUBLE_EQ(a.cores, b.cores);
+  EXPECT_DOUBLE_EQ(a.speedup, b.speedup);
+  EXPECT_EQ(a.from_cache, b.from_cache);
+}
+
+TEST_F(RunLogTest, AppendThenLoadRoundTrips) {
+  explore::ExploreEngine engine;
+  const auto results = engine.run(sample_spec());
+  {
+    RunLog log(dir_);
+    for (const auto& result : results) log.append(result);
+    EXPECT_EQ(log.appended(), results.size());
+  }
+  const auto loaded = RunLog::load(dir_);
+  ASSERT_EQ(loaded.size(), results.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    expect_equal(loaded[i], results[i]);
+  }
+}
+
+TEST_F(RunLogTest, LoadOfAMissingDirectoryIsEmpty) {
+  EXPECT_TRUE(RunLog::load(dir_ + "_nonexistent").empty());
+}
+
+TEST_F(RunLogTest, RoundTripsAwkwardLabels) {
+  explore::EvalResult result;
+  result.index = 3;
+  result.scenario = "he said \"hi\", twice\tand a\\slash\nnewline";
+  result.variant = core::ModelVariant::kAsymmetricComm;
+  result.n = 256.0;
+  result.app = "app,with\"quotes\"";
+  result.growth = "growth";
+  result.topology = "mesh";
+  result.r = 1.5;
+  result.rl = 32.25;
+  result.cores = 150.5;
+  result.feasible = true;
+  result.speedup = 123.456789;
+  {
+    RunLog log(dir_);
+    log.append(result);
+  }
+  const auto loaded = RunLog::load(dir_);
+  ASSERT_EQ(loaded.size(), 1u);
+  expect_equal(loaded[0], result);
+}
+
+TEST_F(RunLogTest, SkipsTornAndMalformedLines) {
+  explore::ExploreEngine engine;
+  const auto results = engine.run(sample_spec());
+  {
+    RunLog log(dir_);
+    log.append(results[0]);
+    log.append(results[1]);
+  }
+  {
+    // A kill mid-write leaves a torn final line; earlier corruption can
+    // leave arbitrary garbage.  Neither may break load().
+    std::ofstream out(RunLog::results_path(dir_), std::ios::app);
+    out << "not json at all\n";
+    out << "{\"index\":7,\"nested\":{\"x\":1}}\n";
+    out << "{\"index\":9,\"scenario\":\"torn";  // no closing quote/brace
+  }
+  const auto loaded = RunLog::load(dir_);
+  ASSERT_EQ(loaded.size(), 2u);
+  expect_equal(loaded[0], results[0]);
+  expect_equal(loaded[1], results[1]);
+}
+
+TEST_F(RunLogTest, RepairsATornTailBeforeAppending) {
+  explore::ExploreEngine engine;
+  const auto results = engine.run(sample_spec());
+  {
+    RunLog log(dir_);
+    log.append(results[0]);
+  }
+  {
+    // Kill mid-write: the file ends in a torn fragment with no newline.
+    std::ofstream out(RunLog::results_path(dir_), std::ios::app);
+    out << "{\"index\":9,\"scenario\":\"torn";
+  }
+  {
+    // A resumed run's first append must NOT glue onto the fragment.
+    RunLog log(dir_);
+    log.append(results[1]);
+  }
+  const auto loaded = RunLog::load(dir_);
+  ASSERT_EQ(loaded.size(), 2u);  // torn line skipped, both records intact
+  expect_equal(loaded[0], results[0]);
+  expect_equal(loaded[1], results[1]);
+}
+
+TEST_F(RunLogTest, ParseResultRejectsMissingFields) {
+  EXPECT_FALSE(RunLog::parse_result("{}").has_value());
+  EXPECT_FALSE(RunLog::parse_result("{\"index\":1}").has_value());
+  EXPECT_FALSE(RunLog::parse_result("").has_value());
+  // A full record parses.
+  std::ostringstream line;
+  explore::write_ndjson(line, {explore::EvalResult{}});
+  EXPECT_TRUE(RunLog::parse_result(line.str()).has_value());
+  // ... but an unknown variant name does not.
+  std::string broken = line.str();
+  const auto at = broken.find("symmetric");
+  broken.replace(at, 9, "symmetrix");
+  EXPECT_FALSE(RunLog::parse_result(broken).has_value());
+}
+
+TEST_F(RunLogTest, WarmedCacheServesAResumedRunWithoutRecompute) {
+  const explore::ScenarioSpec spec = sample_spec();
+  explore::ExploreEngine first;
+  const auto results = first.run(spec);
+  {
+    RunLog log(dir_);
+    for (const auto& result : results) log.append(result);
+  }
+
+  explore::ExploreEngine resumed;
+  const std::size_t warmed = RunLog::warm(RunLog::load(dir_), spec, resumed);
+  EXPECT_EQ(warmed, results.size());
+  const auto again = resumed.run(spec);
+  EXPECT_EQ(resumed.cache().stats().misses, 0u);  // nothing recomputed
+  ASSERT_EQ(again.size(), results.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_TRUE(again[i].from_cache);
+    EXPECT_DOUBLE_EQ(again[i].speedup, results[i].speedup);
+    EXPECT_EQ(again[i].feasible, results[i].feasible);
+  }
+}
+
+TEST_F(RunLogTest, PartialLogResumesToTheSameBestAsAnUninterruptedRun) {
+  const explore::ScenarioSpec spec = sample_spec();
+  explore::ExploreEngine uninterrupted;
+  const auto full = uninterrupted.run(spec);
+  const explore::EvalResult* expected = explore::best_result(full);
+  ASSERT_NE(expected, nullptr);
+
+  {
+    // Simulate a run killed halfway: only the first half reached disk.
+    RunLog log(dir_);
+    for (std::size_t i = 0; i < full.size() / 2; ++i) log.append(full[i]);
+  }
+  explore::ExploreEngine resumed;
+  RunLog::warm(RunLog::load(dir_), spec, resumed);
+  const auto results = resumed.run(spec);
+  // Only the un-persisted half is recomputed...
+  EXPECT_EQ(resumed.cache().stats().misses, full.size() - full.size() / 2);
+  // ... and the outcome matches the uninterrupted run exactly.
+  const explore::EvalResult* best = explore::best_result(results);
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->index, expected->index);
+  EXPECT_DOUBLE_EQ(best->speedup, expected->speedup);
+}
+
+TEST_F(RunLogTest, WarmSkipsRecordsForeignToTheSpec) {
+  explore::ExploreEngine engine;
+  const auto results = engine.run(sample_spec());
+  explore::ScenarioSpec other = sample_spec();
+  other.apps = {core::presets::fuzzy()};  // no kmeans/hop any more
+  explore::ExploreEngine target;
+  EXPECT_EQ(RunLog::warm(results, other, target), 0u);
+  EXPECT_EQ(target.cache().size(), 0u);
+}
+
+TEST_F(RunLogTest, MetaRoundTripsAndDetectsAbsence) {
+  EXPECT_FALSE(RunLog::read_meta(dir_).has_value());
+  const std::string config = "apps=a,b;budgets=64 with \"quotes\" and \\";
+  RunLog::write_meta(dir_, config);
+  const auto read = RunLog::read_meta(dir_);
+  ASSERT_TRUE(read.has_value());
+  EXPECT_EQ(*read, config);
+}
+
+TEST(NdjsonParser, HandlesTheFlatObjectSubset) {
+  const auto object =
+      parse_flat_object("{\"a\":1.5,\"b\":\"x,\\\"y\\\"\",\"c\":true}");
+  ASSERT_TRUE(object.has_value());
+  EXPECT_EQ(object->at("a"), "1.5");
+  EXPECT_EQ(object->at("b"), "x,\"y\"");
+  EXPECT_EQ(object->at("c"), "true");
+
+  EXPECT_TRUE(parse_flat_object("{}").has_value());
+  EXPECT_TRUE(parse_flat_object("  {\"k\":\"v\"}  ").has_value());
+  EXPECT_FALSE(parse_flat_object("").has_value());
+  EXPECT_FALSE(parse_flat_object("{").has_value());
+  EXPECT_FALSE(parse_flat_object("{\"k\":}").has_value());
+  EXPECT_FALSE(parse_flat_object("{\"k\":[1]}").has_value());
+  EXPECT_FALSE(parse_flat_object("{\"k\":{\"n\":1}}").has_value());
+  EXPECT_FALSE(parse_flat_object("{\"k\":\"v\"} trailing").has_value());
+  EXPECT_FALSE(parse_flat_object("{\"k\":\"unterminated").has_value());
+}
+
+}  // namespace
+}  // namespace mergescale::search

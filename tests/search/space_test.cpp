@@ -1,0 +1,118 @@
+#include "search/space.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/app_params.hpp"
+#include "explore/memo_cache.hpp"
+
+namespace mergescale::search {
+namespace {
+
+explore::ScenarioSpec sample_spec() {
+  explore::ScenarioSpec spec;
+  spec.name = "space-test";
+  spec.chip_budgets = {64.0, 256.0};
+  spec.apps = {core::presets::kmeans(), core::presets::hop()};
+  spec.growths = {core::GrowthFunction::linear(),
+                  core::GrowthFunction::logarithmic()};
+  spec.variants = {core::ModelVariant::kSymmetric,
+                   core::ModelVariant::kAsymmetric,
+                   core::ModelVariant::kSymmetricComm};
+  spec.topologies = {noc::Topology::kMesh2D, noc::Topology::kBus};
+  spec.small_core_sizes = {1.0, 4.0};
+  spec.sizes = {1.0, 16.0, 128.0};
+  return spec;
+}
+
+TEST(SearchSpace, SizeIsTheAxisProduct) {
+  const SearchSpace space(sample_spec());
+  // budgets(2) × apps(2) × growths(2) × variants(3) × topologies(2) ×
+  // smalls(2) × sizes(3)
+  EXPECT_EQ(space.size(), 2u * 2 * 2 * 3 * 2 * 2 * 3);
+  std::uint64_t product = 1;
+  for (std::size_t dim = 0; dim < SearchSpace::kDims; ++dim) {
+    product *= space.axis_size(dim);
+  }
+  EXPECT_EQ(space.size(), product);
+}
+
+TEST(SearchSpace, DecodeEncodeRoundTrips) {
+  const SearchSpace space(sample_spec());
+  for (std::uint64_t flat = 0; flat < space.size(); ++flat) {
+    const Coords coords = space.decode(flat);
+    for (std::size_t dim = 0; dim < SearchSpace::kDims; ++dim) {
+      EXPECT_LT(coords[dim], space.axis_size(dim));
+    }
+    EXPECT_EQ(space.encode(coords), flat);
+  }
+}
+
+TEST(SearchSpace, EmptySizesResolveToPowersOfTwoOfTheLargestBudget) {
+  explore::ScenarioSpec spec = sample_spec();
+  spec.sizes.clear();
+  const SearchSpace space(spec);
+  EXPECT_EQ(space.sizes(), core::power_of_two_sizes(256.0));
+}
+
+TEST(SearchSpace, SymmetricJobUsesTheSizeAxisAsR) {
+  const SearchSpace space(sample_spec());
+  explore::EvalJob job;
+  // budget 256, app hop, growth log, symmetric, any topology, any small,
+  // size 16.
+  ASSERT_TRUE(space.job_at(Coords{1, 1, 1, 0, 0, 1, 1}, &job));
+  EXPECT_EQ(job.request.variant, core::ModelVariant::kSymmetric);
+  EXPECT_DOUBLE_EQ(job.request.chip.n, 256.0);
+  EXPECT_EQ(job.request.app.name, "hop");
+  EXPECT_EQ(job.request.growth.name(),
+            core::GrowthFunction::logarithmic().name());
+  EXPECT_DOUBLE_EQ(job.request.r, 16.0);
+  EXPECT_DOUBLE_EQ(job.request.rl, 0.0);
+  EXPECT_EQ(job.topology, "-");
+}
+
+TEST(SearchSpace, AsymmetricJobPairsSmallAndLargeCores) {
+  const SearchSpace space(sample_spec());
+  explore::EvalJob job;
+  ASSERT_TRUE(space.job_at(Coords{1, 0, 0, 1, 0, 1, 1}, &job));
+  EXPECT_EQ(job.request.variant, core::ModelVariant::kAsymmetric);
+  EXPECT_DOUBLE_EQ(job.request.r, 4.0);    // small axis
+  EXPECT_DOUBLE_EQ(job.request.rl, 16.0);  // size axis
+}
+
+TEST(SearchSpace, CommJobCarriesTheTopology) {
+  const SearchSpace space(sample_spec());
+  explore::EvalJob job;
+  ASSERT_TRUE(space.job_at(Coords{0, 0, 0, 2, 1, 0, 0}, &job));
+  EXPECT_EQ(job.request.variant, core::ModelVariant::kSymmetricComm);
+  EXPECT_EQ(job.topology, "bus");
+  EXPECT_EQ(job.request.comm_growth.name(), "bus");
+}
+
+TEST(SearchSpace, OversizedCoresAreOutOfBounds) {
+  const SearchSpace space(sample_spec());
+  explore::EvalJob job;
+  // size 128 on the 64-BCE budget does not fit.
+  EXPECT_FALSE(space.job_at(Coords{0, 0, 0, 0, 0, 0, 2}, &job));
+  // ... but fits the 256-BCE budget.
+  EXPECT_TRUE(space.job_at(Coords{1, 0, 0, 0, 0, 0, 2}, &job));
+}
+
+TEST(SearchSpace, InertTopologyCoordinatesShareACacheKey) {
+  const SearchSpace space(sample_spec());
+  explore::EvalJob mesh_coord;
+  explore::EvalJob bus_coord;
+  // Symmetric variant: the topology coordinate must not change the job.
+  ASSERT_TRUE(space.job_at(Coords{0, 0, 0, 0, 0, 0, 0}, &mesh_coord));
+  ASSERT_TRUE(space.job_at(Coords{0, 0, 0, 0, 1, 0, 0}, &bus_coord));
+  EXPECT_EQ(explore::cache_key(mesh_coord.request),
+            explore::cache_key(bus_coord.request));
+}
+
+TEST(SearchSpace, RejectsAnInvalidSpec) {
+  explore::ScenarioSpec spec = sample_spec();
+  spec.apps.clear();
+  EXPECT_THROW(SearchSpace{spec}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mergescale::search

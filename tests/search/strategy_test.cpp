@@ -1,0 +1,208 @@
+#include "search/strategy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/app_params.hpp"
+#include "explore/report.hpp"
+
+namespace mergescale::search {
+namespace {
+
+/// A small spec whose exhaustive best is cheap to compute.
+explore::ScenarioSpec sample_spec() {
+  explore::ScenarioSpec spec;
+  spec.name = "strategy-test";
+  spec.chip_budgets = {64.0, 256.0};
+  spec.apps = {core::presets::kmeans(), core::presets::hop()};
+  spec.variants = {core::ModelVariant::kSymmetric,
+                   core::ModelVariant::kAsymmetric};
+  return spec;
+}
+
+double exhaustive_best(const explore::ScenarioSpec& spec) {
+  explore::ExploreEngine engine;
+  const auto results = engine.run(spec);
+  const explore::EvalResult* best = explore::best_result(results);
+  EXPECT_NE(best, nullptr);
+  return best->speedup;
+}
+
+TEST(Strategy, NamesRoundTrip) {
+  for (Strategy strategy :
+       {Strategy::kRandom, Strategy::kHillClimb, Strategy::kAnneal}) {
+    EXPECT_EQ(parse_strategy(strategy_name(strategy)), strategy);
+  }
+  EXPECT_THROW(parse_strategy("exhaustive"), std::invalid_argument);
+  EXPECT_THROW(parse_strategy(""), std::invalid_argument);
+}
+
+TEST(Strategy, EveryStrategyFindsTheExhaustiveBestGivenEnoughBudget) {
+  const explore::ScenarioSpec spec = sample_spec();
+  const double best = exhaustive_best(spec);
+  const SearchSpace space(spec);
+  for (Strategy strategy :
+       {Strategy::kRandom, Strategy::kHillClimb, Strategy::kAnneal}) {
+    explore::ExploreEngine engine;
+    SearchOptions options;
+    options.strategy = strategy;
+    options.budget = space.size();  // enough to exhaust the space
+    const SearchOutcome outcome = run_search(engine, space, options);
+    ASSERT_TRUE(outcome.found) << strategy_name(strategy);
+    EXPECT_DOUBLE_EQ(outcome.best.speedup, best) << strategy_name(strategy);
+  }
+}
+
+TEST(Strategy, TerminatesWhenTheBudgetExceedsTheSpace) {
+  // The reachable space is far smaller than the budget: the strategies
+  // must detect the stall (all proposals hitting the cache) and stop
+  // instead of spinning forever.
+  explore::ScenarioSpec spec = sample_spec();
+  spec.chip_budgets = {64.0};
+  spec.apps = {core::presets::kmeans()};
+  spec.variants = {core::ModelVariant::kSymmetric};
+  const SearchSpace space(spec);
+  for (Strategy strategy :
+       {Strategy::kRandom, Strategy::kHillClimb, Strategy::kAnneal}) {
+    explore::ExploreEngine engine;
+    SearchOptions options;
+    options.strategy = strategy;
+    options.budget = 1000000;
+    const SearchOutcome outcome = run_search(engine, space, options);
+    EXPECT_LE(outcome.evaluations, space.size()) << strategy_name(strategy);
+    EXPECT_TRUE(outcome.found) << strategy_name(strategy);
+  }
+}
+
+TEST(Strategy, DeterministicForAFixedSeed) {
+  const SearchSpace space(sample_spec());
+  for (Strategy strategy :
+       {Strategy::kRandom, Strategy::kHillClimb, Strategy::kAnneal}) {
+    SearchOptions options;
+    options.strategy = strategy;
+    options.budget = 40;
+    options.seed = 7;
+    explore::ExploreEngine engine_a;
+    explore::ExploreEngine engine_b;
+    const SearchOutcome a = run_search(engine_a, space, options);
+    const SearchOutcome b = run_search(engine_b, space, options);
+    EXPECT_EQ(a.proposals, b.proposals) << strategy_name(strategy);
+    EXPECT_EQ(a.evaluations, b.evaluations) << strategy_name(strategy);
+    ASSERT_EQ(a.found, b.found) << strategy_name(strategy);
+    if (a.found) {
+      EXPECT_DOUBLE_EQ(a.best.speedup, b.best.speedup)
+          << strategy_name(strategy);
+    }
+    ASSERT_EQ(a.trace.size(), b.trace.size()) << strategy_name(strategy);
+    for (std::size_t i = 0; i < a.trace.size(); ++i) {
+      EXPECT_EQ(a.trace[i].evaluations, b.trace[i].evaluations);
+      EXPECT_DOUBLE_EQ(a.trace[i].best_speedup, b.trace[i].best_speedup);
+    }
+  }
+}
+
+TEST(Strategy, TraceBestIsNondecreasingAndBudgetIsRespected) {
+  const SearchSpace space(sample_spec());
+  for (Strategy strategy :
+       {Strategy::kRandom, Strategy::kHillClimb, Strategy::kAnneal}) {
+    explore::ExploreEngine engine;
+    SearchOptions options;
+    options.strategy = strategy;
+    options.budget = 25;
+    const SearchOutcome outcome = run_search(engine, space, options);
+    // A batch is submitted whole, so the overshoot is bounded by one
+    // neighborhood / batch.
+    EXPECT_LE(outcome.evaluations,
+              options.budget + 2 * SearchSpace::kDims + options.batch)
+        << strategy_name(strategy);
+    double last = 0.0;
+    for (const TracePoint& point : outcome.trace) {
+      EXPECT_GE(point.best_speedup, last);
+      last = point.best_speedup;
+    }
+    EXPECT_EQ(outcome.evaluations,
+              engine.cache().stats().misses);
+  }
+}
+
+TEST(Strategy, FirstWithinFindsTheEarliestQualifyingTracePoint) {
+  SearchOutcome outcome;
+  outcome.trace = {{10, 50.0}, {20, 98.5}, {30, 99.5}, {40, 100.0}};
+  EXPECT_EQ(outcome.first_within(100.0, 0.01).evaluations, 30u);
+  EXPECT_EQ(outcome.first_within(100.0, 0.5).evaluations, 10u);
+  EXPECT_EQ(outcome.first_within(200.0, 0.01).evaluations, 0u);  // never
+}
+
+TEST(Strategy, WarmCacheDoesNotChargeTheBudget) {
+  const explore::ScenarioSpec spec = sample_spec();
+  const SearchSpace space(spec);
+  explore::ExploreEngine engine;
+  engine.run(spec);  // pre-warm every spec point
+  SearchOptions options;
+  options.strategy = Strategy::kRandom;
+  options.budget = 1000000;
+  const SearchOutcome outcome = run_search(engine, space, options);
+  // Every spec-reachable proposal is a hit; only grid points outside the
+  // spec's expansion (none here — axes coincide) would miss.
+  EXPECT_EQ(outcome.evaluations, 0u);
+  EXPECT_TRUE(outcome.found);
+}
+
+TEST(Strategy, ResumedRunContinuesTheSameBudget) {
+  // A run killed partway and resumed must land on the same best design
+  // as an uninterrupted run of the full budget: the resumed run replays
+  // the identical proposal sequence (same seed), serves the prior
+  // trajectory from the warm cache, and stops at the same total spend.
+  const explore::ScenarioSpec spec = sample_spec();
+  const SearchSpace space(spec);
+  for (Strategy strategy :
+       {Strategy::kRandom, Strategy::kHillClimb, Strategy::kAnneal}) {
+    SearchOptions full;
+    full.strategy = strategy;
+    full.budget = 60;
+    full.seed = 11;
+    explore::ExploreEngine uninterrupted;
+    const SearchOutcome reference = run_search(uninterrupted, space, full);
+
+    // "Kill" after a 20-evaluation slice of the same budget...
+    SearchOptions slice = full;
+    slice.budget = 20;
+    explore::ExploreEngine engine;
+    const SearchOutcome partial = run_search(engine, space, slice);
+    // ... and resume against the warm cache with the prior spend counted.
+    SearchOptions rest = full;
+    rest.already_spent = partial.evaluations;
+    const SearchOutcome resumed = run_search(engine, space, rest);
+
+    EXPECT_EQ(resumed.evaluations, reference.evaluations)
+        << strategy_name(strategy);
+    ASSERT_EQ(resumed.found, reference.found) << strategy_name(strategy);
+    if (reference.found) {
+      EXPECT_DOUBLE_EQ(resumed.best.speedup, reference.best.speedup)
+          << strategy_name(strategy);
+    }
+  }
+}
+
+TEST(Strategy, ExhaustedBudgetAtResumeRunsNothing) {
+  const SearchSpace space(sample_spec());
+  explore::ExploreEngine engine;
+  SearchOptions options;
+  options.budget = 50;
+  options.already_spent = 50;
+  const SearchOutcome outcome = run_search(engine, space, options);
+  EXPECT_EQ(outcome.proposals, 0u);
+  EXPECT_EQ(outcome.evaluations, 50u);  // the prior spend, nothing fresh
+  EXPECT_FALSE(outcome.found);
+  EXPECT_EQ(engine.cache().stats().misses, 0u);
+}
+
+TEST(Strategy, RejectsAZeroBudget) {
+  const SearchSpace space(sample_spec());
+  explore::ExploreEngine engine;
+  SearchOptions options;
+  options.budget = 0;
+  EXPECT_THROW(run_search(engine, space, options), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mergescale::search
