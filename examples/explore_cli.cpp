@@ -2,8 +2,11 @@
 // src/explore/ and src/search/.  One invocation expands a declarative
 // scenario (chip budgets × apps × growth functions × model variants ×
 // topologies), then either enumerates it exhaustively over a thread team
-// or searches it adaptively (random / hill-climb / anneal) under an
-// evaluation budget.  Results stream into an optional run directory as
+// or searches it adaptively (random / hill-climb / anneal / genetic /
+// pareto) under a hard evaluation budget.  The pareto strategy trades
+// speedup against a cost metric (--cost-metric area|cores) and reports
+// its incremental non-dominated archive with a hypervolume summary.
+// Results stream into an optional run directory as
 // append-only NDJSON, so a killed run resumed with --resume continues
 // where it stopped instead of recomputing.
 //
@@ -74,6 +77,13 @@ core::GrowthFunction growth_from_name(const std::string& name) {
                               " (expected linear|log|parallel)");
 }
 
+explore::CostMetric cost_metric_from(const std::string& name) {
+  if (name == "area") return explore::CostMetric::kCoreArea;
+  if (name == "cores") return explore::CostMetric::kCoreCount;
+  throw std::invalid_argument("unknown cost metric: " + name +
+                              " (expected area|cores)");
+}
+
 double seconds_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        start)
@@ -101,9 +111,19 @@ std::string run_config(const util::Cli& cli) {
          << ";f=" << cli.get_double("f") << ";fcon=" << cli.get_double("fcon")
          << ";fored=" << cli.get_double("fored")
          << ";strategy=" << cli.get_string("strategy");
-  if (cli.get_string("strategy") != "exhaustive") {
+  const std::string strategy = cli.get_string("strategy");
+  if (strategy != "exhaustive") {
     config << ";seed=" << cli.get_int("seed")
            << ";batch=" << cli.get_int("batch");
+  }
+  // Population shapes the generation batches and the cost metric shapes
+  // the pareto parent pool, so both are part of the proposal sequence
+  // those strategies would replay on resume.
+  if (strategy == "genetic" || strategy == "pareto") {
+    config << ";population=" << cli.get_int("population");
+  }
+  if (strategy == "pareto") {
+    config << ";cost-metric=" << cli.get_string("cost-metric");
   }
   return config.str();
 }
@@ -169,12 +189,16 @@ int main(int argc, char** argv) try {
   cli.opt("out", std::string("explore_results"),
           "output prefix for <out>.csv and <out>.ndjson");
   cli.opt("strategy", std::string("exhaustive"),
-          "exhaustive|random|hill-climb|anneal");
+          "exhaustive|random|hill-climb|anneal|genetic|pareto");
   cli.opt("budget", static_cast<long long>(2000),
-          "max unique evaluations for the adaptive strategies");
+          "max unique evaluations for the adaptive strategies (hard cap)");
   cli.opt("seed", static_cast<long long>(1), "search RNG seed");
   cli.opt("batch", static_cast<long long>(64),
           "random-search proposals per round");
+  cli.opt("population", static_cast<long long>(32),
+          "genetic/pareto individuals per generation");
+  cli.opt("cost-metric", std::string("area"),
+          "search Pareto-archive cost axis: area | cores");
   cli.opt("run-dir", std::string(),
           "persist fresh evaluations to <dir>/results.ndjson");
   cli.opt("resume", std::string(),
@@ -213,12 +237,11 @@ int main(int argc, char** argv) try {
   }
   spec.comp_share = cli.get_double("comp-share");
 
-  const explore::CostMetric cost = [&] {
-    const std::string name = cli.get_string("cost");
-    if (name == "area") return explore::CostMetric::kCoreArea;
-    if (name == "cores") return explore::CostMetric::kCoreCount;
-    throw std::invalid_argument("unknown cost metric: " + name);
-  }();
+  const explore::CostMetric cost = cost_metric_from(cli.get_string("cost"));
+  // Validated up front so a typo fails loudly even when the exhaustive
+  // path (which does not use it) is taken.
+  const explore::CostMetric search_cost =
+      cost_metric_from(cli.get_string("cost-metric"));
 
   const std::string strategy_text = cli.get_string("strategy");
   const bool adaptive = strategy_text != "exhaustive";
@@ -297,6 +320,9 @@ int main(int argc, char** argv) try {
     search_options.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
     search_options.batch =
         static_cast<std::size_t>(std::max<long long>(1, cli.get_int("batch")));
+    search_options.population = static_cast<std::size_t>(
+        std::max<long long>(2, cli.get_int("population")));
+    search_options.cost_metric = search_cost;
     // A resumed run continues the *same* budget: the warm-loaded log is
     // what the killed run already spent, so the sum of fresh evaluations
     // across all resumes never exceeds --budget and the final best
@@ -334,6 +360,32 @@ int main(int argc, char** argv) try {
       return 1;
     }
     print_best(*best);
+    if (search_options.strategy == search::Strategy::kPareto) {
+      const double ref_cost = explore::hypervolume_ref_cost(spec);
+      const explore::CostMetric archive_cost = search_options.cost_metric;
+      // The replayed trajectory normally rebuilds the prior archive; the
+      // already-exhausted-at-resume corner (no rounds run) does not, so
+      // fold the prior records in — archive_summary/hypervolume reduce
+      // to the non-dominated set anyway.
+      std::vector<explore::EvalResult> archive = outcome.archive;
+      archive.insert(archive.end(), prior_records.begin(),
+                     prior_records.end());
+      const std::size_t points =
+          explore::pareto_frontier(archive, archive_cost).size();
+      std::cout << "archive: " << points
+                << " non-dominated points, hypervolume "
+                << util::format_double(
+                       explore::hypervolume(archive, archive_cost, ref_cost),
+                       2)
+                << "\n";
+      explore::archive_summary(archive, archive_cost, ref_cost)
+          .print(std::cout,
+                 std::string("Pareto archive (speedup vs. ") +
+                     (archive_cost == explore::CostMetric::kCoreArea
+                          ? "core area"
+                          : "core count") +
+                     ")");
+    }
     return 0;
   }
 

@@ -1,6 +1,8 @@
 #include "explore/engine.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <thread>
 
 #include "util/check.hpp"
@@ -8,6 +10,17 @@
 namespace mergescale::explore {
 
 namespace {
+
+/// Wraps core::evaluate, demoting a non-finite speedup to infeasible: a
+/// value no design comparison can use, and one the NDJSON persistence
+/// has no number form for (it writes `null`, which loads back as
+/// infeasible) — demoting at evaluation time keeps live runs and
+/// log-resumed replays identical.
+EvalOutcome evaluate_outcome(const core::EvalRequest& request) {
+  const auto point = core::evaluate(request);
+  if (!point || !std::isfinite(point->speedup)) return EvalOutcome{};
+  return EvalOutcome{true, *point};
+}
 
 /// Jobs claimed per queue pop — amortizes the atomic increment across the
 /// very cheap analytical evaluations.
@@ -38,13 +51,11 @@ EvalResult compute(const EvalJob& job, MemoCache* cache, bool use_cache) {
     if (cache->lookup(key, &outcome)) {
       result.from_cache = true;
     } else {
-      const auto point = core::evaluate(job.request);
-      outcome = point ? EvalOutcome{true, *point} : EvalOutcome{};
+      outcome = evaluate_outcome(job.request);
       cache->insert(key, outcome);
     }
   } else {
-    const auto point = core::evaluate(job.request);
-    outcome = point ? EvalOutcome{true, *point} : EvalOutcome{};
+    outcome = evaluate_outcome(job.request);
   }
 
   result.feasible = outcome.feasible;
@@ -59,6 +70,14 @@ EvalResult compute(const EvalJob& job, MemoCache* cache, bool use_cache) {
 }
 
 }  // namespace
+
+double cost_of(const EvalResult& result, CostMetric metric) noexcept {
+  switch (metric) {
+    case CostMetric::kCoreArea: return std::max(result.r, result.rl);
+    case CostMetric::kCoreCount: return result.cores;
+  }
+  return 0.0;
+}
 
 ExploreEngine::ExploreEngine(EngineOptions options)
     : options_(options),

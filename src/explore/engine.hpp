@@ -40,6 +40,17 @@ struct EvalResult {
   bool from_cache = false;     ///< served by the memo cache
 };
 
+/// Cost axis for Pareto-style comparisons of results (the speedup axis
+/// is always EvalResult::speedup).  Lives here rather than in report so
+/// the search layer can name it without depending on presentation code.
+enum class CostMetric {
+  kCoreArea,   ///< area of the largest core, max(r, rl), in BCEs
+  kCoreCount,  ///< total number of cores on the chip
+};
+
+/// Cost of one (feasible) result under `metric`.
+double cost_of(const EvalResult& result, CostMetric metric) noexcept;
+
 /// Engine configuration.
 struct EngineOptions {
   int threads = 0;             ///< worker count; 0 = hardware concurrency

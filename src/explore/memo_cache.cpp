@@ -103,6 +103,12 @@ bool MemoCache::lookup(const CacheKey& key, EvalOutcome* out) const {
   return true;
 }
 
+bool MemoCache::contains(const CacheKey& key) const {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.map.find(key) != shard.map.end();
+}
+
 void MemoCache::insert(const CacheKey& key, const EvalOutcome& outcome) {
   Shard& shard = shard_for(key);
   std::lock_guard<std::mutex> lock(shard.mu);

@@ -74,6 +74,12 @@ class MemoCache {
   /// the hit/miss counters.
   bool lookup(const CacheKey& key, EvalOutcome* out) const;
 
+  /// Whether `key` is memoized, *without* touching the hit/miss
+  /// counters.  The search layer probes this to plan batch submissions:
+  /// misses are the budget currency, so a planning probe must not be
+  /// mistaken for an evaluation.
+  bool contains(const CacheKey& key) const;
+
   /// Inserts (or overwrites) the outcome for `key`.
   void insert(const CacheKey& key, const EvalOutcome& outcome);
 

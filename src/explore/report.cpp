@@ -1,10 +1,12 @@
 #include "explore/report.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <ostream>
 #include <sstream>
 
+#include "util/check.hpp"
 #include "util/json.hpp"
 
 namespace mergescale::explore {
@@ -29,8 +31,12 @@ std::string compact(double value) {
 
 /// Full-precision rendering for the NDJSON persistence path: 17
 /// significant digits round-trip any double exactly, so a resumed run
-/// re-reads the very values it computed.
+/// re-reads the very values it computed.  Non-finite values have no JSON
+/// number form — "%.17g" would emit `inf`/`nan` and invalidate the whole
+/// line, which RunLog::load silently skips — so they render as `null`
+/// and load back as infeasible.
 std::string precise(double value) {
+  if (!std::isfinite(value)) return "null";
   char buf[40];
   std::snprintf(buf, sizeof(buf), "%.17g", value);
   return buf;
@@ -62,14 +68,6 @@ std::vector<EvalResult> top_k(const std::vector<EvalResult>& results,
   return feasible;
 }
 
-double cost_of(const EvalResult& result, CostMetric metric) noexcept {
-  switch (metric) {
-    case CostMetric::kCoreArea: return std::max(result.r, result.rl);
-    case CostMetric::kCoreCount: return result.cores;
-  }
-  return 0.0;
-}
-
 std::vector<EvalResult> pareto_frontier(const std::vector<EvalResult>& results,
                                         CostMetric metric) {
   std::vector<EvalResult> feasible;
@@ -96,6 +94,66 @@ std::vector<EvalResult> pareto_frontier(const std::vector<EvalResult>& results,
     }
   }
   return frontier;
+}
+
+double hypervolume_ref_cost(const ScenarioSpec& spec) {
+  MS_CHECK(!spec.chip_budgets.empty(),
+           "hypervolume reference needs at least one chip budget");
+  return *std::max_element(spec.chip_budgets.begin(),
+                           spec.chip_budgets.end()) +
+         1.0;
+}
+
+double hypervolume(const std::vector<EvalResult>& frontier, CostMetric metric,
+                   double ref_cost) {
+  // Reduce to the true non-dominated subset (sorted, speedup strictly
+  // increasing with cost) so overlapping rectangles never double-count.
+  const std::vector<EvalResult> clean = pareto_frontier(frontier, metric);
+  double volume = 0.0;
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    const double cost = cost_of(clean[i], metric);
+    if (cost >= ref_cost) break;
+    // Point i dominates the cost slice [cost_i, cost_{i+1}) up to its own
+    // speedup; later (costlier) points only ever dominate *more* speedup.
+    const double next = i + 1 < clean.size()
+                            ? std::min(cost_of(clean[i + 1], metric), ref_cost)
+                            : ref_cost;
+    volume += (next - cost) * clean[i].speedup;
+  }
+  return volume;
+}
+
+util::Table archive_summary(const std::vector<EvalResult>& archive,
+                            CostMetric metric, double ref_cost) {
+  const std::vector<EvalResult> clean = pareto_frontier(archive, metric);
+  util::Table table({"cost", "speedup", "hv share", "variant", "n", "app",
+                     "growth", "topology", "r", "rl"});
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    const double cost = cost_of(clean[i], metric);
+    double share = 0.0;
+    if (cost < ref_cost) {
+      const double next =
+          i + 1 < clean.size()
+              ? std::min(cost_of(clean[i + 1], metric), ref_cost)
+              : ref_cost;
+      // The cost slice this point is the best dominator of, times its
+      // speedup: the slab decomposition of the hypervolume, so the
+      // column sums to hypervolume(archive, metric, ref_cost).
+      share = (next - cost) * clean[i].speedup;
+    }
+    table.new_row()
+        .cell(compact(cost))
+        .num(clean[i].speedup, 3)
+        .num(share, 3)
+        .cell(std::string(core::model_variant_name(clean[i].variant)))
+        .cell(compact(clean[i].n))
+        .cell(clean[i].app)
+        .cell(clean[i].growth)
+        .cell(clean[i].topology)
+        .cell(compact(clean[i].r))
+        .cell(compact(clean[i].rl));
+  }
+  return table;
 }
 
 util::Table to_table(const std::vector<EvalResult>& results) {
@@ -145,9 +203,8 @@ util::Table strategy_comparison(
         .num(eval_share, 1)
         .num(summary.best_speedup, 3)
         .num(gap, 2)
-        .cell(summary.to_within_1pct == 0
-                  ? "-"
-                  : std::to_string(summary.to_within_1pct));
+        .cell(summary.converged ? std::to_string(summary.to_within_1pct)
+                                : "-");
   };
   row(baseline);
   for (const auto& summary : strategies) row(summary);

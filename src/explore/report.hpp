@@ -23,21 +23,34 @@ const EvalResult* best_result(const std::vector<EvalResult>& results) noexcept;
 std::vector<EvalResult> top_k(const std::vector<EvalResult>& results,
                               std::size_t k);
 
-/// Cost axis of the Pareto frontier.
-enum class CostMetric {
-  kCoreArea,   ///< area of the largest core, max(r, rl), in BCEs
-  kCoreCount,  ///< total number of cores on the chip
-};
-
-/// Cost of one (feasible) result under `metric`.
-double cost_of(const EvalResult& result, CostMetric metric) noexcept;
-
 /// 2-D Pareto frontier over feasible results: maximize speedup, minimize
 /// cost.  Returns the non-dominated set sorted by cost ascending (one
 /// result per cost value, the speedup-best; ties toward lower index), so
 /// speedup is strictly increasing along the returned vector.
 std::vector<EvalResult> pareto_frontier(const std::vector<EvalResult>& results,
                                         CostMetric metric);
+
+/// 2-D hypervolume of a non-dominated set (maximize speedup, minimize
+/// cost) against the reference point (`ref_cost`, speedup 0): the area of
+/// the cost × speedup region dominated by at least one frontier point.
+/// `frontier` need not be sorted; dominated members contribute nothing
+/// and points at or beyond `ref_cost` are ignored, so the value is a
+/// faithful quality measure for any archive, exact frontier or not.
+double hypervolume(const std::vector<EvalResult>& frontier, CostMetric metric,
+                   double ref_cost);
+
+/// Canonical hypervolume reference cost for designs of `spec`: just
+/// beyond the largest chip budget, which bounds both cost metrics (no
+/// core — and no core count — can exceed the chip), so every frontier
+/// point contributes.
+double hypervolume_ref_cost(const ScenarioSpec& spec);
+
+/// Renders a Pareto archive as a table (cost ascending): per point the
+/// cost, speedup, and its hypervolume share against `ref_cost` (the cost
+/// slice it dominates, times its speedup), plus the design coordinates.
+/// The shares sum to hypervolume(archive, metric, ref_cost).
+util::Table archive_summary(const std::vector<EvalResult>& archive,
+                            CostMetric metric, double ref_cost);
 
 /// Renders results as a util::Table (one row per result, header
 /// scenario/variant/n/app/growth/topology/r/rl/cores/feasible/speedup/
@@ -58,7 +71,11 @@ struct StrategySummary {
   std::uint64_t evaluations = 0;   ///< unique model evaluations consumed
   double best_speedup = 0.0;       ///< best feasible speedup found
   std::uint64_t to_within_1pct = 0;  ///< evaluations until within 1% of
-                                     ///< the baseline best (0 = never)
+                                     ///< the baseline best
+  /// Whether the strategy reached within 1% at all.  Kept separate from
+  /// `to_within_1pct` because 0 evaluations is a legitimate convergence
+  /// point (a warm-loaded resume can start inside 1%), not a sentinel.
+  bool converged = false;
 };
 
 /// Renders a comparison of adaptive strategies against the exhaustive

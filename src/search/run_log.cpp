@@ -87,9 +87,19 @@ std::optional<explore::EvalResult> RunLog::parse_result(
     const auto it = object->find(key);
     return it == object->end() ? nullptr : &it->second;
   };
+  // Non-finite doubles have no JSON number form; the writer emits `null`
+  // for them.  Parse null as 0.0 but remember we saw one: the record
+  // loads as infeasible rather than being dropped, so a resumed run
+  // still charges it to the warm cache instead of re-spending budget.
+  bool saw_null = false;
   auto number = [&](std::string_view key) -> std::optional<double> {
     const std::string* raw = text(key);
-    return raw ? to_double(*raw) : std::nullopt;
+    if (raw == nullptr) return std::nullopt;
+    if (*raw == "null") {
+      saw_null = true;
+      return 0.0;
+    }
+    return to_double(*raw);
   };
   auto boolean = [&](std::string_view key) -> std::optional<bool> {
     const std::string* raw = text(key);
@@ -134,6 +144,14 @@ std::optional<explore::EvalResult> RunLog::parse_result(
   result.feasible = *feasible;
   result.speedup = *speedup;
   result.from_cache = *cached;
+  if (saw_null) {
+    // A non-finite value means the evaluation produced nothing a model
+    // comparison can use; keep the design point (so resume still skips
+    // it) but mark it infeasible.
+    result.feasible = false;
+    result.cores = 0.0;
+    result.speedup = 0.0;
+  }
   return result;
 }
 
@@ -183,21 +201,39 @@ std::size_t RunLog::warm(const std::vector<explore::EvalResult>& records,
 
 void RunLog::write_meta(const std::string& dir, const std::string& config) {
   std::filesystem::create_directories(dir);
-  std::ofstream out(meta_path(dir), std::ios::trunc);
-  if (!out) throw std::runtime_error("run log: cannot open " + meta_path(dir));
+  const std::string path = meta_path(dir);
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("run log: cannot open " + path);
   out << "{\"config\":\"" << util::json_escape(config) << "\"}\n";
+  // meta.json is what makes a run directory resumable at all; flush and
+  // verify the write so a full disk or an early crash surfaces here as
+  // an error instead of later as a silently unresumable directory.
+  out.flush();
+  if (!out.good()) {
+    throw std::runtime_error("run log: failed to write " + path);
+  }
 }
 
 std::optional<std::string> RunLog::read_meta(const std::string& dir) {
   std::ifstream in(meta_path(dir));
-  if (!in) return std::nullopt;
+  if (!in) return std::nullopt;  // missing: the directory was never recorded
+  // The file exists, so anything unreadable past this point is corruption
+  // (e.g. a crash truncated the write) and deserves a loud error —
+  // treating it as "missing" would let a fresh run silently overwrite a
+  // directory that does hold recorded results.
   std::string line;
-  if (!std::getline(in, line)) return std::nullopt;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("run log: " + meta_path(dir) +
+                             " is empty — truncated by a crash? Delete the "
+                             "run directory to start over");
+  }
   const auto object = parse_flat_object(line);
-  if (!object) return std::nullopt;
-  const auto it = object->find("config");
-  if (it == object->end()) return std::nullopt;
-  return it->second;
+  if (!object || object->find("config") == object->end()) {
+    throw std::runtime_error("run log: " + meta_path(dir) +
+                             " is corrupt (not a {\"config\":...} record); "
+                             "delete the run directory to start over");
+  }
+  return object->find("config")->second;
 }
 
 }  // namespace mergescale::search

@@ -43,7 +43,9 @@ class RunLog {
 
   /// Parses every well-formed record of `<dir>/results.ndjson`.  A
   /// missing file yields an empty vector; malformed or torn lines are
-  /// skipped.
+  /// skipped.  Records whose numeric fields were non-finite (written as
+  /// `null`) load as infeasible rather than being dropped, so a resumed
+  /// run does not re-spend budget on them.
   static std::vector<explore::EvalResult> load(const std::string& dir);
 
   /// Decodes one log line (exposed for round-trip tests).
@@ -58,10 +60,16 @@ class RunLog {
                           const explore::ScenarioSpec& spec,
                           explore::ExploreEngine& engine);
 
-  /// Writes `<dir>/meta.json` recording `config` (creates `dir`).
+  /// Writes `<dir>/meta.json` recording `config` (creates `dir`).  The
+  /// write is flushed and verified; throws std::runtime_error when it
+  /// cannot be completed, so a run never starts with a meta record that
+  /// would leave the directory unresumable.
   static void write_meta(const std::string& dir, const std::string& config);
 
-  /// Reads the config string back; std::nullopt when absent or malformed.
+  /// Reads the config string back.  std::nullopt when the file is
+  /// missing (the directory was never recorded); throws
+  /// std::runtime_error when the file exists but is empty or malformed
+  /// (a crash-truncated write), since that is corruption, not absence.
   static std::optional<std::string> read_meta(const std::string& dir);
 
  private:

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 #include <stdexcept>
 #include <unordered_map>
 #include <unordered_set>
@@ -23,18 +24,52 @@ namespace {
 /// registers as progress rather than as a stall.
 constexpr std::uint64_t kMaxStallRounds = 64;
 
+/// Folds one entry into a 2-D frontier kept cost ascending with strictly
+/// increasing speedup and one entry per cost value — the incremental
+/// form of the invariants explore::pareto_frontier establishes for a
+/// full sweep.  Shared by the outcome archive (EvalResult entries) and
+/// the kPareto parent pool (coordinate entries); `cost_fn`/`speedup_fn`
+/// project the objectives out of an entry.
+template <typename Entry, typename CostFn, typename SpeedupFn>
+void fold_into_frontier(std::vector<Entry>& frontier, Entry entry,
+                        CostFn cost_fn, SpeedupFn speedup_fn) {
+  const double cost = cost_fn(entry);
+  const double speedup = speedup_fn(entry);
+  auto slot = std::lower_bound(
+      frontier.begin(), frontier.end(), cost,
+      [&](const Entry& member, double c) { return cost_fn(member) < c; });
+  if (slot != frontier.end() && cost_fn(*slot) == cost) {
+    if (speedup <= speedup_fn(*slot)) return;  // dominated twin
+    *slot = std::move(entry);
+  } else {
+    if (slot != frontier.begin() &&
+        speedup_fn(*std::prev(slot)) >= speedup) {
+      return;  // a cheaper entry is at least as fast
+    }
+    slot = frontier.insert(slot, std::move(entry));
+  }
+  // Drop costlier members the improved entry now dominates.
+  const auto tail = std::next(slot);
+  auto done = tail;
+  while (done != frontier.end() && speedup_fn(*done) <= speedup) ++done;
+  frontier.erase(tail, done);
+}
+
 /// Funnels candidate coordinates through the engine: batches become job
 /// lists (parallel + memoized), out-of-bounds points short-circuit to
 /// infeasible placeholders, fresh evaluations stream into the run log,
-/// and the incumbent best is tracked as results arrive.
+/// and the incumbent best and the Pareto archive are maintained as
+/// results arrive.
 class Funnel {
  public:
   Funnel(explore::ExploreEngine& engine, const SearchSpace& space,
-         RunLog* log, SearchOutcome* outcome, std::uint64_t already_spent)
+         RunLog* log, SearchOutcome* outcome, std::uint64_t already_spent,
+         explore::CostMetric metric)
       : engine_(engine),
         space_(space),
         log_(log),
         outcome_(outcome),
+        metric_(metric),
         already_spent_(already_spent),
         base_misses_(engine.cache().stats().misses) {}
 
@@ -42,6 +77,46 @@ class Funnel {
   /// misses of this run plus whatever a resumed predecessor spent.
   std::uint64_t evaluations() const {
     return already_spent_ + engine_.cache().stats().misses - base_misses_;
+  }
+
+  /// Evaluations the run may still spend.  Every strategy bounds its
+  /// next batch by this (via affordable_prefix), which makes `budget` a
+  /// hard cap.
+  std::uint64_t remaining(std::uint64_t budget) const {
+    const std::uint64_t spent = evaluations();
+    return budget > spent ? budget - spent : 0;
+  }
+
+  /// Length of the longest prefix of `batch` whose *fresh* proposals —
+  /// distinct in-bounds keys not yet memoized, each a guaranteed cache
+  /// miss — number at most `room`.  Already-cached and out-of-bounds
+  /// coordinates are free, which is what lets a resumed run replay its
+  /// predecessor's warm trajectory without tripping budget starvation:
+  /// the cut condition (fresh > room) lands on the same batch element in
+  /// a resumed run as in an uninterrupted one, because every key the
+  /// predecessor already paid for is warm and `room` is smaller by
+  /// exactly the amount it paid.
+  std::size_t affordable_prefix(const std::vector<Coords>& batch,
+                                std::uint64_t room) const {
+    std::size_t length = 0;
+    std::uint64_t fresh = 0;
+    // Full keys, not fingerprints: an undercount here would overshoot
+    // the hard budget cap.
+    std::unordered_set<explore::CacheKey, explore::CacheKeyHash> planned;
+    for (const Coords& coords : batch) {
+      explore::EvalJob job;
+      if (space_.job_at(coords, &job)) {
+        explore::CacheKey key = explore::cache_key(job.request);
+        if (!engine_.cache().contains(key) &&
+            planned.find(key) == planned.end()) {
+          if (fresh == room) break;  // this proposal would overflow
+          ++fresh;
+          planned.insert(std::move(key));
+        }
+      }
+      ++length;
+    }
+    return length;
   }
 
   double best_speedup() const noexcept {
@@ -73,6 +148,10 @@ class Funnel {
     for (std::size_t i = 0; i < batch.size(); ++i) {
       explore::EvalJob job;
       if (!space_.job_at(batch[i], &job)) continue;
+      // Only in-bounds coordinates count as proposals: out-of-bounds ones
+      // never become jobs, so counting them would inflate the
+      // proposals/evaluations ratio in traces and reports.
+      ++outcome_->proposals;
       explore::CacheKey key = explore::cache_key(job.request);
       proposed_.insert(explore::CacheKeyHash{}(key));
       const auto [it, inserted] =
@@ -83,7 +162,6 @@ class Funnel {
       }
       job_of[i] = it->second;
     }
-    outcome_->proposals += batch.size();
 
     const std::vector<explore::EvalResult> evaluated = engine_.run(jobs);
     for (const explore::EvalResult& result : evaluated) {
@@ -93,6 +171,7 @@ class Funnel {
         outcome_->found = true;
         outcome_->best = result;
       }
+      update_archive(result);
     }
     std::vector<explore::EvalResult> results(batch.size());
     for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -107,10 +186,22 @@ class Funnel {
   }
 
  private:
+  /// Folds one result into the outcome's incremental Pareto archive.
+  void update_archive(const explore::EvalResult& result) {
+    if (!result.feasible) return;
+    fold_into_frontier(
+        outcome_->archive, result,
+        [this](const explore::EvalResult& r) {
+          return explore::cost_of(r, metric_);
+        },
+        [](const explore::EvalResult& r) { return r.speedup; });
+  }
+
   explore::ExploreEngine& engine_;
   const SearchSpace& space_;
   RunLog* log_;
   SearchOutcome* outcome_;
+  explore::CostMetric metric_;
   std::uint64_t already_spent_;
   std::uint64_t base_misses_;
   /// Key fingerprints of every in-bounds point proposed this run.  A
@@ -131,17 +222,35 @@ double value_of(const explore::EvalResult& result) noexcept {
   return result.feasible ? result.speedup : 0.0;
 }
 
+/// Perturbs `coords[dim]`: mostly a ±1 step, occasionally (1 in 8) a
+/// full-axis jump that escapes plateaus single steps cannot cross.  The
+/// shared move kernel of anneal, genetic mutation, and pareto mutation.
+void mutate_axis(const SearchSpace& space, util::Xoshiro256& rng,
+                 std::size_t dim, Coords& coords) {
+  const std::size_t axis = space.axis_size(dim);
+  if (axis <= 1) return;
+  if (rng.bounded(8) == 0) {
+    coords[dim] = static_cast<std::size_t>(rng.bounded(axis));
+  } else if (coords[dim] == 0) {
+    coords[dim] = 1;
+  } else if (coords[dim] + 1 >= axis) {
+    --coords[dim];
+  } else if (rng.bounded(2) == 0) {
+    ++coords[dim];
+  } else {
+    --coords[dim];
+  }
+}
+
 void random_search(Funnel& funnel, const SearchSpace& space,
                    const SearchOptions& options, util::Xoshiro256& rng) {
   const std::size_t batch_size = std::max<std::size_t>(1, options.batch);
   std::uint64_t stalls = 0;
   while (funnel.evaluations() < options.budget && stalls < kMaxStallRounds) {
     // Clamp the round to the remaining budget: proposals can only consume
-    // at most one evaluation each, so overshoot stays bounded by the
-    // proposals-to-misses slack, not the nominal batch size.
+    // at most one evaluation each, so the budget is never overshot.
     const std::size_t round = static_cast<std::size_t>(
-        std::min<std::uint64_t>(batch_size,
-                                options.budget - funnel.evaluations()));
+        std::min<std::uint64_t>(batch_size, funnel.remaining(options.budget)));
     std::vector<Coords> batch;
     batch.reserve(round);
     for (std::size_t i = 0; i < round; ++i) {
@@ -185,7 +294,24 @@ void hill_climb(Funnel& funnel, const SearchSpace& space,
     ++outcome->restarts;
     for (;;) {
       if (funnel.evaluations() >= options.budget) break;
-      const std::vector<Coords> neighbors = neighbors_of(space, current);
+      std::vector<Coords> neighbors = neighbors_of(space, current);
+      // A full 2×kDims neighborhood submitted after only checking
+      // `evaluations() < budget` could overshoot the unique-evaluation
+      // cap by up to 2×kDims − 1.  When the whole neighborhood no longer
+      // fits the remaining budget, spend the tail on the affordable
+      // prefix (its results still update the incumbent best) and stop:
+      // a fair step decision needs the full neighborhood, and stopping
+      // here keeps an interrupted run's proposals a prefix of an
+      // uninterrupted run's — which is what makes warm-cache resume
+      // replay exact.
+      const std::size_t affordable = funnel.affordable_prefix(
+          neighbors, funnel.remaining(options.budget));
+      if (affordable < neighbors.size()) {
+        neighbors.resize(affordable);
+        funnel.evaluate(neighbors);
+        funnel.record_trace();
+        return;
+      }
       const std::vector<explore::EvalResult> results =
           funnel.evaluate(neighbors);
       std::size_t best_index = neighbors.size();
@@ -218,25 +344,10 @@ void anneal(Funnel& funnel, const SearchSpace& space,
     double temperature = options.t0;
     while (temperature > options.t_min &&
            funnel.evaluations() < options.budget) {
-      // Mostly local ±1 moves; an occasional full-axis jump escapes
-      // plateaus that single steps cannot cross.
       Coords candidate = current;
       const auto dim =
           static_cast<std::size_t>(rng.bounded(SearchSpace::kDims));
-      const std::size_t axis = space.axis_size(dim);
-      if (axis > 1) {
-        if (rng.bounded(8) == 0) {
-          candidate[dim] = static_cast<std::size_t>(rng.bounded(axis));
-        } else if (candidate[dim] == 0) {
-          candidate[dim] = 1;
-        } else if (candidate[dim] + 1 >= axis) {
-          --candidate[dim];
-        } else if (rng.bounded(2) == 0) {
-          ++candidate[dim];
-        } else {
-          --candidate[dim];
-        }
-      }
+      mutate_axis(space, rng, dim, candidate);
       const double candidate_value =
           value_of(funnel.evaluate({candidate})[0]);
       // Relative acceptance: deltas are normalized by the incumbent best
@@ -254,6 +365,183 @@ void anneal(Funnel& funnel, const SearchSpace& space,
   }
 }
 
+/// Population-based genetic search.  Whole generations are submitted as
+/// one deduped batch, so the engine's thread team stays saturated instead
+/// of idling between single annealing moves.  Selection is a 3-way
+/// tournament on fitness (feasible speedup), recombination is per-axis
+/// uniform crossover over the mixed-radix grid, mutation perturbs an
+/// expected one axis per child (±1 step with occasional full-axis
+/// jumps), and the top `options.elite` individuals carry over unchanged.
+/// Elites were evaluated in the previous generation, so resubmitting
+/// them costs cache hits, not budget.  One child in four is a random
+/// immigrant, which keeps the search ergodic: given enough budget the
+/// strategy reaches every grid point instead of collapsing onto a
+/// converged population.
+void genetic(Funnel& funnel, const SearchSpace& space,
+             const SearchOptions& options, util::Xoshiro256& rng) {
+  const std::size_t pop = std::max<std::size_t>(2, options.population);
+  const std::size_t elite = std::min<std::size_t>(options.elite, pop - 1);
+
+  std::vector<Coords> population;
+  std::vector<double> fitness;
+  auto install = [&](std::vector<Coords> batch) {
+    const std::vector<explore::EvalResult> results = funnel.evaluate(batch);
+    population = std::move(batch);
+    fitness.clear();
+    fitness.reserve(results.size());
+    for (const explore::EvalResult& result : results) {
+      fitness.push_back(value_of(result));
+    }
+    funnel.record_trace();
+  };
+
+  // Seed generation: uniform random individuals.  The batch is always
+  // drawn whole (so the RNG stream is independent of budget state) and
+  // then cut to its affordable prefix; if cut, spend what is left on the
+  // prefix and stop — same truncate-then-stop rule as the generation
+  // loop below.
+  if (funnel.evaluations() >= options.budget) return;
+  {
+    std::vector<Coords> batch;
+    batch.reserve(pop);
+    for (std::size_t i = 0; i < pop; ++i) {
+      batch.push_back(random_coords(space, rng));
+    }
+    const std::size_t affordable = funnel.affordable_prefix(
+        batch, funnel.remaining(options.budget));
+    const bool starved = affordable < batch.size();
+    batch.resize(affordable);
+    if (!batch.empty()) install(std::move(batch));
+    if (starved || population.empty()) return;
+  }
+
+  auto tournament = [&]() -> const Coords& {
+    std::size_t best =
+        static_cast<std::size_t>(rng.bounded(population.size()));
+    for (int entrant = 0; entrant < 2; ++entrant) {
+      const auto rival =
+          static_cast<std::size_t>(rng.bounded(population.size()));
+      if (fitness[rival] > fitness[best]) best = rival;
+    }
+    return population[best];
+  };
+
+  std::uint64_t stalls = 0;
+  while (!population.empty() && funnel.evaluations() < options.budget &&
+         stalls < kMaxStallRounds) {
+    // Rank by fitness (ties toward lower index) for elitism.
+    std::vector<std::size_t> order(population.size());
+    std::iota(order.begin(), order.end(), 0);
+    const std::size_t keep = std::min(elite, order.size());
+    std::partial_sort(order.begin(), order.begin() + keep, order.end(),
+                      [&](std::size_t a, std::size_t b) {
+                        if (fitness[a] != fitness[b]) {
+                          return fitness[a] > fitness[b];
+                        }
+                        return a < b;
+                      });
+
+    std::vector<Coords> next;
+    next.reserve(pop);
+    for (std::size_t i = 0; i < keep; ++i) {
+      next.push_back(population[order[i]]);
+    }
+    const std::size_t offspring = pop - next.size();
+    for (std::size_t i = 0; i < offspring; ++i) {
+      Coords child;
+      if (rng.bounded(4) == 0) {
+        child = random_coords(space, rng);  // immigrant
+      } else {
+        const Coords& a = tournament();
+        const Coords& b = tournament();
+        for (std::size_t dim = 0; dim < SearchSpace::kDims; ++dim) {
+          child[dim] = rng.bounded(2) == 0 ? a[dim] : b[dim];
+        }
+        for (std::size_t dim = 0; dim < SearchSpace::kDims; ++dim) {
+          if (rng.bounded(SearchSpace::kDims) == 0) {
+            mutate_axis(space, rng, dim, child);
+          }
+        }
+      }
+      next.push_back(child);
+    }
+    // The generation was built whole (full RNG consumption, elites
+    // first — they are already cached and cost nothing).  Cut it to the
+    // affordable prefix: if the cut bites, spend the budget's tail on
+    // the prefix and stop, which keeps an interrupted run's proposals a
+    // prefix of an uninterrupted run's for exact resume replay.
+    const std::size_t affordable = funnel.affordable_prefix(
+        next, funnel.remaining(options.budget));
+    const bool starved = affordable < next.size();
+    next.resize(affordable);
+    const std::uint64_t before = funnel.distinct_proposed();
+    if (!next.empty()) install(std::move(next));
+    if (starved || population.empty()) return;
+    stalls = funnel.distinct_proposed() == before ? stalls + 1 : 0;
+  }
+}
+
+/// Archive-guided multi-objective search (speedup up, cost down).  Each
+/// round submits one batch: half random immigrants (coverage of the cost
+/// axis), half mutants of uniformly drawn archive members (refinement of
+/// the frontier).  The parent pool mirrors SearchOutcome::archive but
+/// keeps grid coordinates, which EvalResult does not carry.
+void pareto_search(Funnel& funnel, const SearchSpace& space,
+                   const SearchOptions& options, util::Xoshiro256& rng) {
+  const std::size_t pop = std::max<std::size_t>(1, options.population);
+
+  struct Member {
+    Coords coords;
+    double cost;
+    double speedup;
+  };
+  std::vector<Member> pool;
+  auto update_pool = [&](const Coords& coords,
+                         const explore::EvalResult& result) {
+    if (!result.feasible) return;
+    fold_into_frontier(
+        pool,
+        Member{coords, explore::cost_of(result, options.cost_metric),
+               result.speedup},
+        [](const Member& m) { return m.cost; },
+        [](const Member& m) { return m.speedup; });
+  };
+
+  std::uint64_t stalls = 0;
+  while (funnel.evaluations() < options.budget && stalls < kMaxStallRounds) {
+    std::vector<Coords> batch;
+    batch.reserve(pop);
+    for (std::size_t i = 0; i < pop; ++i) {
+      if (pool.empty() || rng.bounded(2) == 0) {
+        batch.push_back(random_coords(space, rng));
+      } else {
+        Coords child =
+            pool[static_cast<std::size_t>(rng.bounded(pool.size()))].coords;
+        for (std::size_t dim = 0; dim < SearchSpace::kDims; ++dim) {
+          if (rng.bounded(SearchSpace::kDims) == 0) {
+            mutate_axis(space, rng, dim, child);
+          }
+        }
+        batch.push_back(child);
+      }
+    }
+    // Built whole, cut to the affordable prefix, truncate-then-stop —
+    // same replay-exact rule as genetic.
+    const std::size_t affordable = funnel.affordable_prefix(
+        batch, funnel.remaining(options.budget));
+    const bool starved = affordable < batch.size();
+    batch.resize(affordable);
+    const std::uint64_t before = funnel.distinct_proposed();
+    const std::vector<explore::EvalResult> results = funnel.evaluate(batch);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      update_pool(batch[i], results[i]);
+    }
+    funnel.record_trace();
+    if (starved) return;
+    stalls = funnel.distinct_proposed() == before ? stalls + 1 : 0;
+  }
+}
+
 }  // namespace
 
 std::string_view strategy_name(Strategy strategy) noexcept {
@@ -261,24 +549,27 @@ std::string_view strategy_name(Strategy strategy) noexcept {
     case Strategy::kRandom: return "random";
     case Strategy::kHillClimb: return "hill-climb";
     case Strategy::kAnneal: return "anneal";
+    case Strategy::kGenetic: return "genetic";
+    case Strategy::kPareto: return "pareto";
   }
   return "unknown";
 }
 
 Strategy parse_strategy(std::string_view name) {
   for (Strategy strategy :
-       {Strategy::kRandom, Strategy::kHillClimb, Strategy::kAnneal}) {
+       {Strategy::kRandom, Strategy::kHillClimb, Strategy::kAnneal,
+        Strategy::kGenetic, Strategy::kPareto}) {
     if (name == strategy_name(strategy)) return strategy;
   }
   throw std::invalid_argument("unknown strategy: " + std::string(name));
 }
 
-TracePoint SearchOutcome::first_within(double target,
-                                       double fraction) const noexcept {
+std::optional<TracePoint> SearchOutcome::first_within(
+    double target, double fraction) const noexcept {
   for (const TracePoint& point : trace) {
     if (point.best_speedup >= target * (1.0 - fraction)) return point;
   }
-  return TracePoint{};
+  return std::nullopt;
 }
 
 SearchOutcome run_search(explore::ExploreEngine& engine,
@@ -289,7 +580,8 @@ SearchOutcome run_search(explore::ExploreEngine& engine,
                options.cooling < 1.0 && options.t_min > 0.0,
            "annealing schedule parameters out of range");
   SearchOutcome outcome;
-  Funnel funnel(engine, space, log, &outcome, options.already_spent);
+  Funnel funnel(engine, space, log, &outcome, options.already_spent,
+                options.cost_metric);
   util::Xoshiro256 rng(options.seed);
   switch (options.strategy) {
     case Strategy::kRandom:
@@ -300,6 +592,12 @@ SearchOutcome run_search(explore::ExploreEngine& engine,
       break;
     case Strategy::kAnneal:
       anneal(funnel, space, options, rng, &outcome);
+      break;
+    case Strategy::kGenetic:
+      genetic(funnel, space, options, rng);
+      break;
+    case Strategy::kPareto:
+      pareto_search(funnel, space, options, rng);
       break;
   }
   funnel.record_trace();

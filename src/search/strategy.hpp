@@ -1,17 +1,20 @@
 #pragma once
 // Adaptive search strategies over a SearchSpace: random sampling,
-// hill-climbing with random restarts, and simulated annealing.  All three
-// funnel their candidate points through an ExploreEngine, so evaluations
-// are parallel (neighborhoods and random batches are evaluated as one
-// job list) and memoized — revisiting a point costs a cache hit, not a
-// model evaluation.
+// hill-climbing with random restarts, simulated annealing, a
+// population-based genetic strategy, and archive-guided multi-objective
+// (Pareto) search.  All of them funnel their candidate points through an
+// ExploreEngine, so evaluations are parallel (neighborhoods, random
+// batches, and whole generations are evaluated as one job list) and
+// memoized — revisiting a point costs a cache hit, not a model
+// evaluation.
 //
 // Budget accounting: `SearchOptions::budget` caps *unique* model
 // evaluations, measured as the engine cache's miss delta.  Duplicate
 // coordinates, revisited neighbors, and warm-loaded (resumed) results are
 // free, which makes budgets comparable to the exhaustive baseline's job
-// count.  A batch is submitted whole, so a run can overshoot the budget
-// by at most one batch (neighborhood size or `batch`, whichever applies).
+// count.  Every batch is clamped to the remaining budget before
+// submission, so `SearchOutcome::evaluations <= budget` holds for every
+// strategy — the budget is a hard cap, never overshot.
 //
 // Determinism: given the same space, options, and engine cache state,
 // every strategy proposes the same point sequence (util::Xoshiro256
@@ -20,6 +23,7 @@
 // and searches are bit-reproducible across runs and thread counts.
 
 #include <cstdint>
+#include <optional>
 #include <string_view>
 #include <vector>
 
@@ -34,9 +38,14 @@ enum class Strategy {
   kRandom,     ///< uniform random sampling of the grid
   kHillClimb,  ///< steepest-ascent over ±1 coordinate steps, with restarts
   kAnneal,     ///< simulated annealing with geometric cooling + restarts
+  kGenetic,    ///< population-based: tournament selection, per-axis
+               ///< crossover, ±1 mutation, elitism; one batch/generation
+  kPareto,     ///< multi-objective: offspring of the incremental Pareto
+               ///< archive (speedup vs. SearchOptions::cost_metric)
 };
 
-/// Printable strategy name ("random", "hill-climb", "anneal").
+/// Printable strategy name ("random", "hill-climb", "anneal", "genetic",
+/// "pareto").
 std::string_view strategy_name(Strategy strategy) noexcept;
 
 /// Parses a strategy name (throws std::invalid_argument).
@@ -44,7 +53,7 @@ Strategy parse_strategy(std::string_view name);
 
 struct SearchOptions {
   Strategy strategy = Strategy::kHillClimb;
-  std::uint64_t budget = 1000;  ///< max unique model evaluations
+  std::uint64_t budget = 1000;  ///< max unique model evaluations (hard cap)
   /// Unique evaluations a previous (killed, then resumed) run already
   /// spent against the same budget — typically the warm-loaded run-log
   /// size.  Counted toward `budget`, so a resumed run replays the prior
@@ -57,10 +66,17 @@ struct SearchOptions {
                                 ///< fraction of the current best speedup
   double cooling = 0.98;        ///< annealing: geometric factor per move
   double t_min = 1e-4;          ///< annealing: restart threshold
+  std::size_t population = 32;  ///< genetic/pareto: individuals per
+                                ///< generation (submitted as one batch)
+  std::size_t elite = 2;        ///< genetic: top individuals carried into
+                                ///< the next generation unchanged
+  /// Cost axis of the Pareto archive (and of the kPareto selection
+  /// pressure); the archive is maintained for every strategy.
+  explore::CostMetric cost_metric = explore::CostMetric::kCoreArea;
 };
 
 /// One point of a strategy's convergence curve, recorded after every
-/// round (batch, climb step, or annealing move).
+/// round (batch, climb step, annealing move, or generation).
 struct TracePoint {
   std::uint64_t evaluations = 0;  ///< unique evaluations consumed so far
   double best_speedup = 0.0;      ///< best feasible speedup found so far
@@ -70,14 +86,26 @@ struct SearchOutcome {
   bool found = false;             ///< at least one feasible point was seen
   explore::EvalResult best;       ///< best feasible result (when found)
   std::uint64_t evaluations = 0;  ///< unique model evaluations consumed,
-                                  ///< including `already_spent`
-  std::uint64_t proposals = 0;    ///< points proposed (incl. cache hits)
+                                  ///< including `already_spent`;
+                                  ///< always <= SearchOptions::budget
+  std::uint64_t proposals = 0;    ///< in-bounds points proposed (incl.
+                                  ///< cache hits; out-of-bounds coords
+                                  ///< never become jobs and don't count)
   std::uint64_t restarts = 0;     ///< restarts taken (hill-climb / anneal)
   std::vector<TracePoint> trace;  ///< convergence curve, best nondecreasing
+  /// Incremental Pareto archive (speedup vs. SearchOptions::cost_metric)
+  /// over every feasible result seen, maintained during the run: cost
+  /// ascending, speedup strictly increasing, one entry per cost value —
+  /// the same shape explore::pareto_frontier returns for an exhaustive
+  /// sweep.
+  std::vector<explore::EvalResult> archive;
 
-  /// First trace point whose best speedup is within `fraction` (e.g.
-  /// 0.01) of `target`; returns 0 evaluations when never reached.
-  TracePoint first_within(double target, double fraction) const noexcept;
+  /// Earliest trace point whose best speedup is within `fraction` (e.g.
+  /// 0.01) of `target`; std::nullopt when the trace never gets there.
+  /// The optional distinguishes "never reached" from "reached with 0
+  /// evaluations" (a warm-loaded resume can start inside the band).
+  std::optional<TracePoint> first_within(double target,
+                                         double fraction) const noexcept;
 };
 
 /// Runs `options.strategy` over `space` through `engine` (which must have

@@ -185,9 +185,9 @@ TEST(Report, EmptySweepsProduceHeaderOnlyCsvAndEmptyNdjson) {
 }
 
 TEST(Report, StrategyComparisonReportsGapsAgainstTheBaseline) {
-  StrategySummary baseline{"exhaustive", 1000, 200.0, 1000};
-  StrategySummary good{"hill-climb", 100, 200.0, 40};
-  StrategySummary never{"random", 100, 150.0, 0};
+  StrategySummary baseline{"exhaustive", 1000, 200.0, 1000, true};
+  StrategySummary good{"hill-climb", 100, 200.0, 40, true};
+  StrategySummary never{"random", 100, 150.0, 0, false};
   const util::Table table = strategy_comparison(baseline, {good, never});
   ASSERT_EQ(table.rows(), 3u);
   EXPECT_EQ(table.at(0, 0), "exhaustive");
@@ -197,6 +197,53 @@ TEST(Report, StrategyComparisonReportsGapsAgainstTheBaseline) {
   EXPECT_EQ(table.at(1, 5), "40");
   EXPECT_EQ(table.at(2, 4), "25.00");  // (200 - 150) / 200
   EXPECT_EQ(table.at(2, 5), "-");      // never reached 1%
+}
+
+TEST(Report, StrategyComparisonDistinguishesImmediateFromNever) {
+  // 0 evaluations-to-1% is a real value (a warm resume can start inside
+  // the band); only `converged == false` may render as "-".
+  StrategySummary baseline{"exhaustive", 1000, 200.0, 1000, true};
+  StrategySummary immediate{"resumed", 0, 200.0, 0, true};
+  StrategySummary never{"random", 100, 150.0, 0, false};
+  const util::Table table = strategy_comparison(baseline, {immediate, never});
+  EXPECT_EQ(table.at(1, 5), "0");
+  EXPECT_EQ(table.at(2, 5), "-");
+}
+
+TEST(Hypervolume, MatchesHandComputedArea) {
+  // Area frontier of hand_set(): A(1, 10), B(2, 14), D(8, 20); C is
+  // dominated and E is D's slower twin.  Against ref cost 16:
+  //   (2−1)·10 + (8−2)·14 + (16−8)·20 = 254.
+  const double hv = hypervolume(hand_set(), CostMetric::kCoreArea, 16.0);
+  EXPECT_DOUBLE_EQ(hv, 254.0);
+  // Dominated points contribute nothing: the reduced frontier agrees.
+  const auto frontier = pareto_frontier(hand_set(), CostMetric::kCoreArea);
+  EXPECT_DOUBLE_EQ(hypervolume(frontier, CostMetric::kCoreArea, 16.0), hv);
+}
+
+TEST(Hypervolume, ClipsAtTheReferenceAndHandlesEmpty) {
+  // Ref cost 4 leaves only A and B inside: (2−1)·10 + (4−2)·14 = 38.
+  EXPECT_DOUBLE_EQ(hypervolume(hand_set(), CostMetric::kCoreArea, 4.0),
+                   38.0);
+  // A reference at or below the cheapest point dominates nothing.
+  EXPECT_DOUBLE_EQ(hypervolume(hand_set(), CostMetric::kCoreArea, 1.0),
+                   0.0);
+  EXPECT_DOUBLE_EQ(hypervolume({}, CostMetric::kCoreArea, 16.0), 0.0);
+}
+
+TEST(Report, ArchiveSummarySharesSumToTheHypervolume) {
+  const util::Table table =
+      archive_summary(hand_set(), CostMetric::kCoreArea, 16.0);
+  ASSERT_EQ(table.rows(), 3u);  // A, B, D
+  EXPECT_EQ(table.at(0, 0), "1");
+  EXPECT_EQ(table.at(1, 0), "2");
+  EXPECT_EQ(table.at(2, 0), "8");
+  double total = 0.0;
+  for (std::size_t row = 0; row < table.rows(); ++row) {
+    total += std::stod(table.at(row, 2));
+  }
+  EXPECT_DOUBLE_EQ(total,
+                   hypervolume(hand_set(), CostMetric::kCoreArea, 16.0));
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "core/app_params.hpp"
@@ -215,6 +216,44 @@ TEST_F(RunLogTest, WarmSkipsRecordsForeignToTheSpec) {
   EXPECT_EQ(target.cache().size(), 0u);
 }
 
+TEST_F(RunLogTest, NonFiniteValuesRoundTripAsInfeasible) {
+  // %.17g would render inf/nan literally, which is not JSON — load()
+  // would silently drop the line and a resumed run would re-spend
+  // budget on the point.  The writer emits `null` instead, and the
+  // record loads back as an (infeasible) design point.
+  explore::EvalResult result;
+  result.index = 2;
+  result.scenario = "nonfinite";
+  result.n = 64.0;
+  result.app = "kmeans";
+  result.growth = "linear";
+  result.r = 4.0;
+  result.rl = 16.0;
+  result.feasible = true;
+  result.cores = std::numeric_limits<double>::quiet_NaN();
+  result.speedup = std::numeric_limits<double>::infinity();
+  {
+    RunLog log(dir_);
+    log.append(result);
+  }
+  {
+    std::ifstream in(RunLog::results_path(dir_));
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_EQ(line.find("inf"), std::string::npos);
+    EXPECT_EQ(line.find("nan"), std::string::npos);
+    EXPECT_NE(line.find("null"), std::string::npos);
+  }
+  const auto loaded = RunLog::load(dir_);
+  ASSERT_EQ(loaded.size(), 1u);  // the record is kept, not dropped
+  EXPECT_EQ(loaded[0].index, 2u);
+  EXPECT_EQ(loaded[0].app, "kmeans");
+  EXPECT_DOUBLE_EQ(loaded[0].r, 4.0);
+  EXPECT_FALSE(loaded[0].feasible);  // non-finite → infeasible
+  EXPECT_DOUBLE_EQ(loaded[0].speedup, 0.0);
+  EXPECT_DOUBLE_EQ(loaded[0].cores, 0.0);
+}
+
 TEST_F(RunLogTest, MetaRoundTripsAndDetectsAbsence) {
   EXPECT_FALSE(RunLog::read_meta(dir_).has_value());
   const std::string config = "apps=a,b;budgets=64 with \"quotes\" and \\";
@@ -222,6 +261,29 @@ TEST_F(RunLogTest, MetaRoundTripsAndDetectsAbsence) {
   const auto read = RunLog::read_meta(dir_);
   ASSERT_TRUE(read.has_value());
   EXPECT_EQ(*read, config);
+}
+
+TEST_F(RunLogTest, ReadMetaDistinguishesMissingFromCorrupt) {
+  // Missing: the directory was never recorded — quietly resumable as
+  // "nothing there".  Corrupt (a crash truncated the write): loud error,
+  // because treating it as missing would let a fresh run overwrite a
+  // directory that holds recorded results.
+  EXPECT_FALSE(RunLog::read_meta(dir_).has_value());
+
+  std::filesystem::create_directories(dir_);
+  { std::ofstream out(RunLog::meta_path(dir_)); }  // empty file
+  EXPECT_THROW(RunLog::read_meta(dir_), std::runtime_error);
+
+  { std::ofstream out(RunLog::meta_path(dir_)); out << "{\"conf"; }  // torn
+  EXPECT_THROW(RunLog::read_meta(dir_), std::runtime_error);
+
+  { std::ofstream out(RunLog::meta_path(dir_)); out << "{\"other\":1}\n"; }
+  EXPECT_THROW(RunLog::read_meta(dir_), std::runtime_error);
+
+  RunLog::write_meta(dir_, "config");  // a good write repairs it
+  const auto read = RunLog::read_meta(dir_);
+  ASSERT_TRUE(read.has_value());
+  EXPECT_EQ(*read, "config");
 }
 
 TEST(NdjsonParser, HandlesTheFlatObjectSubset) {

@@ -2,11 +2,18 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
 #include "core/app_params.hpp"
 #include "explore/report.hpp"
 
 namespace mergescale::search {
 namespace {
+
+constexpr Strategy kAllStrategies[] = {
+    Strategy::kRandom, Strategy::kHillClimb, Strategy::kAnneal,
+    Strategy::kGenetic, Strategy::kPareto};
 
 /// A small spec whose exhaustive best is cheap to compute.
 explore::ScenarioSpec sample_spec() {
@@ -28,8 +35,7 @@ double exhaustive_best(const explore::ScenarioSpec& spec) {
 }
 
 TEST(Strategy, NamesRoundTrip) {
-  for (Strategy strategy :
-       {Strategy::kRandom, Strategy::kHillClimb, Strategy::kAnneal}) {
+  for (Strategy strategy : kAllStrategies) {
     EXPECT_EQ(parse_strategy(strategy_name(strategy)), strategy);
   }
   EXPECT_THROW(parse_strategy("exhaustive"), std::invalid_argument);
@@ -40,8 +46,7 @@ TEST(Strategy, EveryStrategyFindsTheExhaustiveBestGivenEnoughBudget) {
   const explore::ScenarioSpec spec = sample_spec();
   const double best = exhaustive_best(spec);
   const SearchSpace space(spec);
-  for (Strategy strategy :
-       {Strategy::kRandom, Strategy::kHillClimb, Strategy::kAnneal}) {
+  for (Strategy strategy : kAllStrategies) {
     explore::ExploreEngine engine;
     SearchOptions options;
     options.strategy = strategy;
@@ -61,8 +66,7 @@ TEST(Strategy, TerminatesWhenTheBudgetExceedsTheSpace) {
   spec.apps = {core::presets::kmeans()};
   spec.variants = {core::ModelVariant::kSymmetric};
   const SearchSpace space(spec);
-  for (Strategy strategy :
-       {Strategy::kRandom, Strategy::kHillClimb, Strategy::kAnneal}) {
+  for (Strategy strategy : kAllStrategies) {
     explore::ExploreEngine engine;
     SearchOptions options;
     options.strategy = strategy;
@@ -75,8 +79,7 @@ TEST(Strategy, TerminatesWhenTheBudgetExceedsTheSpace) {
 
 TEST(Strategy, DeterministicForAFixedSeed) {
   const SearchSpace space(sample_spec());
-  for (Strategy strategy :
-       {Strategy::kRandom, Strategy::kHillClimb, Strategy::kAnneal}) {
+  for (Strategy strategy : kAllStrategies) {
     SearchOptions options;
     options.strategy = strategy;
     options.budget = 40;
@@ -97,39 +100,183 @@ TEST(Strategy, DeterministicForAFixedSeed) {
       EXPECT_EQ(a.trace[i].evaluations, b.trace[i].evaluations);
       EXPECT_DOUBLE_EQ(a.trace[i].best_speedup, b.trace[i].best_speedup);
     }
+    ASSERT_EQ(a.archive.size(), b.archive.size()) << strategy_name(strategy);
+    for (std::size_t i = 0; i < a.archive.size(); ++i) {
+      EXPECT_DOUBLE_EQ(a.archive[i].speedup, b.archive[i].speedup);
+    }
   }
 }
 
-TEST(Strategy, TraceBestIsNondecreasingAndBudgetIsRespected) {
+TEST(Strategy, TraceBestIsNondecreasing) {
   const SearchSpace space(sample_spec());
-  for (Strategy strategy :
-       {Strategy::kRandom, Strategy::kHillClimb, Strategy::kAnneal}) {
+  for (Strategy strategy : kAllStrategies) {
     explore::ExploreEngine engine;
     SearchOptions options;
     options.strategy = strategy;
     options.budget = 25;
     const SearchOutcome outcome = run_search(engine, space, options);
-    // A batch is submitted whole, so the overshoot is bounded by one
-    // neighborhood / batch.
-    EXPECT_LE(outcome.evaluations,
-              options.budget + 2 * SearchSpace::kDims + options.batch)
-        << strategy_name(strategy);
     double last = 0.0;
     for (const TracePoint& point : outcome.trace) {
       EXPECT_GE(point.best_speedup, last);
       last = point.best_speedup;
     }
-    EXPECT_EQ(outcome.evaluations,
-              engine.cache().stats().misses);
+    EXPECT_EQ(outcome.evaluations, engine.cache().stats().misses);
+  }
+}
+
+TEST(Strategy, BudgetIsAHardCapForEveryStrategy) {
+  // Regression: hill-climb used to submit the full 2×kDims neighborhood
+  // after only checking `evaluations() < budget`, overshooting the
+  // unique-evaluation budget by up to 2×kDims − 1 per step.  Every
+  // strategy must now clamp its batches so the budget is never
+  // overshot, for any budget — including ones smaller than a
+  // neighborhood, a random batch, or a genetic population.
+  const SearchSpace space(sample_spec());
+  for (Strategy strategy : kAllStrategies) {
+    for (std::uint64_t budget : {1ull, 5ull, 13ull, 25ull, 60ull, 150ull}) {
+      explore::ExploreEngine engine;
+      SearchOptions options;
+      options.strategy = strategy;
+      options.budget = budget;
+      const SearchOutcome outcome = run_search(engine, space, options);
+      EXPECT_LE(outcome.evaluations, budget)
+          << strategy_name(strategy) << " budget " << budget;
+      EXPECT_EQ(outcome.evaluations, engine.cache().stats().misses)
+          << strategy_name(strategy) << " budget " << budget;
+    }
+  }
+}
+
+TEST(Strategy, BudgetHoldsAcrossKillAndResume) {
+  // The cap must survive resumption: neither the interrupted slice nor
+  // the resumed continuation may exceed the budget it ran under, and
+  // the two together may not exceed the full budget.
+  const SearchSpace space(sample_spec());
+  for (Strategy strategy : kAllStrategies) {
+    for (std::uint64_t slice_budget : {7ull, 20ull, 41ull}) {
+      SearchOptions slice;
+      slice.strategy = strategy;
+      slice.budget = slice_budget;
+      slice.seed = 11;
+      explore::ExploreEngine engine;
+      const SearchOutcome partial = run_search(engine, space, slice);
+      EXPECT_LE(partial.evaluations, slice_budget)
+          << strategy_name(strategy);
+
+      SearchOptions rest = slice;
+      rest.budget = 60;
+      rest.already_spent = partial.evaluations;
+      const SearchOutcome resumed = run_search(engine, space, rest);
+      EXPECT_LE(resumed.evaluations, rest.budget)
+          << strategy_name(strategy) << " slice " << slice_budget;
+    }
+  }
+}
+
+TEST(Strategy, ProposalsCountOnlyInBoundsPoints) {
+  // The shared size grid spans the largest chip budget, so for the small
+  // budget most candidate sizes are out of bounds — coordinates that
+  // never become jobs.  Regression: those used to be counted into
+  // `proposals`, inflating every round to the full batch size.
+  explore::ScenarioSpec spec = sample_spec();
+  spec.chip_budgets = {16.0, 256.0};
+  const SearchSpace space(spec);
+  explore::ExploreEngine engine;
+  SearchOptions options;
+  options.strategy = Strategy::kRandom;
+  options.budget = 1000000;  // exhaust the space, then stall out
+  const SearchOutcome outcome = run_search(engine, space, options);
+  ASSERT_GT(outcome.trace.size(), 1u);
+  // One trace point per round plus run_search's final snapshot; with the
+  // old accounting, proposals equaled rounds × batch exactly.
+  const std::uint64_t rounds =
+      static_cast<std::uint64_t>(outcome.trace.size()) - 1;
+  EXPECT_LT(outcome.proposals, rounds * options.batch);
+  EXPECT_GE(outcome.proposals, outcome.evaluations);
+}
+
+TEST(Strategy, ParetoArchiveMatchesTheExhaustiveFrontier) {
+  // On a space small enough to exhaust, the incremental archive must
+  // agree with the frontier computed from a full sweep — same costs,
+  // same speedups, strictly increasing — for either cost metric.
+  explore::ScenarioSpec spec = sample_spec();
+  spec.chip_budgets = {64.0};  // one budget → grid and expansion coincide
+  const SearchSpace space(spec);
+  explore::ExploreEngine reference;
+  const std::vector<explore::EvalResult> all = reference.run(spec);
+  for (explore::CostMetric metric :
+       {explore::CostMetric::kCoreArea, explore::CostMetric::kCoreCount}) {
+    const std::vector<explore::EvalResult> frontier =
+        explore::pareto_frontier(all, metric);
+    ASSERT_FALSE(frontier.empty());
+
+    explore::ExploreEngine engine;
+    SearchOptions options;
+    options.strategy = Strategy::kPareto;
+    options.budget = space.size();
+    options.cost_metric = metric;
+    const SearchOutcome outcome = run_search(engine, space, options);
+    ASSERT_EQ(outcome.archive.size(), frontier.size())
+        << "metric " << static_cast<int>(metric);
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+      EXPECT_DOUBLE_EQ(explore::cost_of(outcome.archive[i], metric),
+                       explore::cost_of(frontier[i], metric));
+      EXPECT_DOUBLE_EQ(outcome.archive[i].speedup, frontier[i].speedup);
+    }
+  }
+}
+
+TEST(Strategy, ArchiveIsMaintainedForEveryStrategy) {
+  const SearchSpace space(sample_spec());
+  for (Strategy strategy : kAllStrategies) {
+    explore::ExploreEngine engine;
+    SearchOptions options;
+    options.strategy = strategy;
+    options.budget = 40;
+    const SearchOutcome outcome = run_search(engine, space, options);
+    ASSERT_TRUE(outcome.found) << strategy_name(strategy);
+    ASSERT_FALSE(outcome.archive.empty()) << strategy_name(strategy);
+    // Cost ascending, speedup strictly increasing, best point included.
+    double last_cost = -1.0;
+    double last_speedup = 0.0;
+    for (const explore::EvalResult& member : outcome.archive) {
+      const double cost =
+          explore::cost_of(member, options.cost_metric);
+      EXPECT_GT(cost, last_cost) << strategy_name(strategy);
+      EXPECT_GT(member.speedup, last_speedup) << strategy_name(strategy);
+      last_cost = cost;
+      last_speedup = member.speedup;
+    }
+    EXPECT_DOUBLE_EQ(outcome.archive.back().speedup, outcome.best.speedup)
+        << strategy_name(strategy);
   }
 }
 
 TEST(Strategy, FirstWithinFindsTheEarliestQualifyingTracePoint) {
   SearchOutcome outcome;
   outcome.trace = {{10, 50.0}, {20, 98.5}, {30, 99.5}, {40, 100.0}};
-  EXPECT_EQ(outcome.first_within(100.0, 0.01).evaluations, 30u);
-  EXPECT_EQ(outcome.first_within(100.0, 0.5).evaluations, 10u);
-  EXPECT_EQ(outcome.first_within(200.0, 0.01).evaluations, 0u);  // never
+  auto at_30 = outcome.first_within(100.0, 0.01);
+  ASSERT_TRUE(at_30.has_value());
+  EXPECT_EQ(at_30->evaluations, 30u);
+  auto at_10 = outcome.first_within(100.0, 0.5);
+  ASSERT_TRUE(at_10.has_value());
+  EXPECT_EQ(at_10->evaluations, 10u);
+  EXPECT_FALSE(outcome.first_within(200.0, 0.01).has_value());  // never
+}
+
+TEST(Strategy, FirstWithinDistinguishesNeverFromImmediately) {
+  // A warm-loaded resume can sit inside the 1% band before spending a
+  // single evaluation; that must not be confused with "never reached",
+  // which the old 0-evaluations sentinel collapsed it into.
+  SearchOutcome immediately;
+  immediately.trace = {{0, 100.0}, {10, 100.0}};
+  const auto hit = immediately.first_within(100.0, 0.01);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->evaluations, 0u);
+
+  SearchOutcome never;
+  never.trace = {{0, 0.0}, {10, 50.0}};
+  EXPECT_FALSE(never.first_within(100.0, 0.01).has_value());
 }
 
 TEST(Strategy, WarmCacheDoesNotChargeTheBudget) {
@@ -154,8 +301,7 @@ TEST(Strategy, ResumedRunContinuesTheSameBudget) {
   // trajectory from the warm cache, and stops at the same total spend.
   const explore::ScenarioSpec spec = sample_spec();
   const SearchSpace space(spec);
-  for (Strategy strategy :
-       {Strategy::kRandom, Strategy::kHillClimb, Strategy::kAnneal}) {
+  for (Strategy strategy : kAllStrategies) {
     SearchOptions full;
     full.strategy = strategy;
     full.budget = 60;
@@ -163,37 +309,47 @@ TEST(Strategy, ResumedRunContinuesTheSameBudget) {
     explore::ExploreEngine uninterrupted;
     const SearchOutcome reference = run_search(uninterrupted, space, full);
 
-    // "Kill" after a 20-evaluation slice of the same budget...
-    SearchOptions slice = full;
-    slice.budget = 20;
-    explore::ExploreEngine engine;
-    const SearchOutcome partial = run_search(engine, space, slice);
-    // ... and resume against the warm cache with the prior spend counted.
-    SearchOptions rest = full;
-    rest.already_spent = partial.evaluations;
-    const SearchOutcome resumed = run_search(engine, space, rest);
+    // "Kill" after a slice of the same budget — including a slice that
+    // leaves less than one batch/neighborhood/generation of remaining
+    // budget, which used to starve the resumed run into stopping before
+    // replaying (the batch-affordability planner must see the warm
+    // trajectory as free).
+    for (const std::uint64_t slice_budget : {20ull, 55ull}) {
+      SearchOptions slice = full;
+      slice.budget = slice_budget;
+      explore::ExploreEngine engine;
+      const SearchOutcome partial = run_search(engine, space, slice);
+      // Resume against the warm cache with the prior spend counted.
+      SearchOptions rest = full;
+      rest.already_spent = partial.evaluations;
+      const SearchOutcome resumed = run_search(engine, space, rest);
 
-    EXPECT_EQ(resumed.evaluations, reference.evaluations)
-        << strategy_name(strategy);
-    ASSERT_EQ(resumed.found, reference.found) << strategy_name(strategy);
-    if (reference.found) {
-      EXPECT_DOUBLE_EQ(resumed.best.speedup, reference.best.speedup)
-          << strategy_name(strategy);
+      EXPECT_EQ(resumed.evaluations, reference.evaluations)
+          << strategy_name(strategy) << " slice " << slice_budget;
+      ASSERT_EQ(resumed.found, reference.found)
+          << strategy_name(strategy) << " slice " << slice_budget;
+      if (reference.found) {
+        EXPECT_DOUBLE_EQ(resumed.best.speedup, reference.best.speedup)
+            << strategy_name(strategy) << " slice " << slice_budget;
+      }
     }
   }
 }
 
 TEST(Strategy, ExhaustedBudgetAtResumeRunsNothing) {
   const SearchSpace space(sample_spec());
-  explore::ExploreEngine engine;
-  SearchOptions options;
-  options.budget = 50;
-  options.already_spent = 50;
-  const SearchOutcome outcome = run_search(engine, space, options);
-  EXPECT_EQ(outcome.proposals, 0u);
-  EXPECT_EQ(outcome.evaluations, 50u);  // the prior spend, nothing fresh
-  EXPECT_FALSE(outcome.found);
-  EXPECT_EQ(engine.cache().stats().misses, 0u);
+  for (Strategy strategy : kAllStrategies) {
+    explore::ExploreEngine engine;
+    SearchOptions options;
+    options.strategy = strategy;
+    options.budget = 50;
+    options.already_spent = 50;
+    const SearchOutcome outcome = run_search(engine, space, options);
+    EXPECT_EQ(outcome.proposals, 0u) << strategy_name(strategy);
+    EXPECT_EQ(outcome.evaluations, 50u) << strategy_name(strategy);
+    EXPECT_FALSE(outcome.found) << strategy_name(strategy);
+    EXPECT_EQ(engine.cache().stats().misses, 0u) << strategy_name(strategy);
+  }
 }
 
 TEST(Strategy, RejectsAZeroBudget) {
