@@ -1,0 +1,269 @@
+// bench_eval_throughput: points/sec of the evaluation/persistence
+// pipeline, the perf gate for million-evaluation design-space runs.
+// Three measurements:
+//
+//   eval      chunked exhaustive sweep through the engine, cold cache
+//             (model evaluations) vs. warm cache (pure key+lookup path —
+//             the POD cache key's home turf)
+//   persist   the same sweep persisted through a RunLog: NDJSON with
+//             flush-per-record (the historical baseline) vs. the binary
+//             format with buffered group flushes
+//   anneal    the annealing strategy at --walkers 1 (the old sequential
+//             walker) vs. the parallel multi-walker front
+//
+// Emits a BENCH_throughput.json with every number so CI can archive the
+// perf trajectory, and exits nonzero when binary+buffered persistence
+// fails to beat the NDJSON per-line baseline by --min-persist-speedup.
+//
+//   ./build/bench_eval_throughput                 # ~1.2M-grid-point space
+//   ./build/bench_eval_throughput --scale smoke   # CI-sized space
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/app_params.hpp"
+#include "explore/engine.hpp"
+#include "search/run_log.hpp"
+#include "search/space.hpp"
+#include "search/strategy.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace mergescale;
+
+namespace {
+
+std::vector<double> integer_grid(double count) {
+  std::vector<double> grid;
+  grid.reserve(static_cast<std::size_t>(count));
+  for (double v = 1.0; v <= count; v += 1.0) grid.push_back(v);
+  return grid;
+}
+
+/// Asymmetric-only space: every in-bounds (n, app, growth, r, rl) is a
+/// distinct design point, so persisted points ≈ grid points that fit
+/// their budget (no inert-axis duplicates hiding behind the cache).
+explore::ScenarioSpec make_spec(const std::string& scale) {
+  explore::ScenarioSpec spec;
+  spec.name = "throughput";
+  spec.apps = {core::presets::kmeans(), core::presets::fuzzy(),
+               core::presets::hop()};
+  spec.growths = {core::GrowthFunction::linear(),
+                  core::GrowthFunction::logarithmic(),
+                  core::GrowthFunction::parallel()};
+  spec.variants = {core::ModelVariant::kAsymmetric};
+  if (scale == "smoke") {
+    // 1 × 3 × 3 × 1 × 1 × 8 × 256 = 18,432 grid points, all in bounds.
+    spec.chip_budgets = {256.0};
+    spec.small_core_sizes = integer_grid(8.0);
+    spec.sizes = integer_grid(256.0);
+  } else {
+    // 2 × 3 × 3 × 1 × 1 × 32 × 2048 = 1,179,648 grid points;
+    // (1024 + 2048) × 32 × 9 = 884,736 of them fit their budget.
+    spec.chip_budgets = {1024.0, 2048.0};
+    spec.small_core_sizes = integer_grid(32.0);
+    spec.sizes = integer_grid(2048.0);
+  }
+  return spec;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+struct SweepStats {
+  std::uint64_t points = 0;
+  double seconds = 0.0;
+  double pps() const { return seconds > 0.0 ? points / seconds : 0.0; }
+};
+
+/// Chunked exhaustive sweep over `space` (memory stays bounded no matter
+/// the grid size).  When `log` is non-null every fresh result is
+/// appended — the persisted-search workload.
+SweepStats sweep(explore::ExploreEngine& engine, const search::SearchSpace& space,
+                 search::RunLog* log) {
+  constexpr std::uint64_t kChunk = 8192;
+  SweepStats stats;
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<explore::EvalJob> slice;
+  for (std::uint64_t begin = 0; begin < space.size(); begin += kChunk) {
+    const std::uint64_t end = std::min(begin + kChunk, space.size());
+    slice.clear();
+    for (std::uint64_t flat = begin; flat < end; ++flat) {
+      explore::EvalJob job;
+      if (space.job_at(space.decode(flat), &job)) {
+        job.index = slice.size();
+        slice.push_back(std::move(job));
+      }
+    }
+    for (const explore::EvalResult& result : engine.run(slice)) {
+      if (log != nullptr && !result.from_cache) log->append(result);
+    }
+    stats.points += slice.size();
+  }
+  if (log != nullptr) log->flush();
+  stats.seconds = seconds_since(start);
+  return stats;
+}
+
+SweepStats timed_anneal(const search::SearchSpace& space,
+                        explore::EngineOptions engine_options,
+                        std::size_t walkers, std::uint64_t budget) {
+  explore::ExploreEngine engine(engine_options);
+  search::SearchOptions options;
+  options.strategy = search::Strategy::kAnneal;
+  options.budget = budget;
+  options.walkers = walkers;
+  const auto start = std::chrono::steady_clock::now();
+  const search::SearchOutcome outcome =
+      search::run_search(engine, space, options);
+  SweepStats stats;
+  stats.points = outcome.evaluations;
+  stats.seconds = seconds_since(start);
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  util::Cli cli("bench_eval_throughput",
+                "points/sec for cached/uncached evaluation, NDJSON vs binary "
+                "persisted search, and sequential vs parallel annealing");
+  cli.opt("scale", std::string("full"), "full (~1.2M grid points) | smoke");
+  cli.opt("threads", static_cast<long long>(0),
+          "worker threads (0 = hardware concurrency)");
+  cli.opt("walkers", static_cast<long long>(8),
+          "parallel annealing walker count");
+  cli.opt("flush-every", static_cast<long long>(1024),
+          "binary log records per flush group");
+  cli.opt("min-persist-speedup", 1.0,
+          "fail when binary+buffered / ndjson-per-line falls below this");
+  cli.opt("out", std::string("BENCH_throughput.json"), "JSON output path");
+  cli.opt("work-dir", std::string(), "scratch dir (default: temp)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const std::string scale = cli.get_string("scale");
+  const explore::ScenarioSpec spec = make_spec(scale);
+  const search::SearchSpace space(spec);
+  explore::EngineOptions engine_options;
+  engine_options.threads = static_cast<int>(cli.get_int("threads"));
+  const auto flush_every =
+      static_cast<std::size_t>(std::max<long long>(1, cli.get_int("flush-every")));
+
+  std::string work = cli.get_string("work-dir");
+  if (work.empty()) {
+    work = (std::filesystem::temp_directory_path() /
+            ("mergescale_throughput_" + std::to_string(::getpid())))
+               .string();
+  }
+  std::filesystem::remove_all(work);
+
+  std::cout << "space: " << space.size() << " grid points ("
+            << scale << " scale)\n";
+
+  // --- eval: cold vs. warm cache -----------------------------------------
+  explore::ExploreEngine engine(engine_options);
+  const SweepStats uncached = sweep(engine, space, nullptr);
+  const SweepStats cached = sweep(engine, space, nullptr);
+  std::cout << "eval:    uncached " << util::format_double(uncached.pps(), 0)
+            << " pts/s, cached " << util::format_double(cached.pps(), 0)
+            << " pts/s (" << uncached.points << " points, "
+            << engine.threads() << " threads)\n";
+
+  // --- persist: ndjson per-line vs. binary buffered ----------------------
+  // The workload of `explore_cli --no-cache --run-dir <dir>`: a fresh
+  // recorded exhaustive sweep.  Every cross-product point is distinct, so
+  // the memo cache would be pure per-point overhead here — it is read
+  // back at *resume* time, not during a fresh recording.
+  explore::EngineOptions persist_options = engine_options;
+  persist_options.use_cache = false;
+  SweepStats ndjson;
+  {
+    explore::ExploreEngine fresh(persist_options);
+    search::RunLog log(work + "/ndjson",
+                       {search::LogFormat::kNdjson, 1});
+    ndjson = sweep(fresh, space, &log);
+  }
+  SweepStats binary;
+  {
+    explore::ExploreEngine fresh(persist_options);
+    search::RunLog log(work + "/binary",
+                       {search::LogFormat::kBinary, flush_every});
+    binary = sweep(fresh, space, &log);
+  }
+  const double persist_speedup =
+      ndjson.pps() > 0.0 ? binary.pps() / ndjson.pps() : 0.0;
+  const auto ndjson_bytes = std::filesystem::file_size(
+      search::RunLog::results_path(work + "/ndjson"));
+  const auto binary_bytes = std::filesystem::file_size(
+      search::RunLog::binary_results_path(work + "/binary"));
+  std::cout << "persist: ndjson/line " << util::format_double(ndjson.pps(), 0)
+            << " pts/s (" << ndjson_bytes << " B), binary/"
+            << flush_every << " " << util::format_double(binary.pps(), 0)
+            << " pts/s (" << binary_bytes << " B) — "
+            << util::format_double(persist_speedup, 2) << "x\n";
+
+  // --- anneal: sequential walker vs. parallel front ----------------------
+  const std::uint64_t budget = scale == "smoke" ? 4000 : 50000;
+  const auto walkers =
+      static_cast<std::size_t>(std::max<long long>(2, cli.get_int("walkers")));
+  const SweepStats seq = timed_anneal(space, engine_options, 1, budget);
+  const SweepStats par = timed_anneal(space, engine_options, walkers, budget);
+  const double anneal_speedup = seq.pps() > 0.0 ? par.pps() / seq.pps() : 0.0;
+  std::cout << "anneal:  1 walker " << util::format_double(seq.pps(), 0)
+            << " evals/s, " << walkers << " walkers "
+            << util::format_double(par.pps(), 0) << " evals/s — "
+            << util::format_double(anneal_speedup, 2) << "x\n";
+
+  std::filesystem::remove_all(work);
+
+  {
+    std::ofstream json(cli.get_string("out"));
+    json << "{\n"
+         << "  \"scale\": \"" << scale << "\",\n"
+         << "  \"grid_points\": " << space.size() << ",\n"
+         << "  \"threads\": " << engine.threads() << ",\n"
+         << "  \"eval_uncached_pps\": " << uncached.pps() << ",\n"
+         << "  \"eval_cached_pps\": " << cached.pps() << ",\n"
+         << "  \"persist_points\": " << ndjson.points << ",\n"
+         << "  \"persist_ndjson_pps\": " << ndjson.pps() << ",\n"
+         << "  \"persist_binary_pps\": " << binary.pps() << ",\n"
+         << "  \"persist_ndjson_bytes\": " << ndjson_bytes << ",\n"
+         << "  \"persist_binary_bytes\": " << binary_bytes << ",\n"
+         << "  \"persist_speedup\": " << persist_speedup << ",\n"
+         << "  \"anneal_budget\": " << budget << ",\n"
+         << "  \"anneal_walkers\": " << walkers << ",\n"
+         << "  \"anneal_seq_pps\": " << seq.pps() << ",\n"
+         << "  \"anneal_par_pps\": " << par.pps() << ",\n"
+         << "  \"anneal_speedup\": " << anneal_speedup << "\n"
+         << "}\n";
+    json.flush();
+    if (!json.good()) {
+      std::cerr << "cannot write " << cli.get_string("out") << "\n";
+      return 1;
+    }
+  }
+  std::cout << "wrote " << cli.get_string("out") << "\n";
+
+  if (persist_speedup < cli.get_double("min-persist-speedup")) {
+    std::cerr << "FAIL: binary+buffered persistence is only "
+              << util::format_double(persist_speedup, 2)
+              << "x the NDJSON per-line baseline (gate "
+              << util::format_double(cli.get_double("min-persist-speedup"), 2)
+              << "x)\n";
+    return 1;
+  }
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "bench_eval_throughput: " << e.what() << "\n";
+  return 1;
+}

@@ -19,9 +19,15 @@
 //       --run-dir /tmp/run1              # persist fresh evaluations
 //   ./build/explore_cli --strategy hill-climb --budget 500
 //       --resume /tmp/run1               # warm-start from the run log
+//   ./build/explore_cli --strategy anneal --walkers 16 --budget 100000
+//       --run-dir /tmp/run2 --log-format binary --flush-every 1024
+//                                        # million-point-scale persistence
+//   ./build/explore_cli --compact --run-dir /tmp/run2 --log-format binary
+//                                        # dedup + rewrite the run log
 //
 // Writes <out>.csv and <out>.ndjson (exhaustive runs), and
-// <dir>/results.ndjson + <dir>/meta.json when persistence is on.
+// <dir>/results.ndjson or <dir>/results.msbin (--log-format) +
+// <dir>/meta.json when persistence is on.
 
 #include <algorithm>
 #include <chrono>
@@ -116,6 +122,13 @@ std::string run_config(const util::Cli& cli) {
     config << ";seed=" << cli.get_int("seed")
            << ";batch=" << cli.get_int("batch");
   }
+  // The walker count shapes the annealing proposal sequence (one
+  // candidate per walker per round), so a resume must replay under the
+  // same value.  The log format and flush group do *not*: they encode
+  // the same records, and load() reads both formats.
+  if (strategy == "anneal") {
+    config << ";walkers=" << cli.get_int("walkers");
+  }
   // Population shapes the generation batches and the cost metric shapes
   // the pareto parent pool, so both are part of the proposal sequence
   // those strategies would replay on resume.
@@ -195,17 +208,48 @@ int main(int argc, char** argv) try {
   cli.opt("seed", static_cast<long long>(1), "search RNG seed");
   cli.opt("batch", static_cast<long long>(64),
           "random-search proposals per round");
+  cli.opt("walkers", static_cast<long long>(8),
+          "annealing: interacting walkers (one batch per round)");
   cli.opt("population", static_cast<long long>(32),
           "genetic/pareto individuals per generation");
   cli.opt("cost-metric", std::string("area"),
           "search Pareto-archive cost axis: area | cores");
   cli.opt("run-dir", std::string(),
-          "persist fresh evaluations to <dir>/results.ndjson");
+          "persist fresh evaluations to <dir>/results.<format>");
   cli.opt("resume", std::string(),
           "resume from a previous --run-dir (implies --run-dir <dir>)");
+  cli.opt("log-format", std::string("ndjson"),
+          "run-log encoding: ndjson | binary (compact, for huge runs)");
+  cli.opt("flush-every", static_cast<long long>(1),
+          "run-log records per flush group (crash loses at most one group)");
+  cli.flag("compact",
+           "rewrite --run-dir's log in --log-format, dropping duplicate "
+           "design points, then exit");
   cli.flag("no-cache", "disable the memoization cache");
   cli.flag("quiet", "suppress the per-point result table");
   if (!cli.parse(argc, argv)) return 0;
+
+  const search::LogFormat log_format =
+      search::parse_log_format(cli.get_string("log-format"));
+  const auto flush_every = static_cast<std::size_t>(
+      std::max<long long>(1, cli.get_int("flush-every")));
+
+  if (cli.get_flag("compact")) {
+    const std::string dir = cli.get_string("run-dir").empty()
+                                ? cli.get_string("resume")
+                                : cli.get_string("run-dir");
+    if (dir.empty()) {
+      throw std::invalid_argument("--compact needs --run-dir <dir>");
+    }
+    if (!search::RunLog::has_results(dir)) {
+      throw std::runtime_error("nothing to compact in " + dir);
+    }
+    const auto stats = search::RunLog::compact(dir, log_format, flush_every);
+    std::cout << "compact: " << stats.loaded << " records -> " << stats.kept
+              << " unique design points ("
+              << search::log_format_name(log_format) << ")\n";
+    return 0;
+  }
 
   explore::ScenarioSpec spec;
   spec.name = "explore_cli";
@@ -253,11 +297,13 @@ int main(int argc, char** argv) try {
   explore::EngineOptions options;
   options.threads = static_cast<int>(cli.get_int("threads"));
   options.use_cache = !cli.get_flag("no-cache");
-  if (!options.use_cache && (adaptive || !run_dir.empty())) {
+  if (!options.use_cache && (adaptive || !resume_dir.empty())) {
     throw std::invalid_argument(
         "--no-cache is incompatible with adaptive strategies and with "
-        "--run-dir/--resume: budgets and resume both work through the memo "
-        "cache");
+        "--resume: budgets and warm-loading both work through the memo "
+        "cache.  (A *fresh* exhaustive --run-dir is fine without the cache: "
+        "every cross-product point is distinct, so the cache would only be "
+        "read back at resume time.)");
   }
   explore::ExploreEngine engine(options);
 
@@ -290,8 +336,7 @@ int main(int argc, char** argv) try {
       // reopen a truncate-then-write window in which a kill bricks the
       // directory for every later resume.
     } else {
-      if (meta || std::filesystem::exists(
-                      search::RunLog::results_path(run_dir))) {
+      if (meta || search::RunLog::has_results(run_dir)) {
         // Appending a fresh run to an old log — possibly recorded under
         // a different configuration — would poison later resumes.
         throw std::runtime_error(
@@ -300,7 +345,8 @@ int main(int argc, char** argv) try {
       }
       search::RunLog::write_meta(run_dir, config);
     }
-    log = std::make_unique<search::RunLog>(run_dir);
+    log = std::make_unique<search::RunLog>(
+        run_dir, search::RunLogOptions{log_format, flush_every});
   }
 
   auto print_best = [](const explore::EvalResult& best) {
@@ -322,6 +368,8 @@ int main(int argc, char** argv) try {
         static_cast<std::size_t>(std::max<long long>(1, cli.get_int("batch")));
     search_options.population = static_cast<std::size_t>(
         std::max<long long>(2, cli.get_int("population")));
+    search_options.walkers = static_cast<std::size_t>(
+        std::max<long long>(1, cli.get_int("walkers")));
     search_options.cost_metric = search_cost;
     // A resumed run continues the *same* budget: the warm-loaded log is
     // what the killed run already spent, so the sum of fresh evaluations
@@ -342,8 +390,12 @@ int main(int argc, char** argv) try {
               << " restarts) in " << util::format_double(elapsed * 1e3, 2)
               << " ms\n";
     if (log) {
+      log->flush();
       std::cout << "log: " << log->appended() << " fresh results appended to "
-                << search::RunLog::results_path(run_dir) << "\n";
+                << (log->format() == search::LogFormat::kBinary
+                        ? search::RunLog::binary_results_path(run_dir)
+                        : search::RunLog::results_path(run_dir))
+                << "\n";
     }
     // The replayed trajectory normally re-surfaces the prior best (same
     // seed → same proposals), but if the budget was already exhausted at

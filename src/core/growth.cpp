@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "util/check.hpp"
+#include "util/interner.hpp"
 
 namespace mergescale::core {
 
@@ -12,6 +13,7 @@ GrowthFunction::GrowthFunction(GrowthKind kind, std::string name,
                                std::function<double(double)> fn)
     : kind_(kind),
       name_(std::move(name)),
+      name_id_(util::intern(name_)),
       exponent_(exponent),
       fn_(std::move(fn)) {}
 

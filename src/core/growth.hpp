@@ -17,6 +17,7 @@
 // workloads like HOP whose merging phase the paper observes to grow
 // super-linearly due to memory effects.
 
+#include <cstdint>
 #include <functional>
 #include <string>
 
@@ -55,6 +56,10 @@ class GrowthFunction {
   GrowthKind kind() const noexcept { return kind_; }
   /// Human-readable name ("linear", "log", ...).
   const std::string& name() const noexcept { return name_; }
+  /// util::intern ID of name(), computed once at construction so cache
+  /// keys compare names as plain words with no per-evaluation string
+  /// work (ID equality is verbatim-name equality).
+  std::uint32_t name_id() const noexcept { return name_id_; }
   /// Exponent for kSuperlinear (1.0 otherwise).
   double exponent() const noexcept { return exponent_; }
 
@@ -64,6 +69,7 @@ class GrowthFunction {
 
   GrowthKind kind_;
   std::string name_;
+  std::uint32_t name_id_;
   double exponent_;
   std::function<double(double)> fn_;
 };

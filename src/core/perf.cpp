@@ -4,12 +4,16 @@
 #include <utility>
 
 #include "util/check.hpp"
+#include "util/interner.hpp"
 
 namespace mergescale::core {
 
 PerfLaw::PerfLaw(std::string name, double exponent,
                  std::function<double(double)> fn)
-    : name_(std::move(name)), exponent_(exponent), fn_(std::move(fn)) {}
+    : name_(std::move(name)),
+      name_id_(util::intern(name_)),
+      exponent_(exponent),
+      fn_(std::move(fn)) {}
 
 PerfLaw PerfLaw::pollack() { return power(0.5); }
 
@@ -18,9 +22,16 @@ PerfLaw PerfLaw::linear() { return power(1.0); }
 PerfLaw PerfLaw::power(double exponent) {
   MS_CHECK(exponent > 0.0 && exponent <= 1.0,
            "perf-law exponent must lie in (0, 1]");
-  std::string name =
-      exponent == 0.5 ? "pollack" : (exponent == 1.0 ? "linear" : "power");
-  return PerfLaw(std::move(name), exponent, [exponent](double r) {
+  // perf(r) is evaluated once per design point of a million-point sweep;
+  // the two ubiquitous exponents get exact fast paths (sqrt is several
+  // times cheaper than the generic pow, and linear needs no math at all).
+  if (exponent == 0.5) {
+    return PerfLaw("pollack", 0.5, [](double r) { return std::sqrt(r); });
+  }
+  if (exponent == 1.0) {
+    return PerfLaw("linear", 1.0, [](double r) { return r; });
+  }
+  return PerfLaw("power", exponent, [exponent](double r) {
     return std::pow(r, exponent);
   });
 }

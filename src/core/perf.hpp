@@ -8,6 +8,7 @@
 // are provided for ablation: linear (perfect area-to-performance
 // conversion, the upper bound) and a general power law perf(r) = r^e.
 
+#include <cstdint>
 #include <functional>
 #include <string>
 
@@ -31,6 +32,10 @@ class PerfLaw {
 
   /// Human-readable name used in reports.
   const std::string& name() const noexcept { return name_; }
+  /// util::intern ID of name(), computed once at construction so cache
+  /// keys compare names as plain words with no per-evaluation string
+  /// work (ID equality is verbatim-name equality).
+  std::uint32_t name_id() const noexcept { return name_id_; }
   /// Exponent of the power law (0.5 for pollack(), 1.0 for linear()).
   double exponent() const noexcept { return exponent_; }
 
@@ -39,6 +44,7 @@ class PerfLaw {
           std::function<double(double)> fn);
 
   std::string name_;
+  std::uint32_t name_id_;
   double exponent_;
   std::function<double(double)> fn_;
 };

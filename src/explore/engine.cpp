@@ -23,8 +23,18 @@ EvalOutcome evaluate_outcome(const core::EvalRequest& request) {
 }
 
 /// Jobs claimed per queue pop — amortizes the atomic increment across the
-/// very cheap analytical evaluations.
-constexpr std::size_t kClaimBlock = 32;
+/// very cheap analytical evaluations.  Scaled to the batch: large sweeps
+/// claim up to kMaxClaimBlock at a time, while a batch small relative to
+/// the team (an annealing front, a tiny generation) claims little enough
+/// that every worker gets a share instead of one worker draining the
+/// whole queue in a single pop.
+constexpr std::size_t kMaxClaimBlock = 32;
+
+std::size_t claim_block(std::size_t jobs, int team_size) {
+  const std::size_t per_worker =
+      jobs / (static_cast<std::size_t>(team_size) * 4);
+  return std::clamp<std::size_t>(per_worker, 1, kMaxClaimBlock);
+}
 
 int resolve_threads(int requested) {
   if (requested > 0) return requested;
@@ -76,7 +86,10 @@ double cost_of(const EvalResult& result, CostMetric metric) noexcept {
     case CostMetric::kCoreArea: return std::max(result.r, result.rl);
     case CostMetric::kCoreCount: return result.cores;
   }
-  return 0.0;
+  // Exhaustive by construction: a CostMetric added without a case above
+  // must fail loudly here — the old fall-through returned 0.0, which
+  // would silently rank every design as free under the new metric.
+  util::unreachable("cost_of: unhandled CostMetric");
 }
 
 ExploreEngine::ExploreEngine(EngineOptions options)
@@ -89,18 +102,25 @@ std::vector<EvalResult> ExploreEngine::run(const ScenarioSpec& spec) {
 }
 
 std::vector<EvalResult> ExploreEngine::run(const std::vector<EvalJob>& jobs) {
+#ifndef NDEBUG
+  // The index contract is established by ScenarioSpec::expand and by the
+  // search funnel's renumbering; an O(n) re-verification per dispatch is
+  // debug-only so a million-job submission does not pay a full pre-scan
+  // before the first evaluation starts.
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     MS_CHECK(jobs[i].index == i, "job indices must match their positions");
   }
+#endif
   std::vector<EvalResult> results(jobs.size());
   if (jobs.empty()) return results;
 
+  const std::size_t block = claim_block(jobs.size(), team_.size());
   std::atomic<std::size_t> next{0};
   team_.run([&](int /*tid*/, int /*team_size*/) {
     for (;;) {
-      const std::size_t begin = next.fetch_add(kClaimBlock);
+      const std::size_t begin = next.fetch_add(block);
       if (begin >= jobs.size()) break;
-      const std::size_t end = std::min(begin + kClaimBlock, jobs.size());
+      const std::size_t end = std::min(begin + block, jobs.size());
       for (std::size_t i = begin; i < end; ++i) {
         results[i] = compute(jobs[i], &cache_, options_.use_cache);
       }

@@ -1,7 +1,6 @@
 #include "explore/memo_cache.hpp"
 
 #include <bit>
-#include <string_view>
 
 #include "util/check.hpp"
 
@@ -9,16 +8,7 @@ namespace mergescale::explore {
 
 namespace {
 
-constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
-constexpr std::uint64_t kFnvPrime = 1099511628211ull;
-
-std::uint64_t fnv1a(std::uint64_t h, std::string_view bytes) {
-  for (unsigned char c : bytes) {
-    h ^= c;
-    h *= kFnvPrime;
-  }
-  return h;
-}
+constexpr std::uint64_t kSeed = 1469598103934665603ull;
 
 std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
   // splitmix64 finalizer over the running hash xor the value.
@@ -56,25 +46,27 @@ CacheKey cache_key(const core::EvalRequest& request) {
               comm ? request.comm_growth.exponent() : 0.0,
               request.r,
               asym ? request.rl : 0.0};
-  // NUL-separated verbatim names: unambiguous (names cannot contain NUL
-  // bytes that survive the label pipeline) and compared by full equality
-  // in operator==, so distinct custom laws can never conflate — not via
-  // a hash collision and not via a crafted separator inside a name.
-  key.names = request.chip.perf.name();
-  key.names.push_back('\0');
-  key.names += request.growth.name();
-  key.names.push_back('\0');
-  if (comm) key.names += request.comm_growth.name();
+  // Interned name IDs instead of the verbatim strings: the interner pins
+  // each ID to its exact name (full-string comparison on intern), so ID
+  // equality is verbatim-name equality and distinct custom laws can never
+  // conflate — not via a hash collision and not via a crafted separator
+  // inside a name.  ID 0 is the empty string, the natural normalization
+  // for the comm growth the non-comm variants never read.
+  key.perf_name = request.chip.perf.name_id();
+  key.growth_name = request.growth.name_id();
+  key.comm_growth_name = comm ? request.comm_growth.name_id() : 0;
   return key;
 }
 
 std::size_t CacheKeyHash::operator()(const CacheKey& key) const noexcept {
-  std::uint64_t h = kFnvOffset;
+  std::uint64_t h = kSeed;
   h = mix(h, (static_cast<std::uint64_t>(key.variant) << 16) |
                  (static_cast<std::uint64_t>(key.growth_kind) << 8) |
                  key.comm_growth_kind);
+  h = mix(h, (static_cast<std::uint64_t>(key.perf_name) << 32) |
+                 key.growth_name);
+  h = mix(h, key.comm_growth_name);
   for (double v : key.nums) h = mix(h, std::bit_cast<std::uint64_t>(v));
-  h = mix(h, fnv1a(kFnvOffset, key.names));
   return static_cast<std::size_t>(h);
 }
 

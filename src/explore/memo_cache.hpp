@@ -15,7 +15,6 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
-#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -30,10 +29,14 @@ struct EvalOutcome {
   core::DesignPoint point;
 };
 
-/// Value fingerprint of an EvalRequest.  Compared by full equality —
-/// including the verbatim perf/growth names — so neither a 64-bit hash
-/// collision nor two name tuples that happen to concatenate identically
-/// can return a wrong result.
+/// Value fingerprint of an EvalRequest — a fixed-size POD: building,
+/// hashing, and comparing a key never allocates.  Names enter the key as
+/// util::intern IDs, which the interner pins to the verbatim strings
+/// with full-string comparison on the (rare) intern slow path; ID
+/// equality is therefore exactly verbatim-name equality, so neither a
+/// 64-bit hash collision nor two name tuples that happen to concatenate
+/// identically can return a wrong result — the same guarantee the key
+/// gave when it carried the strings themselves.
 ///
 /// Fields that a variant does not read are normalized away: the comm
 /// growth, comp_share, and (for the comm variants' label) topology only
@@ -44,14 +47,19 @@ struct CacheKey {
   std::uint8_t variant = 0;
   std::uint8_t growth_kind = 0;
   std::uint8_t comm_growth_kind = 0;
+  std::uint32_t perf_name = 0;         ///< interned PerfLaw name
+  std::uint32_t growth_name = 0;       ///< interned growth name
+  std::uint32_t comm_growth_name = 0;  ///< interned comm-growth name,
+                                       ///< 0 ("") for Eqs. 4/5
   std::array<double, 10> nums{};  ///< n, perf exp, f, fcon, fored,
                                   ///< comp_share, growth exp, comm exp, r, rl
-  std::string names;  ///< perf/growth/comm-growth names, NUL-separated
 
   bool operator==(const CacheKey&) const = default;
 };
 
-/// Builds the fingerprint of a request.
+/// Builds the fingerprint of a request.  Hot path: performs no heap
+/// allocation and touches no string bytes (names were interned when the
+/// laws were constructed).
 CacheKey cache_key(const core::EvalRequest& request);
 
 /// Hash functor for CacheKey (also used for shard selection).

@@ -1,0 +1,370 @@
+#include "search/binary_log.hpp"
+
+#include <array>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+
+namespace mergescale::search {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4C42534Du;  // "MSBL" little-endian
+constexpr std::uint32_t kVersion = 1;
+// Fingerprint of the record layout (field order, widths, frame shape).
+// Bump together with kVersion whenever the layout changes; readers
+// refuse anything else.
+constexpr std::uint64_t kSchema = 0x45564C31'4D534231ull;  // "1BSM1LVE"
+constexpr std::size_t kHeaderSize = 24;
+constexpr std::size_t kFrameOverhead = 7;  // crc u32 + len u16 + type u8
+
+constexpr std::uint8_t kStringFrame = 0;
+constexpr std::uint8_t kEvalFrame = 1;
+constexpr std::size_t kEvalPayload = 68;
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) — the ubiquitous zlib
+// polynomial, table-driven.
+// ---------------------------------------------------------------------------
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+std::uint32_t crc32(const char* data, std::size_t size) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ static_cast<unsigned char>(data[i])) & 0xFFu] ^
+          (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+// ---------------------------------------------------------------------------
+// Little-endian encode/decode, independent of host byte order.
+// ---------------------------------------------------------------------------
+
+void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xFF));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xFF));
+  }
+}
+
+std::uint16_t get_u16(const char* p) {
+  return static_cast<std::uint16_t>(static_cast<unsigned char>(p[0]) |
+                                    (static_cast<unsigned char>(p[1]) << 8));
+}
+
+std::uint32_t get_u32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+std::uint64_t get_u64(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+double get_f64(const char* p) { return std::bit_cast<double>(get_u64(p)); }
+
+std::string encode_header() {
+  std::string header;
+  header.reserve(kHeaderSize);
+  put_u32(header, kMagic);
+  put_u32(header, kVersion);
+  put_u64(header, kSchema);
+  put_u64(header, 0);  // reserved
+  return header;
+}
+
+void check_header(const std::string& bytes, const std::string& path) {
+  if (bytes.size() < kHeaderSize || get_u32(bytes.data()) != kMagic) {
+    throw std::runtime_error("binary log: " + path +
+                             " is not a mergescale binary run log");
+  }
+  if (get_u32(bytes.data() + 4) != kVersion ||
+      get_u64(bytes.data() + 8) != kSchema) {
+    throw std::runtime_error(
+        "binary log: " + path +
+        " was written under a different format version/schema; refusing to "
+        "read it (re-record or compact with a matching build)");
+  }
+}
+
+/// Appends one framed record (crc + len + type + payload) to `out`.
+/// Throws instead of wrapping the u16 length: a silently truncated
+/// length field would desynchronize the framing and take every record
+/// after it down with it.
+void put_frame(std::string& out, std::uint8_t type,
+               const std::string& payload) {
+  if (payload.size() > 0xFFFF) {
+    throw std::runtime_error(
+        "binary log: record payload exceeds the 64 KiB frame limit "
+        "(a label this long cannot be encoded)");
+  }
+  std::string body;
+  body.reserve(3 + payload.size());
+  put_u16(body, static_cast<std::uint16_t>(payload.size()));
+  body.push_back(static_cast<char>(type));
+  body += payload;
+  put_u32(out, crc32(body.data(), body.size()));
+  out += body;
+}
+
+/// One structural walk step.  Returns false when the bytes at `offset`
+/// cannot be a whole frame (torn tail / destroyed framing).
+struct Frame {
+  std::uint8_t type = 0;
+  const char* payload = nullptr;
+  std::size_t payload_size = 0;
+  bool crc_ok = false;
+  std::size_t next_offset = 0;
+};
+
+bool next_frame(const std::string& bytes, std::size_t offset, Frame* out) {
+  if (offset + kFrameOverhead > bytes.size()) return false;
+  const std::uint16_t len = get_u16(bytes.data() + offset + 4);
+  if (offset + kFrameOverhead + len > bytes.size()) return false;
+  out->type = static_cast<std::uint8_t>(bytes[offset + 6]);
+  out->payload = bytes.data() + offset + kFrameOverhead;
+  out->payload_size = len;
+  out->crc_ok = get_u32(bytes.data() + offset) ==
+                crc32(bytes.data() + offset + 4,
+                      static_cast<std::size_t>(3) + len);
+  out->next_offset = offset + kFrameOverhead + len;
+  return true;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  return bytes;
+}
+
+bool is_finite_record(const explore::EvalResult& r) {
+  return std::isfinite(r.n) && std::isfinite(r.r) && std::isfinite(r.rl) &&
+         std::isfinite(r.cores) && std::isfinite(r.speedup);
+}
+
+}  // namespace
+
+BinaryLog::BinaryLog(std::string path, std::size_t flush_every)
+    : path_(std::move(path)),
+      flush_every_(flush_every == 0 ? 1 : flush_every) {
+  const std::string bytes = read_file(path_);
+  if (bytes.empty()) {
+    // Fresh file: write the header eagerly (and flushed) so even a run
+    // killed before its first flush leaves a self-identifying file.
+    out_.open(path_, std::ios::binary | std::ios::trunc);
+    if (!out_) throw std::runtime_error("binary log: cannot open " + path_);
+    out_ << encode_header();
+    out_.flush();
+    return;
+  }
+  check_header(bytes, path_);
+
+  // Walk the frames: rebuild the string table and find the end of the
+  // last CRC-verified frame.  Truncating the unverifiable suffix (not
+  // just an incomplete final frame) keeps appends from extending a
+  // region a reader could never walk — the binary analogue of
+  // terminating a torn NDJSON line.
+  std::size_t verified_end = kHeaderSize;
+  std::size_t offset = kHeaderSize;
+  Frame frame;
+  while (next_frame(bytes, offset, &frame)) {
+    if (frame.crc_ok) {
+      if (frame.type == kStringFrame && frame.payload_size >= 4) {
+        const std::uint32_t id = get_u32(frame.payload);
+        string_ids_.emplace(
+            std::string(frame.payload + 4, frame.payload_size - 4), id);
+        if (id >= next_string_id_) next_string_id_ = id + 1;
+      }
+      verified_end = frame.next_offset;
+    }
+    offset = frame.next_offset;
+  }
+  if (verified_end < bytes.size()) {
+    std::filesystem::resize_file(path_, verified_end);
+  }
+  out_.open(path_, std::ios::binary | std::ios::app);
+  if (!out_) throw std::runtime_error("binary log: cannot open " + path_);
+}
+
+BinaryLog::~BinaryLog() {
+  try {
+    flush();
+  } catch (...) {
+    // Destructors must not throw; an unflushable tail is the documented
+    // crash-loss window.
+  }
+}
+
+std::uint32_t BinaryLog::string_id(const std::string& name) {
+  const auto it = string_ids_.find(name);
+  if (it != string_ids_.end()) return it->second;
+  const std::uint32_t id = next_string_id_++;
+  string_ids_.emplace(name, id);
+  std::string payload;
+  payload.reserve(4 + name.size());
+  put_u32(payload, id);
+  payload += name;
+  put_frame(buffer_, kStringFrame, payload);
+  return id;
+}
+
+void BinaryLog::append(const explore::EvalResult& result) {
+  // String-table frames first (rare: once per distinct label per file).
+  const std::uint32_t scenario = string_id(result.scenario);
+  const std::uint32_t app = string_id(result.app);
+  const std::uint32_t growth = string_id(result.growth);
+  const std::uint32_t topology = string_id(result.topology);
+
+  // The eval frame is fixed-width; encode it straight into a stack
+  // buffer — appending a record must not allocate, it runs once per
+  // evaluation of a million-point search.
+  char frame[kFrameOverhead + kEvalPayload];
+  char* p = frame + 4;  // crc patched last
+  auto u16 = [&p](std::uint16_t v) {
+    *p++ = static_cast<char>(v & 0xFF);
+    *p++ = static_cast<char>((v >> 8) & 0xFF);
+  };
+  auto u32 = [&p](std::uint32_t v) {
+    for (int shift = 0; shift < 32; shift += 8) {
+      *p++ = static_cast<char>((v >> shift) & 0xFF);
+    }
+  };
+  auto u64 = [&p](std::uint64_t v) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      *p++ = static_cast<char>((v >> shift) & 0xFF);
+    }
+  };
+  u16(static_cast<std::uint16_t>(kEvalPayload));
+  *p++ = static_cast<char>(kEvalFrame);
+  u64(result.index);
+  *p++ = static_cast<char>(result.variant);
+  *p++ = static_cast<char>(result.feasible ? 1 : 0);
+  *p++ = static_cast<char>(result.from_cache ? 1 : 0);
+  *p++ = 0;  // pad
+  u32(scenario);
+  u32(app);
+  u32(growth);
+  u32(topology);
+  u64(std::bit_cast<std::uint64_t>(result.n));
+  u64(std::bit_cast<std::uint64_t>(result.r));
+  u64(std::bit_cast<std::uint64_t>(result.rl));
+  u64(std::bit_cast<std::uint64_t>(result.cores));
+  u64(std::bit_cast<std::uint64_t>(result.speedup));
+  const std::uint32_t crc = crc32(frame + 4, 3 + kEvalPayload);
+  p = frame;
+  u32(crc);
+  buffer_.append(frame, sizeof frame);
+  ++appended_;
+  if (++buffered_records_ >= flush_every_) flush();
+}
+
+void BinaryLog::flush() {
+  if (!buffer_.empty()) {
+    out_.write(buffer_.data(),
+               static_cast<std::streamsize>(buffer_.size()));
+    buffer_.clear();
+  }
+  buffered_records_ = 0;
+  out_.flush();
+  if (!out_.good()) {
+    throw std::runtime_error("binary log: write to " + path_ + " failed");
+  }
+}
+
+std::vector<explore::EvalResult> BinaryLog::load(const std::string& path) {
+  std::vector<explore::EvalResult> records;
+  const std::string bytes = read_file(path);
+  if (bytes.empty()) return records;
+  check_header(bytes, path);
+
+  std::unordered_map<std::uint32_t, std::string> names;
+  std::size_t offset = kHeaderSize;
+  Frame frame;
+  while (next_frame(bytes, offset, &frame)) {
+    if (frame.crc_ok) {
+      if (frame.type == kStringFrame && frame.payload_size >= 4) {
+        names[get_u32(frame.payload)] =
+            std::string(frame.payload + 4, frame.payload_size - 4);
+      } else if (frame.type == kEvalFrame &&
+                 frame.payload_size == kEvalPayload) {
+        const char* p = frame.payload;
+        explore::EvalResult result;
+        result.index = static_cast<std::size_t>(get_u64(p));
+        const auto variant = static_cast<unsigned char>(p[8]);
+        result.feasible = p[9] != 0;
+        result.from_cache = p[10] != 0;
+        const auto scenario = names.find(get_u32(p + 12));
+        const auto app = names.find(get_u32(p + 16));
+        const auto growth = names.find(get_u32(p + 20));
+        const auto topology = names.find(get_u32(p + 24));
+        result.n = get_f64(p + 28);
+        result.r = get_f64(p + 36);
+        result.rl = get_f64(p + 44);
+        result.cores = get_f64(p + 52);
+        result.speedup = get_f64(p + 60);
+        // A record whose labels reference a dictionary entry this walk
+        // never verified cannot be reconstructed — skip it like any
+        // other corrupt record.
+        if (variant > static_cast<unsigned char>(
+                          core::ModelVariant::kAsymmetricComm) ||
+            scenario == names.end() || app == names.end() ||
+            growth == names.end() || topology == names.end()) {
+          offset = frame.next_offset;
+          continue;
+        }
+        result.variant = static_cast<core::ModelVariant>(variant);
+        result.scenario = scenario->second;
+        result.app = app->second;
+        result.growth = growth->second;
+        result.topology = topology->second;
+        if (!is_finite_record(result)) {
+          // Mirror the NDJSON `null` convention: the design point is
+          // kept (so resume does not re-spend budget on it) but loads
+          // as infeasible.
+          result.feasible = false;
+          result.cores = 0.0;
+          result.speedup = 0.0;
+        }
+        records.push_back(std::move(result));
+      }
+    }
+    offset = frame.next_offset;
+  }
+  return records;
+}
+
+}  // namespace mergescale::search

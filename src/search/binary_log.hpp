@@ -1,0 +1,100 @@
+#pragma once
+// Compact binary run-log format for multi-million-evaluation searches.
+// NDJSON costs ~180 B and one ostringstream round-trip per point; this
+// format stores the same EvalResult in a fixed-width ~75 B frame that is
+// encoded with plain byte writes, so a persisted search is bounded by
+// the models, not the log.
+//
+// File layout (all integers little-endian):
+//
+//   header   magic "MSBL" (u32) · version (u32) · schema (u64) ·
+//            reserved (u64) — 24 bytes.  The schema word fingerprints
+//            the record layout; load and append both refuse a file whose
+//            magic/version/schema do not match, so a reader can never
+//            silently misparse records written under a different layout.
+//   frames   crc (u32) · len (u16) · type (u8) · payload (len bytes)
+//            crc is CRC-32 (IEEE) over len+type+payload.
+//
+// Frame types:
+//   0  string-table entry: id (u32) + name bytes.  Labels (scenario,
+//      app, growth, topology) are written once per file and referenced
+//      by ID from every record — the binary analogue of the interner.
+//   1  eval record, fixed 68-byte payload: index u64; variant, feasible,
+//      cached, pad u8 each; scenario/app/growth/topology IDs u32 each;
+//      n, r, rl, cores, speedup f64 each.
+//
+// Durability semantics match the NDJSON log:
+//   - Appends are buffered and flushed every `flush_every` records (and
+//     on destruction), so a SIGKILL loses at most the unflushed group.
+//   - Opening for append repairs a torn tail: the file is truncated to
+//     the end of its last CRC-verified frame, so new appends can never
+//     glue onto a fragment.
+//   - load() skips a CRC-corrupted record and keeps reading (the frame
+//     length still delimits it); only corruption that destroys the
+//     framing itself — a torn or overwritten length — ends the readable
+//     prefix, exactly like a torn NDJSON tail.
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "explore/engine.hpp"
+
+namespace mergescale::search {
+
+/// Append-side writer.  One instance owns the file; see RunLog for the
+/// format-dispatching facade the search layer uses.
+class BinaryLog {
+ public:
+  /// Opens `path` for append (creating it with a fresh header if absent
+  /// or empty).  Validates the header, truncates any unverifiable tail,
+  /// and reloads the string table so appended records can reference the
+  /// labels already on disk.  Throws std::runtime_error when the file
+  /// cannot be opened or its header does not match this schema.
+  explicit BinaryLog(std::string path, std::size_t flush_every = 1);
+
+  /// Flushes any buffered records.
+  ~BinaryLog();
+
+  BinaryLog(const BinaryLog&) = delete;
+  BinaryLog& operator=(const BinaryLog&) = delete;
+
+  /// Encodes one result into the append buffer; writes the buffer
+  /// through every `flush_every` records.
+  void append(const explore::EvalResult& result);
+
+  /// Writes the buffer through to disk and flushes the stream.
+  void flush();
+
+  /// Records appended through this instance (not the file total).
+  std::uint64_t appended() const noexcept { return appended_; }
+
+  const std::string& path() const noexcept { return path_; }
+
+  /// Decodes every readable record of `path`.  A missing file yields an
+  /// empty vector; CRC-corrupted records are skipped; records with any
+  /// non-finite double load as infeasible (mirroring the NDJSON `null`
+  /// convention).  Throws std::runtime_error for a magic/version/schema
+  /// mismatch — misparsing a foreign layout would be corruption, not
+  /// tolerance.
+  static std::vector<explore::EvalResult> load(const std::string& path);
+
+ private:
+  std::uint32_t string_id(const std::string& name);
+
+  std::string path_;
+  std::size_t flush_every_;
+  std::ofstream out_;
+  std::string buffer_;
+  std::size_t buffered_records_ = 0;
+  std::uint64_t appended_ = 0;
+  std::unordered_map<std::string, std::uint32_t> string_ids_;
+  /// Next ID to assign: one past the largest ID on disk, so an ID whose
+  /// defining frame was CRC-skipped is never reused for a new name
+  /// (records resolve labels in walk order; reuse would rebind them).
+  std::uint32_t next_string_id_ = 0;
+};
+
+}  // namespace mergescale::search

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "core/comm_model.hpp"
 #include "explore/memo_cache.hpp"
@@ -25,10 +26,50 @@ std::optional<double> to_double(const std::string& text) {
   return value;
 }
 
+/// Unambiguous design-point identity of a record — the fields warm()
+/// uses to rebuild the EvalRequest.  Strings are length-prefixed (labels
+/// may contain any byte after the JSON round-trip) and doubles are
+/// hexfloat (exact).
+std::string design_key(const explore::EvalResult& r) {
+  std::ostringstream key;
+  key << std::hexfloat;
+  auto label = [&key](const std::string& text) {
+    key << text.size() << ':' << text << ';';
+  };
+  key << static_cast<int>(r.variant) << ';' << r.n << ';' << r.r << ';'
+      << r.rl << ';';
+  label(r.app);
+  label(r.growth);
+  label(r.topology);
+  return key.str();
+}
+
 }  // namespace
 
-RunLog::RunLog(std::string dir) : dir_(std::move(dir)) {
+std::string_view log_format_name(LogFormat format) noexcept {
+  switch (format) {
+    case LogFormat::kNdjson: return "ndjson";
+    case LogFormat::kBinary: return "binary";
+  }
+  return "unknown";
+}
+
+LogFormat parse_log_format(std::string_view name) {
+  if (name == "ndjson") return LogFormat::kNdjson;
+  if (name == "binary") return LogFormat::kBinary;
+  throw std::invalid_argument("unknown log format: " + std::string(name) +
+                              " (expected ndjson|binary)");
+}
+
+RunLog::RunLog(std::string dir, RunLogOptions options)
+    : dir_(std::move(dir)), options_(options) {
+  if (options_.flush_every == 0) options_.flush_every = 1;
   std::filesystem::create_directories(dir_);
+  if (options_.format == LogFormat::kBinary) {
+    binary_ = std::make_unique<BinaryLog>(binary_results_path(dir_),
+                                          options_.flush_every);
+    return;
+  }
   const std::string path = results_path(dir_);
   // A kill mid-write can leave a torn final line with no newline; without
   // repair, the next append would glue onto the fragment and corrupt a
@@ -54,26 +95,74 @@ RunLog::RunLog(std::string dir) : dir_(std::move(dir)) {
   }
 }
 
+RunLog::~RunLog() {
+  try {
+    flush();
+  } catch (...) {
+    // Destructors must not throw; an unflushable tail is the documented
+    // crash-loss window.
+  }
+}
+
 void RunLog::append(const explore::EvalResult& result) {
-  explore::write_ndjson(out_, {result});
-  out_.flush();
   ++appended_;
+  if (binary_) {
+    binary_->append(result);
+    return;
+  }
+  std::ostringstream line;
+  explore::write_ndjson(line, {result});
+  buffer_ += line.str();
+  if (++buffered_records_ >= options_.flush_every) flush();
+}
+
+void RunLog::flush() {
+  if (binary_) {
+    binary_->flush();
+    return;
+  }
+  if (!buffer_.empty()) {
+    out_ << buffer_;
+    buffer_.clear();
+  }
+  buffered_records_ = 0;
+  out_.flush();
+  if (!out_.good()) {
+    throw std::runtime_error("run log: write to " + results_path(dir_) +
+                             " failed");
+  }
 }
 
 std::string RunLog::results_path(const std::string& dir) {
   return (std::filesystem::path(dir) / "results.ndjson").string();
 }
 
+std::string RunLog::binary_results_path(const std::string& dir) {
+  return (std::filesystem::path(dir) / "results.msbin").string();
+}
+
 std::string RunLog::meta_path(const std::string& dir) {
   return (std::filesystem::path(dir) / "meta.json").string();
 }
 
+bool RunLog::has_results(const std::string& dir) {
+  return std::filesystem::exists(results_path(dir)) ||
+         std::filesystem::exists(binary_results_path(dir));
+}
+
 std::vector<explore::EvalResult> RunLog::load(const std::string& dir) {
   std::vector<explore::EvalResult> records;
-  std::ifstream in(results_path(dir));
-  if (!in) return records;
-  for (std::string line; std::getline(in, line);) {
-    if (auto record = parse_result(line)) records.push_back(std::move(*record));
+  if (std::ifstream in(results_path(dir)); in) {
+    for (std::string line; std::getline(in, line);) {
+      if (auto record = parse_result(line)) {
+        records.push_back(std::move(*record));
+      }
+    }
+  }
+  if (std::filesystem::exists(binary_results_path(dir))) {
+    auto binary = BinaryLog::load(binary_results_path(dir));
+    records.insert(records.end(), std::make_move_iterator(binary.begin()),
+                   std::make_move_iterator(binary.end()));
   }
   return records;
 }
@@ -193,10 +282,67 @@ std::size_t RunLog::warm(const std::vector<explore::EvalResult>& records,
     if (record.feasible) {
       outcome.point = core::DesignPoint{record.r, record.rl, record.speedup};
     }
-    engine.cache().insert(explore::cache_key(request), outcome);
-    ++warmed;
+    // Count *distinct* keys, not records: load() concatenates both log
+    // formats, so a directory that holds overlapping files (a format
+    // switch on resume, or a kill between compact()'s rename and its
+    // cleanup of the other format) yields duplicate records.  Each
+    // unique design point was one budget-charged evaluation; counting
+    // duplicates would inflate `already_spent` and make a resumed run
+    // silently under-spend its budget.
+    const explore::CacheKey key = explore::cache_key(request);
+    if (!engine.cache().contains(key)) ++warmed;
+    engine.cache().insert(key, outcome);
   }
   return warmed;
+}
+
+RunLog::CompactStats RunLog::compact(const std::string& dir,
+                                     LogFormat format,
+                                     std::size_t flush_every) {
+  const std::vector<explore::EvalResult> records = load(dir);
+  CompactStats stats;
+  stats.loaded = records.size();
+
+  std::unordered_set<std::string> seen;
+  std::vector<const explore::EvalResult*> kept;
+  kept.reserve(records.size());
+  for (const auto& record : records) {
+    if (seen.insert(design_key(record)).second) kept.push_back(&record);
+  }
+  stats.kept = kept.size();
+
+  // Write the survivors to a temp file, then rename over the target:
+  // a kill mid-compaction leaves the original log untouched.
+  std::filesystem::create_directories(dir);
+  const std::string tmp =
+      (std::filesystem::path(dir) / ".compact.tmp").string();
+  std::filesystem::remove(tmp);
+  if (format == LogFormat::kBinary) {
+    BinaryLog log(tmp, flush_every);
+    for (const explore::EvalResult* record : kept) log.append(*record);
+    log.flush();
+  } else {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) throw std::runtime_error("run log: cannot open " + tmp);
+    for (const explore::EvalResult* record : kept) {
+      explore::write_ndjson(out, {*record});
+    }
+    out.flush();
+    if (!out.good()) {
+      throw std::runtime_error("run log: failed to write " + tmp);
+    }
+  }
+  const std::string target = format == LogFormat::kBinary
+                                 ? binary_results_path(dir)
+                                 : results_path(dir);
+  std::filesystem::rename(tmp, target);
+  // Exactly one result file must survive (load() reads both), so a
+  // cross-format compaction is also the migration path.
+  const std::string other = format == LogFormat::kBinary
+                                ? results_path(dir)
+                                : binary_results_path(dir);
+  std::filesystem::remove(other);
+  return stats;
 }
 
 void RunLog::write_meta(const std::string& dir, const std::string& config) {

@@ -1,54 +1,103 @@
 #pragma once
-// Disk persistence for exploration runs: an append-only NDJSON result
-// log plus a small meta record, both under one run directory.
+// Disk persistence for exploration runs: an append-only result log plus
+// a small meta record, both under one run directory.  Two log formats
+// share one facade:
 //
 //   <dir>/results.ndjson   one explore::write_ndjson line per *fresh*
-//                          evaluation, flushed line-by-line so a killed
-//                          run loses at most the line being written
+//                          evaluation — self-describing, grep-able,
+//                          ~180 B/point
+//   <dir>/results.msbin    the compact binary format (search/binary_log)
+//                          — fixed-width CRC-framed records, ~75 B/point,
+//                          the choice for multi-million-point runs
 //   <dir>/meta.json        the run configuration fingerprint, used to
 //                          refuse resuming under a different setup
 //
-// Resume is cache warming: load() parses the log (tolerating a torn
-// final line), warm() reconstructs each record's EvalRequest against the
-// spec and seeds the engine's memo cache, and the re-run then serves
-// every already-done point as a hit — identical results, no recompute.
+// Appends are buffered and flushed every `flush_every` records (and on
+// destruction), so a killed run loses at most the unflushed group — with
+// the default flush_every = 1 that is the single record being written,
+// the historical per-line guarantee.  load()/warm()/resume and the
+// torn-tail repair semantics are identical across formats: opening for
+// append repairs a torn tail (NDJSON: terminates the fragment line;
+// binary: truncates past the last CRC-verified frame), load() skips
+// corrupt records, and resume is cache warming either way.
 
 #include <cstdint>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "explore/engine.hpp"
+#include "search/binary_log.hpp"
 #include "search/ndjson.hpp"
 
 namespace mergescale::search {
 
+/// On-disk result-log encodings.
+enum class LogFormat {
+  kNdjson,  ///< one JSON object per line (default; self-describing)
+  kBinary,  ///< CRC-framed fixed-width records (multi-million-point runs)
+};
+
+/// Printable format name ("ndjson", "binary").
+std::string_view log_format_name(LogFormat format) noexcept;
+
+/// Parses a format name (throws std::invalid_argument).
+LogFormat parse_log_format(std::string_view name);
+
+struct RunLogOptions {
+  LogFormat format = LogFormat::kNdjson;
+  /// Records buffered between flushes.  1 reproduces the historical
+  /// flush-per-record durability; larger groups trade a bounded crash
+  /// window (at most `flush_every` unflushed records) for an order of
+  /// magnitude fewer write syscalls on large runs.
+  std::size_t flush_every = 1;
+};
+
 class RunLog {
  public:
-  /// Opens `<dir>/results.ndjson` for append, creating `dir` if needed.
+  /// Opens `dir`'s result log for append in `options.format`, creating
+  /// `dir` if needed and repairing a torn tail left by a killed run.
   /// Throws std::runtime_error when the file cannot be opened.
-  explicit RunLog(std::string dir);
+  explicit RunLog(std::string dir, RunLogOptions options = {});
 
-  /// Appends one result line and flushes it.
+  /// Flushes any buffered records.
+  ~RunLog();
+
+  RunLog(const RunLog&) = delete;
+  RunLog& operator=(const RunLog&) = delete;
+
+  /// Appends one result; the write reaches disk with its flush group.
   void append(const explore::EvalResult& result);
+
+  /// Writes any buffered records through to disk.
+  void flush();
 
   /// Results appended through *this* log instance (not the file total).
   std::uint64_t appended() const noexcept { return appended_; }
 
   const std::string& dir() const noexcept { return dir_; }
+  LogFormat format() const noexcept { return options_.format; }
 
   static std::string results_path(const std::string& dir);
+  static std::string binary_results_path(const std::string& dir);
   static std::string meta_path(const std::string& dir);
 
-  /// Parses every well-formed record of `<dir>/results.ndjson`.  A
-  /// missing file yields an empty vector; malformed or torn lines are
-  /// skipped.  Records whose numeric fields were non-finite (written as
-  /// `null`) load as infeasible rather than being dropped, so a resumed
-  /// run does not re-spend budget on them.
+  /// True when `dir` holds a result log in either format.
+  static bool has_results(const std::string& dir);
+
+  /// Parses every well-formed record under `dir` — both formats, NDJSON
+  /// first (a directory normally holds one; after a format switch on
+  /// resume it can hold both, and the warm cache dedups overlaps).  A
+  /// missing file yields no records; malformed, torn, or CRC-corrupted
+  /// records are skipped.  Records whose numeric fields were non-finite
+  /// load as infeasible rather than being dropped, so a resumed run does
+  /// not re-spend budget on them.
   static std::vector<explore::EvalResult> load(const std::string& dir);
 
-  /// Decodes one log line (exposed for round-trip tests).
+  /// Decodes one NDJSON log line (exposed for round-trip tests).
   static std::optional<explore::EvalResult> parse_result(
       std::string_view line);
 
@@ -59,6 +108,21 @@ class RunLog {
   static std::size_t warm(const std::vector<explore::EvalResult>& records,
                           const explore::ScenarioSpec& spec,
                           explore::ExploreEngine& engine);
+
+  struct CompactStats {
+    std::size_t loaded = 0;  ///< records read across both formats
+    std::size_t kept = 0;    ///< records surviving deduplication
+  };
+
+  /// Rewrites `dir`'s result log in `format`, dropping all but the first
+  /// record of every duplicate design point (same variant, n, app,
+  /// growth, topology, r, rl — duplicates accumulate when logs are
+  /// merged or a directory is resumed across formats).  The rewrite is
+  /// atomic (temp file + rename) and leaves exactly one result file, so
+  /// compacting is also how an NDJSON log is migrated to binary (or
+  /// back).  Throws std::runtime_error on I/O failure.
+  static CompactStats compact(const std::string& dir, LogFormat format,
+                              std::size_t flush_every = 256);
 
   /// Writes `<dir>/meta.json` recording `config` (creates `dir`).  The
   /// write is flushed and verified; throws std::runtime_error when it
@@ -74,7 +138,13 @@ class RunLog {
 
  private:
   std::string dir_;
+  RunLogOptions options_;
+  // NDJSON state (format == kNdjson).
   std::ofstream out_;
+  std::string buffer_;
+  std::size_t buffered_records_ = 0;
+  // Binary state (format == kBinary).
+  std::unique_ptr<BinaryLog> binary_;
   std::uint64_t appended_ = 0;
 };
 

@@ -332,36 +332,139 @@ void hill_climb(Funnel& funnel, const SearchSpace& space,
   }
 }
 
+/// Rounds between best-state exchanges: every interval, the lagging
+/// walker adopts the leading walker's state and reheats — interaction
+/// that spreads a good basin across the population without collapsing
+/// the chains onto one trajectory between exchanges.
+constexpr std::uint64_t kExchangeInterval = 16;
+
+/// Parallel simulated annealing: `options.walkers` interacting chains,
+/// each with its own RNG stream, temperature, and current state.  Every
+/// round builds one candidate per walker and submits the whole front as
+/// a single deduped batch, so the engine's thread team evaluates a
+/// neighborhood's worth of moves per dispatch instead of idling between
+/// the single moves of a sequential walker.
+///
+/// Determinism and budget exactness follow the genetic strategy's rule:
+/// the round's batch is always built whole (fixed RNG consumption, a
+/// pure function of the seed and the — deterministic — evaluation
+/// results), then cut to its affordable prefix; if the cut bites, the
+/// budget's tail is spent on the prefix and the run stops, keeping an
+/// interrupted run's proposals a prefix of an uninterrupted run's for
+/// exact warm-cache resume replay.
 void anneal(Funnel& funnel, const SearchSpace& space,
             const SearchOptions& options, util::Xoshiro256& rng,
             SearchOutcome* outcome) {
+  struct Walker {
+    util::Xoshiro256 rng;
+    Coords coords{};
+    double value = 0.0;
+    double temperature = 0.0;
+    bool seeded = false;  ///< current state has been evaluated
+
+    explicit Walker(std::uint64_t seed) : rng(seed) {}
+  };
+  const std::size_t walker_count = std::max<std::size_t>(1, options.walkers);
+  std::vector<Walker> walkers;
+  walkers.reserve(walker_count);
+  for (std::size_t i = 0; i < walker_count; ++i) {
+    // Independent streams derived from the master seed (SplitMix64-fed
+    // xoshiro per walker) keep the chains decorrelated yet reproducible.
+    walkers.emplace_back(rng.next());
+  }
+
   std::uint64_t stalls = 0;
+  std::uint64_t round = 0;
   while (funnel.evaluations() < options.budget && stalls < kMaxStallRounds) {
-    const std::uint64_t walk_start = funnel.distinct_proposed();
-    Coords current = random_coords(space, rng);
-    double current_value = value_of(funnel.evaluate({current})[0]);
-    ++outcome->restarts;
-    double temperature = options.t0;
-    while (temperature > options.t_min &&
-           funnel.evaluations() < options.budget) {
-      Coords candidate = current;
-      const auto dim =
-          static_cast<std::size_t>(rng.bounded(SearchSpace::kDims));
-      mutate_axis(space, rng, dim, candidate);
-      const double candidate_value =
-          value_of(funnel.evaluate({candidate})[0]);
+    // Build the whole front: a fresh random point for unseeded walkers
+    // (start or post-restart), a one-axis mutation for the rest.
+    std::vector<Coords> batch;
+    batch.reserve(walker_count);
+    for (Walker& walker : walkers) {
+      if (!walker.seeded) {
+        batch.push_back(random_coords(space, walker.rng));
+      } else {
+        Coords candidate = walker.coords;
+        const auto dim = static_cast<std::size_t>(
+            walker.rng.bounded(SearchSpace::kDims));
+        mutate_axis(space, walker.rng, dim, candidate);
+        batch.push_back(candidate);
+      }
+    }
+    const std::size_t affordable = funnel.affordable_prefix(
+        batch, funnel.remaining(options.budget));
+    const bool starved = affordable < batch.size();
+    batch.resize(affordable);
+    const std::uint64_t before = funnel.distinct_proposed();
+    const std::vector<explore::EvalResult> results = funnel.evaluate(batch);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      Walker& walker = walkers[i];
+      const double candidate_value = value_of(results[i]);
+      if (!walker.seeded) {
+        walker.coords = batch[i];
+        walker.value = candidate_value;
+        walker.temperature = options.t0;
+        walker.seeded = true;
+        ++outcome->restarts;
+        continue;
+      }
       // Relative acceptance: deltas are normalized by the incumbent best
       // so t0 is a speedup *fraction*, independent of the space's scale.
       const double scale = std::max(funnel.best_speedup(), 1.0);
-      const double delta = (candidate_value - current_value) / scale;
-      if (delta >= 0.0 || rng.uniform() < std::exp(delta / temperature)) {
-        current = candidate;
-        current_value = candidate_value;
+      const double delta = (candidate_value - walker.value) / scale;
+      if (delta >= 0.0 ||
+          walker.rng.uniform() < std::exp(delta / walker.temperature)) {
+        walker.coords = batch[i];
+        walker.value = candidate_value;
       }
-      temperature *= options.cooling;
-      funnel.record_trace();
+      walker.temperature *= options.cooling;
+      if (walker.temperature <= options.t_min) walker.seeded = false;
     }
-    stalls = funnel.distinct_proposed() == walk_start ? stalls + 1 : 0;
+    funnel.record_trace();
+    if (starved) return;
+
+    // Periodic best-state exchange across the seeded chains.
+    if (++round % kExchangeInterval == 0 && walker_count > 1) {
+      std::size_t best = walker_count;
+      std::size_t worst = walker_count;
+      for (std::size_t i = 0; i < walker_count; ++i) {
+        if (!walkers[i].seeded) continue;
+        if (best == walker_count || walkers[i].value > walkers[best].value) {
+          best = i;
+        }
+        if (worst == walker_count ||
+            walkers[i].value < walkers[worst].value) {
+          worst = i;
+        }
+      }
+      if (best != walker_count && worst != best) {
+        walkers[worst].coords = walkers[best].coords;
+        walkers[worst].value = walkers[best].value;
+        walkers[worst].temperature = options.t0;  // reheat at the new basin
+      }
+    }
+    if (funnel.distinct_proposed() == before) {
+      ++stalls;
+      // A round that proposed nothing new means the chains have gone
+      // cold inside an exhausted neighborhood.  Reseed the coldest
+      // walker instead of waiting out its full cooling schedule: the
+      // random restart either finds fresh territory (which resets the
+      // stall counter) or the space really is exhausted and the counter
+      // runs out — the same two outcomes the sequential walker's
+      // per-walk stall accounting had, at one round per probe instead
+      // of one cooling cycle.
+      std::size_t coldest = walker_count;
+      for (std::size_t i = 0; i < walker_count; ++i) {
+        if (!walkers[i].seeded) continue;
+        if (coldest == walker_count ||
+            walkers[i].temperature < walkers[coldest].temperature) {
+          coldest = i;
+        }
+      }
+      if (coldest != walker_count) walkers[coldest].seeded = false;
+    } else {
+      stalls = 0;
+    }
   }
 }
 

@@ -37,7 +37,9 @@ namespace mergescale::search {
 enum class Strategy {
   kRandom,     ///< uniform random sampling of the grid
   kHillClimb,  ///< steepest-ascent over ±1 coordinate steps, with restarts
-  kAnneal,     ///< simulated annealing with geometric cooling + restarts
+  kAnneal,     ///< simulated annealing: multiple interacting walkers
+               ///< (one batch per round) with geometric cooling,
+               ///< periodic best-state exchange, and restarts
   kGenetic,    ///< population-based: tournament selection, per-axis
                ///< crossover, ±1 mutation, elitism; one batch/generation
   kPareto,     ///< multi-objective: offspring of the incremental Pareto
@@ -66,6 +68,14 @@ struct SearchOptions {
                                 ///< fraction of the current best speedup
   double cooling = 0.98;        ///< annealing: geometric factor per move
   double t_min = 1e-4;          ///< annealing: restart threshold
+  /// Annealing: number of interacting walkers.  Every round submits one
+  /// candidate per walker as a single deduped batch, so the engine's
+  /// thread team evaluates a full front of moves in parallel instead of
+  /// idling between the single moves of a sequential walker.  Walkers
+  /// periodically exchange best states (the coldest-performing chain
+  /// jumps to the incumbent best and reheats).  Part of the proposal
+  /// sequence: resuming a persisted anneal run requires the same value.
+  std::size_t walkers = 8;
   std::size_t population = 32;  ///< genetic/pareto: individuals per
                                 ///< generation (submitted as one batch)
   std::size_t elite = 2;        ///< genetic: top individuals carried into

@@ -4,6 +4,8 @@
 // justify unchecked builds, and silent parameter misuse is the main
 // failure mode for analytical-model libraries).
 
+#include <cstdio>
+#include <cstdlib>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -13,6 +15,16 @@ namespace mergescale::util {
 /// Throws std::invalid_argument with `message` when `condition` is false.
 inline void check(bool condition, const std::string& message) {
   if (!condition) throw std::invalid_argument(message);
+}
+
+/// Terminates with `message` — for control flow that must be impossible
+/// (e.g. the fall-through of an exhaustive enum switch).  Usable from
+/// noexcept functions, and always on: silently "handling" an impossible
+/// state (say, by returning a default) is exactly how a future enum
+/// value would corrupt results instead of crashing.
+[[noreturn]] inline void unreachable(const char* message) noexcept {
+  std::fprintf(stderr, "mergescale: unreachable: %s\n", message);
+  std::abort();
 }
 
 }  // namespace mergescale::util

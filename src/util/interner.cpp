@@ -1,0 +1,66 @@
+#include "util/interner.hpp"
+
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace mergescale::util {
+
+namespace {
+
+class Interner {
+ public:
+  Interner() { intern(""); }  // pin ID 0 to the empty string
+
+  std::uint32_t intern(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    // string_view keys: no std::string materialized on the hit path.
+    const auto it = ids_.find(name);
+    if (it != ids_.end()) return it->second;
+    const auto id = static_cast<std::uint32_t>(names_.size());
+    // deque never relocates elements, so the string_view key and the
+    // references interned_name() hands out stay valid forever.
+    const std::string& pinned = names_.emplace_back(name);
+    ids_.emplace(std::string_view(pinned), id);
+    return id;
+  }
+
+  const std::string& name_of(std::uint32_t id) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (id >= names_.size()) {
+      throw std::out_of_range("interner: unknown string ID " +
+                              std::to_string(id));
+    }
+    return names_[id];
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return names_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<std::string> names_;
+  std::unordered_map<std::string_view, std::uint32_t> ids_;
+};
+
+Interner& instance() {
+  // Function-local static: constructed on first use, never destroyed
+  // before the last user (interned names are process-lifetime pins).
+  static Interner* interner = new Interner();
+  return *interner;
+}
+
+}  // namespace
+
+std::uint32_t intern(std::string_view name) { return instance().intern(name); }
+
+const std::string& interned_name(std::uint32_t id) {
+  return instance().name_of(id);
+}
+
+std::size_t interned_count() { return instance().size(); }
+
+}  // namespace mergescale::util

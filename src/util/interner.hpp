@@ -1,0 +1,38 @@
+#pragma once
+// Process-wide string interner.  Maps each distinct string to a small,
+// stable std::uint32_t ID and pins the ID to the verbatim string for the
+// lifetime of the process.  Interning is the *slow path* — it takes a
+// lock and compares full strings, so two distinct names can never share
+// an ID (no hash shortcut) and one name always resolves to the same ID.
+// Everything downstream may then compare plain words: ID equality is
+// exactly verbatim-string equality.
+//
+// The explore cache key is the motivating client: law/growth names used
+// to travel inside every CacheKey as a heap-allocated std::string that
+// was hashed and compared on every evaluation.  Interned at
+// PerfLaw/GrowthFunction construction (rare), the hot path becomes
+// allocation-free POD word compares.
+//
+// ID 0 is reserved for the empty string, so "no name" normalizes to 0
+// without a sentinel.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mergescale::util {
+
+/// Interns `name`, returning its stable ID.  The same string always
+/// returns the same ID; distinct strings always return distinct IDs
+/// (full-string comparison, never a bare hash).  Thread-safe.
+std::uint32_t intern(std::string_view name);
+
+/// The verbatim string pinned to `id`.  The reference stays valid for
+/// the process lifetime.  Throws std::out_of_range for an ID that was
+/// never handed out.
+const std::string& interned_name(std::uint32_t id);
+
+/// Number of distinct strings interned so far (>= 1: ID 0 is "").
+std::size_t interned_count();
+
+}  // namespace mergescale::util

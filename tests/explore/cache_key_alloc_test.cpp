@@ -1,0 +1,83 @@
+// Proves the cache-key hot path is allocation-free: building, hashing,
+// and comparing a CacheKey must not touch the heap, because every
+// evaluation of a million-point search does all three.  The global
+// operator new/delete are replaced with counting shims (whole-binary
+// effect, which is why this lives in its own test file).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "core/app_params.hpp"
+#include "core/comm_model.hpp"
+#include "explore/memo_cache.hpp"
+
+namespace {
+
+std::atomic<std::size_t> g_news{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace mergescale::explore {
+namespace {
+
+TEST(CacheKeyAlloc, HotPathPerformsNoHeapAllocation) {
+  // Request construction interns names and copies strings — allowed, it
+  // happens once per scenario axis, not per evaluation.
+  core::EvalRequest request;
+  request.app = core::presets::kmeans();
+  request.variant = core::ModelVariant::kSymmetricComm;
+  request.comm_growth = core::comm_growth(noc::Topology::kMesh2D);
+  request.r = 4.0;
+
+  // Warm everything lazily initialized (interner, hash state).
+  CacheKey warm = cache_key(request);
+  volatile std::size_t sink = CacheKeyHash{}(warm);
+
+  const std::size_t before = g_news.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    const CacheKey key = cache_key(request);
+    sink = sink + CacheKeyHash{}(key) + (key == warm ? 1u : 0u);
+  }
+  const std::size_t after = g_news.load(std::memory_order_relaxed);
+  EXPECT_EQ(after, before) << "cache_key()/hash/compare allocated";
+  (void)sink;
+}
+
+TEST(CacheKeyAlloc, LookupAndInsertOfAnExistingKeyDoNotAllocate) {
+  core::EvalRequest request;
+  request.app = core::presets::hop();
+  request.r = 2.0;
+  MemoCache cache(4);
+  const CacheKey key = cache_key(request);
+  cache.insert(key, EvalOutcome{true, {2.0, 0.0, 3.5}});
+
+  EvalOutcome out;
+  ASSERT_TRUE(cache.lookup(key, &out));  // warm the bucket
+  const std::size_t before = g_news.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    cache.lookup(cache_key(request), &out);
+  }
+  const std::size_t after = g_news.load(std::memory_order_relaxed);
+  // The cache-hit path of a repeated sweep: key build + shard hash +
+  // find + outcome copy, all allocation-free (EvalOutcome is POD-like).
+  EXPECT_EQ(after, before) << "cache hit path allocated";
+}
+
+}  // namespace
+}  // namespace mergescale::explore

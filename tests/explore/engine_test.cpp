@@ -132,13 +132,21 @@ TEST(ExploreEngine, EmptyJobListYieldsEmptyResults) {
   EXPECT_TRUE(engine.run(std::vector<EvalJob>{}).empty());
 }
 
-TEST(ExploreEngine, RejectsMisindexedJobs) {
+TEST(ExploreEngine, RejectsMisindexedJobsInDebugBuilds) {
+  // The jobs[i].index == i pre-scan is debug-only: every producer
+  // (ScenarioSpec::expand, the search funnel) renumbers by construction,
+  // and an O(n) verification per dispatch is real latency on a
+  // million-job submission.  Release builds trust the contract.
   ScenarioSpec spec;
   spec.apps = {core::presets::kmeans()};
   auto jobs = spec.expand();
   jobs.front().index = 5;
   ExploreEngine engine({.threads = 1});
+#ifndef NDEBUG
   EXPECT_THROW(engine.run(jobs), std::invalid_argument);
+#else
+  EXPECT_NO_THROW(engine.run(jobs));
+#endif
 }
 
 TEST(ExploreEngine, ClearCacheForcesReevaluation) {

@@ -70,7 +70,9 @@ TEST(CacheKey, DistinguishesCustomGrowthsByName) {
 
 // Regression: the key used to fold all names into one 64-bit hash with a
 // "|" separator, so name tuples that concatenate identically — or collide
-// in the hash — were conflated.  Keys now carry the verbatim names.
+// in the hash — were conflated.  Keys now carry interned name IDs that
+// the interner pins to verbatim names by full-string comparison, which
+// preserves the guarantee without per-evaluation string work.
 TEST(CacheKey, SeparatorInjectionInCustomNamesCannotCollide) {
   core::EvalRequest a = sample_request();
   a.growth = core::GrowthFunction::custom("a|b", [](double nc) { return nc - 1; });

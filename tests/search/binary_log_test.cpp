@@ -1,0 +1,378 @@
+#include "search/binary_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <limits>
+
+#include "core/app_params.hpp"
+#include "explore/report.hpp"
+#include "search/run_log.hpp"
+#include "search/space.hpp"
+#include "search/strategy.hpp"
+
+namespace mergescale::search {
+namespace {
+
+class BinaryLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("mergescale_binary_log_" +
+             std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+             "_" + ::testing::UnitTest::GetInstance()
+                       ->current_test_info()
+                       ->name()))
+               .string();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    path_ = (std::filesystem::path(dir_) / "results.msbin").string();
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+  std::string path_;
+};
+
+explore::ScenarioSpec sample_spec() {
+  explore::ScenarioSpec spec;
+  spec.name = "binary-log-test";
+  spec.chip_budgets = {64.0, 256.0};
+  spec.apps = {core::presets::kmeans(), core::presets::hop()};
+  spec.variants = {core::ModelVariant::kSymmetric,
+                   core::ModelVariant::kAsymmetric,
+                   core::ModelVariant::kSymmetricComm};
+  return spec;
+}
+
+void expect_equal(const explore::EvalResult& a, const explore::EvalResult& b) {
+  EXPECT_EQ(a.index, b.index);
+  EXPECT_EQ(a.scenario, b.scenario);
+  EXPECT_EQ(a.variant, b.variant);
+  EXPECT_DOUBLE_EQ(a.n, b.n);
+  EXPECT_EQ(a.app, b.app);
+  EXPECT_EQ(a.growth, b.growth);
+  EXPECT_EQ(a.topology, b.topology);
+  EXPECT_DOUBLE_EQ(a.r, b.r);
+  EXPECT_DOUBLE_EQ(a.rl, b.rl);
+  EXPECT_EQ(a.feasible, b.feasible);
+  EXPECT_DOUBLE_EQ(a.cores, b.cores);
+  EXPECT_DOUBLE_EQ(a.speedup, b.speedup);
+  EXPECT_EQ(a.from_cache, b.from_cache);
+}
+
+TEST_F(BinaryLogTest, AppendThenLoadRoundTrips) {
+  explore::ExploreEngine engine;
+  const auto results = engine.run(sample_spec());
+  {
+    BinaryLog log(path_);
+    for (const auto& result : results) log.append(result);
+    EXPECT_EQ(log.appended(), results.size());
+  }
+  const auto loaded = BinaryLog::load(path_);
+  ASSERT_EQ(loaded.size(), results.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    expect_equal(loaded[i], results[i]);
+  }
+}
+
+TEST_F(BinaryLogTest, NdjsonAndBinaryLogsLoadIdentically) {
+  // The facade's contract: the two formats are interchangeable
+  // encodings of the same records.
+  explore::ExploreEngine engine;
+  const auto results = engine.run(sample_spec());
+  const std::string ndjson_dir = dir_ + "_ndjson";
+  const std::string binary_dir = dir_ + "_binary";
+  {
+    RunLog ndjson(ndjson_dir, {LogFormat::kNdjson, 1});
+    RunLog binary(binary_dir, {LogFormat::kBinary, 7});
+    for (const auto& result : results) {
+      ndjson.append(result);
+      binary.append(result);
+    }
+  }
+  const auto from_ndjson = RunLog::load(ndjson_dir);
+  const auto from_binary = RunLog::load(binary_dir);
+  ASSERT_EQ(from_ndjson.size(), results.size());
+  ASSERT_EQ(from_binary.size(), results.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    expect_equal(from_binary[i], from_ndjson[i]);
+  }
+  std::filesystem::remove_all(ndjson_dir);
+  std::filesystem::remove_all(binary_dir);
+}
+
+TEST_F(BinaryLogTest, RoundTripsAwkwardLabels) {
+  explore::EvalResult result;
+  result.index = 3;
+  result.scenario = "he said \"hi\", twice\tand a\\slash\nnewline";
+  result.variant = core::ModelVariant::kAsymmetricComm;
+  result.n = 256.0;
+  result.app = "app,with\"quotes\"";
+  result.growth = "growth";
+  result.topology = "mesh";
+  result.r = 1.5;
+  result.rl = 32.25;
+  result.cores = 150.5;
+  result.feasible = true;
+  result.speedup = 123.456789;
+  {
+    BinaryLog log(path_);
+    log.append(result);
+  }
+  const auto loaded = BinaryLog::load(path_);
+  ASSERT_EQ(loaded.size(), 1u);
+  expect_equal(loaded[0], result);
+}
+
+TEST_F(BinaryLogTest, LoadOfAMissingFileIsEmpty) {
+  EXPECT_TRUE(BinaryLog::load(path_).empty());
+}
+
+TEST_F(BinaryLogTest, RefusesAForeignHeader) {
+  {
+    std::ofstream out(path_, std::ios::binary);
+    out << "not a binary log at all, but longer than a header";
+  }
+  EXPECT_THROW(BinaryLog::load(path_), std::runtime_error);
+  EXPECT_THROW(BinaryLog{path_}, std::runtime_error);
+}
+
+TEST_F(BinaryLogTest, RefusesASchemaMismatch) {
+  {
+    BinaryLog log(path_);  // valid header
+  }
+  // Flip one schema byte (offset 8..15 is the schema word).
+  std::fstream file(path_, std::ios::binary | std::ios::in | std::ios::out);
+  file.seekg(9);
+  const char byte = static_cast<char>(file.get());
+  file.seekp(9);
+  file.put(static_cast<char>(byte ^ '\x7E'));
+  file.close();
+  EXPECT_THROW(BinaryLog::load(path_), std::runtime_error);
+  EXPECT_THROW(BinaryLog{path_}, std::runtime_error);
+}
+
+TEST_F(BinaryLogTest, TornTailIsRepairedBeforeAppending) {
+  explore::ExploreEngine engine;
+  const auto results = engine.run(sample_spec());
+  {
+    BinaryLog log(path_);
+    log.append(results[0]);
+  }
+  const auto intact = std::filesystem::file_size(path_);
+  {
+    // Kill mid-write: half of a frame reaches disk.
+    BinaryLog log(path_);
+    log.append(results[1]);
+  }
+  std::filesystem::resize_file(
+      path_, intact + (std::filesystem::file_size(path_) - intact) / 2);
+  {
+    // A resumed run's first append must not extend the fragment.
+    BinaryLog log(path_);
+    log.append(results[2]);
+  }
+  const auto loaded = BinaryLog::load(path_);
+  ASSERT_EQ(loaded.size(), 2u);
+  expect_equal(loaded[0], results[0]);
+  expect_equal(loaded[1], results[2]);
+}
+
+TEST_F(BinaryLogTest, CrcCorruptedRecordIsSkippedNotFatal) {
+  explore::ExploreEngine engine;
+  const auto results = engine.run(sample_spec());
+  std::uintmax_t first_two = 0;
+  {
+    BinaryLog log(path_);
+    log.append(results[0]);
+    log.append(results[1]);
+    log.flush();
+    first_two = std::filesystem::file_size(path_);
+    log.append(results[2]);
+  }
+  {
+    // Corrupt one payload byte of the *middle* record (the speedup field
+    // sits at its tail), leaving the framing intact.
+    std::fstream file(path_, std::ios::binary | std::ios::in | std::ios::out);
+    file.seekg(static_cast<std::streamoff>(first_two) - 3);
+    const char byte = static_cast<char>(file.get());
+    file.seekp(static_cast<std::streamoff>(first_two) - 3);
+    file.put(static_cast<char>(byte ^ '\x55'));
+  }
+  const auto loaded = BinaryLog::load(path_);
+  ASSERT_EQ(loaded.size(), 2u);  // corrupt record skipped, rest intact
+  expect_equal(loaded[0], results[0]);
+  expect_equal(loaded[1], results[2]);
+  {
+    // Append still works: the corrupt record is framed, so the tail
+    // repair keeps everything after it.
+    BinaryLog log(path_);
+    log.append(results[3]);
+  }
+  const auto reloaded = BinaryLog::load(path_);
+  ASSERT_EQ(reloaded.size(), 3u);
+  expect_equal(reloaded[2], results[3]);
+}
+
+TEST_F(BinaryLogTest, NonFiniteValuesLoadAsInfeasible) {
+  explore::EvalResult result;
+  result.index = 2;
+  result.scenario = "nonfinite";
+  result.n = 64.0;
+  result.app = "kmeans";
+  result.growth = "linear";
+  result.r = 4.0;
+  result.rl = 16.0;
+  result.feasible = true;
+  result.cores = std::numeric_limits<double>::quiet_NaN();
+  result.speedup = std::numeric_limits<double>::infinity();
+  {
+    BinaryLog log(path_);
+    log.append(result);
+  }
+  const auto loaded = BinaryLog::load(path_);
+  ASSERT_EQ(loaded.size(), 1u);  // kept, not dropped
+  EXPECT_EQ(loaded[0].index, 2u);
+  EXPECT_EQ(loaded[0].app, "kmeans");
+  EXPECT_DOUBLE_EQ(loaded[0].r, 4.0);
+  EXPECT_FALSE(loaded[0].feasible);  // mirrors the NDJSON null convention
+  EXPECT_DOUBLE_EQ(loaded[0].speedup, 0.0);
+  EXPECT_DOUBLE_EQ(loaded[0].cores, 0.0);
+}
+
+TEST_F(BinaryLogTest, UnflushedGroupIsTheOnlyCrashLossWindow) {
+  explore::ExploreEngine engine;
+  const auto results = engine.run(sample_spec());
+  ASSERT_GE(results.size(), 8u);
+  {
+    BinaryLog log(path_, /*flush_every=*/4);
+    for (std::size_t i = 0; i < 7; ++i) log.append(results[i]);
+    // No explicit flush, no destructor: simulate a SIGKILL by just
+    // inspecting the file — records 0..3 flushed as a group, 4..6 are
+    // the in-memory loss window.
+    EXPECT_EQ(BinaryLog::load(path_).size(), 4u);
+  }  // destructor flushes the rest
+  EXPECT_EQ(BinaryLog::load(path_).size(), 7u);
+}
+
+TEST_F(BinaryLogTest, ResumeFromBinaryMatchesAnUninterruptedSearch) {
+  // The end-to-end resume contract, binary edition: warm-load a killed
+  // run's log, continue the same budget, land on the identical best.
+  const explore::ScenarioSpec spec = sample_spec();
+  const SearchSpace space(spec);
+  SearchOptions options;
+  options.strategy = Strategy::kAnneal;
+  options.budget = 60;
+  options.seed = 11;
+
+  explore::ExploreEngine uninterrupted;
+  const SearchOutcome reference = run_search(uninterrupted, space, options);
+
+  // "Killed" slice of the same budget, persisted to binary.
+  const std::string run_dir = dir_ + "_run";
+  SearchOptions slice = options;
+  slice.budget = 25;
+  {
+    explore::ExploreEngine engine;
+    RunLog log(run_dir, {LogFormat::kBinary, 4});
+    run_search(engine, space, slice, &log);
+  }
+  // Resume: warm the cache from the binary log, continue the budget.
+  explore::ExploreEngine resumed;
+  const auto records = RunLog::load(run_dir);
+  ASSERT_FALSE(records.empty());
+  const std::size_t warmed = RunLog::warm(records, spec, resumed);
+  EXPECT_EQ(warmed, records.size());
+  SearchOptions rest = options;
+  rest.already_spent = warmed;
+  const SearchOutcome continued = run_search(resumed, space, rest);
+
+  EXPECT_EQ(continued.evaluations, reference.evaluations);
+  ASSERT_EQ(continued.found, reference.found);
+  if (reference.found) {
+    EXPECT_DOUBLE_EQ(continued.best.speedup, reference.best.speedup);
+  }
+  std::filesystem::remove_all(run_dir);
+}
+
+TEST_F(BinaryLogTest, CompactDropsDuplicateKeysAndIsFormatPreserving) {
+  explore::ExploreEngine engine;
+  const auto results = engine.run(sample_spec());
+  {
+    RunLog log(dir_, {LogFormat::kBinary, 16});
+    for (const auto& result : results) log.append(result);
+    for (const auto& result : results) log.append(result);  // duplicates
+  }
+  ASSERT_EQ(RunLog::load(dir_).size(), 2 * results.size());
+  const auto stats = RunLog::compact(dir_, LogFormat::kBinary);
+  EXPECT_EQ(stats.loaded, 2 * results.size());
+  // The spec's symmetric jobs are duplicated across the small-core axis
+  // (inert for them), so compaction folds more than the doubled append.
+  EXPECT_LE(stats.kept, results.size());
+  const auto compacted = RunLog::load(dir_);
+  EXPECT_EQ(compacted.size(), stats.kept);
+  // Compaction must not lose any design point: the warmed cache covers
+  // the full spec exactly like the uncompacted log would.
+  explore::ExploreEngine warmed;
+  RunLog::warm(compacted, sample_spec(), warmed);
+  warmed.run(sample_spec());
+  EXPECT_EQ(warmed.cache().stats().misses, 0u);
+}
+
+TEST_F(BinaryLogTest, WarmCountsDistinctKeysWhenBothFormatsOverlap) {
+  // A directory can legitimately hold both result files with duplicate
+  // records (format switch on resume; a kill between compact()'s rename
+  // and its cleanup of the other format).  warm() must count *unique*
+  // design points, or already_spent would double and a resumed search
+  // would silently under-spend its budget.
+  const explore::ScenarioSpec spec = sample_spec();
+  explore::ExploreEngine engine;
+  const auto results = engine.run(spec);
+  {
+    RunLog ndjson(dir_, {LogFormat::kNdjson, 1});
+    RunLog binary(dir_, {LogFormat::kBinary, 8});
+    for (const auto& result : results) {
+      ndjson.append(result);
+      binary.append(result);
+    }
+  }
+  const auto records = RunLog::load(dir_);
+  ASSERT_EQ(records.size(), 2 * results.size());
+  explore::ExploreEngine warmed_engine;
+  const std::size_t warmed = RunLog::warm(records, spec, warmed_engine);
+  EXPECT_EQ(warmed, warmed_engine.cache().size());
+  EXPECT_EQ(warmed, engine.cache().stats().misses);  // unique evals, once
+  warmed_engine.run(spec);
+  EXPECT_EQ(warmed_engine.cache().stats().misses, 0u);
+}
+
+TEST_F(BinaryLogTest, CompactMigratesBetweenFormats) {
+  explore::ExploreEngine engine;
+  const auto results = engine.run(sample_spec());
+  {
+    RunLog log(dir_, {LogFormat::kNdjson, 1});
+    for (const auto& result : results) log.append(result);
+  }
+  const auto before = RunLog::load(dir_);
+  const auto stats = RunLog::compact(dir_, LogFormat::kBinary);
+  EXPECT_EQ(stats.loaded, results.size());
+  EXPECT_FALSE(std::filesystem::exists(RunLog::results_path(dir_)));
+  EXPECT_TRUE(
+      std::filesystem::exists(RunLog::binary_results_path(dir_)));
+  const auto after = RunLog::load(dir_);
+  ASSERT_EQ(after.size(), stats.kept);
+  // Every surviving record equals its first occurrence in the original.
+  std::size_t cursor = 0;
+  for (const auto& record : after) {
+    while (cursor < before.size() && before[cursor].index != record.index) {
+      ++cursor;
+    }
+    ASSERT_LT(cursor, before.size());
+    expect_equal(record, before[cursor]);
+  }
+}
+
+}  // namespace
+}  // namespace mergescale::search

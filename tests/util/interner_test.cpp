@@ -1,0 +1,84 @@
+#include "util/interner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mergescale::util {
+namespace {
+
+TEST(Interner, EmptyStringIsIdZero) {
+  EXPECT_EQ(intern(""), 0u);
+  EXPECT_EQ(interned_name(0), "");
+  EXPECT_GE(interned_count(), 1u);
+}
+
+TEST(Interner, SameStringAlwaysReturnsTheSameId) {
+  const std::uint32_t a = intern("interner-test-stable");
+  const std::uint32_t b = intern("interner-test-stable");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(interned_name(a), "interner-test-stable");
+}
+
+TEST(Interner, DistinctStringsGetDistinctIds) {
+  // The collision guarantee the cache key leans on: IDs are assigned by
+  // full-string comparison, so strings that would collide under
+  // concatenation ("ab"+"c" vs "a"+"bc") or under a weak hash can never
+  // share an ID.
+  const std::uint32_t ab = intern("interner-test-ab");
+  const std::uint32_t ab2 = intern("interner-test-ab2");
+  const std::uint32_t a = intern("interner-test-a");
+  EXPECT_NE(ab, ab2);
+  EXPECT_NE(ab, a);
+  EXPECT_NE(ab2, a);
+  EXPECT_EQ(interned_name(ab), "interner-test-ab");
+  EXPECT_EQ(interned_name(ab2), "interner-test-ab2");
+}
+
+TEST(Interner, UnknownIdThrows) {
+  EXPECT_THROW(interned_name(0xFFFFFFFFu), std::out_of_range);
+}
+
+TEST(Interner, ReferencesStayValidAsTheTableGrows) {
+  const std::uint32_t id = intern("interner-test-pinned");
+  const std::string* pinned = &interned_name(id);
+  for (int i = 0; i < 1000; ++i) {
+    intern("interner-test-growth-" + std::to_string(i));
+  }
+  EXPECT_EQ(&interned_name(id), pinned);  // no relocation
+  EXPECT_EQ(*pinned, "interner-test-pinned");
+}
+
+TEST(Interner, ConcurrentInterningIsConsistent) {
+  // All threads intern the same window of names; every thread must see
+  // identical IDs (one ID per name, no duplicates, no torn entries).
+  constexpr int kThreads = 8;
+  constexpr int kNames = 64;
+  std::vector<std::vector<std::uint32_t>> seen(kThreads);
+  std::vector<std::thread> threads;
+  std::atomic<int> start{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &seen, &start] {
+      start.fetch_add(1);
+      while (start.load() < kThreads) {
+      }
+      for (int i = 0; i < kNames; ++i) {
+        seen[t].push_back(intern("interner-test-conc-" + std::to_string(i)));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(seen[t], seen[0]);
+  }
+  for (int i = 0; i < kNames; ++i) {
+    EXPECT_EQ(interned_name(seen[0][static_cast<std::size_t>(i)]),
+              "interner-test-conc-" + std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace mergescale::util
