@@ -7,20 +7,32 @@
 //             the POD cache key's home turf)
 //   persist   the same sweep persisted through a RunLog: NDJSON with
 //             flush-per-record (the historical baseline) vs. the binary
-//             format with buffered group flushes
+//             format with buffered group flushes vs. binary with the
+//             double-buffered writer thread (--log-async's machinery).
+//             An unpersisted run of the same no-cache sweep anchors the
+//             *stall* — the wall-clock the log costs on top of pure
+//             evaluation — and the bench reports how much of the
+//             synchronous stall the writer thread removes (its whole
+//             point: with spare cores the encode+write work overlaps
+//             evaluation instead of serializing after it)
 //   anneal    the annealing strategy at --walkers 1 (the old sequential
 //             walker) vs. the parallel multi-walker front
 //
 // Emits a BENCH_throughput.json with every number so CI can archive the
 // perf trajectory, and exits nonzero when binary+buffered persistence
-// fails to beat the NDJSON per-line baseline by --min-persist-speedup.
+// fails to beat the NDJSON per-line baseline by --min-persist-speedup,
+// or when the writer thread removes less than --min-stall-removed of
+// the synchronous persistence stall (default 0: advisory, because a
+// single-core box has no spare cycles to overlap into).
 //
 //   ./build/bench_eval_throughput                 # ~1.2M-grid-point space
 //   ./build/bench_eval_throughput --scale smoke   # CI-sized space
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
+#include <utility>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -105,8 +117,8 @@ SweepStats sweep(explore::ExploreEngine& engine, const search::SearchSpace& spac
         slice.push_back(std::move(job));
       }
     }
-    for (const explore::EvalResult& result : engine.run(slice)) {
-      if (log != nullptr && !result.from_cache) log->append(result);
+    for (explore::EvalResult& result : engine.run(slice)) {
+      if (log != nullptr && !result.from_cache) log->append(std::move(result));
     }
     stats.points += slice.size();
   }
@@ -147,6 +159,9 @@ int main(int argc, char** argv) try {
           "binary log records per flush group");
   cli.opt("min-persist-speedup", 1.0,
           "fail when binary+buffered / ndjson-per-line falls below this");
+  cli.opt("min-stall-removed", 0.0,
+          "fail when the writer thread removes less than this fraction of "
+          "the synchronous persistence stall (needs a spare core)");
   cli.opt("out", std::string("BENCH_throughput.json"), "JSON output path");
   cli.opt("work-dir", std::string(), "scratch dir (default: temp)");
   if (!cli.parse(argc, argv)) return 0;
@@ -179,13 +194,20 @@ int main(int argc, char** argv) try {
             << " pts/s (" << uncached.points << " points, "
             << engine.threads() << " threads)\n";
 
-  // --- persist: ndjson per-line vs. binary buffered ----------------------
+  // --- persist: ndjson per-line vs. binary buffered vs. binary async -----
   // The workload of `explore_cli --no-cache --run-dir <dir>`: a fresh
   // recorded exhaustive sweep.  Every cross-product point is distinct, so
   // the memo cache would be pure per-point overhead here — it is read
   // back at *resume* time, not during a fresh recording.
   explore::EngineOptions persist_options = engine_options;
   persist_options.use_cache = false;
+  SweepStats bare;
+  {
+    // Unpersisted anchor: the same sweep with no log at all.  Whatever a
+    // persisted run takes beyond this is the persistence stall.
+    explore::ExploreEngine fresh(persist_options);
+    bare = sweep(fresh, space, nullptr);
+  }
   SweepStats ndjson;
   {
     explore::ExploreEngine fresh(persist_options);
@@ -200,17 +222,42 @@ int main(int argc, char** argv) try {
                        {search::LogFormat::kBinary, flush_every});
     binary = sweep(fresh, space, &log);
   }
+  SweepStats async;
+  {
+    explore::ExploreEngine fresh(persist_options);
+    search::RunLogOptions log_options{search::LogFormat::kBinary,
+                                      flush_every};
+    log_options.async = true;
+    search::RunLog log(work + "/async", log_options);
+    async = sweep(fresh, space, &log);
+  }
   const double persist_speedup =
       ndjson.pps() > 0.0 ? binary.pps() / ndjson.pps() : 0.0;
+  // Stall removed by the writer thread, as a fraction of the synchronous
+  // binary log's stall.  Clamped into [0, 1]: timing noise can push the
+  // async sweep marginally below the unpersisted anchor.
+  const double stall_sync = binary.seconds - bare.seconds;
+  const double stall_async = async.seconds - bare.seconds;
+  const double stall_removed =
+      stall_sync > 0.0
+          ? std::min(1.0, std::max(0.0, 1.0 - stall_async / stall_sync))
+          : 0.0;
   const auto ndjson_bytes = std::filesystem::file_size(
       search::RunLog::results_path(work + "/ndjson"));
   const auto binary_bytes = std::filesystem::file_size(
       search::RunLog::binary_results_path(work + "/binary"));
-  std::cout << "persist: ndjson/line " << util::format_double(ndjson.pps(), 0)
+  std::cout << "persist: bare " << util::format_double(bare.pps(), 0)
+            << " pts/s, ndjson/line " << util::format_double(ndjson.pps(), 0)
             << " pts/s (" << ndjson_bytes << " B), binary/"
             << flush_every << " " << util::format_double(binary.pps(), 0)
             << " pts/s (" << binary_bytes << " B) — "
             << util::format_double(persist_speedup, 2) << "x\n";
+  std::cout << "persist: binary+writer-thread "
+            << util::format_double(async.pps(), 0) << " pts/s — stall "
+            << util::format_double(stall_sync * 1e3, 2) << " ms sync vs "
+            << util::format_double(stall_async * 1e3, 2) << " ms async ("
+            << util::format_double(stall_removed * 100.0, 1)
+            << "% removed)\n";
 
   // --- anneal: sequential walker vs. parallel front ----------------------
   const std::uint64_t budget = scale == "smoke" ? 4000 : 50000;
@@ -235,11 +282,16 @@ int main(int argc, char** argv) try {
          << "  \"eval_uncached_pps\": " << uncached.pps() << ",\n"
          << "  \"eval_cached_pps\": " << cached.pps() << ",\n"
          << "  \"persist_points\": " << ndjson.points << ",\n"
+         << "  \"persist_bare_pps\": " << bare.pps() << ",\n"
          << "  \"persist_ndjson_pps\": " << ndjson.pps() << ",\n"
          << "  \"persist_binary_pps\": " << binary.pps() << ",\n"
+         << "  \"persist_binary_async_pps\": " << async.pps() << ",\n"
          << "  \"persist_ndjson_bytes\": " << ndjson_bytes << ",\n"
          << "  \"persist_binary_bytes\": " << binary_bytes << ",\n"
          << "  \"persist_speedup\": " << persist_speedup << ",\n"
+         << "  \"persist_stall_sync_s\": " << stall_sync << ",\n"
+         << "  \"persist_stall_async_s\": " << stall_async << ",\n"
+         << "  \"persist_stall_removed\": " << stall_removed << ",\n"
          << "  \"anneal_budget\": " << budget << ",\n"
          << "  \"anneal_walkers\": " << walkers << ",\n"
          << "  \"anneal_seq_pps\": " << seq.pps() << ",\n"
@@ -260,6 +312,19 @@ int main(int argc, char** argv) try {
               << "x the NDJSON per-line baseline (gate "
               << util::format_double(cli.get_double("min-persist-speedup"), 2)
               << "x)\n";
+    return 1;
+  }
+  // A non-positive synchronous stall means there is nothing to remove
+  // (timing noise can even push the persisted sweep below the bare
+  // anchor) — the gate is trivially satisfied, not failed.
+  if (stall_sync > 0.0 &&
+      stall_removed < cli.get_double("min-stall-removed")) {
+    std::cerr << "FAIL: the writer thread removed only "
+              << util::format_double(stall_removed * 100.0, 1)
+              << "% of the synchronous persistence stall (gate "
+              << util::format_double(
+                     cli.get_double("min-stall-removed") * 100.0, 1)
+              << "%)\n";
     return 1;
   }
   return 0;

@@ -24,10 +24,17 @@
 //                                        # million-point-scale persistence
 //   ./build/explore_cli --compact --run-dir /tmp/run2 --log-format binary
 //                                        # dedup + rewrite the run log
+//   for i in 0 1 2 3; do                 # multi-process sharded sweep
+//     ./build/explore_cli --shard $i/4 --run-dir /tmp/shards
+//       --log-format binary --log-async &
+//   done; wait                           # one results.shard-$i.msbin each
+//   ./build/explore_cli --merge --run-dir /tmp/shards
+//                                        # union + dedup into one log
 //
 // Writes <out>.csv and <out>.ndjson (exhaustive runs), and
-// <dir>/results.ndjson or <dir>/results.msbin (--log-format) +
-// <dir>/meta.json when persistence is on.
+// <dir>/results.ndjson or <dir>/results.msbin (--log-format;
+// results.shard-<i>.<ext> under --shard) + <dir>/meta.json when
+// persistence is on.
 
 #include <algorithm>
 #include <chrono>
@@ -104,6 +111,9 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
 /// sequence would charge the prior run's spend against an unrelated
 /// trajectory.  Budget is deliberately *not* pinned: extending a
 /// finished search with a larger budget is a legitimate continuation.
+/// A sharded run additionally pins the shard *count* (the partition of
+/// the space / the walker-group derivation); the shard *index* lives in
+/// the result-file name, so all K processes share one meta record.
 std::string run_config(const util::Cli& cli) {
   std::ostringstream config;
   config << "apps=" << cli.get_string("apps")
@@ -138,6 +148,10 @@ std::string run_config(const util::Cli& cli) {
   if (strategy == "pareto") {
     config << ";cost-metric=" << cli.get_string("cost-metric");
   }
+  if (const std::string shard = cli.get_string("shard"); !shard.empty()) {
+    config << search::shard_config_token(
+        search::parse_shard_spec(shard).count);
+  }
   return config.str();
 }
 
@@ -165,6 +179,42 @@ std::vector<explore::EvalResult> run_chunked(explore::ExploreEngine& engine,
       results.push_back(std::move(part[i]));
     }
   }
+  return results;
+}
+
+/// Exhaustive sweep over one shard's contiguous flat-index range of
+/// `space`, chunked like run_chunked.  Result (and log-record) indices
+/// are the *global* flat indices, so the union of all shards' logs is
+/// indistinguishable from a single process recording the whole space.
+/// Out-of-bounds grid points (size > budget) are skipped, mirroring the
+/// search funnel.
+std::vector<explore::EvalResult> run_shard_range(
+    explore::ExploreEngine& engine, const search::SearchSpace& space,
+    const search::ShardRange& range, search::RunLog* log,
+    std::size_t chunk = 8192) {
+  std::vector<explore::EvalResult> results;
+  std::vector<explore::EvalJob> slice;
+  std::vector<std::uint64_t> flats;
+  for (std::uint64_t begin = range.begin; begin < range.end; begin += chunk) {
+    const std::uint64_t end =
+        std::min<std::uint64_t>(begin + chunk, range.end);
+    slice.clear();
+    flats.clear();
+    for (std::uint64_t flat = begin; flat < end; ++flat) {
+      explore::EvalJob job;
+      if (!space.job_at(space.decode(flat), &job)) continue;
+      job.index = slice.size();
+      slice.push_back(std::move(job));
+      flats.push_back(flat);
+    }
+    std::vector<explore::EvalResult> part = engine.run(slice);
+    for (std::size_t i = 0; i < part.size(); ++i) {
+      part[i].index = static_cast<std::size_t>(flats[i]);
+      if (log != nullptr && !part[i].from_cache) log->append(part[i]);
+      results.push_back(std::move(part[i]));
+    }
+  }
+  if (log != nullptr) log->flush();
   return results;
 }
 
@@ -222,6 +272,20 @@ int main(int argc, char** argv) try {
           "run-log encoding: ndjson | binary (compact, for huge runs)");
   cli.opt("flush-every", static_cast<long long>(1),
           "run-log records per flush group (crash loses at most one group)");
+  cli.flag("log-async",
+           "encode+write run-log groups on a writer thread (crash loses "
+           "at most the in-flight group plus the one being filled)");
+  cli.opt("shard", std::string(),
+          "run shard i of a K-process exploration as i/K: exhaustive "
+          "shards own contiguous slices of the space, adaptive shards "
+          "are seed-derived walker groups; results go to "
+          "<run-dir>/results.shard-i.<format>");
+  cli.flag("merge",
+           "union --run-dir's shard logs (plus --merge-from dirs) into "
+           "one deduplicated results.<format>, then exit");
+  cli.opt("merge-from", std::string(),
+          "comma list of additional recorded run dirs to union into "
+          "--run-dir during --merge (configs must match)");
   cli.flag("compact",
            "rewrite --run-dir's log in --log-format, dropping duplicate "
            "design points, then exit");
@@ -241,13 +305,47 @@ int main(int argc, char** argv) try {
     if (dir.empty()) {
       throw std::invalid_argument("--compact needs --run-dir <dir>");
     }
-    if (!search::RunLog::has_results(dir)) {
-      throw std::runtime_error("nothing to compact in " + dir);
-    }
+    // An empty or never-recorded directory is a no-op, not an error:
+    // compact is idempotent cleanup, and "nothing to clean" is success.
     const auto stats = search::RunLog::compact(dir, log_format, flush_every);
-    std::cout << "compact: " << stats.loaded << " records -> " << stats.kept
-              << " unique design points ("
-              << search::log_format_name(log_format) << ")\n";
+    if (stats.loaded == 0) {
+      std::cout << "compact: nothing to compact in " << dir << "\n";
+    } else {
+      std::cout << "compact: " << stats.loaded << " records -> "
+                << stats.kept << " unique design points ("
+                << search::log_format_name(log_format) << ")\n";
+    }
+    return 0;
+  }
+
+  if (cli.get_flag("merge")) {
+    const std::string dir = cli.get_string("run-dir");
+    if (dir.empty()) {
+      throw std::invalid_argument("--merge needs --run-dir <dir>");
+    }
+    const std::vector<std::string> sources =
+        split(cli.get_string("merge-from"));
+    // Exhaustive recordings are position-independent, so the merged
+    // union equals a single-process run and may shed the shard token
+    // (becoming resumable as one).  Adaptive unions keep it: resuming
+    // the union under one seed would mis-charge every sibling shard's
+    // records as that trajectory's own spend.
+    auto meta = search::RunLog::read_meta(dir);
+    for (std::size_t i = 0; !meta && i < sources.size(); ++i) {
+      meta = search::RunLog::read_meta(sources[i]);
+    }
+    const bool exhaustive_run =
+        meta && meta->find(";strategy=exhaustive") != std::string::npos;
+    const auto stats =
+        search::RunLog::merge(dir, sources, log_format, flush_every,
+                              /*strip_shard_token=*/exhaustive_run);
+    std::cout << "merge: " << stats.loaded << " records from "
+              << (stats.sources + 1) << " dir(s) -> " << stats.kept
+              << " unique design points in " << dir << " ("
+              << search::log_format_name(log_format) << ")"
+              << (exhaustive_run ? "; resumable as a single-process run"
+                                 : "")
+              << "\n";
     return 0;
   }
 
@@ -290,6 +388,11 @@ int main(int argc, char** argv) try {
   const std::string strategy_text = cli.get_string("strategy");
   const bool adaptive = strategy_text != "exhaustive";
 
+  std::optional<search::ShardSpec> shard;
+  if (const std::string text = cli.get_string("shard"); !text.empty()) {
+    shard = search::parse_shard_spec(text);
+  }
+
   const std::string resume_dir = cli.get_string("resume");
   const std::string run_dir =
       resume_dir.empty() ? cli.get_string("run-dir") : resume_dir;
@@ -310,13 +413,24 @@ int main(int argc, char** argv) try {
   // Persistence: --run-dir starts a *fresh* recorded run (the directory
   // must not already hold one), --resume continues an existing one — it
   // verifies the recorded space config, then warm-loads the memo cache so
-  // already-done points are served as hits instead of recomputed.
+  // already-done points are served as hits instead of recomputed.  A
+  // shard warms from (and appends to) only its own results.shard-<i>
+  // file: sibling shards' records must not skip this shard's appends or
+  // inflate its already-spent budget — the merged union, not any single
+  // shard, is what covers the whole run.
   std::unique_ptr<search::RunLog> log;
   std::vector<explore::EvalResult> prior_records;
   std::size_t warmed = 0;
   if (!run_dir.empty()) {
     const std::string config = run_config(cli);
     const auto meta = search::RunLog::read_meta(run_dir);
+    const bool own_results =
+        shard ? std::filesystem::exists(search::RunLog::shard_results_path(
+                    run_dir, shard->index)) ||
+                    std::filesystem::exists(
+                        search::RunLog::shard_binary_results_path(
+                            run_dir, shard->index))
+              : search::RunLog::has_results(run_dir);
     if (!resume_dir.empty()) {
       if (!meta) {
         throw std::runtime_error(
@@ -328,15 +442,35 @@ int main(int argc, char** argv) try {
                                  ": it was recorded under a different "
                                  "configuration (" + *meta + ")");
       }
-      prior_records = search::RunLog::load(run_dir);
+      prior_records = shard
+                          ? search::RunLog::load_shard(run_dir, shard->index)
+                          : search::RunLog::load(run_dir);
       warmed = search::RunLog::warm(prior_records, spec, engine);
       std::cout << "resume: warmed " << warmed << " cache entries from "
                 << run_dir << "\n";
       // meta.json already holds exactly `config`; rewriting it would
-      // reopen a truncate-then-write window in which a kill bricks the
-      // directory for every later resume.
+      // serve no purpose — it records this very configuration.
+    } else if (shard) {
+      // Sharded fresh start: K processes share one directory, so meta
+      // (the shared config, shard count included) may legitimately have
+      // been written by a sibling already — it must simply match.  Only
+      // *this shard's own* result file makes the start a refused
+      // restart.
+      if (meta && *meta != config) {
+        throw std::runtime_error(
+            run_dir + " was recorded under a different configuration (" +
+            *meta + "); refusing to add shard " +
+            std::to_string(shard->index) + " to it");
+      }
+      if (own_results) {
+        throw std::runtime_error(
+            run_dir + " already holds results for shard " +
+            std::to_string(shard->index) + "; pass --resume " + run_dir +
+            " to continue it");
+      }
+      if (!meta) search::RunLog::write_meta(run_dir, config);
     } else {
-      if (meta || search::RunLog::has_results(run_dir)) {
+      if (meta || own_results) {
         // Appending a fresh run to an old log — possibly recorded under
         // a different configuration — would poison later resumes.
         throw std::runtime_error(
@@ -345,8 +479,10 @@ int main(int argc, char** argv) try {
       }
       search::RunLog::write_meta(run_dir, config);
     }
-    log = std::make_unique<search::RunLog>(
-        run_dir, search::RunLogOptions{log_format, flush_every});
+    search::RunLogOptions log_options{log_format, flush_every};
+    log_options.async = cli.get_flag("log-async");
+    if (shard) log_options.shard = shard->index;
+    log = std::make_unique<search::RunLog>(run_dir, log_options);
   }
 
   auto print_best = [](const explore::EvalResult& best) {
@@ -364,6 +500,14 @@ int main(int argc, char** argv) try {
     search_options.budget = static_cast<std::uint64_t>(
         std::max<long long>(1, cli.get_int("budget")));
     search_options.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    if (shard) {
+      // Each adaptive shard is a seed-derived walker group: the full
+      // strategy over the whole space under its own decorrelated (yet
+      // reproducible and individually resumable) stream.  --budget is
+      // per shard.
+      search_options.seed = search::ShardPlan::shard_seed(
+          search_options.seed, shard->index, shard->count);
+    }
     search_options.batch =
         static_cast<std::size_t>(std::max<long long>(1, cli.get_int("batch")));
     search_options.population = static_cast<std::size_t>(
@@ -379,7 +523,12 @@ int main(int argc, char** argv) try {
     std::cout << "search: " << strategy_text << " over " << space.size()
               << " grid points, budget " << search_options.budget
               << " unique evaluations (" << warmed << " already spent), "
-              << engine.threads() << " thread(s)\n";
+              << engine.threads() << " thread(s)";
+    if (shard) {
+      std::cout << ", shard " << shard->index << "/" << shard->count
+                << " (derived seed " << search_options.seed << ")";
+    }
+    std::cout << "\n";
 
     const auto start = std::chrono::steady_clock::now();
     const search::SearchOutcome outcome =
@@ -391,11 +540,16 @@ int main(int argc, char** argv) try {
               << " ms\n";
     if (log) {
       log->flush();
-      std::cout << "log: " << log->appended() << " fresh results appended to "
-                << (log->format() == search::LogFormat::kBinary
-                        ? search::RunLog::binary_results_path(run_dir)
-                        : search::RunLog::results_path(run_dir))
-                << "\n";
+      const bool binary = log->format() == search::LogFormat::kBinary;
+      const std::string path =
+          shard ? (binary ? search::RunLog::shard_binary_results_path(
+                                run_dir, shard->index)
+                          : search::RunLog::shard_results_path(run_dir,
+                                                               shard->index))
+                : (binary ? search::RunLog::binary_results_path(run_dir)
+                          : search::RunLog::results_path(run_dir));
+      std::cout << "log: " << log->appended()
+                << " fresh results appended to " << path << "\n";
     }
     // The replayed trajectory normally re-surfaces the prior best (same
     // seed → same proposals), but if the budget was already exhausted at
@@ -441,23 +595,48 @@ int main(int argc, char** argv) try {
     return 0;
   }
 
-  const std::size_t total_jobs = spec.job_count();  // validates the spec
-  std::cout << "scenario: " << total_jobs << " jobs over "
-            << engine.threads() << " thread(s), cache "
-            << (options.use_cache ? "on" : "off") << "\n";
-
   std::vector<explore::EvalResult> results;
-  const long long repeat = std::max<long long>(1, cli.get_int("repeat"));
-  for (long long run = 0; run < repeat; ++run) {
+  if (shard) {
+    // Sharded exhaustive sweep: this process owns one contiguous slice
+    // of the SearchSpace's flat-index grid (the same uniform grid the
+    // adaptive strategies walk), enumerated space-ordered so the merged
+    // union of all shards reads back in global flat order.
+    const search::SearchSpace space(spec);
+    const search::ShardPlan plan(space.size(), shard->count);
+    const search::ShardRange range = plan.range(shard->index);
+    std::cout << "scenario: shard " << shard->index << "/" << shard->count
+              << " owns grid points [" << range.begin << ", " << range.end
+              << ") of " << space.size() << ", " << engine.threads()
+              << " thread(s), cache " << (options.use_cache ? "on" : "off")
+              << "\n";
     const auto start = std::chrono::steady_clock::now();
-    results = run_chunked(engine, spec.expand(), log.get());
+    results = run_shard_range(engine, space, range, log.get());
     const double elapsed = seconds_since(start);
     const auto stats = engine.cache().stats();
-    std::cout << "run " << (run + 1) << ": " << results.size() << " points in "
+    std::cout << "shard run: " << results.size() << " points in "
               << util::format_double(elapsed * 1e3, 2) << " ms ("
               << util::format_double(results.size() / elapsed, 0)
               << " evals/s); cache hits " << stats.hits << ", misses "
-              << stats.misses << ", entries " << engine.cache().size() << "\n";
+              << stats.misses << "\n";
+  } else {
+    const std::size_t total_jobs = spec.job_count();  // validates the spec
+    std::cout << "scenario: " << total_jobs << " jobs over "
+              << engine.threads() << " thread(s), cache "
+              << (options.use_cache ? "on" : "off") << "\n";
+
+    const long long repeat = std::max<long long>(1, cli.get_int("repeat"));
+    for (long long run = 0; run < repeat; ++run) {
+      const auto start = std::chrono::steady_clock::now();
+      results = run_chunked(engine, spec.expand(), log.get());
+      const double elapsed = seconds_since(start);
+      const auto stats = engine.cache().stats();
+      std::cout << "run " << (run + 1) << ": " << results.size()
+                << " points in " << util::format_double(elapsed * 1e3, 2)
+                << " ms (" << util::format_double(results.size() / elapsed, 0)
+                << " evals/s); cache hits " << stats.hits << ", misses "
+                << stats.misses << ", entries " << engine.cache().size()
+                << "\n";
+    }
   }
 
   // Persist the full result set.

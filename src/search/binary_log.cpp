@@ -17,7 +17,7 @@ constexpr std::uint32_t kVersion = 1;
 // Bump together with kVersion whenever the layout changes; readers
 // refuse anything else.
 constexpr std::uint64_t kSchema = 0x45564C31'4D534231ull;  // "1BSM1LVE"
-constexpr std::size_t kHeaderSize = 24;
+constexpr std::size_t kHeaderSize = BinaryLog::kHeaderBytes;
 constexpr std::size_t kFrameOverhead = 7;  // crc u32 + len u16 + type u8
 
 constexpr std::uint8_t kStringFrame = 0;

@@ -48,6 +48,11 @@ namespace mergescale::search {
 /// format-dispatching facade the search layer uses.
 class BinaryLog {
  public:
+  /// Size of the file header (magic + version + schema + reserved).
+  /// Exposed so corruption tests and merge tooling can reason about the
+  /// frame region without re-deriving the layout.
+  static constexpr std::size_t kHeaderBytes = 24;
+
   /// Opens `path` for append (creating it with a fresh header if absent
   /// or empty).  Validates the header, truncates any unverifiable tail,
   /// and reloads the string table so appended records can reference the

@@ -1,5 +1,9 @@
 #include "search/run_log.hpp"
 
+#include <unistd.h>
+
+#include <algorithm>
+#include <charconv>
 #include <cstdlib>
 #include <filesystem>
 #include <sstream>
@@ -11,6 +15,7 @@
 #include "explore/memo_cache.hpp"
 #include "explore/report.hpp"
 #include "noc/topology.hpp"
+#include "search/space.hpp"
 #include "util/json.hpp"
 
 namespace mergescale::search {
@@ -44,6 +49,60 @@ std::string design_key(const explore::EvalResult& r) {
   return key.str();
 }
 
+/// Parses "results.shard-<i>.<ext>" file names; returns the shard index
+/// or std::nullopt when `name` is not a shard result file of `ext`.
+std::optional<std::size_t> shard_index_of(const std::string& name,
+                                          std::string_view ext) {
+  constexpr std::string_view kPrefix = "results.shard-";
+  if (name.size() <= kPrefix.size() + ext.size() ||
+      name.compare(0, kPrefix.size(), kPrefix) != 0 ||
+      name.compare(name.size() - ext.size(), ext.size(), ext.data(),
+                   ext.size()) != 0) {
+    return std::nullopt;
+  }
+  const char* begin = name.data() + kPrefix.size();
+  const char* end = name.data() + name.size() - ext.size();
+  std::size_t shard = 0;
+  const auto result = std::from_chars(begin, end, shard);
+  if (result.ec != std::errc{} || result.ptr != end) return std::nullopt;
+  return shard;
+}
+
+/// Every shard index with at least one result file under `dir`,
+/// ascending — the deterministic file order load() unions shards in.
+std::vector<std::size_t> shard_indices(const std::string& dir) {
+  std::vector<std::size_t> shards;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    std::optional<std::size_t> shard = shard_index_of(name, ".ndjson");
+    if (!shard) shard = shard_index_of(name, ".msbin");
+    if (shard) shards.push_back(*shard);
+  }
+  std::sort(shards.begin(), shards.end());
+  shards.erase(std::unique(shards.begin(), shards.end()), shards.end());
+  return shards;
+}
+
+/// Appends every well-formed record of the NDJSON file at `path` (if
+/// any) followed by the binary file at `binary_path` (if any).
+void load_pair(const std::string& path, const std::string& binary_path,
+               std::vector<explore::EvalResult>* records) {
+  if (std::ifstream in(path); in) {
+    for (std::string line; std::getline(in, line);) {
+      if (auto record = RunLog::parse_result(line)) {
+        records->push_back(std::move(*record));
+      }
+    }
+  }
+  if (std::filesystem::exists(binary_path)) {
+    auto binary = BinaryLog::load(binary_path);
+    records->insert(records->end(), std::make_move_iterator(binary.begin()),
+                    std::make_move_iterator(binary.end()));
+  }
+}
+
 }  // namespace
 
 std::string_view log_format_name(LogFormat format) noexcept {
@@ -65,33 +124,37 @@ RunLog::RunLog(std::string dir, RunLogOptions options)
     : dir_(std::move(dir)), options_(options) {
   if (options_.flush_every == 0) options_.flush_every = 1;
   std::filesystem::create_directories(dir_);
+  const std::string path = append_path();
   if (options_.format == LogFormat::kBinary) {
-    binary_ = std::make_unique<BinaryLog>(binary_results_path(dir_),
-                                          options_.flush_every);
-    return;
-  }
-  const std::string path = results_path(dir_);
-  // A kill mid-write can leave a torn final line with no newline; without
-  // repair, the next append would glue onto the fragment and corrupt a
-  // *second* record.  Terminating the fragment keeps it an isolated
-  // unparseable line that load() skips.
-  bool torn_tail = false;
-  if (std::ifstream in(path, std::ios::binary); in) {
-    in.seekg(0, std::ios::end);
-    if (in.tellg() > 0) {
-      in.seekg(-1, std::ios::end);
-      char last = '\n';
-      in.get(last);
-      torn_tail = last != '\n';
+    binary_ = std::make_unique<BinaryLog>(path, options_.flush_every);
+  } else {
+    // A kill mid-write can leave a torn final line with no newline;
+    // without repair, the next append would glue onto the fragment and
+    // corrupt a *second* record.  Terminating the fragment keeps it an
+    // isolated unparseable line that load() skips.
+    bool torn_tail = false;
+    if (std::ifstream in(path, std::ios::binary); in) {
+      in.seekg(0, std::ios::end);
+      if (in.tellg() > 0) {
+        in.seekg(-1, std::ios::end);
+        char last = '\n';
+        in.get(last);
+        torn_tail = last != '\n';
+      }
+    }
+    out_.open(path, std::ios::app);
+    if (!out_) {
+      throw std::runtime_error("run log: cannot open " + path);
+    }
+    if (torn_tail) {
+      out_ << '\n';
+      out_.flush();
     }
   }
-  out_.open(path, std::ios::app);
-  if (!out_) {
-    throw std::runtime_error("run log: cannot open " + path);
-  }
-  if (torn_tail) {
-    out_ << '\n';
-    out_.flush();
+  if (options_.async) {
+    filling_.reserve(options_.flush_every);
+    in_flight_.reserve(options_.flush_every);
+    writer_ = std::thread([this] { writer_main(); });
   }
 }
 
@@ -102,9 +165,105 @@ RunLog::~RunLog() {
     // Destructors must not throw; an unflushable tail is the documented
     // crash-loss window.
   }
+  if (writer_.joinable()) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    writer_cv_.notify_one();
+    writer_.join();
+  }
+}
+
+std::string RunLog::append_path() const {
+  if (options_.shard == kUnsharded) {
+    return options_.format == LogFormat::kBinary ? binary_results_path(dir_)
+                                                 : results_path(dir_);
+  }
+  return options_.format == LogFormat::kBinary
+             ? shard_binary_results_path(dir_, options_.shard)
+             : shard_results_path(dir_, options_.shard);
+}
+
+void RunLog::write_group(const std::vector<explore::EvalResult>& group) {
+  if (binary_) {
+    for (const explore::EvalResult& result : group) {
+      binary_->append(result);
+    }
+    binary_->flush();
+    return;
+  }
+  explore::write_ndjson(out_, group);
+  out_.flush();
+  if (!out_.good()) {
+    throw std::runtime_error("run log: write to " + append_path() +
+                             " failed");
+  }
+}
+
+void RunLog::enqueue_group() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  producer_cv_.wait(lock, [this] {
+    return !in_flight_ready_ || writer_error_ != nullptr;
+  });
+  // A writer-side failure is sticky: the writer thread has exited, so
+  // handing it more work would block forever.  Every later append/flush
+  // resurfaces the same error.
+  if (writer_error_ != nullptr) std::rethrow_exception(writer_error_);
+  in_flight_.swap(filling_);
+  in_flight_ready_ = true;
+  filling_.clear();
+  lock.unlock();
+  writer_cv_.notify_one();
+}
+
+void RunLog::writer_main() {
+  std::vector<explore::EvalResult> group;
+  group.reserve(options_.flush_every);
+  for (;;) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    writer_cv_.wait(lock, [this] { return in_flight_ready_ || stopping_; });
+    if (!in_flight_ready_) break;  // stopping, queue drained
+    group.swap(in_flight_);
+    in_flight_ready_ = false;
+    writer_busy_ = true;
+    lock.unlock();
+    producer_cv_.notify_all();
+
+    std::exception_ptr error;
+    try {
+      write_group(group);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    group.clear();
+
+    lock.lock();
+    writer_busy_ = false;
+    if (error != nullptr) {
+      writer_error_ = error;
+      writer_failed_.store(true, std::memory_order_release);
+    }
+    const bool stop = stopping_ || error != nullptr;
+    lock.unlock();
+    producer_cv_.notify_all();
+    if (stop) break;
+  }
 }
 
 void RunLog::append(const explore::EvalResult& result) {
+  if (options_.async) {
+    ++appended_;
+    filling_.push_back(result);
+    // A failed writer surfaces on the very next append (the relaxed
+    // atomic keeps the hot path mutex-free): enqueue_group rethrows
+    // the stored error instead of queueing work for a dead thread.
+    if (filling_.size() >= options_.flush_every ||
+        writer_failed_.load(std::memory_order_relaxed)) {
+      enqueue_group();
+    }
+    return;
+  }
   ++appended_;
   if (binary_) {
     binary_->append(result);
@@ -116,7 +275,29 @@ void RunLog::append(const explore::EvalResult& result) {
   if (++buffered_records_ >= options_.flush_every) flush();
 }
 
+void RunLog::append(explore::EvalResult&& result) {
+  if (options_.async) {
+    ++appended_;
+    filling_.push_back(std::move(result));
+    if (filling_.size() >= options_.flush_every ||
+        writer_failed_.load(std::memory_order_relaxed)) {
+      enqueue_group();
+    }
+    return;
+  }
+  append(result);  // the sync path encodes in place, no copy to save
+}
+
 void RunLog::flush() {
+  if (options_.async) {
+    if (!filling_.empty()) enqueue_group();
+    std::unique_lock<std::mutex> lock(mutex_);
+    producer_cv_.wait(lock, [this] {
+      return (!in_flight_ready_ && !writer_busy_) || writer_error_ != nullptr;
+    });
+    if (writer_error_ != nullptr) std::rethrow_exception(writer_error_);
+    return;  // the writer flushes the stream after every group
+  }
   if (binary_) {
     binary_->flush();
     return;
@@ -141,29 +322,49 @@ std::string RunLog::binary_results_path(const std::string& dir) {
   return (std::filesystem::path(dir) / "results.msbin").string();
 }
 
+std::string RunLog::shard_results_path(const std::string& dir,
+                                       std::size_t shard) {
+  return (std::filesystem::path(dir) /
+          ("results.shard-" + std::to_string(shard) + ".ndjson"))
+      .string();
+}
+
+std::string RunLog::shard_binary_results_path(const std::string& dir,
+                                              std::size_t shard) {
+  return (std::filesystem::path(dir) /
+          ("results.shard-" + std::to_string(shard) + ".msbin"))
+      .string();
+}
+
 std::string RunLog::meta_path(const std::string& dir) {
   return (std::filesystem::path(dir) / "meta.json").string();
 }
 
 bool RunLog::has_results(const std::string& dir) {
   return std::filesystem::exists(results_path(dir)) ||
-         std::filesystem::exists(binary_results_path(dir));
+         std::filesystem::exists(binary_results_path(dir)) ||
+         !shard_indices(dir).empty();
 }
 
 std::vector<explore::EvalResult> RunLog::load(const std::string& dir) {
   std::vector<explore::EvalResult> records;
-  if (std::ifstream in(results_path(dir)); in) {
-    for (std::string line; std::getline(in, line);) {
-      if (auto record = parse_result(line)) {
-        records.push_back(std::move(*record));
-      }
-    }
+  load_pair(results_path(dir), binary_results_path(dir), &records);
+  // Shard files in ascending shard order: for an exhaustive sharded run
+  // (contiguous flat ranges) the union therefore loads in global flat
+  // order, which is what makes the merged log record-identical to a
+  // single-process recording after first-occurrence dedup.
+  for (const std::size_t shard : shard_indices(dir)) {
+    load_pair(shard_results_path(dir, shard),
+              shard_binary_results_path(dir, shard), &records);
   }
-  if (std::filesystem::exists(binary_results_path(dir))) {
-    auto binary = BinaryLog::load(binary_results_path(dir));
-    records.insert(records.end(), std::make_move_iterator(binary.begin()),
-                   std::make_move_iterator(binary.end()));
-  }
+  return records;
+}
+
+std::vector<explore::EvalResult> RunLog::load_shard(const std::string& dir,
+                                                    std::size_t shard) {
+  std::vector<explore::EvalResult> records;
+  load_pair(shard_results_path(dir, shard),
+            shard_binary_results_path(dir, shard), &records);
   return records;
 }
 
@@ -296,11 +497,36 @@ std::size_t RunLog::warm(const std::vector<explore::EvalResult>& records,
   return warmed;
 }
 
+namespace {
+
+/// Dedups `records` (first occurrence wins) and atomically rewrites
+/// `dir`'s result log in `format`, removing every other result file —
+/// the shared tail of compact() and merge().
+RunLog::CompactStats dedup_rewrite(
+    const std::string& dir, const std::vector<explore::EvalResult>& records,
+    LogFormat format, std::size_t flush_every);
+
+}  // namespace
+
 RunLog::CompactStats RunLog::compact(const std::string& dir,
                                      LogFormat format,
                                      std::size_t flush_every) {
   const std::vector<explore::EvalResult> records = load(dir);
-  CompactStats stats;
+  if (records.empty()) {
+    // Nothing recorded (no result files, or only empty / header-only
+    // ones): compacting is a no-op, not an error — rewriting would only
+    // fabricate result files in a directory that holds no results.
+    return CompactStats{};
+  }
+  return dedup_rewrite(dir, records, format, flush_every);
+}
+
+namespace {
+
+RunLog::CompactStats dedup_rewrite(
+    const std::string& dir, const std::vector<explore::EvalResult>& records,
+    LogFormat format, std::size_t flush_every) {
+  RunLog::CompactStats stats;
   stats.loaded = records.size();
 
   std::unordered_set<std::string> seen;
@@ -333,31 +559,121 @@ RunLog::CompactStats RunLog::compact(const std::string& dir,
     }
   }
   const std::string target = format == LogFormat::kBinary
-                                 ? binary_results_path(dir)
-                                 : results_path(dir);
+                                 ? RunLog::binary_results_path(dir)
+                                 : RunLog::results_path(dir);
   std::filesystem::rename(tmp, target);
-  // Exactly one result file must survive (load() reads both), so a
-  // cross-format compaction is also the migration path.
+  // Exactly one result file must survive (load() reads every one), so a
+  // cross-format compaction is also the migration path and compacting a
+  // sharded directory is the shard-union merge.
   const std::string other = format == LogFormat::kBinary
-                                ? results_path(dir)
-                                : binary_results_path(dir);
+                                ? RunLog::results_path(dir)
+                                : RunLog::binary_results_path(dir);
   std::filesystem::remove(other);
+  for (const std::size_t shard : shard_indices(dir)) {
+    std::filesystem::remove(RunLog::shard_results_path(dir, shard));
+    std::filesystem::remove(RunLog::shard_binary_results_path(dir, shard));
+  }
+  return stats;
+}
+
+}  // namespace
+
+RunLog::MergeStats RunLog::merge(const std::string& target,
+                                 const std::vector<std::string>& sources,
+                                 LogFormat format, std::size_t flush_every,
+                                 bool strip_shard_token) {
+  // Refuse mismatched shards up front: every participating directory
+  // must have been recorded, and under one identical configuration.
+  // Unioning a shard of a different space/strategy/shard-count would
+  // silently poison every later resume of the merged log.
+  std::optional<std::string> config = read_meta(target);
+  auto require_match = [&config](const std::string& dir) {
+    const auto meta = read_meta(dir);
+    if (!meta) {
+      throw std::runtime_error(
+          "merge: " + dir +
+          " holds no meta.json — was it recorded with --run-dir?");
+    }
+    if (config && *meta != *config) {
+      throw std::runtime_error("merge: " + dir +
+                               " was recorded under a different "
+                               "configuration (" +
+                               *meta + " vs " + *config + "); refusing to "
+                               "union mismatched shards");
+    }
+    config = *meta;
+  };
+  MergeStats stats;
+  for (const std::string& source : sources) {
+    require_match(source);
+    ++stats.sources;
+  }
+  if (!config) {
+    throw std::runtime_error("merge: " + target +
+                             " holds no meta.json and no sources were "
+                             "given — nothing to merge");
+  }
+
+  // Union in deterministic order — the target's own records (unsharded
+  // file first, then shards ascending) followed by each source in the
+  // order given — then dedup-rewrite the whole set into one file.  For
+  // contiguous exhaustive shards that order is the global flat order,
+  // which is what makes the merged log record-identical to a
+  // single-process recording.
+  std::vector<explore::EvalResult> records = load(target);
+  for (const std::string& source : sources) {
+    std::error_code ec;
+    if (source == target ||
+        std::filesystem::equivalent(source, target, ec)) {
+      continue;  // the target's own records are already loaded
+    }
+    std::vector<explore::EvalResult> foreign = load(source);
+    records.insert(records.end(), std::make_move_iterator(foreign.begin()),
+                   std::make_move_iterator(foreign.end()));
+  }
+  if (!records.empty()) {
+    const CompactStats compacted =
+        dedup_rewrite(target, records, format, flush_every);
+    stats.loaded = compacted.loaded;
+    stats.kept = compacted.kept;
+  }
+  // The merged directory now holds one log covering the whole union.
+  // For exhaustive recordings the caller strips the shard token so the
+  // directory verifies — and resumes — as the equivalent
+  // single-process run; adaptive unions keep it, so a single-process
+  // resume (which would mis-charge the union against one seed's
+  // trajectory) is refused rather than silently wrong.
+  write_meta(target,
+             strip_shard_token ? strip_shard_config(*config) : *config);
   return stats;
 }
 
 void RunLog::write_meta(const std::string& dir, const std::string& config) {
   std::filesystem::create_directories(dir);
   const std::string path = meta_path(dir);
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) throw std::runtime_error("run log: cannot open " + path);
-  out << "{\"config\":\"" << util::json_escape(config) << "\"}\n";
-  // meta.json is what makes a run directory resumable at all; flush and
-  // verify the write so a full disk or an early crash surfaces here as
-  // an error instead of later as a silently unresumable directory.
-  out.flush();
-  if (!out.good()) {
-    throw std::runtime_error("run log: failed to write " + path);
+  // Write-then-rename: meta.json is what makes a run directory
+  // resumable at all, so it must never exist in a torn state.  The
+  // pid-qualified temp name keeps concurrently starting shard processes
+  // (all recording the identical shared config) from clobbering each
+  // other's half-written temp files; the final rename is atomic, so
+  // whichever write lands last simply replaces equal bytes.
+  const std::string tmp =
+      (std::filesystem::path(dir) /
+       (".meta." + std::to_string(::getpid()) + ".tmp"))
+          .string();
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) throw std::runtime_error("run log: cannot open " + tmp);
+    out << "{\"config\":\"" << util::json_escape(config) << "\"}\n";
+    // Flush and verify so a full disk or an early crash surfaces here
+    // as an error instead of later as a silently unresumable directory.
+    out.flush();
+    if (!out.good()) {
+      std::filesystem::remove(tmp);
+      throw std::runtime_error("run log: failed to write " + tmp);
+    }
   }
+  std::filesystem::rename(tmp, path);
 }
 
 std::optional<std::string> RunLog::read_meta(const std::string& dir) {

@@ -15,18 +15,39 @@
 // Appends are buffered and flushed every `flush_every` records (and on
 // destruction), so a killed run loses at most the unflushed group — with
 // the default flush_every = 1 that is the single record being written,
-// the historical per-line guarantee.  load()/warm()/resume and the
-// torn-tail repair semantics are identical across formats: opening for
-// append repairs a torn tail (NDJSON: terminates the fragment line;
-// binary: truncates past the last CRC-verified frame), load() skips
-// corrupt records, and resume is cache warming either way.
+// the historical per-line guarantee.  With `async` on, encoding and the
+// write syscalls move to a dedicated writer thread behind a
+// double-buffered (depth-one) group queue: append() only copies the
+// record into the filling group, the writer drains complete groups
+// concurrently with evaluation, and flush()/destruction drain cleanly.
+// The crash window stays one flush group in flight plus the group still
+// filling.  load()/warm()/resume and the torn-tail repair semantics are
+// identical across formats: opening for append repairs a torn tail
+// (NDJSON: terminates the fragment line; binary: truncates past the
+// last CRC-verified frame), load() skips corrupt records, and resume is
+// cache warming either way.
+//
+// Sharded runs: a multi-process exploration points K RunLog instances
+// at ONE run directory, each with its own shard index.  Shard i appends
+// to <dir>/results.shard-i.<ext> — append-only files never contended
+// across processes — while meta.json (written atomically, so concurrent
+// shard starts cannot tear it) pins the shared configuration including
+// the shard count.  load() unions every result file in shard order,
+// load_shard() reads one shard's files (what that shard's resume warms
+// from), and merge()/compact() collapse the union into the single
+// deduplicated log a single-process run would have produced.
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <fstream>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "explore/engine.hpp"
@@ -47,6 +68,9 @@ std::string_view log_format_name(LogFormat format) noexcept;
 /// Parses a format name (throws std::invalid_argument).
 LogFormat parse_log_format(std::string_view name);
 
+/// Sentinel shard index: the run is not sharded.
+inline constexpr std::size_t kUnsharded = static_cast<std::size_t>(-1);
+
 struct RunLogOptions {
   LogFormat format = LogFormat::kNdjson;
   /// Records buffered between flushes.  1 reproduces the historical
@@ -54,6 +78,18 @@ struct RunLogOptions {
   /// window (at most `flush_every` unflushed records) for an order of
   /// magnitude fewer write syscalls on large runs.
   std::size_t flush_every = 1;
+  /// Encode and write on a dedicated writer thread instead of the
+  /// appending thread.  Groups are handed over through a depth-one
+  /// queue (classic double buffering: one group filling, at most one in
+  /// flight), so producer memory is bounded and the crash window grows
+  /// by at most the single in-flight group.  flush() drains the queue
+  /// before returning; writer-side I/O errors surface on the next
+  /// append()/flush().
+  bool async = false;
+  /// Shard index of a multi-process run: appends go to
+  /// <dir>/results.shard-<i>.<ext> instead of the unsharded file.
+  /// kUnsharded (the default) keeps the single-process layout.
+  std::size_t shard = kUnsharded;
 };
 
 class RunLog {
@@ -63,16 +99,26 @@ class RunLog {
   /// Throws std::runtime_error when the file cannot be opened.
   explicit RunLog(std::string dir, RunLogOptions options = {});
 
-  /// Flushes any buffered records.
+  /// Flushes any buffered records (draining the writer thread first in
+  /// async mode) and stops the writer thread.
   ~RunLog();
 
   RunLog(const RunLog&) = delete;
   RunLog& operator=(const RunLog&) = delete;
 
   /// Appends one result; the write reaches disk with its flush group.
+  /// Async mode: the record joins the filling group and the call
+  /// returns; a full group is handed to the writer thread (blocking
+  /// only while a previous group is still in flight).
   void append(const explore::EvalResult& result);
+  /// Move form: callers done with the record (streaming sweeps that log
+  /// and discard) hand the labels over instead of copying them — the
+  /// async producer path's per-record cost drops to pointer swaps.
+  void append(explore::EvalResult&& result);
 
-  /// Writes any buffered records through to disk.
+  /// Writes any buffered records through to disk.  Async mode: hands
+  /// over the partial group, waits for the writer to drain, and
+  /// rethrows any writer-side I/O error.
   void flush();
 
   /// Results appended through *this* log instance (not the file total).
@@ -83,19 +129,34 @@ class RunLog {
 
   static std::string results_path(const std::string& dir);
   static std::string binary_results_path(const std::string& dir);
+  /// Shard-qualified result files: <dir>/results.shard-<i>.<ext>.
+  static std::string shard_results_path(const std::string& dir,
+                                        std::size_t shard);
+  static std::string shard_binary_results_path(const std::string& dir,
+                                               std::size_t shard);
   static std::string meta_path(const std::string& dir);
 
-  /// True when `dir` holds a result log in either format.
+  /// True when `dir` holds a result log in either format — unsharded or
+  /// belonging to any shard.
   static bool has_results(const std::string& dir);
 
-  /// Parses every well-formed record under `dir` — both formats, NDJSON
-  /// first (a directory normally holds one; after a format switch on
-  /// resume it can hold both, and the warm cache dedups overlaps).  A
-  /// missing file yields no records; malformed, torn, or CRC-corrupted
-  /// records are skipped.  Records whose numeric fields were non-finite
-  /// load as infeasible rather than being dropped, so a resumed run does
-  /// not re-spend budget on them.
+  /// Parses every well-formed record under `dir`: the unsharded files
+  /// (both formats, NDJSON first — a directory normally holds one;
+  /// after a format switch on resume it can hold both, and the warm
+  /// cache dedups overlaps) followed by every shard's files in shard
+  /// order, so the union of a sharded run loads in ascending flat-index
+  /// order.  A missing file yields no records; malformed, torn, or
+  /// CRC-corrupted records are skipped.  Records whose numeric fields
+  /// were non-finite load as infeasible rather than being dropped, so a
+  /// resumed run does not re-spend budget on them.
   static std::vector<explore::EvalResult> load(const std::string& dir);
+
+  /// Parses only shard `shard`'s files under `dir` — what a resumed
+  /// shard warms its cache (and counts its already-spent budget) from.
+  /// Sibling shards' records must NOT warm an adaptive shard: its
+  /// budget accounting replays its own trajectory, not the union's.
+  static std::vector<explore::EvalResult> load_shard(const std::string& dir,
+                                                     std::size_t shard);
 
   /// Decodes one NDJSON log line (exposed for round-trip tests).
   static std::optional<explore::EvalResult> parse_result(
@@ -110,7 +171,7 @@ class RunLog {
                           explore::ExploreEngine& engine);
 
   struct CompactStats {
-    std::size_t loaded = 0;  ///< records read across both formats
+    std::size_t loaded = 0;  ///< records read across all result files
     std::size_t kept = 0;    ///< records surviving deduplication
   };
 
@@ -120,14 +181,52 @@ class RunLog {
   /// merged or a directory is resumed across formats).  The rewrite is
   /// atomic (temp file + rename) and leaves exactly one result file, so
   /// compacting is also how an NDJSON log is migrated to binary (or
-  /// back).  Throws std::runtime_error on I/O failure.
+  /// back) and how a sharded directory's per-shard files are unioned
+  /// into one log (shard files are removed after the rewrite).  An
+  /// empty or never-recorded directory — no result files, or only
+  /// header-only/empty ones — is a no-op returning {0, 0}: nothing is
+  /// created, removed, or rewritten.  Throws std::runtime_error on I/O
+  /// failure.
   static CompactStats compact(const std::string& dir, LogFormat format,
                               std::size_t flush_every = 256);
 
+  struct MergeStats {
+    std::size_t sources = 0;  ///< source directories unioned in
+    std::size_t loaded = 0;   ///< records read across target + sources
+    std::size_t kept = 0;     ///< unique design points after dedup
+  };
+
+  /// Unions recorded runs into `target`: the target's records (shard
+  /// files included, in shard order) followed by every source
+  /// directory's are deduplicated and atomically rewritten as one
+  /// result file.  Every source, and `target` itself when it already
+  /// holds a run, must carry an identical meta config: a shard
+  /// recorded under a different space, strategy, or shard count is
+  /// refused (std::runtime_error) rather than silently unioned.
+  /// Sources equal to `target` contribute their records without
+  /// re-appending.  At least one of target/sources must be recorded.
+  ///
+  /// `strip_shard_token` rewrites meta.json without the ";shards=K"
+  /// token, making the merged directory resumable as a single-process
+  /// run.  Pass true ONLY for position-independent recordings
+  /// (exhaustive sweeps, where the union covers exactly what one
+  /// process would have recorded).  For adaptive strategies the token
+  /// must stay: a single-process resume would charge the whole union
+  /// as already-spent against one seed's trajectory — the cross-shard
+  /// warm poisoning load_shard() exists to prevent — so keeping the
+  /// token makes such a resume refuse loudly instead.
+  static MergeStats merge(const std::string& target,
+                          const std::vector<std::string>& sources,
+                          LogFormat format, std::size_t flush_every = 256,
+                          bool strip_shard_token = false);
+
   /// Writes `<dir>/meta.json` recording `config` (creates `dir`).  The
-  /// write is flushed and verified; throws std::runtime_error when it
-  /// cannot be completed, so a run never starts with a meta record that
-  /// would leave the directory unresumable.
+  /// write goes to a temp file, is flushed and verified, then renamed
+  /// into place — atomic, so concurrent shard processes recording the
+  /// same config cannot tear it and a crash cannot leave a partial
+  /// record.  Throws std::runtime_error when it cannot be completed, so
+  /// a run never starts with a meta record that would leave the
+  /// directory unresumable.
   static void write_meta(const std::string& dir, const std::string& config);
 
   /// Reads the config string back.  std::nullopt when the file is
@@ -137,6 +236,19 @@ class RunLog {
   static std::optional<std::string> read_meta(const std::string& dir);
 
  private:
+  /// The result file this instance appends to (honors options_.shard).
+  std::string append_path() const;
+  /// Encodes + writes one group of records and flushes the stream.
+  /// Sync mode: called inline from append()/flush(); async mode: only
+  /// ever called on the writer thread.
+  void write_group(const std::vector<explore::EvalResult>& group);
+  /// Hands the filling group to the writer thread, blocking while a
+  /// previous group is still in flight.  Rethrows a pending writer
+  /// error.
+  void enqueue_group();
+  /// Writer-thread main loop.
+  void writer_main();
+
   std::string dir_;
   RunLogOptions options_;
   // NDJSON state (format == kNdjson).
@@ -146,6 +258,22 @@ class RunLog {
   // Binary state (format == kBinary).
   std::unique_ptr<BinaryLog> binary_;
   std::uint64_t appended_ = 0;
+  // Group being filled by append() (producer side, async mode only —
+  // the sync path encodes straight into buffer_/binary_).
+  std::vector<explore::EvalResult> filling_;
+  // Writer-thread state (async mode only).
+  std::thread writer_;
+  std::mutex mutex_;
+  std::condition_variable producer_cv_;  ///< queue slot free / drained
+  std::condition_variable writer_cv_;    ///< group ready / stop
+  std::vector<explore::EvalResult> in_flight_;
+  bool in_flight_ready_ = false;  ///< in_flight_ holds an unconsumed group
+  bool writer_busy_ = false;      ///< writer is encoding/writing a group
+  bool stopping_ = false;
+  std::exception_ptr writer_error_;
+  /// Lock-free mirror of writer_error_'s presence, so the append hot
+  /// path can notice a dead writer without taking the mutex per record.
+  std::atomic<bool> writer_failed_{false};
 };
 
 }  // namespace mergescale::search

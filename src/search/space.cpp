@@ -1,9 +1,12 @@
 #include "search/space.hpp"
 
 #include <algorithm>
+#include <charconv>
+#include <stdexcept>
 
 #include "core/comm_model.hpp"
 #include "util/check.hpp"
+#include "util/rng.hpp"
 
 namespace mergescale::search {
 
@@ -90,6 +93,87 @@ bool SearchSpace::job_at(const Coords& coords, explore::EvalJob* out) const {
   }
   *out = std::move(job);
   return true;
+}
+
+ShardPlan::ShardPlan(std::uint64_t space_size, std::size_t shard_count)
+    : space_size_(space_size), shard_count_(shard_count) {
+  if (shard_count == 0) {
+    throw std::invalid_argument("shard plan: shard count must be >= 1");
+  }
+}
+
+ShardRange ShardPlan::range(std::size_t shard) const {
+  MS_CHECK(shard < shard_count_, "shard index out of range");
+  const std::uint64_t base = space_size_ / shard_count_;
+  const std::uint64_t extra = space_size_ % shard_count_;
+  // The first `extra` shards take one point more; begin offsets follow.
+  const std::uint64_t wide = std::min<std::uint64_t>(shard, extra);
+  ShardRange range;
+  range.begin = shard * base + wide;
+  range.end = range.begin + base + (shard < extra ? 1 : 0);
+  return range;
+}
+
+std::size_t ShardPlan::shard_of(std::uint64_t flat) const {
+  MS_CHECK(flat < space_size_, "flat index out of range");
+  const std::uint64_t base = space_size_ / shard_count_;
+  const std::uint64_t extra = space_size_ % shard_count_;
+  // Wide shards (base + 1 points each) tile the first extra*(base+1)
+  // indices; the remaining shards are exactly `base` points.
+  const std::uint64_t wide_span = extra * (base + 1);
+  if (flat < wide_span) return static_cast<std::size_t>(flat / (base + 1));
+  return static_cast<std::size_t>(extra + (flat - wide_span) / base);
+}
+
+std::uint64_t ShardPlan::shard_seed(std::uint64_t seed, std::size_t shard,
+                                    std::size_t shard_count) {
+  // Fold the shard count into the stream start so the same (seed, i)
+  // under a different K is a different trajectory — two partitions of
+  // one space must not share walker streams, or their merged union
+  // would double-walk identical proposals.
+  util::SplitMix64 stream(seed ^ (0x9E3779B97F4A7C15ULL *
+                                  static_cast<std::uint64_t>(shard_count)));
+  std::uint64_t derived = stream.next();
+  for (std::size_t i = 0; i < shard; ++i) derived = stream.next();
+  return derived;
+}
+
+ShardSpec parse_shard_spec(std::string_view text) {
+  const auto fail = [&text]() {
+    throw std::invalid_argument("malformed shard spec: '" +
+                                std::string(text) +
+                                "' (expected i/K with 0 <= i < K)");
+  };
+  const std::size_t slash = text.find('/');
+  if (slash == std::string_view::npos) fail();
+  const std::string_view index_text = text.substr(0, slash);
+  const std::string_view count_text = text.substr(slash + 1);
+  ShardSpec spec;
+  auto parse_field = [&fail](std::string_view field, std::size_t* out) {
+    const auto result =
+        std::from_chars(field.data(), field.data() + field.size(), *out);
+    if (result.ec != std::errc{} ||
+        result.ptr != field.data() + field.size()) {
+      fail();
+    }
+  };
+  parse_field(index_text, &spec.index);
+  parse_field(count_text, &spec.count);
+  if (spec.count == 0 || spec.index >= spec.count) fail();
+  return spec;
+}
+
+std::string shard_config_token(std::size_t shard_count) {
+  return ";shards=" + std::to_string(shard_count);
+}
+
+std::string strip_shard_config(std::string config) {
+  const std::size_t at = config.find(";shards=");
+  if (at == std::string::npos) return config;
+  std::size_t end = config.find(';', at + 1);
+  if (end == std::string::npos) end = config.size();
+  config.erase(at, end - at);
+  return config;
 }
 
 }  // namespace mergescale::search

@@ -18,6 +18,8 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "explore/scenario.hpp"
@@ -66,5 +68,74 @@ class SearchSpace {
   std::vector<double> smalls_;  ///< small-core grid (>= 1 entry)
   std::uint64_t size_ = 0;
 };
+
+/// Half-open range of flat SearchSpace indices owned by one shard.
+struct ShardRange {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+
+  std::uint64_t size() const noexcept { return end - begin; }
+  bool empty() const noexcept { return begin == end; }
+};
+
+/// Deterministic partition of a mixed-radix SearchSpace across K
+/// processes.  Exhaustive shards own contiguous flat-index ranges (the
+/// first `size % K` shards are one point larger, so ranges differ by at
+/// most one point and tile [0, size) exactly); adaptive shards instead
+/// act as seed-derived walker groups — each runs the full strategy over
+/// the whole space under `shard_seed(seed, i, K)`, which decorrelates
+/// the K trajectories while keeping every one of them reproducible and
+/// individually resumable.  The plan is a pure function of (size, K), so
+/// K independent processes — or the same process re-run after a kill —
+/// always agree on who owns what without any coordination.
+class ShardPlan {
+ public:
+  /// Throws std::invalid_argument when `shard_count` is zero.
+  ShardPlan(std::uint64_t space_size, std::size_t shard_count);
+
+  std::size_t shard_count() const noexcept { return shard_count_; }
+  std::uint64_t space_size() const noexcept { return space_size_; }
+
+  /// The contiguous flat-index range of `shard` (< shard_count).  Shards
+  /// past the space size own empty ranges.
+  ShardRange range(std::size_t shard) const;
+
+  /// Inverse of range(): the shard owning flat index `flat` (< size).
+  std::size_t shard_of(std::uint64_t flat) const;
+
+  /// Derived RNG seed for an adaptive shard: one SplitMix64 expansion of
+  /// (seed, count) advanced to position `shard`, so sibling shards get
+  /// decorrelated streams and the derivation is stable across runs,
+  /// resumes, and machines.
+  static std::uint64_t shard_seed(std::uint64_t seed, std::size_t shard,
+                                  std::size_t shard_count);
+
+ private:
+  std::uint64_t space_size_ = 0;
+  std::size_t shard_count_ = 1;
+};
+
+/// Parsed `--shard i/K` specification.
+struct ShardSpec {
+  std::size_t index = 0;  ///< this process's shard, in [0, count)
+  std::size_t count = 1;  ///< total shards of the run
+};
+
+/// Parses "i/K" (throws std::invalid_argument on malformed input,
+/// K == 0, or i >= K).
+ShardSpec parse_shard_spec(std::string_view text);
+
+/// The meta.json config token that pins a run's shard topology
+/// (";shards=K").  Every shard of one run shares the same token — the
+/// per-shard identity i lives in the shard's result-file name — so K
+/// processes can verify one shared meta record without racing on
+/// per-process contents, and a shard launched under a different K (a
+/// different partition of the same space) is refused at resume time.
+std::string shard_config_token(std::size_t shard_count);
+
+/// Removes a shard_config_token from `config`, yielding the base config
+/// a merged (single-log) run directory is equivalent to.  Configs
+/// without a token pass through unchanged.
+std::string strip_shard_config(std::string config);
 
 }  // namespace mergescale::search

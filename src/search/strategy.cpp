@@ -188,13 +188,7 @@ class Funnel {
  private:
   /// Folds one result into the outcome's incremental Pareto archive.
   void update_archive(const explore::EvalResult& result) {
-    if (!result.feasible) return;
-    fold_into_frontier(
-        outcome_->archive, result,
-        [this](const explore::EvalResult& r) {
-          return explore::cost_of(r, metric_);
-        },
-        [](const explore::EvalResult& r) { return r.speedup; });
+    fold_archive(outcome_->archive, result, metric_);
   }
 
   explore::ExploreEngine& engine_;
@@ -646,6 +640,18 @@ void pareto_search(Funnel& funnel, const SearchSpace& space,
 }
 
 }  // namespace
+
+void fold_archive(std::vector<explore::EvalResult>& archive,
+                  const explore::EvalResult& result,
+                  explore::CostMetric metric) {
+  if (!result.feasible) return;
+  fold_into_frontier(
+      archive, result,
+      [metric](const explore::EvalResult& r) {
+        return explore::cost_of(r, metric);
+      },
+      [](const explore::EvalResult& r) { return r.speedup; });
+}
 
 std::string_view strategy_name(Strategy strategy) noexcept {
   switch (strategy) {

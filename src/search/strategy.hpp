@@ -118,6 +118,18 @@ struct SearchOutcome {
                                          double fraction) const noexcept;
 };
 
+/// Folds one result into a 2-D Pareto archive maintained incrementally
+/// (cost ascending, speedup strictly increasing, one entry per cost
+/// value) — the exact operation run_search applies to
+/// SearchOutcome::archive after every evaluation.  Infeasible results
+/// are ignored.  Exposed so merge tooling can rebuild an archive from a
+/// unioned run log and so tests can drive adversarial insertion orders
+/// directly; for any insertion sequence the final archive equals
+/// explore::pareto_frontier over the whole sequence.
+void fold_archive(std::vector<explore::EvalResult>& archive,
+                  const explore::EvalResult& result,
+                  explore::CostMetric metric);
+
 /// Runs `options.strategy` over `space` through `engine` (which must have
 /// memoization enabled — budgets are measured as cache misses).  When
 /// `log` is non-null every *fresh* evaluation (cache miss) is appended,

@@ -7,6 +7,7 @@
 
 #include "core/app_params.hpp"
 #include "explore/report.hpp"
+#include "util/rng.hpp"
 
 namespace mergescale::search {
 namespace {
@@ -358,6 +359,132 @@ TEST(Strategy, RejectsAZeroBudget) {
   SearchOptions options;
   options.budget = 0;
   EXPECT_THROW(run_search(engine, space, options), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Incremental Pareto archive (fold_archive): the maintenance run_search
+// applies after every evaluation.  ROADMAP calls the archive
+// "extreme-point-greedy"; these tests pin down what that does — and
+// does not — mean: the fold keeps ONE entry per cost value (the
+// speedup-greedy extreme), so cost-duplicate designs are pruned, but a
+// *dominating* point (cheaper-or-equal cost, strictly higher speedup)
+// is never dropped, in any insertion order.
+// ---------------------------------------------------------------------------
+
+/// A feasible result at (cost = r, speedup); distinct `tag`s make
+/// distinct design points.
+explore::EvalResult frontier_point(double cost, double speedup, int tag) {
+  explore::EvalResult result;
+  result.index = static_cast<std::size_t>(tag);
+  result.scenario = "archive-test";
+  result.variant = core::ModelVariant::kSymmetric;
+  result.n = 64.0 + tag;  // distinct design identity per tag
+  result.app = "app";
+  result.growth = "linear";
+  result.r = cost;  // kCoreArea cost of a symmetric point is max(r, rl) = r
+  result.rl = 0.0;
+  result.feasible = true;
+  result.cores = 10.0;
+  result.speedup = speedup;
+  return result;
+}
+
+TEST(ParetoArchive, DominatingPointSurvivesEveryInsertionOrder) {
+  // Adversarial fixture for the greedy prune: a cluster of cheap points
+  // goes in first, then a point that dominates part of the frontier
+  // arrives late (and again first), then an even better cost-twin.  The
+  // greedy one-entry-per-cost rule must keep exactly the dominating
+  // extremes, never dropping a dominating point.
+  const std::vector<explore::EvalResult> points = {
+      frontier_point(1.0, 2.0, 0), frontier_point(2.0, 3.0, 1),
+      frontier_point(4.0, 4.0, 2), frontier_point(8.0, 5.0, 3),
+      // Late arrival dominating the 4- and 8-cost members:
+      frontier_point(2.0, 6.0, 4),
+      // Cost twin of the dominator, better still:
+      frontier_point(2.0, 7.0, 5),
+  };
+  std::vector<std::vector<explore::EvalResult>> orders = {points};
+  orders.push_back({points[5], points[4], points[3], points[2], points[1],
+                    points[0]});
+  orders.push_back({points[4], points[0], points[5], points[2], points[1],
+                    points[3]});
+  for (const auto& order : orders) {
+    std::vector<explore::EvalResult> archive;
+    for (const auto& point : order) {
+      fold_archive(archive, point, explore::CostMetric::kCoreArea);
+    }
+    // The non-dominated set of the fixture is {(1,2), (2,7)}.
+    ASSERT_EQ(archive.size(), 2u);
+    EXPECT_DOUBLE_EQ(explore::cost_of(archive[0],
+                                      explore::CostMetric::kCoreArea), 1.0);
+    EXPECT_DOUBLE_EQ(archive[0].speedup, 2.0);
+    EXPECT_DOUBLE_EQ(explore::cost_of(archive[1],
+                                      explore::CostMetric::kCoreArea), 2.0);
+    EXPECT_DOUBLE_EQ(archive[1].speedup, 7.0);  // the dominating twin won
+  }
+}
+
+TEST(ParetoArchive, RandomSequencesConvergeToTheBatchFrontier) {
+  // The property behind the fixture: for ANY insertion sequence, the
+  // incremental archive equals explore::pareto_frontier over the whole
+  // sequence — the greedy prune loses nothing the batch frontier keeps.
+  util::Xoshiro256 rng(4242);
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<explore::EvalResult> sequence;
+    const int count = 3 + static_cast<int>(rng.bounded(40));
+    for (int i = 0; i < count; ++i) {
+      const double cost = 1.0 + static_cast<double>(rng.bounded(8));
+      const double speedup = 1.0 + 0.5 * static_cast<double>(rng.bounded(12));
+      sequence.push_back(frontier_point(cost, speedup, i));
+    }
+    std::vector<explore::EvalResult> archive;
+    for (const auto& point : sequence) {
+      fold_archive(archive, point, explore::CostMetric::kCoreArea);
+    }
+    const auto frontier =
+        explore::pareto_frontier(sequence, explore::CostMetric::kCoreArea);
+    ASSERT_EQ(archive.size(), frontier.size()) << "trial " << trial;
+    for (std::size_t i = 0; i < archive.size(); ++i) {
+      EXPECT_DOUBLE_EQ(
+          explore::cost_of(archive[i], explore::CostMetric::kCoreArea),
+          explore::cost_of(frontier[i], explore::CostMetric::kCoreArea));
+      EXPECT_DOUBLE_EQ(archive[i].speedup, frontier[i].speedup);
+    }
+  }
+}
+
+TEST(ParetoArchive, IgnoresInfeasibleResults) {
+  std::vector<explore::EvalResult> archive;
+  explore::EvalResult infeasible = frontier_point(1.0, 100.0, 0);
+  infeasible.feasible = false;
+  fold_archive(archive, infeasible, explore::CostMetric::kCoreArea);
+  EXPECT_TRUE(archive.empty());
+}
+
+TEST(ParetoArchive, HypervolumeRegressionFixture) {
+  // Pinned-by-hand hypervolume of a known frontier against ref_cost 10:
+  //   (1, 2): slice [1, 2)  × 2 = 2
+  //   (2, 6): slice [2, 5)  × 6 = 18
+  //   (5, 7): slice [5, 10) × 7 = 35      total = 55
+  // Dominated and beyond-reference points must contribute nothing.
+  std::vector<explore::EvalResult> archive;
+  const std::vector<explore::EvalResult> points = {
+      frontier_point(1.0, 2.0, 0),  frontier_point(2.0, 6.0, 1),
+      frontier_point(5.0, 7.0, 2),
+      frontier_point(3.0, 4.0, 3),   // dominated by (2, 6)
+      frontier_point(12.0, 50.0, 4),  // beyond the reference cost
+  };
+  for (const auto& point : points) {
+    fold_archive(archive, point, explore::CostMetric::kCoreArea);
+  }
+  EXPECT_DOUBLE_EQ(
+      explore::hypervolume(archive, explore::CostMetric::kCoreArea, 10.0),
+      55.0);
+  // The raw (unfolded) sequence reduces to the same value — hypervolume
+  // cleans its input, so archive and batch agree.
+  EXPECT_DOUBLE_EQ(
+      explore::hypervolume(points, explore::CostMetric::kCoreArea, 10.0),
+      55.0);
 }
 
 }  // namespace
