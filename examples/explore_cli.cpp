@@ -486,11 +486,9 @@ int main(int argc, char** argv) try {
   }
 
   auto print_best = [](const explore::EvalResult& best) {
-    std::cout << "best: " << core::model_variant_name(best.variant)
-              << " n=" << best.n << " app=" << best.app
-              << " growth=" << best.growth << " r=" << best.r
-              << " rl=" << best.rl << " speedup "
-              << util::format_double(best.speedup, 2) << "\n\n";
+    // The shared rendering (explore::best_line) keeps this byte-identical
+    // to a serve_cli `best` answer over the same records.
+    std::cout << explore::best_line(best) << "\n\n";
   };
 
   if (adaptive) {

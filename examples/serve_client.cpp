@@ -1,0 +1,153 @@
+// serve_client: minimal line-protocol client for serve_cli.  Reads one
+// query per line from stdin (or a single --query), sends each to the
+// server, and prints the framed reply verbatim — `OK <kind> lines=<N>`
+// + payload + `END`, or a one-line `ERR <message>`.
+//
+//   printf 'best\ntopk 3\nquit\n' |
+//     ./build/serve_client --port-file /tmp/run.port
+//
+// Exit status: 0 when every query got a complete reply (ERR replies
+// included — they are protocol answers, not transport failures), 1 on
+// connect/transport errors.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "util/cli.hpp"
+
+using namespace mergescale;
+
+namespace {
+
+/// Buffered line reader over a socket.
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  /// Reads one newline-terminated line (newline stripped).  False on
+  /// EOF/error with a partial (or no) line.
+  bool next(std::string* line) {
+    for (;;) {
+      const std::size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        line->assign(buffer_, 0, nl);
+        buffer_.erase(0, nl + 1);
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (got <= 0) return false;
+      buffer_.append(chunk, static_cast<std::size_t>(got));
+    }
+  }
+
+ private:
+  int fd_;
+  std::string buffer_;
+};
+
+bool send_all(int fd, std::string_view text) {
+  while (!text.empty()) {
+    const ssize_t sent = ::send(fd, text.data(), text.size(), MSG_NOSIGNAL);
+    if (sent <= 0) return false;
+    text.remove_prefix(static_cast<std::size_t>(sent));
+  }
+  return true;
+}
+
+/// Reads one framed reply and prints it.  False on transport failure.
+bool read_reply(LineReader* reader) {
+  std::string line;
+  if (!reader->next(&line)) return false;
+  std::cout << line << "\n";
+  if (line.rfind("ERR", 0) == 0) return true;  // one-line reply
+  // OK header: payload lines follow until END.
+  while (reader->next(&line)) {
+    std::cout << line << "\n";
+    if (line == "END") return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  util::Cli cli("serve_client",
+                "line-protocol client for serve_cli: send queries from "
+                "stdin (or --query) and print framed replies");
+  cli.opt("port", static_cast<long long>(0), "server port on 127.0.0.1");
+  cli.opt("port-file", std::string(),
+          "read the port from this file (what serve_cli --port-file wrote)");
+  cli.opt("query", std::string(),
+          "send this single query instead of reading stdin");
+  cli.opt("timeout-seconds", static_cast<long long>(30),
+          "receive timeout per reply");
+  if (!cli.parse(argc, argv)) return 0;
+
+  int port = static_cast<int>(cli.get_int("port"));
+  if (const std::string path = cli.get_string("port-file"); !path.empty()) {
+    std::ifstream in(path);
+    if (!(in >> port)) {
+      std::cerr << "serve_client: cannot read a port from " << path << "\n";
+      return 1;
+    }
+  }
+  if (port <= 0 || port > 65535) {
+    std::cerr << "serve_client: need --port or --port-file\n";
+    return 1;
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::cerr << "serve_client: socket: " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  timeval timeout{};
+  timeout.tv_sec = static_cast<time_t>(
+      std::max<long long>(1, cli.get_int("timeout-seconds")));
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    std::cerr << "serve_client: connect 127.0.0.1:" << port << ": "
+              << std::strerror(errno) << "\n";
+    ::close(fd);
+    return 1;
+  }
+
+  LineReader reader(fd);
+  bool ok = true;
+  auto roundtrip = [&](const std::string& query) {
+    if (!send_all(fd, query + "\n") || !read_reply(&reader)) {
+      std::cerr << "serve_client: connection lost\n";
+      ok = false;
+      return false;
+    }
+    return query != "quit";
+  };
+
+  if (const std::string query = cli.get_string("query"); !query.empty()) {
+    roundtrip(query);
+  } else {
+    for (std::string line; std::getline(std::cin, line);) {
+      if (line.empty()) continue;
+      if (!roundtrip(line)) break;
+    }
+  }
+  ::close(fd);
+  return ok ? 0 : 1;
+} catch (const std::exception& e) {
+  std::cerr << "serve_client: " << e.what() << "\n";
+  return 1;
+}

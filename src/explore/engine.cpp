@@ -42,8 +42,9 @@ int resolve_threads(int requested) {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
-/// Evaluates one job (through the cache when enabled) into a result.
-EvalResult compute(const EvalJob& job, MemoCache* cache, bool use_cache) {
+}  // namespace
+
+EvalResult evaluate_job(const EvalJob& job, MemoCache* cache, bool use_cache) {
   EvalResult result;
   result.index = job.index;
   result.scenario = job.scenario;
@@ -78,8 +79,6 @@ EvalResult compute(const EvalJob& job, MemoCache* cache, bool use_cache) {
   }
   return result;
 }
-
-}  // namespace
 
 double cost_of(const EvalResult& result, CostMetric metric) noexcept {
   switch (metric) {
@@ -122,7 +121,7 @@ std::vector<EvalResult> ExploreEngine::run(const std::vector<EvalJob>& jobs) {
       if (begin >= jobs.size()) break;
       const std::size_t end = std::min(begin + block, jobs.size());
       for (std::size_t i = begin; i < end; ++i) {
-        results[i] = compute(jobs[i], &cache_, options_.use_cache);
+        results[i] = evaluate_job(jobs[i], &cache_, options_.use_cache);
       }
     }
   });

@@ -51,6 +51,17 @@ enum class CostMetric {
 /// Cost of one (feasible) result under `metric`.
 double cost_of(const EvalResult& result, CostMetric metric) noexcept;
 
+/// Evaluates one job into a result — the per-job path inside
+/// ExploreEngine::run, exposed for callers that already hold their own
+/// threads.  A query-server's session workers each evaluate single
+/// what-if points concurrently: ExploreEngine::run is not reentrant (the
+/// thread team is one shared resource), but MemoCache is fully
+/// thread-safe, so sharing the engine's cache through this entry point
+/// gives every worker the warmed archive without the team dispatch.
+/// With `use_cache` the outcome is memoized (and served) via `cache`;
+/// `cache` may be null only when `use_cache` is false.
+EvalResult evaluate_job(const EvalJob& job, MemoCache* cache, bool use_cache);
+
 /// Engine configuration.
 struct EngineOptions {
   int threads = 0;             ///< worker count; 0 = hardware concurrency

@@ -1,6 +1,7 @@
 #include "explore/memo_cache.hpp"
 
 #include <bit>
+#include <mutex>
 
 #include "util/check.hpp"
 
@@ -84,7 +85,7 @@ MemoCache::Shard& MemoCache::shard_for(const CacheKey& key) const {
 
 bool MemoCache::lookup(const CacheKey& key, EvalOutcome* out) const {
   Shard& shard = shard_for(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
   auto it = shard.map.find(key);
   if (it == shard.map.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -97,20 +98,20 @@ bool MemoCache::lookup(const CacheKey& key, EvalOutcome* out) const {
 
 bool MemoCache::contains(const CacheKey& key) const {
   Shard& shard = shard_for(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
   return shard.map.find(key) != shard.map.end();
 }
 
 void MemoCache::insert(const CacheKey& key, const EvalOutcome& outcome) {
   Shard& shard = shard_for(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
   shard.map[key] = outcome;
 }
 
 std::size_t MemoCache::size() const {
   std::size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    std::shared_lock<std::shared_mutex> lock(shard->mu);
     total += shard->map.size();
   }
   return total;
@@ -123,7 +124,7 @@ MemoCache::Stats MemoCache::stats() const {
 
 void MemoCache::clear() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    std::unique_lock<std::shared_mutex> lock(shard->mu);
     shard->map.clear();
   }
   hits_.store(0, std::memory_order_relaxed);

@@ -14,7 +14,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -69,6 +69,11 @@ struct CacheKeyHash {
 
 /// Thread-safe memoization cache, sharded to keep lock contention off the
 /// explore engine's hot path.  Shard count is fixed at construction.
+///
+/// Reads take a shared lock: a warmed cache serving a query-server's
+/// worker pool is almost entirely lookups against an archive that never
+/// shrinks, so concurrent readers must not serialize on each other —
+/// only an insert (a live-evaluation miss) takes a shard exclusively.
 class MemoCache {
  public:
   struct Stats {
@@ -105,7 +110,7 @@ class MemoCache {
 
  private:
   struct Shard {
-    mutable std::mutex mu;
+    mutable std::shared_mutex mu;
     std::unordered_map<CacheKey, EvalOutcome, CacheKeyHash> map;
   };
 

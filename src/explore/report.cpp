@@ -54,6 +54,15 @@ const EvalResult* best_result(
   return best;
 }
 
+std::string best_line(const EvalResult& best) {
+  std::ostringstream os;
+  os << "best: " << core::model_variant_name(best.variant) << " n=" << best.n
+     << " app=" << best.app << " growth=" << best.growth << " r=" << best.r
+     << " rl=" << best.rl << " speedup "
+     << util::format_double(best.speedup, 2);
+  return os.str();
+}
+
 std::vector<EvalResult> top_k(const std::vector<EvalResult>& results,
                               std::size_t k) {
   std::vector<EvalResult> feasible;

@@ -18,6 +18,12 @@ namespace mergescale::explore {
 /// infeasible (the aggregate analogue of core::try_best_point).
 const EvalResult* best_result(const std::vector<EvalResult>& results) noexcept;
 
+/// The canonical one-line "best: ..." summary (no trailing newline).
+/// explore_cli prints it and the serve layer answers `best` queries with
+/// it, so a server's answer is byte-identical to the CLI's report on the
+/// same records.
+std::string best_line(const EvalResult& best);
+
 /// The k highest-speedup feasible results, speedup-descending; ties break
 /// toward the lower job index so the output is deterministic.
 std::vector<EvalResult> top_k(const std::vector<EvalResult>& results,

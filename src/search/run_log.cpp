@@ -368,6 +368,62 @@ std::vector<explore::EvalResult> RunLog::load_shard(const std::string& dir,
   return records;
 }
 
+std::vector<explore::EvalResult> RunLog::dedup(
+    std::vector<explore::EvalResult> records) {
+  std::unordered_set<std::string> seen;
+  std::vector<explore::EvalResult> kept;
+  kept.reserve(records.size());
+  for (auto& record : records) {
+    if (seen.insert(design_key(record)).second) {
+      kept.push_back(std::move(record));
+    }
+  }
+  return kept;
+}
+
+RunLog::LoadedRun RunLog::load_merged(const std::string& target,
+                                      const std::vector<std::string>& sources) {
+  // Same refusal semantics as merge(), except configs are compared
+  // modulo the shard token: a read-only union of a sharded archive with
+  // its compacted (token-stripped) form is the one overlap merge() never
+  // sees, and it is harmless here — nothing is resumed against the
+  // result, so the token's mis-charging hazard does not apply.
+  std::optional<std::string> config;
+  auto fold_in = [&config](const std::string& dir) {
+    const auto meta = read_meta(dir);
+    if (!meta) {
+      throw std::runtime_error(
+          "load: " + dir +
+          " holds no meta.json — was it recorded with --run-dir?");
+    }
+    const std::string base = strip_shard_config(*meta);
+    if (config && base != *config) {
+      throw std::runtime_error(
+          "load: " + dir + " was recorded under a different configuration (" +
+          base + " vs " + *config + "); refusing to union mismatched runs");
+    }
+    config = base;
+  };
+  fold_in(target);
+  LoadedRun run;
+  run.records = load(target);
+  for (const std::string& source : sources) {
+    fold_in(source);
+    std::error_code ec;
+    if (source == target ||
+        std::filesystem::equivalent(source, target, ec)) {
+      continue;  // the target's own records are already loaded
+    }
+    std::vector<explore::EvalResult> foreign = load(source);
+    run.records.insert(run.records.end(),
+                       std::make_move_iterator(foreign.begin()),
+                       std::make_move_iterator(foreign.end()));
+  }
+  run.records = dedup(std::move(run.records));
+  run.config = *config;
+  return run;
+}
+
 std::optional<explore::EvalResult> RunLog::parse_result(
     std::string_view line) {
   const auto object = parse_flat_object(line);

@@ -1,0 +1,41 @@
+#pragma once
+// Startup archive for the exploration server: the deduplicated union of
+// one or more recorded run directories, together with the scenario those
+// runs were recorded under.  The scenario is *reconstructed from the run
+// meta itself* (the same config fingerprint resume verifies against), so
+// a server pointed at a run directory serves exactly the space that was
+// explored — no re-specification on the serve command line to drift out
+// of sync.
+
+#include <string>
+#include <vector>
+
+#include "explore/scenario.hpp"
+#include "search/run_log.hpp"
+
+namespace mergescale::serve {
+
+struct Archive {
+  std::string dir;     ///< target run directory (live appends go here)
+  std::string config;  ///< meta config, shard token stripped
+  explore::ScenarioSpec spec;  ///< space the records were drawn from
+  std::vector<explore::EvalResult> records;  ///< deduplicated union
+};
+
+/// Rebuilds the ScenarioSpec encoded in a run-log meta config string
+/// ("apps=..;budgets=..;...", the fingerprint explore_cli records).
+/// Search-only tokens (strategy, seed, batch, walkers, population,
+/// cost-metric, shards) are ignored: they shape a proposal sequence, not
+/// the space.  Throws std::runtime_error on a missing axis or an
+/// unparsable value — a config this function cannot round-trip is one a
+/// resume could not verify either.
+explore::ScenarioSpec spec_from_run_config(const std::string& config);
+
+/// Loads `dir` (and optional extra recorded directories) into an
+/// Archive: records via search::RunLog::load_merged — identical refusal
+/// semantics — and the spec via spec_from_run_config on the shared
+/// config.
+Archive load_archive(const std::string& dir,
+                     const std::vector<std::string>& sources = {});
+
+}  // namespace mergescale::serve

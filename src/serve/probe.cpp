@@ -1,0 +1,148 @@
+#include "serve/probe.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace mergescale::serve {
+
+std::string_view probe_state_name(ProbeState state) noexcept {
+  switch (state) {
+    case ProbeState::kStable: return "stable";
+    case ProbeState::kProbingUp: return "probing-up";
+    case ProbeState::kProbingDown: return "probing-down";
+  }
+  return "?";
+}
+
+ThroughputProbe::ThroughputProbe(ProbeOptions options, int initial_concurrency)
+    : options_(options) {
+  MS_CHECK(options_.min_concurrency >= 1, "probe: min concurrency must be >=1");
+  MS_CHECK(options_.max_concurrency >= options_.min_concurrency,
+           "probe: max concurrency must be >= min");
+  MS_CHECK(options_.step_multiple > 1.0, "probe: step multiple must be > 1");
+  MS_CHECK(options_.smoothing > 0.0 && options_.smoothing <= 1.0,
+           "probe: smoothing must be in (0, 1]");
+  MS_CHECK(options_.stable_tolerance >= 0.0,
+           "probe: stable tolerance must be >= 0");
+  MS_CHECK(options_.stable_backoff >= 0, "probe: backoff must be >= 0");
+  stable_ = clamp(initial_concurrency);
+  current_ = stable_;
+}
+
+int ThroughputProbe::clamp(int level) const noexcept {
+  return std::clamp(level, options_.min_concurrency, options_.max_concurrency);
+}
+
+int ThroughputProbe::step_up(int level) const noexcept {
+  const int stepped = static_cast<int>(
+      std::ceil(static_cast<double>(level) * options_.step_multiple));
+  return clamp(std::max(level + 1, stepped));
+}
+
+int ThroughputProbe::step_down(int level) const noexcept {
+  const int stepped = static_cast<int>(
+      std::floor(static_cast<double>(level) / options_.step_multiple));
+  return clamp(std::min(level - 1, stepped));
+}
+
+ProbeDecision ThroughputProbe::start_probe() {
+  if (const int up = step_up(stable_); up > stable_) {
+    state_ = ProbeState::kProbingUp;
+    current_ = up;
+    ++counters_.probes_up;
+  } else if (const int down = step_down(stable_); down < stable_) {
+    // Already pinned at the max: the only direction worth testing is
+    // down (maybe fewer threads hold the same throughput).
+    state_ = ProbeState::kProbingDown;
+    current_ = down;
+    ++counters_.probes_down;
+  } else {
+    state_ = ProbeState::kStable;  // min == max: nothing to probe
+    current_ = stable_;
+  }
+  return ProbeDecision{current_, state_};
+}
+
+ProbeDecision ThroughputProbe::on_window(double observed_qps) {
+  ++counters_.windows;
+  observed_qps = std::max(0.0, observed_qps);
+  auto fold = [this](double observed) {
+    smoothed_ = seeded_ ? options_.smoothing * observed +
+                              (1.0 - options_.smoothing) * smoothed_
+                        : observed;
+    seeded_ = true;
+  };
+
+  switch (state_) {
+    case ProbeState::kStable: {
+      fold(observed_qps);
+      if (backoff_ > 0) {
+        --backoff_;
+        return ProbeDecision{current_, state_};
+      }
+      return start_probe();
+    }
+    case ProbeState::kProbingUp: {
+      if (observed_qps >
+          smoothed_ * (1.0 + options_.stable_tolerance)) {
+        // Higher level genuinely pushed more queries through: adopt it
+        // and keep climbing until the curve flattens or the cap stops
+        // us.
+        stable_ = current_;
+        fold(observed_qps);
+        ++counters_.accepted_up;
+        if (const int up = step_up(stable_); up > stable_) {
+          current_ = up;
+          ++counters_.probes_up;
+          return ProbeDecision{current_, state_};
+        }
+        state_ = ProbeState::kStable;
+        current_ = stable_;
+        backoff_ = options_.stable_backoff;
+        return ProbeDecision{current_, state_};
+      }
+      // No improvement up — roll back and test the other direction:
+      // maybe the stable level itself is past the peak.
+      ++counters_.reverted;
+      if (const int down = step_down(stable_); down < stable_) {
+        state_ = ProbeState::kProbingDown;
+        current_ = down;
+        ++counters_.probes_down;
+        return ProbeDecision{current_, state_};
+      }
+      state_ = ProbeState::kStable;
+      current_ = stable_;
+      backoff_ = options_.stable_backoff;
+      return ProbeDecision{current_, state_};
+    }
+    case ProbeState::kProbingDown: {
+      if (observed_qps >=
+          smoothed_ * (1.0 - options_.stable_tolerance)) {
+        // Throughput held with fewer threads in flight — the cheaper
+        // level wins.  Keep shedding until it actually costs us.
+        stable_ = current_;
+        fold(observed_qps);
+        ++counters_.accepted_down;
+        if (const int down = step_down(stable_); down < stable_) {
+          current_ = down;
+          ++counters_.probes_down;
+          return ProbeDecision{current_, state_};
+        }
+        state_ = ProbeState::kStable;
+        current_ = stable_;
+        backoff_ = options_.stable_backoff;
+        return ProbeDecision{current_, state_};
+      }
+      ++counters_.reverted;
+      state_ = ProbeState::kStable;
+      current_ = stable_;
+      backoff_ = options_.stable_backoff;
+      return ProbeDecision{current_, state_};
+    }
+  }
+  util::unreachable("probe: unhandled state");
+}
+
+}  // namespace mergescale::serve

@@ -1,0 +1,101 @@
+#pragma once
+// Throughput-probing concurrency controller, modeled on the execution
+// control used by storage engines: rather than trusting a static worker
+// count, the controller *measures* its way to the concurrency that
+// maximizes completed queries per second.  Each measurement window it
+// holds admitted concurrency at one level, observes the throughput, and
+// decides the next level:
+//
+//   stable        sit at the best known level; after `stable_backoff`
+//                 quiet windows, start a probe
+//   probing up    try a higher level; keep it (and keep climbing) only
+//                 when throughput actually improved
+//   probing down  try a lower level; keep it when throughput held — the
+//                 same work with fewer threads in flight is a win — and
+//                 retreat otherwise
+//
+// Observed throughput folds into an exponentially smoothed estimate, so
+// a single noisy window can neither promote a bad level nor evict a good
+// one.  The decision function is pure state → state on one observation
+// per window, which makes the controller deterministic under a synthetic
+// throughput curve — the form the unit tests drive it in.
+
+#include <cstdint>
+#include <string_view>
+
+namespace mergescale::serve {
+
+struct ProbeOptions {
+  int min_concurrency = 1;
+  int max_concurrency = 128;
+  /// Probe step as a multiple of the current level: the next level up is
+  /// ceil(level * step_multiple) (and down its mirror), so steps scale
+  /// with the operating point like the storage-engine controller's.
+  double step_multiple = 1.25;
+  /// EWMA weight of the newest window's throughput.
+  double smoothing = 0.5;
+  /// Relative throughput change a probe must show to be accepted: up
+  /// needs observed > smoothed*(1+tol), down keeps while observed >=
+  /// smoothed*(1-tol).
+  double stable_tolerance = 0.05;
+  /// Windows to sit at the stable level after a failed probe round
+  /// before probing again.
+  int stable_backoff = 4;
+};
+
+enum class ProbeState { kStable, kProbingUp, kProbingDown };
+
+/// Printable state name ("stable", "probing-up", "probing-down").
+std::string_view probe_state_name(ProbeState state) noexcept;
+
+/// What the controller decided for the next window.
+struct ProbeDecision {
+  int concurrency = 1;  ///< admitted-concurrency limit to apply
+  ProbeState state = ProbeState::kStable;  ///< state being entered
+};
+
+class ThroughputProbe {
+ public:
+  ThroughputProbe(ProbeOptions options, int initial_concurrency);
+
+  /// Folds one finished window's observed throughput (completed queries
+  /// per second at the *current* concurrency) into the controller and
+  /// returns the level to admit for the next window.
+  ProbeDecision on_window(double observed_qps);
+
+  int concurrency() const noexcept { return current_; }
+  int stable_concurrency() const noexcept { return stable_; }
+  ProbeState state() const noexcept { return state_; }
+  double smoothed_qps() const noexcept { return smoothed_; }
+
+  /// Controller counters, exposed through the server's `stats` query and
+  /// its metrics stream.
+  struct Counters {
+    std::uint64_t windows = 0;       ///< observations folded in
+    std::uint64_t probes_up = 0;     ///< up-probes started
+    std::uint64_t probes_down = 0;   ///< down-probes started
+    std::uint64_t accepted_up = 0;   ///< up-probes kept
+    std::uint64_t accepted_down = 0; ///< down-probes kept
+    std::uint64_t reverted = 0;      ///< probes rolled back
+  };
+  const Counters& counters() const noexcept { return counters_; }
+
+ private:
+  int clamp(int level) const noexcept;
+  int step_up(int level) const noexcept;
+  int step_down(int level) const noexcept;
+  /// Enters a probe from the stable level (or stays put when the range
+  /// allows no move in either direction).
+  ProbeDecision start_probe();
+
+  ProbeOptions options_;
+  ProbeState state_ = ProbeState::kStable;
+  int stable_;       ///< best known level
+  int current_;      ///< level the *next* window runs at
+  double smoothed_ = 0.0;  ///< EWMA of throughput at the stable level
+  bool seeded_ = false;    ///< smoothed_ holds at least one observation
+  int backoff_ = 0;        ///< stable windows left before the next probe
+  Counters counters_;
+};
+
+}  // namespace mergescale::serve

@@ -1,0 +1,481 @@
+#include "serve/server.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/comm_model.hpp"
+#include "core/design_space.hpp"
+#include "explore/report.hpp"
+#include "noc/topology.hpp"
+
+namespace mergescale::serve {
+
+namespace {
+
+/// Shortest exact-enough value rendering (matches report's table cells).
+std::string compact(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+std::string sys_error(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+QueryServer::QueryServer(Archive archive, explore::ExploreEngine& engine,
+                         search::RunLog* log, ServerOptions options)
+    : archive_(std::move(archive)),
+      engine_(engine),
+      log_(log),
+      options_(std::move(options)),
+      gate_(std::clamp(options_.initial_concurrency,
+                       options_.probe.min_concurrency,
+                       options_.probe.max_concurrency)),
+      probe_(options_.probe, options_.initial_concurrency) {
+  next_index_.store(archive_.records.size(), std::memory_order_relaxed);
+}
+
+QueryServer::~QueryServer() { stop(); }
+
+void QueryServer::start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error(sys_error("serve: socket"));
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  // Loopback only: the server trusts its archive, not the network.
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const std::string error = sys_error("serve: bind 127.0.0.1");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error(error);
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const std::string error = sys_error("serve: listen");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error(error);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0) {
+    throw std::runtime_error(sys_error("serve: getsockname"));
+  }
+  port_ = static_cast<int>(ntohs(bound.sin_port));
+
+  if (!options_.port_file.empty()) {
+    // Write + rename: a script polling the file never reads a torn port.
+    const std::string tmp = options_.port_file + ".tmp";
+    {
+      std::ofstream out(tmp, std::ios::trunc);
+      out << port_ << "\n";
+      out.flush();
+      if (!out.good()) {
+        throw std::runtime_error("serve: cannot write " + tmp);
+      }
+    }
+    std::filesystem::rename(tmp, options_.port_file);
+  }
+  if (!options_.metrics_path.empty()) {
+    metrics_.open(options_.metrics_path, std::ios::app);
+    if (!metrics_.good()) {
+      throw std::runtime_error("serve: cannot open metrics file " +
+                               options_.metrics_path);
+    }
+  }
+
+  acceptor_ = std::thread(&QueryServer::acceptor_main, this);
+  prober_ = std::thread(&QueryServer::probe_main, this);
+}
+
+void QueryServer::stop() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) return;
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+  }
+  stop_cv_.notify_all();
+  gate_.close();
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (int fd : session_fds_) {
+      if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+    }
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  if (prober_.joinable()) prober_.join();
+  // The acceptor is gone, so the registry is final; join without lock.
+  for (std::thread& session : sessions_) {
+    if (session.joinable()) session.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (metrics_.is_open()) metrics_.close();
+}
+
+void QueryServer::acceptor_main() {
+  for (;;) {
+    sockaddr_in peer{};
+    socklen_t len = sizeof(peer);
+    const int fd =
+        ::accept(listen_fd_, reinterpret_cast<sockaddr*>(&peer), &len);
+    if (fd < 0) {
+      if (stopping_.load() || (errno != EINTR && errno != ECONNABORTED)) {
+        break;
+      }
+      continue;
+    }
+    if (stopping_.load()) {
+      ::close(fd);
+      break;
+    }
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    const std::size_t slot = session_fds_.size();
+    session_fds_.push_back(fd);
+    sessions_.emplace_back(&QueryServer::session_main, this, fd, slot);
+  }
+}
+
+void QueryServer::session_main(int fd, std::size_t slot) {
+  auto send_all = [fd](std::string_view text) {
+    while (!text.empty()) {
+      const ssize_t sent = ::send(fd, text.data(), text.size(), MSG_NOSIGNAL);
+      if (sent <= 0) return false;
+      text.remove_prefix(static_cast<std::size_t>(sent));
+    }
+    return true;
+  };
+
+  std::string buffer;
+  char chunk[4096];
+  // A line that outgrows kMaxLineBytes without a newline gets one ERR and
+  // is then discarded byte-for-byte until its newline shows up — the
+  // session survives garbage instead of buffering it.
+  bool discarding = false;
+  bool open = true;
+  while (open) {
+    const ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (got <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(got));
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t nl = buffer.find('\n', start);
+      if (nl == std::string::npos) break;
+      const std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (discarding) {
+        // Tail of an oversized line already answered with ERR.
+        discarding = false;
+        continue;
+      }
+      QueryKind kind = QueryKind::kBest;
+      const std::string reply = execute_line(line, &kind);
+      if (!send_all(reply) || kind == QueryKind::kQuit) {
+        open = false;
+        break;
+      }
+    }
+    buffer.erase(0, start);
+    if (open && !discarding && buffer.size() > kMaxLineBytes) {
+      discarding = true;
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      if (!send_all(err_reply("request line exceeds " +
+                              std::to_string(kMaxLineBytes) + " bytes"))) {
+        open = false;
+      }
+      buffer.clear();
+    } else if (open && discarding) {
+      buffer.clear();
+    }
+  }
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  session_fds_[slot] = -1;
+}
+
+std::string QueryServer::execute_line(const std::string& line,
+                                      QueryKind* kind_out) {
+  std::string error;
+  const std::optional<Query> query = parse_query(line, &error);
+  if (kind_out != nullptr) {
+    *kind_out = query ? query->kind : QueryKind::kBest;
+  }
+  std::string reply;
+  if (!query) {
+    reply = err_reply(error);
+  } else if (query->kind == QueryKind::kQuit) {
+    reply = ok_header(QueryKind::kQuit, 0) + "END\n";
+  } else if (!gate_.acquire()) {
+    reply = err_reply("server is stopping");
+  } else {
+    try {
+      reply = execute(*query);
+    } catch (const std::exception& e) {
+      reply = err_reply(e.what());
+    } catch (...) {
+      reply = err_reply("internal error");
+    }
+    gate_.release();
+  }
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  return reply;
+}
+
+std::string QueryServer::execute(const Query& query) {
+  switch (query.kind) {
+    case QueryKind::kBest: return answer_best();
+    case QueryKind::kTopK: return answer_topk(query.k);
+    case QueryKind::kPareto: return answer_pareto(query.metric);
+    case QueryKind::kEval: return answer_eval(query);
+    case QueryKind::kStats: return answer_stats();
+    case QueryKind::kQuit: break;  // handled in execute_line
+  }
+  return err_reply("internal error: unhandled query kind");
+}
+
+std::string QueryServer::answer_best() const {
+  std::shared_lock<std::shared_mutex> lock(archive_mu_);
+  const explore::EvalResult* best = explore::best_result(archive_.records);
+  if (best == nullptr) {
+    return err_reply("no feasible design point in the archive");
+  }
+  // explore::best_line is the very rendering explore_cli prints, so this
+  // answer is byte-identical to the CLI's report over the same records.
+  const std::string payload = explore::best_line(*best) + "\n";
+  return ok_header(QueryKind::kBest, 1) + payload + "END\n";
+}
+
+std::string QueryServer::answer_topk(std::size_t k) const {
+  std::shared_lock<std::shared_mutex> lock(archive_mu_);
+  const std::string payload =
+      explore::to_table(explore::top_k(archive_.records, k))
+          .to_text("top-k designs by speedup");
+  return ok_header(QueryKind::kTopK, count_lines(payload)) + payload + "END\n";
+}
+
+std::string QueryServer::answer_pareto(explore::CostMetric metric) const {
+  std::shared_lock<std::shared_mutex> lock(archive_mu_);
+  const std::string payload =
+      explore::to_table(explore::pareto_frontier(archive_.records, metric))
+          .to_text(std::string("Pareto frontier (speedup vs. ") +
+                   (metric == explore::CostMetric::kCoreArea ? "core area"
+                                                             : "core count") +
+                   ")");
+  return ok_header(QueryKind::kPareto, count_lines(payload)) + payload +
+         "END\n";
+}
+
+explore::EvalJob QueryServer::resolve_eval(const Query& query) const {
+  explore::EvalJob job;
+  core::EvalRequest& request = job.request;
+  request.variant = core::parse_model_variant(query.variant);
+  request.chip = core::ChipConfig{query.n, archive_.spec.perf};
+
+  // Coordinates resolve against the archive's own scenario: what-if
+  // points may leave the recorded *grid* (any n/r/rl), but not the
+  // recorded *laws* — an app or growth outside the scenario could not be
+  // warmed back from the log on the next start, so the answer would
+  // silently stop being durable.
+  const core::AppParams* app = nullptr;
+  for (const auto& candidate : archive_.spec.apps) {
+    if (candidate.name == query.app) app = &candidate;
+  }
+  if (app == nullptr) {
+    throw std::invalid_argument("app '" + query.app +
+                                "' is not part of this archive's scenario");
+  }
+  request.app = *app;
+  const core::GrowthFunction* growth = nullptr;
+  for (const auto& candidate : archive_.spec.growths) {
+    if (candidate.name() == query.growth) growth = &candidate;
+  }
+  if (growth == nullptr) {
+    throw std::invalid_argument("growth '" + query.growth +
+                                "' is not part of this archive's scenario");
+  }
+  request.growth = *growth;
+  request.r = query.r;
+  request.rl = query.rl;
+  if (core::is_asymmetric_variant(request.variant) && !(query.rl > 0.0)) {
+    throw std::invalid_argument("eval: asymmetric variants need rl= > 0");
+  }
+  if (core::is_comm_variant(request.variant)) {
+    if (query.topology == "-") {
+      throw std::invalid_argument("eval: comm variants need topology=");
+    }
+    const noc::Topology topology = noc::parse_topology(query.topology);
+    if (std::find(archive_.spec.topologies.begin(),
+                  archive_.spec.topologies.end(),
+                  topology) == archive_.spec.topologies.end()) {
+      throw std::invalid_argument(
+          "topology '" + query.topology +
+          "' is not part of this archive's scenario");
+    }
+    request.comm_growth = core::comm_growth(topology);
+    request.comp_share = archive_.spec.comp_share;
+    job.topology = std::string(noc::topology_name(topology));
+  }
+  job.scenario = archive_.spec.name;
+  job.index = 0;  // re-stamped when a live record is appended
+  return job;
+}
+
+namespace {
+
+std::string render_eval(const explore::EvalResult& result,
+                        std::string_view source) {
+  std::ostringstream os;
+  os << "eval: variant=" << core::model_variant_name(result.variant)
+     << " n=" << compact(result.n) << " app=" << result.app
+     << " growth=" << result.growth << " topology=" << result.topology
+     << " r=" << compact(result.r) << " rl=" << compact(result.rl)
+     << " feasible=" << (result.feasible ? "yes" : "no")
+     << " cores=" << compact(result.cores)
+     << " speedup=" << compact(result.speedup) << " source=" << source
+     << "\n";
+  return ok_header(QueryKind::kEval, 1) + os.str() + "END\n";
+}
+
+}  // namespace
+
+std::string QueryServer::answer_eval(const Query& query) {
+  const explore::EvalJob job = resolve_eval(query);
+  const explore::CacheKey key = explore::cache_key(job.request);
+  bool hit = engine_.cache().contains(key);
+  if (!hit) {
+    // One miss at a time: budget spend, log append, and archive insert
+    // are a single step, so two sessions racing on the same fresh point
+    // cannot double-evaluate or double-record it.
+    std::lock_guard<std::mutex> live(live_mu_);
+    hit = engine_.cache().contains(key);
+    if (!hit) {
+      if (live_used_.load(std::memory_order_relaxed) >=
+          options_.live_budget) {
+        return err_reply("live evaluation budget exhausted (" +
+                         std::to_string(options_.live_budget) +
+                         " evaluations spent); this point is not in the "
+                         "archive");
+      }
+      explore::EvalResult fresh =
+          explore::evaluate_job(job, &engine_.cache(), /*use_cache=*/true);
+      fresh.index = next_index_.fetch_add(1, std::memory_order_relaxed);
+      live_used_.fetch_add(1, std::memory_order_relaxed);
+      if (log_ != nullptr) {
+        log_->append(fresh);
+        log_->flush();  // a kill -9 after this reply loses nothing
+      }
+      {
+        std::unique_lock<std::shared_mutex> archive(archive_mu_);
+        archive_.records.push_back(fresh);
+      }
+      return render_eval(fresh, "live");
+    }
+  }
+  const explore::EvalResult result =
+      explore::evaluate_job(job, &engine_.cache(), /*use_cache=*/true);
+  return render_eval(result, "archive");
+}
+
+std::string QueryServer::answer_stats() {
+  std::ostringstream os;
+  {
+    std::shared_lock<std::shared_mutex> lock(archive_mu_);
+    os << "archive_records=" << archive_.records.size() << "\n"
+       << "archive_dir=" << archive_.dir << "\n"
+       << "config=" << archive_.config << "\n";
+  }
+  const auto cache_stats = engine_.cache().stats();
+  os << "cache_entries=" << engine_.cache().size() << "\n"
+     << "cache_hits=" << cache_stats.hits << "\n"
+     << "cache_misses=" << cache_stats.misses << "\n"
+     << "queries=" << completed_.load(std::memory_order_relaxed) << "\n"
+     << "live_evals=" << live_used_.load(std::memory_order_relaxed) << "\n"
+     << "live_budget=" << options_.live_budget << "\n"
+     << "concurrency_limit=" << gate_.limit() << "\n"
+     << "in_use=" << gate_.in_use() << "\n";
+  {
+    std::lock_guard<std::mutex> lock(probe_mu_);
+    const auto& counters = probe_.counters();
+    os << "probe_state=" << probe_state_name(probe_.state()) << "\n"
+       << "stable_concurrency=" << probe_.stable_concurrency() << "\n"
+       << "smoothed_qps=" << compact(probe_.smoothed_qps()) << "\n"
+       << "probe_windows=" << counters.windows << "\n"
+       << "probes_up=" << counters.probes_up << "\n"
+       << "probes_down=" << counters.probes_down << "\n"
+       << "accepted_up=" << counters.accepted_up << "\n"
+       << "accepted_down=" << counters.accepted_down << "\n"
+       << "reverted=" << counters.reverted << "\n";
+  }
+  const std::string payload = os.str();
+  return ok_header(QueryKind::kStats, count_lines(payload)) + payload +
+         "END\n";
+}
+
+void QueryServer::probe_main() {
+  std::uint64_t last = completed_.load(std::memory_order_relaxed);
+  const double seconds =
+      std::chrono::duration<double>(options_.probe_window).count();
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(stop_mu_);
+      if (stop_cv_.wait_for(lock, options_.probe_window,
+                            [this] { return stopping_.load(); })) {
+        break;
+      }
+    }
+    const std::uint64_t done = completed_.load(std::memory_order_relaxed);
+    const std::uint64_t delta = done - last;
+    last = done;
+    // Idle windows (nothing finished, nothing running) carry no signal —
+    // folding a 0 in would evict a perfectly good throughput estimate.
+    if (delta == 0 && gate_.in_use() == 0) continue;
+    const double qps = static_cast<double>(delta) / seconds;
+    ProbeDecision decision;
+    {
+      std::lock_guard<std::mutex> lock(probe_mu_);
+      decision = probe_.on_window(qps);
+    }
+    gate_.set_limit(decision.concurrency);
+    windows_.fetch_add(1, std::memory_order_relaxed);
+    if (metrics_.is_open()) write_metrics_line(qps, decision, done);
+  }
+}
+
+void QueryServer::write_metrics_line(double qps, const ProbeDecision& decision,
+                                     std::uint64_t completed) {
+  double smoothed;
+  {
+    std::lock_guard<std::mutex> lock(probe_mu_);
+    smoothed = probe_.smoothed_qps();
+  }
+  metrics_ << "{\"window\":" << windows_.load(std::memory_order_relaxed)
+           << ",\"qps\":" << compact(qps)
+           << ",\"smoothed_qps\":" << compact(smoothed)
+           << ",\"concurrency\":" << decision.concurrency << ",\"state\":\""
+           << probe_state_name(decision.state)
+           << "\",\"in_use\":" << gate_.in_use()
+           << ",\"completed\":" << completed << "}\n";
+  metrics_.flush();
+}
+
+}  // namespace mergescale::serve

@@ -1,0 +1,159 @@
+#pragma once
+// Exploration-as-a-service: a TCP query server over a recorded run
+// archive.  Startup loads (and unions) run logs into the explore
+// engine's memo cache; clients then ask `best` / `topk` / `pareto` /
+// `eval` / `stats` over the newline-delimited protocol (serve/protocol),
+// answered from the archive — with `eval` falling back to budgeted live
+// evaluation through core::evaluate on a miss, every live answer
+// appended to the run log so the next server start (or any explore_cli
+// --resume) inherits it.
+//
+// Concurrency is ticket-gated and *measured*, not configured: each
+// session thread takes one ticket around a query's execution, and a
+// background ThroughputProbe controller perturbs the admitted limit
+// between measurement windows, keeping what observably improves
+// completed-queries/s (serve/probe).  Decisions surface through the
+// `stats` query and an optional NDJSON metrics stream.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "explore/engine.hpp"
+#include "search/run_log.hpp"
+#include "serve/archive.hpp"
+#include "serve/probe.hpp"
+#include "serve/protocol.hpp"
+#include "serve/ticket_gate.hpp"
+
+namespace mergescale::serve {
+
+struct ServerOptions {
+  /// TCP port to bind on 127.0.0.1; 0 picks an ephemeral port (read it
+  /// back via port(), or point `port_file` somewhere for scripts).
+  int port = 0;
+  /// When non-empty, the bound port is written here (write + rename, so
+  /// a polling client never reads a partial file).
+  std::string port_file;
+  /// When non-empty, one NDJSON line per probe window is appended here.
+  std::string metrics_path;
+  /// Admitted concurrency before the first probe window completes.
+  int initial_concurrency = 2;
+  ProbeOptions probe;
+  /// Probe measurement window.
+  std::chrono::milliseconds probe_window{250};
+  /// Live (cache-missing) `eval` evaluations this server may run; once
+  /// spent, further misses get an ERR instead of compute time.
+  std::uint64_t live_budget = 100000;
+};
+
+class QueryServer {
+ public:
+  /// `engine`'s cache should already be warmed from `archive` (see
+  /// search::RunLog::warm); `log`, when non-null, receives every live
+  /// evaluation (flushed per record) and must outlive the server.
+  QueryServer(Archive archive, explore::ExploreEngine& engine,
+              search::RunLog* log, ServerOptions options);
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Binds, listens, and starts the acceptor + probe threads.  Throws
+  /// std::runtime_error when the socket cannot be set up.
+  void start();
+
+  /// Stops accepting, closes every session, joins all threads.  Safe to
+  /// call twice; the destructor calls it.
+  void stop();
+
+  /// Bound port (valid after start()).
+  int port() const noexcept { return port_; }
+
+  /// Parses and executes one request line exactly as a session would —
+  /// ticket gate included — returning the full framed reply.  `kind_out`
+  /// (optional) reports the parsed query kind, kQuit included; callers
+  /// without a socket use this to drive the server in-process.
+  std::string execute_line(const std::string& line,
+                           QueryKind* kind_out = nullptr);
+
+  /// Queries answered (any reply, ERR included) since start.
+  std::uint64_t queries_answered() const noexcept {
+    return completed_.load(std::memory_order_relaxed);
+  }
+  /// Live evaluations spent against ServerOptions::live_budget.
+  std::uint64_t live_evals() const noexcept {
+    return live_used_.load(std::memory_order_relaxed);
+  }
+  /// Current admitted-concurrency limit.
+  int concurrency_limit() const { return gate_.limit(); }
+  /// Probe windows folded so far.
+  std::uint64_t probe_windows() const noexcept {
+    return windows_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Executes a parsed query (no gating) into a framed reply.
+  std::string execute(const Query& query);
+  std::string answer_best() const;
+  std::string answer_topk(std::size_t k) const;
+  std::string answer_pareto(explore::CostMetric metric) const;
+  std::string answer_eval(const Query& query);
+  std::string answer_stats();
+  /// Resolves eval coordinates against the archive's scenario into a
+  /// job; throws std::invalid_argument with a client-facing message.
+  explore::EvalJob resolve_eval(const Query& query) const;
+
+  void acceptor_main();
+  void session_main(int fd, std::size_t slot);
+  void probe_main();
+  void write_metrics_line(double qps, const ProbeDecision& decision,
+                          std::uint64_t completed);
+
+  Archive archive_;
+  explore::ExploreEngine& engine_;
+  search::RunLog* log_;
+  ServerOptions options_;
+
+  /// Guards archive_.records (readers: best/topk/pareto/stats; writer:
+  /// the live-eval append path).
+  mutable std::shared_mutex archive_mu_;
+  /// Serializes live evaluations: re-check the cache, spend budget,
+  /// append to log + archive as one step, so a racing duplicate miss
+  /// cannot double-append or double-spend.
+  std::mutex live_mu_;
+  std::atomic<std::uint64_t> live_used_{0};
+  std::atomic<std::size_t> next_index_{0};
+
+  TicketGate gate_;
+  ThroughputProbe probe_;
+  std::mutex probe_mu_;  ///< guards probe_ (probe thread vs `stats`)
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> windows_{0};
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread acceptor_;
+  std::thread prober_;
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;  ///< wakes the probe thread early
+  std::ofstream metrics_;
+
+  /// Session registry: fds are shut down at stop() to unblock recv(),
+  /// then every thread is joined.  Slots are append-only (a serve
+  /// process hosts a bounded number of connections over its life; a
+  /// closed session marks its fd -1).
+  std::mutex sessions_mu_;
+  std::vector<int> session_fds_;
+  std::vector<std::thread> sessions_;
+};
+
+}  // namespace mergescale::serve

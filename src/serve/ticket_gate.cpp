@@ -1,0 +1,58 @@
+#include "serve/ticket_gate.hpp"
+
+#include <algorithm>
+
+namespace mergescale::serve {
+
+TicketGate::TicketGate(int limit) : limit_(std::max(1, limit)) {}
+
+bool TicketGate::acquire() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return closed_ || in_use_ < limit_; });
+  if (closed_) return false;
+  ++in_use_;
+  return true;
+}
+
+void TicketGate::release() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --in_use_;
+  }
+  // One returned ticket admits at most one waiter (capacity increases
+  // are set_limit's to announce).
+  cv_.notify_one();
+}
+
+void TicketGate::set_limit(int limit) {
+  int admitted;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const int before = limit_;
+    limit_ = std::max(1, limit);
+    admitted = limit_ - before;
+  }
+  // Raising capacity by k frees up to k waiters at once; notify_all is
+  // the simple correct form (spurious wakeups re-check the predicate).
+  if (admitted > 0) cv_.notify_all();
+}
+
+void TicketGate::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+int TicketGate::limit() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return limit_;
+}
+
+int TicketGate::in_use() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_use_;
+}
+
+}  // namespace mergescale::serve

@@ -1,0 +1,51 @@
+#pragma once
+// Ticket-gated admission control: a counting semaphore whose capacity
+// can be changed while threads wait on it.  Session threads acquire one
+// ticket around each query's execution, and the throughput probe's
+// controller moves the limit between measurement windows — raising it
+// wakes exactly the newly admitted waiters, lowering it lets the excess
+// drain as tickets are returned (in-flight work is never interrupted).
+
+#include <condition_variable>
+#include <mutex>
+
+namespace mergescale::serve {
+
+class TicketGate {
+ public:
+  /// Starts with `limit` tickets (clamped to at least 1).
+  explicit TicketGate(int limit);
+
+  TicketGate(const TicketGate&) = delete;
+  TicketGate& operator=(const TicketGate&) = delete;
+
+  /// Blocks until a ticket is free and takes it.  Returns false — without
+  /// a ticket — once the gate is closed; acquire never succeeds again
+  /// after that, which is what lets a stopping server release every
+  /// parked session thread.
+  bool acquire();
+
+  /// Returns a ticket taken by acquire().
+  void release();
+
+  /// Moves the capacity (clamped to at least 1).  Raising it admits
+  /// waiters immediately; lowering it only slows future admissions.
+  void set_limit(int limit);
+
+  /// Wakes every waiter with failure and makes future acquires fail.
+  void close();
+
+  int limit() const;
+  /// Tickets currently held.  May briefly exceed limit() after the probe
+  /// lowers capacity below the in-flight count.
+  int in_use() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int limit_;
+  int in_use_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace mergescale::serve

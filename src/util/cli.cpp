@@ -69,7 +69,15 @@ bool Cli::parse(int argc, const char* const* argv) {
     } else {
       name = std::string(arg);
     }
-    Option& option = find(name);
+    // A typo'd flag gets the full usage text, not just the bad name: the
+    // caller's catch-all prints exception messages verbatim, so this is
+    // what turns `--treads 8` into an actionable one-screen answer.
+    auto it = options_.find(name);
+    if (it == options_.end()) {
+      throw std::invalid_argument("unknown option --" + name + "\n\n" +
+                                  help_text());
+    }
+    Option& option = it->second;
     if (option.kind == Kind::kFlag) {
       option.value = value.value_or("true");
     } else {

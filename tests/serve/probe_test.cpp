@@ -1,0 +1,145 @@
+#include "serve/probe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+
+#include "util/rng.hpp"
+
+namespace mergescale::serve {
+namespace {
+
+ProbeOptions fast_options() {
+  ProbeOptions options;
+  options.min_concurrency = 1;
+  options.max_concurrency = 32;
+  options.step_multiple = 1.25;
+  options.smoothing = 0.5;
+  options.stable_tolerance = 0.05;
+  options.stable_backoff = 2;
+  return options;
+}
+
+/// Feeds `windows` observations from a synthetic throughput curve: each
+/// window runs at the level the previous decision admitted, exactly as
+/// the server's probe loop does.
+void drive(ThroughputProbe& probe, int windows,
+           const std::function<double(int)>& qps_at) {
+  for (int i = 0; i < windows; ++i) {
+    probe.on_window(qps_at(probe.concurrency()));
+  }
+}
+
+TEST(ThroughputProbe, InitialConcurrencyIsClampedToTheRange) {
+  ProbeOptions options = fast_options();
+  options.min_concurrency = 2;
+  options.max_concurrency = 8;
+  EXPECT_EQ(ThroughputProbe(options, 64).concurrency(), 8);
+  EXPECT_EQ(ThroughputProbe(options, 0).concurrency(), 2);
+  EXPECT_EQ(ThroughputProbe(options, 5).concurrency(), 5);
+}
+
+TEST(ThroughputProbe, ConvergesOntoAFlatTopCurve) {
+  // qps saturates at concurrency 4: more threads add nothing.  The
+  // controller must climb to the knee, shed the overshoot the EWMA lag
+  // allowed, and settle at (or right next to) the knee.
+  ThroughputProbe probe(fast_options(), 1);
+  auto curve = [](int c) { return 10.0 * std::min(c, 4); };
+  drive(probe, 400, curve);
+  EXPECT_GE(probe.stable_concurrency(), 3);
+  EXPECT_LE(probe.stable_concurrency(), 5);
+  EXPECT_NEAR(probe.smoothed_qps(), 40.0, 6.0);
+  const auto& counters = probe.counters();
+  EXPECT_EQ(counters.windows, 400u);
+  EXPECT_GT(counters.probes_up, 0u);
+  EXPECT_GT(counters.probes_down, 0u);
+  EXPECT_GT(counters.accepted_up, 0u);
+  EXPECT_GT(counters.reverted, 0u);
+  // Once settled, the level must stay pinned near the knee.
+  for (int i = 0; i < 100; ++i) {
+    probe.on_window(curve(probe.concurrency()));
+    EXPECT_GE(probe.concurrency(), 3);
+    EXPECT_LE(probe.concurrency(), 6);
+  }
+}
+
+TEST(ThroughputProbe, ClimbsAMonotoneCurveToTheCap) {
+  ProbeOptions options = fast_options();
+  options.max_concurrency = 16;
+  ThroughputProbe probe(options, 1);
+  drive(probe, 200, [](int c) { return 10.0 * c; });
+  EXPECT_EQ(probe.stable_concurrency(), 16);
+  EXPECT_GT(probe.counters().accepted_up, 0u);
+}
+
+TEST(ThroughputProbe, ShedsConcurrencyWhenThroughputHolds) {
+  // Start far above a low knee: the flat curve means every down-probe
+  // keeps its throughput, so shedding is accepted all the way down to
+  // where throughput would actually drop.
+  ThroughputProbe probe(fast_options(), 24);
+  drive(probe, 300, [](int c) { return 10.0 * std::min(c, 2); });
+  EXPECT_GE(probe.stable_concurrency(), 1);
+  EXPECT_LE(probe.stable_concurrency(), 3);
+  EXPECT_GT(probe.counters().accepted_down, 0u);
+}
+
+TEST(ThroughputProbe, DegenerateRangeNeverProbes) {
+  ProbeOptions options = fast_options();
+  options.min_concurrency = 3;
+  options.max_concurrency = 3;
+  ThroughputProbe probe(options, 3);
+  for (int i = 0; i < 50; ++i) {
+    const ProbeDecision decision = probe.on_window(100.0);
+    EXPECT_EQ(decision.concurrency, 3);
+    EXPECT_EQ(decision.state, ProbeState::kStable);
+  }
+  EXPECT_EQ(probe.counters().probes_up, 0u);
+  EXPECT_EQ(probe.counters().probes_down, 0u);
+}
+
+TEST(ThroughputProbe, DecisionsStayInRangeUnderNoise) {
+  // Whatever garbage the windows report — spikes, zeros, negatives —
+  // every decision must stay inside [min, max] and mirror concurrency().
+  ProbeOptions options = fast_options();
+  options.min_concurrency = 2;
+  options.max_concurrency = 12;
+  ThroughputProbe probe(options, 6);
+  util::Xoshiro256 rng(42);
+  for (int i = 0; i < 2000; ++i) {
+    const double qps = (rng.uniform() - 0.1) * 1000.0;  // sometimes < 0
+    const ProbeDecision decision = probe.on_window(qps);
+    EXPECT_GE(decision.concurrency, 2);
+    EXPECT_LE(decision.concurrency, 12);
+    EXPECT_EQ(decision.concurrency, probe.concurrency());
+    EXPECT_EQ(decision.state, probe.state());
+  }
+  EXPECT_EQ(probe.counters().windows, 2000u);
+}
+
+TEST(ThroughputProbe, BackoffHoldsTheStableLevelBetweenProbeRounds) {
+  ProbeOptions options = fast_options();
+  options.stable_backoff = 4;
+  ThroughputProbe probe(options, 4);
+  // Seed the EWMA, then fail an up-probe and a down-probe: the
+  // controller must sit stable for the full backoff before re-probing.
+  auto curve = [](int c) { return c == 4 ? 100.0 : 1.0; };
+  drive(probe, 3, curve);  // seed + failed up + failed down
+  ASSERT_EQ(probe.state(), ProbeState::kStable);
+  for (int i = 0; i < options.stable_backoff; ++i) {
+    const ProbeDecision decision = probe.on_window(100.0);
+    EXPECT_EQ(decision.state, ProbeState::kStable) << "window " << i;
+    EXPECT_EQ(decision.concurrency, 4);
+  }
+  // Backoff spent: the very next window starts a new probe.
+  EXPECT_NE(probe.on_window(100.0).state, ProbeState::kStable);
+}
+
+TEST(ThroughputProbe, StateNamesAreStable) {
+  EXPECT_EQ(probe_state_name(ProbeState::kStable), "stable");
+  EXPECT_EQ(probe_state_name(ProbeState::kProbingUp), "probing-up");
+  EXPECT_EQ(probe_state_name(ProbeState::kProbingDown), "probing-down");
+}
+
+}  // namespace
+}  // namespace mergescale::serve

@@ -1,0 +1,197 @@
+#include "serve/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace mergescale::serve {
+namespace {
+
+std::optional<Query> parse(const std::string& line, std::string* error) {
+  error->clear();
+  return parse_query(line, error);
+}
+
+TEST(Protocol, ParsesTheSimpleCommands) {
+  std::string error;
+  auto best = parse("best", &error);
+  ASSERT_TRUE(best.has_value()) << error;
+  EXPECT_EQ(best->kind, QueryKind::kBest);
+
+  auto stats = parse("stats", &error);
+  ASSERT_TRUE(stats.has_value()) << error;
+  EXPECT_EQ(stats->kind, QueryKind::kStats);
+
+  auto quit = parse("quit", &error);
+  ASSERT_TRUE(quit.has_value()) << error;
+  EXPECT_EQ(quit->kind, QueryKind::kQuit);
+}
+
+TEST(Protocol, ParsesTopkAndPareto) {
+  std::string error;
+  auto topk = parse("topk 7", &error);
+  ASSERT_TRUE(topk.has_value()) << error;
+  EXPECT_EQ(topk->kind, QueryKind::kTopK);
+  EXPECT_EQ(topk->k, 7u);
+
+  auto area = parse("pareto area", &error);
+  ASSERT_TRUE(area.has_value()) << error;
+  EXPECT_EQ(area->metric, explore::CostMetric::kCoreArea);
+  auto cores = parse("pareto cores", &error);
+  ASSERT_TRUE(cores.has_value()) << error;
+  EXPECT_EQ(cores->metric, explore::CostMetric::kCoreCount);
+}
+
+TEST(Protocol, ParsesEvalKeyValueTokens) {
+  std::string error;
+  auto query = parse(
+      "eval variant=asymmetric-comm n=256 app=kmeans growth=linear r=4 "
+      "rl=16 topology=mesh",
+      &error);
+  ASSERT_TRUE(query.has_value()) << error;
+  EXPECT_EQ(query->kind, QueryKind::kEval);
+  EXPECT_EQ(query->variant, "asymmetric-comm");
+  EXPECT_DOUBLE_EQ(query->n, 256.0);
+  EXPECT_EQ(query->app, "kmeans");
+  EXPECT_EQ(query->growth, "linear");
+  EXPECT_DOUBLE_EQ(query->r, 4.0);
+  EXPECT_DOUBLE_EQ(query->rl, 16.0);
+  EXPECT_EQ(query->topology, "mesh");
+}
+
+TEST(Protocol, EvalTokensAreOrderFreeAndRlOptional) {
+  std::string error;
+  auto query =
+      parse("eval r=1 growth=log app=hop n=64 variant=symmetric", &error);
+  ASSERT_TRUE(query.has_value()) << error;
+  EXPECT_DOUBLE_EQ(query->rl, 0.0);
+  EXPECT_EQ(query->topology, "-");
+}
+
+TEST(Protocol, TolneratesWhitespaceAndCrlf) {
+  std::string error;
+  EXPECT_TRUE(parse("  best  ", &error).has_value()) << error;
+  EXPECT_TRUE(parse("topk\t3", &error).has_value()) << error;
+  EXPECT_TRUE(parse("best\r", &error).has_value()) << error;
+}
+
+TEST(Protocol, RejectsMalformedRequests) {
+  std::string error;
+  // Every reject must produce a non-empty error and no query.
+  const char* malformed[] = {
+      "",
+      "   ",
+      "bogus",
+      "best now",
+      "topk",
+      "topk 0",
+      "topk -3",
+      "topk 2.5",
+      "topk 1001",
+      "topk many",
+      "pareto",
+      "pareto speed",
+      "pareto area cores",
+      "eval",
+      "eval variant=asymmetric",
+      "eval n=256 app=kmeans growth=linear r=4",     // no variant
+      "eval variant=x n=nope app=kmeans growth=linear r=4",
+      "eval variant=x n=256 app=kmeans growth=linear r=4 r=5",  // repeat
+      "eval variant=x n=256 app=kmeans growth=linear r=4 color=red",
+      "eval variant=x n=-2 app=kmeans growth=linear r=4",
+      "eval variant=x n=256 app=kmeans growth=linear r=0",
+      "eval variant= n=256 app=kmeans growth=linear r=4",
+      "eval =bad n=256 app=kmeans growth=linear r=4",
+      "quit now",
+  };
+  for (const char* line : malformed) {
+    const auto query = parse(line, &error);
+    EXPECT_FALSE(query.has_value()) << "accepted: '" << line << "'";
+    EXPECT_FALSE(error.empty()) << "no error for: '" << line << "'";
+  }
+}
+
+TEST(Protocol, RejectsOversizedLines) {
+  std::string error;
+  const std::string huge = "topk " + std::string(kMaxLineBytes, '9');
+  EXPECT_FALSE(parse(huge, &error).has_value());
+  EXPECT_NE(error.find("exceeds"), std::string::npos) << error;
+}
+
+TEST(Protocol, EmbeddedNulAndBinaryGarbageAreRejectedNotFatal) {
+  std::string error;
+  std::string nul = "topk 1";
+  nul += '\0';
+  nul += "2";
+  EXPECT_FALSE(parse(nul, &error).has_value());
+  std::string binary = "eval variant=";
+  for (int i = 0; i < 64; ++i) binary += static_cast<char>(i * 7 + 1);
+  (void)parse(binary, &error);  // must simply not crash
+}
+
+TEST(Protocol, FuzzedLinesNeverCrashAndAlwaysExplain) {
+  // Randomized bytes (printable-skewed so tokens form occasionally):
+  // whatever comes in, parse_query must return either a valid query or
+  // an error string — never throw, never crash.
+  util::Xoshiro256 rng(20260808u);
+  const std::string alphabet =
+      " \t=.-abcdefghijklmnopqrstuvwxyz0123456789\r\x01\x7f\xff";
+  for (int round = 0; round < 5000; ++round) {
+    const std::size_t length = rng.bounded(120);
+    std::string line;
+    line.reserve(length);
+    for (std::size_t i = 0; i < length; ++i) {
+      line += alphabet[rng.bounded(alphabet.size())];
+    }
+    std::string error;
+    const auto query = parse_query(line, &error);
+    if (!query) {
+      EXPECT_FALSE(error.empty()) << "silent reject of: '" << line << "'";
+    }
+  }
+  // Fuzz around real commands too, mutating one byte at a time.
+  const std::string seeds[] = {
+      "best", "topk 5", "pareto area",
+      "eval variant=asymmetric n=256 app=kmeans growth=linear r=4 rl=16",
+      "stats", "quit"};
+  for (const std::string& seed : seeds) {
+    for (int round = 0; round < 500; ++round) {
+      std::string line = seed;
+      line[rng.bounded(line.size())] =
+          alphabet[rng.bounded(alphabet.size())];
+      std::string error;
+      (void)parse_query(line, &error);
+    }
+  }
+}
+
+TEST(Protocol, ErrReplyIsAlwaysOneBoundedLine) {
+  const std::string embedded = "bad\nthings\r\0happened";
+  const std::string reply =
+      err_reply(std::string(embedded.data(), embedded.size()));
+  EXPECT_EQ(reply.rfind("ERR ", 0), 0u);
+  EXPECT_EQ(reply.back(), '\n');
+  // Exactly one newline: the terminator.
+  EXPECT_EQ(reply.find('\n'), reply.size() - 1);
+  EXPECT_EQ(reply.find('\r'), std::string::npos);
+  EXPECT_EQ(reply.find('\0'), std::string::npos);
+
+  const std::string huge(10000, 'x');
+  const std::string truncated = err_reply(huge);
+  EXPECT_LT(truncated.size(), 500u);
+  EXPECT_NE(truncated.find("..."), std::string::npos);
+}
+
+TEST(Protocol, FramingHelpers) {
+  EXPECT_EQ(ok_header(QueryKind::kTopK, 7), "OK topk lines=7\n");
+  EXPECT_EQ(count_lines(""), 0u);
+  EXPECT_EQ(count_lines("one\n"), 1u);
+  EXPECT_EQ(count_lines("one\ntwo\n"), 2u);
+  EXPECT_EQ(count_lines("unterminated"), 1u);
+}
+
+}  // namespace
+}  // namespace mergescale::serve

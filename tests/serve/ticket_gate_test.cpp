@@ -1,0 +1,132 @@
+#include "serve/ticket_gate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+namespace mergescale::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// Runs acquire() on its own thread and exposes the result as a future,
+/// so a test can assert both "still blocked" and "now admitted".
+std::future<bool> async_acquire(TicketGate& gate) {
+  return std::async(std::launch::async, [&gate] { return gate.acquire(); });
+}
+
+TEST(TicketGate, LimitClampsToAtLeastOne) {
+  TicketGate zero(0);
+  EXPECT_EQ(zero.limit(), 1);
+  TicketGate negative(-7);
+  EXPECT_EQ(negative.limit(), 1);
+  negative.set_limit(-1);
+  EXPECT_EQ(negative.limit(), 1);
+}
+
+TEST(TicketGate, AcquireReleaseTracksInUse) {
+  TicketGate gate(2);
+  EXPECT_EQ(gate.in_use(), 0);
+  ASSERT_TRUE(gate.acquire());
+  ASSERT_TRUE(gate.acquire());
+  EXPECT_EQ(gate.in_use(), 2);
+  gate.release();
+  EXPECT_EQ(gate.in_use(), 1);
+  gate.release();
+  EXPECT_EQ(gate.in_use(), 0);
+}
+
+TEST(TicketGate, BlocksAtLimitUntilRelease) {
+  TicketGate gate(1);
+  ASSERT_TRUE(gate.acquire());
+  auto waiter = async_acquire(gate);
+  EXPECT_EQ(waiter.wait_for(100ms), std::future_status::timeout)
+      << "second acquire ran through a full gate";
+  gate.release();
+  ASSERT_EQ(waiter.wait_for(5s), std::future_status::ready);
+  EXPECT_TRUE(waiter.get());
+  gate.release();
+  EXPECT_EQ(gate.in_use(), 0);
+}
+
+TEST(TicketGate, RaisingTheLimitAdmitsWaiters) {
+  TicketGate gate(1);
+  ASSERT_TRUE(gate.acquire());
+  auto first = async_acquire(gate);
+  auto second = async_acquire(gate);
+  EXPECT_EQ(first.wait_for(50ms), std::future_status::timeout);
+  gate.set_limit(3);
+  ASSERT_EQ(first.wait_for(5s), std::future_status::ready);
+  ASSERT_EQ(second.wait_for(5s), std::future_status::ready);
+  EXPECT_TRUE(first.get());
+  EXPECT_TRUE(second.get());
+  EXPECT_EQ(gate.in_use(), 3);
+}
+
+TEST(TicketGate, LoweringTheLimitNeverInterruptsHolders) {
+  TicketGate gate(2);
+  ASSERT_TRUE(gate.acquire());
+  ASSERT_TRUE(gate.acquire());
+  gate.set_limit(1);
+  // In-flight tickets stay held; in_use may exceed the new limit until
+  // they drain.
+  EXPECT_EQ(gate.limit(), 1);
+  EXPECT_EQ(gate.in_use(), 2);
+  gate.release();
+  auto waiter = async_acquire(gate);
+  EXPECT_EQ(waiter.wait_for(100ms), std::future_status::timeout)
+      << "acquire admitted above the lowered limit";
+  gate.release();
+  ASSERT_EQ(waiter.wait_for(5s), std::future_status::ready);
+  EXPECT_TRUE(waiter.get());
+}
+
+TEST(TicketGate, CloseReleasesEveryWaiterWithFailure) {
+  TicketGate gate(1);
+  ASSERT_TRUE(gate.acquire());
+  std::vector<std::future<bool>> waiters;
+  for (int i = 0; i < 4; ++i) waiters.push_back(async_acquire(gate));
+  std::this_thread::sleep_for(50ms);
+  gate.close();
+  for (auto& waiter : waiters) {
+    ASSERT_EQ(waiter.wait_for(5s), std::future_status::ready);
+    EXPECT_FALSE(waiter.get());
+  }
+  // The gate never hands out a ticket again.
+  EXPECT_FALSE(gate.acquire());
+}
+
+TEST(TicketGate, ManyThreadsNeverExceedTheLimit) {
+  constexpr int kLimit = 3;
+  TicketGate gate(kLimit);
+  std::atomic<int> concurrent{0};
+  std::atomic<int> peak{0};
+  std::atomic<int> admitted{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < 50; ++round) {
+        if (!gate.acquire()) return;
+        const int now = concurrent.fetch_add(1) + 1;
+        int expected = peak.load();
+        while (now > expected && !peak.compare_exchange_weak(expected, now)) {
+        }
+        admitted.fetch_add(1);
+        std::this_thread::yield();
+        concurrent.fetch_sub(1);
+        gate.release();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(admitted.load(), 8 * 50);
+  EXPECT_LE(peak.load(), kLimit);
+  EXPECT_EQ(gate.in_use(), 0);
+}
+
+}  // namespace
+}  // namespace mergescale::serve

@@ -61,11 +61,29 @@ TEST(Cli, FlagForms) {
   }
 }
 
-TEST(Cli, UnknownOptionThrows) {
+TEST(Cli, UnknownOptionThrowsWithUsage) {
   Cli cli = make_cli();
   auto argv = argv_of({"--nope", "1"});
-  EXPECT_THROW(cli.parse(static_cast<int>(argv.size()), argv.data()),
-               std::out_of_range);
+  try {
+    cli.parse(static_cast<int>(argv.size()), argv.data());
+    FAIL() << "unknown option accepted";
+  } catch (const std::invalid_argument& e) {
+    // The message is what main()'s catch-all prints: it must name the
+    // bad option AND carry the usage text, so a typo'd sweep flag is
+    // self-diagnosing.
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown option --nope"), std::string::npos) << what;
+    EXPECT_NE(what.find("Options:"), std::string::npos) << what;
+    EXPECT_NE(what.find("--count"), std::string::npos) << what;
+    EXPECT_NE(what.find("--help"), std::string::npos) << what;
+  }
+}
+
+TEST(Cli, UnregisteredAccessorStillThrowsOutOfRange) {
+  Cli cli = make_cli();
+  auto argv = argv_of({});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_THROW(cli.get_string("nope"), std::out_of_range);
 }
 
 TEST(Cli, MissingValueThrows) {
