@@ -57,14 +57,18 @@ int main(int argc, char** argv) {
         true, panel.high_constant, panel.high_overhead);
     const core::AppParams non = core::presets::application_class(
         false, panel.high_constant, panel.high_overhead);
-    const auto emb_lin = core::sweep_symmetric(
-        chip, emb, core::GrowthFunction::linear(), sizes);
-    const auto emb_log = core::sweep_symmetric(
-        chip, emb, core::GrowthFunction::logarithmic(), sizes);
-    const auto non_lin = core::sweep_symmetric(
-        chip, non, core::GrowthFunction::linear(), sizes);
-    const auto non_log = core::sweep_symmetric(
-        chip, non, core::GrowthFunction::logarithmic(), sizes);
+    const auto symmetric_sweep = [&](const core::AppParams& app,
+                                     const core::GrowthFunction& growth) {
+      return core::evaluate_sweep(
+          core::EvalRequest{core::ModelVariant::kSymmetric, chip, app, growth},
+          sizes);
+    };
+    const auto emb_lin = symmetric_sweep(emb, core::GrowthFunction::linear());
+    const auto emb_log =
+        symmetric_sweep(emb, core::GrowthFunction::logarithmic());
+    const auto non_lin = symmetric_sweep(non, core::GrowthFunction::linear());
+    const auto non_log =
+        symmetric_sweep(non, core::GrowthFunction::logarithmic());
     for (std::size_t i = 0; i < sizes.size(); ++i) {
       table.new_row()
           .num(static_cast<long long>(sizes[i]))

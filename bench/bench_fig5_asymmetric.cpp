@@ -52,7 +52,10 @@ int main(int argc, char** argv) {
     util::Table table({"rl", "r=1", "r=4", "r=16"});
     std::vector<std::vector<core::DesignPoint>> sweeps;
     for (double r : {1.0, 4.0, 16.0}) {
-      sweeps.push_back(core::sweep_asymmetric(chip, app, linear, sizes, r));
+      core::EvalRequest request{core::ModelVariant::kAsymmetric, chip, app,
+                                linear};
+      request.r = r;
+      sweeps.push_back(core::evaluate_sweep(request, sizes));
     }
     for (double rl : sizes) {
       table.new_row().num(static_cast<long long>(rl));

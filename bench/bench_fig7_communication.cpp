@@ -34,12 +34,16 @@ int main(int argc, char** argv) {
   // Fig. 7(a): symmetric, with the compute-growth ablation as columns.
   util::Table fig7a(
       {"r", "cores", "parallel merge", "log merge", "linear merge"});
-  const auto sym_par = core::sweep_symmetric_comm(
-      chip, app, core::GrowthFunction::parallel(), mesh, sizes);
-  const auto sym_log = core::sweep_symmetric_comm(
-      chip, app, core::GrowthFunction::logarithmic(), mesh, sizes);
-  const auto sym_lin = core::sweep_symmetric_comm(
-      chip, app, core::GrowthFunction::linear(), mesh, sizes);
+  const auto symmetric_comm_sweep = [&](const core::GrowthFunction& grow) {
+    return core::evaluate_sweep(
+        core::make_comm_request(core::ModelVariant::kSymmetricComm, chip, app,
+                                grow, mesh),
+        sizes);
+  };
+  const auto sym_par = symmetric_comm_sweep(core::GrowthFunction::parallel());
+  const auto sym_log =
+      symmetric_comm_sweep(core::GrowthFunction::logarithmic());
+  const auto sym_lin = symmetric_comm_sweep(core::GrowthFunction::linear());
   for (std::size_t i = 0; i < sizes.size(); ++i) {
     fig7a.new_row()
         .num(static_cast<long long>(sizes[i]))
@@ -65,8 +69,11 @@ int main(int argc, char** argv) {
   util::Table fig7b({"rl", "r=1", "r=4", "r=16"});
   std::vector<std::vector<core::DesignPoint>> sweeps;
   for (double r : {1.0, 4.0, 16.0}) {
-    sweeps.push_back(core::sweep_asymmetric_comm(
-        chip, app, core::GrowthFunction::parallel(), mesh, sizes, r));
+    core::EvalRequest request =
+        core::make_comm_request(core::ModelVariant::kAsymmetricComm, chip, app,
+                                core::GrowthFunction::parallel(), mesh);
+    request.r = r;
+    sweeps.push_back(core::evaluate_sweep(request, sizes));
   }
   for (double rl : sizes) {
     fig7b.new_row().num(static_cast<long long>(rl));

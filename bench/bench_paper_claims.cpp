@@ -45,11 +45,11 @@ int main() {
   row("Fig 5(h) ACMP r=1 peak (rl=128)", 22.6,
       speedup_asymmetric(chip, presets::application_class(false, false, true),
                          linear, 128, 1));
+  EvalRequest fig5h{ModelVariant::kAsymmetric, chip,
+                    presets::application_class(false, false, true), linear};
+  fig5h.r = 4;
   row("Fig 5(h) ACMP r=4 peak (rl=128)", 43.3,
-      best_point(sweep_asymmetric(
-                     chip, presets::application_class(false, false, true),
-                     linear, sizes, 4))
-          .speedup);
+      best_point(evaluate_sweep(fig5h, sizes)).speedup);
 
   double best_hm_sym = 0.0;
   for (double r : sizes) {
@@ -66,15 +66,18 @@ int main() {
 
   const CommAppParams comm_app{"fig7", 0.99, 0.60, 0.5};
   row("Fig 7(a) comm-model CMP peak (r=8)", 46.6,
-      best_point(sweep_symmetric_comm(chip, comm_app,
-                                      GrowthFunction::parallel(),
-                                      mesh_comm_growth(), sizes))
+      best_point(evaluate_sweep(
+                     make_comm_request(ModelVariant::kSymmetricComm, chip,
+                                       comm_app, GrowthFunction::parallel(),
+                                       mesh_comm_growth()),
+                     sizes))
           .speedup);
+  EvalRequest fig7b =
+      make_comm_request(ModelVariant::kAsymmetricComm, chip, comm_app,
+                        GrowthFunction::parallel(), mesh_comm_growth());
+  fig7b.r = 4;
   row("Fig 7(b) comm-model ACMP peak (rl=32, r=4)", 51.6,
-      best_point(sweep_asymmetric_comm(chip, comm_app,
-                                       GrowthFunction::parallel(),
-                                       mesh_comm_growth(), sizes, 4))
-          .speedup);
+      best_point(evaluate_sweep(fig7b, sizes)).speedup);
 
   table.print(std::cout, "paper-vs-model regression ledger");
   return 0;

@@ -37,8 +37,10 @@ int main(int argc, char** argv) {
                      "crossbar"});
   std::vector<std::vector<core::DesignPoint>> sweeps;
   for (noc::Topology t : topologies) {
-    sweeps.push_back(core::sweep_symmetric_comm(
-        chip, app, no_compute_growth, core::comm_growth(t), sizes));
+    sweeps.push_back(core::evaluate_sweep(
+        core::make_comm_request(core::ModelVariant::kSymmetricComm, chip, app,
+                                no_compute_growth, core::comm_growth(t)),
+        sizes));
   }
   for (std::size_t i = 0; i < sizes.size(); ++i) {
     table.new_row()

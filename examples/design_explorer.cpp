@@ -60,9 +60,12 @@ int main(int argc, char** argv) {
 
   // Symmetric sweep.
   util::Table sym({"r", "cores", "speedup"});
-  const auto sym_points =
-      comm ? core::sweep_symmetric_comm(chip, comm_app, growth, mesh, sizes)
-           : core::sweep_symmetric(chip, app, growth, sizes);
+  const auto sym_points = core::evaluate_sweep(
+      comm ? core::make_comm_request(core::ModelVariant::kSymmetricComm, chip,
+                                     comm_app, growth, mesh)
+           : core::EvalRequest{core::ModelVariant::kSymmetric, chip, app,
+                               growth},
+      sizes);
   for (const auto& p : sym_points) {
     sym.new_row()
         .num(static_cast<long long>(p.r))
@@ -78,10 +81,13 @@ int main(int argc, char** argv) {
   // Asymmetric sweeps at three small-core sizes (the paper's r = 1/4/16).
   for (double r : {1.0, 4.0, 16.0}) {
     util::Table asym({"rl", "small cores", "speedup"});
-    const auto points =
-        comm ? core::sweep_asymmetric_comm(chip, comm_app, growth, mesh,
-                                           sizes, r)
-             : core::sweep_asymmetric(chip, app, growth, sizes, r);
+    core::EvalRequest request =
+        comm ? core::make_comm_request(core::ModelVariant::kAsymmetricComm,
+                                       chip, comm_app, growth, mesh)
+             : core::EvalRequest{core::ModelVariant::kAsymmetric, chip, app,
+                                 growth};
+    request.r = r;
+    const auto points = core::evaluate_sweep(request, sizes);
     for (const auto& p : points) {
       asym.new_row()
           .num(static_cast<long long>(p.rl))

@@ -7,15 +7,6 @@
 
 namespace mergescale::core {
 
-namespace {
-
-/// Small cores of r BCEs do not fit next to an rl-BCE large core.
-bool asymmetric_infeasible(const ChipConfig& chip, double rl, double r) {
-  return rl < chip.n && r > chip.n - rl;
-}
-
-}  // namespace
-
 std::string_view model_variant_name(ModelVariant variant) noexcept {
   switch (variant) {
     case ModelVariant::kSymmetric: return "symmetric";
@@ -45,7 +36,7 @@ bool is_asymmetric_variant(ModelVariant variant) noexcept {
          variant == ModelVariant::kAsymmetricComm;
 }
 
-std::optional<DesignPoint> evaluate(const EvalRequest& request) {
+std::optional<DesignPoint> evaluate_reference(const EvalRequest& request) {
   const ChipConfig& chip = request.chip;
   if (is_asymmetric_variant(request.variant) &&
       asymmetric_infeasible(chip, request.rl, request.r)) {
@@ -80,6 +71,35 @@ std::optional<DesignPoint> evaluate(const EvalRequest& request) {
   throw std::invalid_argument("unknown model variant");
 }
 
+std::vector<DesignPoint> evaluate_sweep(const EvalRequest& base,
+                                        std::span<const double> sizes) {
+  std::vector<EvalRequest> requests(sizes.size(), base);
+  const bool asym = is_asymmetric_variant(base.variant);
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    (asym ? requests[i].rl : requests[i].r) = sizes[i];
+  }
+  std::vector<std::optional<DesignPoint>> results(requests.size());
+  evaluate_batch(requests, results);
+  std::vector<DesignPoint> points;
+  points.reserve(results.size());
+  for (const auto& point : results) {
+    if (point) points.push_back(*point);
+  }
+  return points;
+}
+
+EvalRequest make_comm_request(ModelVariant variant, const ChipConfig& chip,
+                              const CommAppParams& app,
+                              const GrowthFunction& grow_comp,
+                              const GrowthFunction& grow_comm) {
+  return EvalRequest{variant,
+                     chip,
+                     AppParams{app.name, app.f, app.fcon, 0.0},
+                     grow_comp,
+                     grow_comm,
+                     app.comp_share};
+}
+
 std::vector<double> power_of_two_sizes(double n) {
   MS_CHECK(n >= 1.0, "chip budget must be at least one BCE");
   std::vector<double> sizes;
@@ -91,14 +111,9 @@ std::vector<DesignPoint> sweep_symmetric(const ChipConfig& chip,
                                          const AppParams& app,
                                          const GrowthFunction& growth,
                                          const std::vector<double>& sizes) {
-  EvalRequest request{ModelVariant::kSymmetric, chip, app, growth};
-  std::vector<DesignPoint> points;
-  points.reserve(sizes.size());
-  for (double r : sizes) {
-    request.r = r;
-    points.push_back(*evaluate(request));
-  }
-  return points;
+  return evaluate_sweep(EvalRequest{ModelVariant::kSymmetric, chip, app,
+                                    growth},
+                        sizes);
 }
 
 std::vector<DesignPoint> sweep_asymmetric(const ChipConfig& chip,
@@ -108,13 +123,7 @@ std::vector<DesignPoint> sweep_asymmetric(const ChipConfig& chip,
                                           double r) {
   EvalRequest request{ModelVariant::kAsymmetric, chip, app, growth};
   request.r = r;
-  std::vector<DesignPoint> points;
-  points.reserve(sizes.size());
-  for (double rl : sizes) {
-    request.rl = rl;
-    if (auto point = evaluate(request)) points.push_back(*point);
-  }
-  return points;
+  return evaluate_sweep(request, sizes);
 }
 
 DesignPoint best_point(const std::vector<DesignPoint>& sweep) {
@@ -134,16 +143,18 @@ std::optional<DesignPoint> try_best_point(
 DesignPoint optimal_symmetric(const ChipConfig& chip, const AppParams& app,
                               const GrowthFunction& growth) {
   return best_point(
-      sweep_symmetric(chip, app, growth, power_of_two_sizes(chip.n)));
+      evaluate_sweep(EvalRequest{ModelVariant::kSymmetric, chip, app, growth},
+                     power_of_two_sizes(chip.n)));
 }
 
 DesignPoint optimal_asymmetric(const ChipConfig& chip, const AppParams& app,
                                const GrowthFunction& growth) {
+  EvalRequest request{ModelVariant::kAsymmetric, chip, app, growth};
+  const std::vector<double> sizes = power_of_two_sizes(chip.n);
   DesignPoint best{1.0, 1.0, 0.0};
-  for (double r : power_of_two_sizes(chip.n)) {
-    auto sweep =
-        sweep_asymmetric(chip, app, growth, power_of_two_sizes(chip.n), r);
-    if (auto candidate = try_best_point(sweep);
+  for (double r : sizes) {
+    request.r = r;
+    if (auto candidate = try_best_point(evaluate_sweep(request, sizes));
         candidate && candidate->speedup > best.speedup) {
       best = *candidate;
     }
@@ -155,39 +166,19 @@ std::vector<DesignPoint> sweep_symmetric_comm(
     const ChipConfig& chip, const CommAppParams& app,
     const GrowthFunction& grow_comp, const GrowthFunction& grow_comm,
     const std::vector<double>& sizes) {
-  EvalRequest request{ModelVariant::kSymmetricComm,
-                      chip,
-                      AppParams{app.name, app.f, app.fcon, 0.0},
-                      grow_comp,
-                      grow_comm,
-                      app.comp_share};
-  std::vector<DesignPoint> points;
-  points.reserve(sizes.size());
-  for (double r : sizes) {
-    request.r = r;
-    points.push_back(*evaluate(request));
-  }
-  return points;
+  return evaluate_sweep(make_comm_request(ModelVariant::kSymmetricComm, chip,
+                                          app, grow_comp, grow_comm),
+                        sizes);
 }
 
 std::vector<DesignPoint> sweep_asymmetric_comm(
     const ChipConfig& chip, const CommAppParams& app,
     const GrowthFunction& grow_comp, const GrowthFunction& grow_comm,
     const std::vector<double>& sizes, double r) {
-  EvalRequest request{ModelVariant::kAsymmetricComm,
-                      chip,
-                      AppParams{app.name, app.f, app.fcon, 0.0},
-                      grow_comp,
-                      grow_comm,
-                      app.comp_share};
+  EvalRequest request = make_comm_request(ModelVariant::kAsymmetricComm, chip,
+                                          app, grow_comp, grow_comm);
   request.r = r;
-  std::vector<DesignPoint> points;
-  points.reserve(sizes.size());
-  for (double rl : sizes) {
-    request.rl = rl;
-    if (auto point = evaluate(request)) points.push_back(*point);
-  }
-  return points;
+  return evaluate_sweep(request, sizes);
 }
 
 }  // namespace mergescale::core

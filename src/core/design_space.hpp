@@ -6,6 +6,7 @@
 
 #include <functional>
 #include <optional>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -60,17 +61,64 @@ struct EvalRequest {
   double rl = 0.0;          ///< large-core size, asymmetric variants only
 };
 
-/// Evaluates one design point.  Returns std::nullopt for *infeasible*
+/// True when r-BCE small cores do not fit next to an rl-BCE large core —
+/// the asymmetric models return no design point for such requests.
+inline bool asymmetric_infeasible(const ChipConfig& chip, double rl,
+                                  double r) noexcept {
+  return rl < chip.n && r > chip.n - rl;
+}
+
+/// Evaluates a batch of design points through the grouped SoA kernels of
+/// eval_batch.hpp — the repo's single evaluation path.  `results[i]`
+/// receives the outcome of `requests[i]`: std::nullopt for *infeasible*
 /// asymmetric points (the r-BCE small cores do not fit next to the large
-/// core); invalid parameters (r < 1, out-of-range fractions, ...) still
-/// throw std::invalid_argument.
-std::optional<DesignPoint> evaluate(const EvalRequest& request);
+/// core), a DesignPoint otherwise.  Invalid parameters (r < 1,
+/// out-of-range fractions, ...) throw std::invalid_argument for the
+/// first offending request in input order.  `results.size()` must equal
+/// `requests.size()`.  This overload manages its own per-thread scratch;
+/// hot callers pass an EvalBatch explicitly (see eval_batch.hpp).
+void evaluate_batch(std::span<const EvalRequest> requests,
+                    std::span<std::optional<DesignPoint>> results);
+
+/// Evaluates one design point: a one-element evaluate_batch.  Returns
+/// std::nullopt for infeasible asymmetric points; invalid parameters
+/// still throw std::invalid_argument.
+inline std::optional<DesignPoint> evaluate(const EvalRequest& request) {
+  std::optional<DesignPoint> result;
+  evaluate_batch(std::span<const EvalRequest>(&request, 1),
+                 std::span<std::optional<DesignPoint>>(&result, 1));
+  return result;
+}
+
+/// Scalar reference implementation of evaluate() — one request at a
+/// time through the plain model formulas, no grouping or planes.  The
+/// batch path is required to match it bit for bit (the equivalence
+/// property test and bench_eval_throughput's baseline both lean on it);
+/// production callers use evaluate / evaluate_batch.
+std::optional<DesignPoint> evaluate_reference(const EvalRequest& request);
+
+/// Evaluates `base` at each size in `sizes` through one evaluate_batch
+/// call and drops infeasible points.  The size plugs into rl for the
+/// asymmetric variants (small-core size fixed at base.r) and into r
+/// otherwise — the paper's Figs. 4/5/7 sweep shapes.
+std::vector<DesignPoint> evaluate_sweep(const EvalRequest& base,
+                                        std::span<const double> sizes);
+
+/// EvalRequest for a communication-model evaluation (Eqs. 6/7):
+/// re-folds the CommAppParams split into the AppParams + comp_share
+/// form EvalRequest carries.
+EvalRequest make_comm_request(ModelVariant variant, const ChipConfig& chip,
+                              const CommAppParams& app,
+                              const GrowthFunction& grow_comp,
+                              const GrowthFunction& grow_comm);
 
 /// The power-of-two core sizes 1, 2, 4, …, n used as the x-axis of the
 /// paper's Figs. 4/5/7.
 std::vector<double> power_of_two_sizes(double n);
 
 /// Evaluates Eq. 4 for each r in `sizes` (paper Fig. 4 series).
+[[deprecated("legacy sweep entry point; build an EvalRequest and call "
+             "evaluate_sweep / evaluate_batch")]]
 std::vector<DesignPoint> sweep_symmetric(const ChipConfig& chip,
                                          const AppParams& app,
                                          const GrowthFunction& growth,
@@ -79,6 +127,8 @@ std::vector<DesignPoint> sweep_symmetric(const ChipConfig& chip,
 /// Evaluates Eq. 5 for each rl in `sizes` at fixed small-core size r
 /// (paper Fig. 5 series; points where small cores no longer fit are
 /// skipped).
+[[deprecated("legacy sweep entry point; build an EvalRequest and call "
+             "evaluate_sweep / evaluate_batch")]]
 std::vector<DesignPoint> sweep_asymmetric(const ChipConfig& chip,
                                           const AppParams& app,
                                           const GrowthFunction& growth,
@@ -110,12 +160,16 @@ DesignPoint optimal_asymmetric(const ChipConfig& chip, const AppParams& app,
                                const GrowthFunction& growth);
 
 /// Symmetric sweep under the communication model (Fig. 7(a)).
+[[deprecated("legacy sweep entry point; use make_comm_request + "
+             "evaluate_sweep / evaluate_batch")]]
 std::vector<DesignPoint> sweep_symmetric_comm(
     const ChipConfig& chip, const CommAppParams& app,
     const GrowthFunction& grow_comp, const GrowthFunction& grow_comm,
     const std::vector<double>& sizes);
 
 /// Asymmetric sweep under the communication model (Fig. 7(b)).
+[[deprecated("legacy sweep entry point; use make_comm_request + "
+             "evaluate_sweep / evaluate_batch")]]
 std::vector<DesignPoint> sweep_asymmetric_comm(
     const ChipConfig& chip, const CommAppParams& app,
     const GrowthFunction& grow_comp, const GrowthFunction& grow_comm,

@@ -1,0 +1,419 @@
+#include "core/eval_batch.hpp"
+
+#include "core/comm_model.hpp"
+#include "util/check.hpp"
+
+namespace mergescale::core {
+
+namespace {
+
+// The plane kernels below replicate reduction_model.cpp /
+// comm_model.cpp operation for operation (same associativity, same
+// parenthesization) — that, plus ms_core's -ffp-contract=off, is what
+// makes batch results bit-identical to evaluate_reference.  __restrict
+// spares the compiler runtime alias checks between the planes.
+
+void kernel_symmetric(const double* __restrict n, const double* __restrict f,
+                      const double* __restrict fcon,
+                      const double* __restrict fored,
+                      const double* __restrict r,
+                      const double* __restrict perf_r,
+                      const double* __restrict growth,
+                      double* __restrict speedup, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const double s = 1.0 - f[i];
+    const double serial_time =
+        s * (fcon[i] + (1.0 - fcon[i]) * (1.0 + fored[i] * growth[i]));
+    const double serial_term = serial_time / perf_r[i];
+    const double parallel_term = f[i] * r[i] / (perf_r[i] * n[i]);
+    speedup[i] = 1.0 / (serial_term + parallel_term);
+  }
+}
+
+void kernel_asymmetric(const double* __restrict n, const double* __restrict f,
+                       const double* __restrict fcon,
+                       const double* __restrict fored,
+                       const double* __restrict r,
+                       const double* __restrict rl,
+                       const double* __restrict perf_r,
+                       const double* __restrict perf_rl,
+                       const double* __restrict growth,
+                       double* __restrict speedup, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const double s = 1.0 - f[i];
+    const double serial_time =
+        s * (fcon[i] + (1.0 - fcon[i]) * (1.0 + fored[i] * growth[i]));
+    const double serial_term = serial_time / perf_rl[i];
+    const double small_cores = (n[i] - rl[i]) / r[i];
+    const double parallel_perf = perf_r[i] * small_cores + perf_rl[i];
+    const double parallel_term = f[i] / parallel_perf;
+    speedup[i] = 1.0 / (serial_term + parallel_term);
+  }
+}
+
+void kernel_symmetric_comm(
+    const double* __restrict n, const double* __restrict f,
+    const double* __restrict fcon, const double* __restrict comp_share,
+    const double* __restrict r, const double* __restrict perf_r,
+    const double* __restrict g_comp, const double* __restrict g_comm,
+    double* __restrict speedup, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const double s = 1.0 - f[i];
+    const double fcomp = (1.0 - fcon[i]) * comp_share[i];
+    const double fcomm = (1.0 - fcon[i]) * (1.0 - comp_share[i]);
+    const double compute =
+        s * (fcon[i] + fcomp * (1.0 + g_comp[i])) / perf_r[i];
+    const double communicate = s * fcomm * (1.0 + g_comm[i]);
+    const double serial = compute + communicate;
+    const double parallel = f[i] * r[i] / (perf_r[i] * n[i]);
+    speedup[i] = 1.0 / (serial + parallel);
+  }
+}
+
+void kernel_asymmetric_comm(
+    const double* __restrict n, const double* __restrict f,
+    const double* __restrict fcon, const double* __restrict comp_share,
+    const double* __restrict r, const double* __restrict rl,
+    const double* __restrict perf_r, const double* __restrict perf_rl,
+    const double* __restrict g_comp, const double* __restrict g_comm,
+    double* __restrict speedup, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const double s = 1.0 - f[i];
+    const double fcomp = (1.0 - fcon[i]) * comp_share[i];
+    const double fcomm = (1.0 - fcon[i]) * (1.0 - comp_share[i]);
+    const double compute =
+        s * (fcon[i] + fcomp * (1.0 + g_comp[i])) / perf_rl[i];
+    const double communicate = s * fcomm * (1.0 + g_comm[i]);
+    const double serial = compute + communicate;
+    const double small_cores = (n[i] - rl[i]) / r[i];
+    const double parallel = f[i] / (perf_r[i] * small_cores + perf_rl[i]);
+    speedup[i] = 1.0 / (serial + parallel);
+  }
+}
+
+/// Folded form of comm_serial_time's "serial core performance must be
+/// >= 1" check over a whole perf plane (can fail for custom perf laws
+/// that dip below 1; the message matches the scalar path).
+void check_serial_perf_plane(const double* perf, std::size_t count) {
+  bool ok = true;
+  for (std::size_t i = 0; i < count; ++i) ok &= (perf[i] >= 1.0);
+  MS_CHECK(ok, "serial core performance must be >= 1");
+}
+
+/// Replicates the scalar path's validation for one request, in the same
+/// order it would throw there.  Only the slow path runs this:
+/// the fast path proves the whole batch valid with the folded plane
+/// checks below and never calls a scalar validator.
+void validate_request(const EvalRequest& q) {
+  switch (q.variant) {
+    case ModelVariant::kSymmetric:
+      q.chip.validate_symmetric(q.r);
+      q.app.validate();
+      return;
+    case ModelVariant::kAsymmetric:
+      q.chip.validate_asymmetric(q.rl, q.r);
+      q.app.validate();
+      return;
+    case ModelVariant::kSymmetricComm:
+      q.app.validate();  // CommAppParams::from validates first
+      q.chip.validate_symmetric(q.r);
+      MS_CHECK(q.comp_share >= 0.0 && q.comp_share <= 1.0,
+               "comp_share must lie in [0, 1]");
+      return;
+    case ModelVariant::kAsymmetricComm:
+      q.app.validate();
+      q.chip.validate_asymmetric(q.rl, q.r);
+      MS_CHECK(q.comp_share >= 0.0 && q.comp_share <= 1.0,
+               "comp_share must lie in [0, 1]");
+      return;
+  }
+  throw std::invalid_argument("unknown model variant");
+}
+
+/// A request's group key, hoisted out of the (large) EvalRequest once
+/// per request.  Comparing groups against these locals keeps the walk
+/// in registers — comparing against `q` directly would force the
+/// compiler to re-load every field after each plane store (it cannot
+/// prove the stores don't alias the request).
+struct GroupKey {
+  ModelVariant variant;
+  bool comm;
+  GrowthKind growth_kind;
+  GrowthKind comm_kind;
+  std::uint32_t perf_name;
+  std::uint32_t growth_name;
+  std::uint32_t comm_name;
+  double perf_exp;
+  double growth_exp;
+  double comm_exp;
+};
+
+GroupKey make_key(const EvalRequest& q, bool comm) {
+  GroupKey key;
+  key.variant = q.variant;
+  key.comm = comm;
+  key.perf_name = q.chip.perf.name_id();
+  key.perf_exp = q.chip.perf.exponent();
+  key.growth_kind = q.growth.kind();
+  key.growth_name = q.growth.name_id();
+  key.growth_exp = q.growth.exponent();
+  if (comm) {
+    key.comm_kind = q.comm_growth.kind();
+    key.comm_name = q.comm_growth.name_id();
+    key.comm_exp = q.comm_growth.exponent();
+  } else {
+    // Normalized so non-comm requests group regardless of the (unread)
+    // comm growth they carry.
+    key.comm_kind = GrowthKind::kParallel;
+    key.comm_name = 0;
+    key.comm_exp = 0.0;
+  }
+  return key;
+}
+
+bool matches_group(const EvalBatch::Group& g, const GroupKey& key) {
+  return g.variant == key.variant && g.perf_name == key.perf_name &&
+         g.perf_exp == key.perf_exp && g.growth_kind == key.growth_kind &&
+         g.growth_name == key.growth_name && g.growth_exp == key.growth_exp &&
+         g.comm_kind == key.comm_kind && g.comm_name == key.comm_name &&
+         g.comm_exp == key.comm_exp;
+}
+
+/// Grows every plane of `p` to `capacity` lanes (high-water: planes
+/// never shrink, so steady-state calls re-fill in place with no checks).
+void ensure_planes(EvalBatch::Planes& p, std::size_t capacity) {
+  if (p.lane_request.size() >= capacity) return;
+  p.lane_request.resize(capacity);
+  p.n.resize(capacity);
+  p.f.resize(capacity);
+  p.fcon.resize(capacity);
+  p.fored.resize(capacity);
+  p.comp_share.resize(capacity);
+  p.r.resize(capacity);
+  p.rl.resize(capacity);
+  p.nc.resize(capacity);
+  p.perf_r.resize(capacity);
+  p.perf_rl.resize(capacity);
+  p.growth_vals.resize(capacity);
+  p.comm_vals.resize(capacity);
+  p.speedup.resize(capacity);
+}
+
+constexpr std::uint32_t kNoGroup = 0xffffffffu;
+
+std::uint32_t find_or_add_group(EvalBatch& b, const GroupKey& key,
+                                const EvalRequest& q, std::size_t capacity) {
+  for (std::uint32_t gi = 0; gi < b.groups.size(); ++gi) {
+    if (matches_group(b.groups[gi], key)) return gi;
+  }
+  EvalBatch::Group g;
+  g.variant = key.variant;
+  g.perf_name = key.perf_name;
+  g.perf_exp = key.perf_exp;
+  g.growth_kind = key.growth_kind;
+  g.growth_name = key.growth_name;
+  g.growth_exp = key.growth_exp;
+  g.comm_kind = key.comm_kind;
+  g.comm_name = key.comm_name;
+  g.comm_exp = key.comm_exp;
+  g.rep = &q;
+  b.groups.push_back(g);
+  if (b.planes.size() < b.groups.size()) b.planes.emplace_back();
+  EvalBatch::Planes& p = b.planes[b.groups.size() - 1];
+  p.count = 0;
+  ensure_planes(p, capacity);
+  return static_cast<std::uint32_t>(b.groups.size() - 1);
+}
+
+}  // namespace
+
+void evaluate_batch(std::span<const EvalRequest* const> requests,
+                    std::span<std::optional<DesignPoint>> results,
+                    EvalBatch& b) {
+  MS_CHECK(results.size() == requests.size(),
+           "evaluate_batch needs one result slot per request");
+  b.groups.clear();
+
+  // Single walk in input order: gate infeasible points, assign each
+  // surviving request to its model group, and append its numeric fields
+  // (plus the derived core count nc) straight to the group's planes.
+  // Validation is folded into the walk as branch-free accumulated range
+  // checks on the hoisted locals (the same predicates the scalar
+  // validators test) — garbage from an invalid request only ever
+  // reaches the planes, never a kernel, because a failed accumulator
+  // drops to the scalar re-validation loop below.  The previous lane's
+  // group is tried first: sweep-shaped batches stay on one group for
+  // long runs.
+  const std::size_t total = requests.size();
+  std::uint32_t last = kNoGroup;
+  bool all_valid = true;
+  bool slow_validate = false;
+  for (std::size_t i = 0; i < total; ++i) {
+    const EvalRequest& q = *requests[i];
+    bool asym;
+    bool comm;
+    switch (q.variant) {
+      case ModelVariant::kSymmetric:
+        asym = false;
+        comm = false;
+        break;
+      case ModelVariant::kSymmetricComm:
+        asym = false;
+        comm = true;
+        break;
+      case ModelVariant::kAsymmetric:
+        asym = true;
+        comm = false;
+        break;
+      case ModelVariant::kAsymmetricComm:
+        asym = true;
+        comm = true;
+        break;
+      default:
+        // Unknown variant: defer to the scalar re-validation loop so
+        // an *earlier* invalid request still throws first.
+        slow_validate = true;
+        continue;
+    }
+    const double n = q.chip.n;
+    const double r = q.r;
+    const double rl = q.rl;
+    if (asym && rl < n && r > n - rl) {  // asymmetric_infeasible
+      results[i] = std::nullopt;
+      continue;
+    }
+    const double f = q.app.f;
+    const double fcon = q.app.fcon;
+    const double fored = q.app.fored;
+    const double share = q.comp_share;
+    bool ok = (n >= 1.0) & (f > 0.0) & (f < 1.0) & (fcon >= 0.0) &
+              (fcon <= 1.0) & (fored >= 0.0) & (r >= 1.0);
+    if (asym) {
+      ok &= (rl >= 1.0) & (rl <= n) & ((rl == n) | (r <= n - rl));
+    } else {
+      ok &= (r <= n);
+    }
+    if (comm) ok &= (share >= 0.0) & (share <= 1.0);
+    all_valid &= ok;
+
+    std::uint32_t gi = last;
+    if (gi == kNoGroup || b.groups[gi].variant != q.variant ||
+        !matches_group(b.groups[gi], make_key(q, comm))) {
+      gi = find_or_add_group(b, make_key(q, comm), q, total);
+      last = gi;
+    }
+    EvalBatch::Planes& p = b.planes[gi];
+    const std::size_t k = p.count++;
+    p.lane_request[k] = static_cast<std::uint32_t>(i);
+    p.n[k] = n;
+    p.f[k] = f;
+    p.fcon[k] = fcon;
+    p.fored[k] = fored;
+    p.comp_share[k] = share;
+    p.r[k] = r;
+    p.rl[k] = rl;
+    p.nc[k] = asym ? (n - rl) / r + 1.0 : n / r;
+  }
+
+  // Scalar fallback: re-validate in input order so the first offending
+  // request throws exactly the error the scalar path raises (infeasible
+  // points stay gated before validation, like evaluate_reference).
+  if (!all_valid) slow_validate = true;
+  if (slow_validate) {
+    for (std::size_t i = 0; i < total; ++i) {
+      const EvalRequest& q = *requests[i];
+      if (is_asymmetric_variant(q.variant) &&
+          asymmetric_infeasible(q.chip, q.rl, q.r)) {
+        continue;
+      }
+      validate_request(q);
+    }
+    // The folded predicates mirror the scalar validators exactly, so
+    // the loop above must have thrown; reaching here is a bug.
+    MS_CHECK(false, "batch validation diverged from the scalar validators");
+  }
+
+  // Per group: derived planes (perf, growth) via the laws' evaluate_n
+  // hooks, the branch-free speedup kernel, then scatter back to input
+  // order.
+  for (std::size_t gi = 0; gi < b.groups.size(); ++gi) {
+    const EvalBatch::Group& g = b.groups[gi];
+    EvalBatch::Planes& p = b.planes[gi];
+    const std::size_t c = p.count;
+    const bool asym = is_asymmetric_variant(g.variant);
+    const PerfLaw& perf = g.rep->chip.perf;
+    perf.evaluate_n(p.r.data(), p.perf_r.data(), c);
+    if (asym) perf.evaluate_n(p.rl.data(), p.perf_rl.data(), c);
+    g.rep->growth.evaluate_n(p.nc.data(), p.growth_vals.data(), c);
+
+    switch (g.variant) {
+      case ModelVariant::kSymmetric:
+        kernel_symmetric(p.n.data(), p.f.data(), p.fcon.data(),
+                         p.fored.data(), p.r.data(), p.perf_r.data(),
+                         p.growth_vals.data(), p.speedup.data(), c);
+        break;
+      case ModelVariant::kAsymmetric:
+        kernel_asymmetric(p.n.data(), p.f.data(), p.fcon.data(),
+                          p.fored.data(), p.r.data(), p.rl.data(),
+                          p.perf_r.data(), p.perf_rl.data(),
+                          p.growth_vals.data(), p.speedup.data(), c);
+        break;
+      case ModelVariant::kSymmetricComm:
+        g.rep->comm_growth.evaluate_n(p.nc.data(), p.comm_vals.data(), c);
+        check_serial_perf_plane(p.perf_r.data(), c);
+        kernel_symmetric_comm(p.n.data(), p.f.data(), p.fcon.data(),
+                              p.comp_share.data(), p.r.data(),
+                              p.perf_r.data(), p.growth_vals.data(),
+                              p.comm_vals.data(), p.speedup.data(), c);
+        break;
+      case ModelVariant::kAsymmetricComm:
+        g.rep->comm_growth.evaluate_n(p.nc.data(), p.comm_vals.data(), c);
+        check_serial_perf_plane(p.perf_rl.data(), c);
+        kernel_asymmetric_comm(p.n.data(), p.f.data(), p.fcon.data(),
+                               p.comp_share.data(), p.r.data(), p.rl.data(),
+                               p.perf_r.data(), p.perf_rl.data(),
+                               p.growth_vals.data(), p.comm_vals.data(),
+                               p.speedup.data(), c);
+        break;
+    }
+
+    const std::uint32_t* lane_request = p.lane_request.data();
+    for (std::size_t k = 0; k < c; ++k) {
+      results[lane_request[k]] =
+          DesignPoint{p.r[k], asym ? p.rl[k] : 0.0, p.speedup[k]};
+    }
+  }
+}
+
+void evaluate_batch(std::span<const EvalRequest> requests,
+                    std::span<std::optional<DesignPoint>> results,
+                    EvalBatch& scratch) {
+  scratch.ptrs.clear();
+  scratch.ptrs.reserve(requests.size());
+  for (const EvalRequest& q : requests) scratch.ptrs.push_back(&q);
+  evaluate_batch(std::span<const EvalRequest* const>(scratch.ptrs), results,
+                 scratch);
+}
+
+void evaluate_batch(std::span<const EvalRequest> requests,
+                    std::span<std::optional<DesignPoint>> results) {
+  // Per-thread scratch so the hot single-request wrapper (core::evaluate)
+  // allocates nothing in steady state.  The busy flag keeps reentrant
+  // calls — a custom law that itself calls evaluate — off the shared
+  // scratch.
+  thread_local EvalBatch shared;
+  thread_local bool busy = false;
+  if (busy) {
+    EvalBatch local;
+    evaluate_batch(requests, results, local);
+    return;
+  }
+  busy = true;
+  struct Reset {
+    bool* flag;
+    ~Reset() { *flag = false; }
+  } reset{&busy};
+  evaluate_batch(requests, results, shared);
+}
+
+}  // namespace mergescale::core

@@ -1,0 +1,99 @@
+#pragma once
+// Structure-of-arrays batch evaluation — the single evaluation path of
+// the repo (ROADMAP item 1).  `evaluate_batch` groups a batch of
+// `EvalRequest`s by their POD model key (variant, perf law, growth
+// law(s) — compared via the interner IDs plus exponents, no string
+// work), appends each request's numeric fields to its group's
+// contiguous SoA planes in one pass over the input, and runs one
+// branch-free kernel per group that the compiler auto-vectorizes.
+// Results are scattered back in input order.
+//
+// Validation is deferred and folded: instead of calling the scalar
+// validators per request, each group's input planes are swept with
+// branch-free accumulated range checks (the same predicates the scalar
+// validators test).  Only when a violation is detected does the batch
+// fall back to re-validating scalar-style in input order, so the first
+// offending request throws exactly the error evaluate_reference would
+// raise — the fast path pays a couple of vectorized compares per lane.
+//
+// Bit-exactness contract: for every request, the batch path produces a
+// `DesignPoint` *bit-identical* (including non-finite speedups) to the
+// scalar reference `evaluate_reference`.  The kernels replicate the
+// scalar formulas operation for operation, sqrt/div are IEEE
+// correctly-rounded in both scalar and vector forms, and ms_core is
+// built with -ffp-contract=off so no FMA contraction can change
+// rounding.  tests/core/eval_batch_test.cpp pins this property.
+//
+// Law identity: two requests land in the same group when their laws
+// compare equal by (kind,) name ID and exponent.  As with the memo
+// cache, custom laws with the same name are assumed to be the same
+// function — the group is evaluated with the first request's law
+// objects.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/design_space.hpp"
+
+namespace mergescale::core {
+
+/// Reusable scratch for evaluate_batch: the group table and each
+/// group's SoA planes.  All members are transient working state owned
+/// by one evaluate_batch call — callers only construct/hold it to
+/// amortize allocations across calls (each call clears and refills it);
+/// nothing in it is meaningful afterwards.
+struct EvalBatch {
+  /// One (variant, perf, growth, comm-growth) model group.
+  struct Group {
+    ModelVariant variant = ModelVariant::kSymmetric;
+    GrowthKind growth_kind = GrowthKind::kLinear;
+    GrowthKind comm_kind = GrowthKind::kParallel;
+    std::uint32_t perf_name = 0;
+    std::uint32_t growth_name = 0;
+    std::uint32_t comm_name = 0;
+    double perf_exp = 0.0;
+    double growth_exp = 0.0;
+    double comm_exp = 0.0;
+    const EvalRequest* rep = nullptr;  ///< first member; supplies the laws
+  };
+
+  /// One group's SoA planes.  The vectors are kept at high-water
+  /// capacity across calls and indexed through `count`, so steady-state
+  /// refills are plain stores with no growth checks.
+  struct Planes {
+    std::vector<std::uint32_t> lane_request;  ///< lane -> input index
+    // Input planes (filled during the grouping walk).
+    std::vector<double> n, f, fcon, fored, comp_share, r, rl, nc;
+    // Derived planes.
+    std::vector<double> perf_r, perf_rl, growth_vals, comm_vals, speedup;
+    std::size_t count = 0;  ///< lanes used this call
+  };
+
+  std::vector<Group> groups;
+  std::vector<Planes> planes;  ///< planes[i] belongs to groups[i]; pooled
+
+  /// Staging for the by-value span overload.
+  std::vector<const EvalRequest*> ptrs;
+};
+
+/// Batch form of core::evaluate over pre-collected request pointers
+/// (the explore engine's cache-miss path — avoids copying requests,
+/// which hold strings and std::functions).  `results[i]` receives the
+/// outcome for `*requests[i]`: std::nullopt for infeasible asymmetric
+/// points, a DesignPoint otherwise.  Invalid parameters throw
+/// std::invalid_argument exactly as the scalar path does, detected in
+/// input order; `results` contents are unspecified after a throw.
+/// `results.size()` must equal `requests.size()`.
+void evaluate_batch(std::span<const EvalRequest* const> requests,
+                    std::span<std::optional<DesignPoint>> results,
+                    EvalBatch& scratch);
+
+/// Same over a contiguous request array.
+void evaluate_batch(std::span<const EvalRequest> requests,
+                    std::span<std::optional<DesignPoint>> results,
+                    EvalBatch& scratch);
+
+}  // namespace mergescale::core

@@ -8,35 +8,78 @@
 
 namespace mergescale::core {
 
+namespace {
+
+/// Folded domain check: one branch for the whole plane instead of one
+/// per element, so the value loops behind it stay vectorizable.
+void check_plane_at_least_one(const double* v, std::size_t count,
+                              const char* what) {
+  bool in_domain = true;
+  for (std::size_t i = 0; i < count; ++i) in_domain &= (v[i] >= 1.0);
+  MS_CHECK(in_domain, what);
+}
+
+}  // namespace
+
 GrowthFunction::GrowthFunction(GrowthKind kind, std::string name,
                                double exponent,
-                               std::function<double(double)> fn)
+                               std::function<double(double)> fn, BatchFn batch)
     : kind_(kind),
       name_(std::move(name)),
       name_id_(util::intern(name_)),
       exponent_(exponent),
-      fn_(std::move(fn)) {}
+      fn_(std::move(fn)),
+      batch_fn_(std::move(batch)) {}
 
 GrowthFunction GrowthFunction::linear() {
   return GrowthFunction(GrowthKind::kLinear, "linear", 1.0,
-                        [](double nc) { return nc - 1.0; });
+                        [](double nc) { return nc - 1.0; },
+                        [](const double* nc, double* out, std::size_t count) {
+                          check_plane_at_least_one(
+                              nc, count,
+                              "growth functions are defined for nc >= 1");
+                          for (std::size_t i = 0; i < count; ++i) {
+                            out[i] = nc[i] - 1.0;
+                          }
+                        });
 }
 
 GrowthFunction GrowthFunction::logarithmic() {
   return GrowthFunction(GrowthKind::kLogarithmic, "log", 1.0,
-                        [](double nc) { return std::log2(nc); });
+                        [](double nc) { return std::log2(nc); },
+                        [](const double* nc, double* out, std::size_t count) {
+                          check_plane_at_least_one(
+                              nc, count,
+                              "growth functions are defined for nc >= 1");
+                          for (std::size_t i = 0; i < count; ++i) {
+                            out[i] = std::log2(nc[i]);
+                          }
+                        });
 }
 
 GrowthFunction GrowthFunction::parallel() {
   return GrowthFunction(GrowthKind::kParallel, "parallel", 1.0,
-                        [](double) { return 0.0; });
+                        [](double) { return 0.0; },
+                        [](const double* nc, double* out, std::size_t count) {
+                          check_plane_at_least_one(
+                              nc, count,
+                              "growth functions are defined for nc >= 1");
+                          for (std::size_t i = 0; i < count; ++i) out[i] = 0.0;
+                        });
 }
 
 GrowthFunction GrowthFunction::superlinear(double exponent) {
   MS_CHECK(exponent > 1.0, "superlinear growth requires exponent > 1");
   return GrowthFunction(
       GrowthKind::kSuperlinear, "superlinear", exponent,
-      [exponent](double nc) { return std::pow(nc - 1.0, exponent); });
+      [exponent](double nc) { return std::pow(nc - 1.0, exponent); },
+      [exponent](const double* nc, double* out, std::size_t count) {
+        check_plane_at_least_one(nc, count,
+                                 "growth functions are defined for nc >= 1");
+        for (std::size_t i = 0; i < count; ++i) {
+          out[i] = std::pow(nc[i] - 1.0, exponent);
+        }
+      });
 }
 
 GrowthFunction GrowthFunction::custom(std::string name,
@@ -47,9 +90,32 @@ GrowthFunction GrowthFunction::custom(std::string name,
                         std::move(fn));
 }
 
+GrowthFunction GrowthFunction::custom(std::string name,
+                                      std::function<double(double)> fn,
+                                      BatchFn batch) {
+  MS_CHECK(static_cast<bool>(fn), "custom growth function must be callable");
+  MS_CHECK(fn(1.0) == 0.0, "growth function must satisfy g(1) == 0");
+  MS_CHECK(static_cast<bool>(batch),
+           "custom growth-function batch kernel must be callable");
+  return GrowthFunction(GrowthKind::kCustom, std::move(name), 1.0,
+                        std::move(fn), std::move(batch));
+}
+
 double GrowthFunction::operator()(double nc) const {
   MS_CHECK(nc >= 1.0, "growth functions are defined for nc >= 1");
   return fn_(nc);
+}
+
+void GrowthFunction::evaluate_n(const double* nc, double* out,
+                                std::size_t count) const {
+  if (batch_fn_) {
+    batch_fn_(nc, out, count);
+    return;
+  }
+  // Scalar-loop default: element-for-element the same evaluation (and
+  // the same domain check) as operator(), so growth laws without a
+  // batch kernel behave identically through the batch path.
+  for (std::size_t i = 0; i < count; ++i) out[i] = (*this)(nc[i]);
 }
 
 }  // namespace mergescale::core

@@ -17,6 +17,7 @@
 // workloads like HOP whose merging phase the paper observes to grow
 // super-linearly due to memory effects.
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -37,6 +38,12 @@ enum class GrowthKind {
 /// Invariants enforced on evaluation: nc >= 1 and g(1) == 0.
 class GrowthFunction {
  public:
+  /// Plane kernel signature for evaluate_n: fills out[i] = g(nc[i]) for
+  /// i in [0, count).  Inputs are guaranteed in-domain (nc >= 1) by
+  /// evaluate_n's contract.
+  using BatchFn = std::function<void(const double* nc, double* out,
+                                     std::size_t count)>;
+
   /// Linear growth, g(nc) = nc − 1 (the paper's default).
   static GrowthFunction linear();
   /// Logarithmic growth, g(nc) = log2(nc) (tree reduction).
@@ -48,9 +55,24 @@ class GrowthFunction {
   /// Arbitrary growth law; `fn(1)` must be 0.  `name` is used in reports.
   static GrowthFunction custom(std::string name,
                                std::function<double(double)> fn);
+  /// Arbitrary growth law with a caller-supplied plane kernel for the
+  /// batch path.  `batch` must agree with `fn` element for element —
+  /// the batch-vs-scalar equivalence property is part of the API
+  /// contract.
+  static GrowthFunction custom(std::string name,
+                               std::function<double(double)> fn,
+                               BatchFn batch);
 
   /// Evaluates g(nc); throws std::invalid_argument for nc < 1.
   double operator()(double nc) const;
+
+  /// Batch hook of the evaluation kernels: fills out[i] = g(nc[i]).
+  /// The built-in families install vectorizable plane loops; custom
+  /// functions fall back to a scalar loop over the callable unless
+  /// constructed with an explicit batch kernel, so user-defined growth
+  /// laws keep working unchanged.  Throws std::invalid_argument when
+  /// any nc[i] < 1.
+  void evaluate_n(const double* nc, double* out, std::size_t count) const;
 
   /// Which family this function belongs to.
   GrowthKind kind() const noexcept { return kind_; }
@@ -65,13 +87,14 @@ class GrowthFunction {
 
  private:
   GrowthFunction(GrowthKind kind, std::string name, double exponent,
-                 std::function<double(double)> fn);
+                 std::function<double(double)> fn, BatchFn batch = nullptr);
 
   GrowthKind kind_;
   std::string name_;
   std::uint32_t name_id_;
   double exponent_;
   std::function<double(double)> fn_;
+  BatchFn batch_fn_;
 };
 
 }  // namespace mergescale::core

@@ -8,12 +8,26 @@
 
 namespace mergescale::core {
 
+namespace {
+
+/// Folded domain check: one branch for the whole plane instead of one
+/// per element, so the value loops behind it stay vectorizable.
+void check_plane_at_least_one(const double* v, std::size_t count,
+                              const char* what) {
+  bool in_domain = true;
+  for (std::size_t i = 0; i < count; ++i) in_domain &= (v[i] >= 1.0);
+  MS_CHECK(in_domain, what);
+}
+
+}  // namespace
+
 PerfLaw::PerfLaw(std::string name, double exponent,
-                 std::function<double(double)> fn)
+                 std::function<double(double)> fn, BatchFn batch)
     : name_(std::move(name)),
       name_id_(util::intern(name_)),
       exponent_(exponent),
-      fn_(std::move(fn)) {}
+      fn_(std::move(fn)),
+      batch_fn_(std::move(batch)) {}
 
 PerfLaw PerfLaw::pollack() { return power(0.5); }
 
@@ -25,15 +39,38 @@ PerfLaw PerfLaw::power(double exponent) {
   // perf(r) is evaluated once per design point of a million-point sweep;
   // the two ubiquitous exponents get exact fast paths (sqrt is several
   // times cheaper than the generic pow, and linear needs no math at all).
+  // The batch kernels are plain plane loops over the same operations, so
+  // the compiler can vectorize them (sqrt in particular becomes hardware
+  // vsqrt under -fno-math-errno) while rounding identically to the
+  // scalar path.
   if (exponent == 0.5) {
-    return PerfLaw("pollack", 0.5, [](double r) { return std::sqrt(r); });
+    return PerfLaw("pollack", 0.5, [](double r) { return std::sqrt(r); },
+                   [](const double* r, double* out, std::size_t count) {
+                     check_plane_at_least_one(
+                         r, count, "perf laws are defined for r >= 1");
+                     for (std::size_t i = 0; i < count; ++i) {
+                       out[i] = std::sqrt(r[i]);
+                     }
+                   });
   }
   if (exponent == 1.0) {
-    return PerfLaw("linear", 1.0, [](double r) { return r; });
+    return PerfLaw("linear", 1.0, [](double r) { return r; },
+                   [](const double* r, double* out, std::size_t count) {
+                     check_plane_at_least_one(
+                         r, count, "perf laws are defined for r >= 1");
+                     for (std::size_t i = 0; i < count; ++i) out[i] = r[i];
+                   });
   }
-  return PerfLaw("power", exponent, [exponent](double r) {
-    return std::pow(r, exponent);
-  });
+  return PerfLaw(
+      "power", exponent,
+      [exponent](double r) { return std::pow(r, exponent); },
+      [exponent](const double* r, double* out, std::size_t count) {
+        check_plane_at_least_one(r, count,
+                                 "perf laws are defined for r >= 1");
+        for (std::size_t i = 0; i < count; ++i) {
+          out[i] = std::pow(r[i], exponent);
+        }
+      });
 }
 
 PerfLaw PerfLaw::custom(std::string name, std::function<double(double)> fn) {
@@ -42,9 +79,30 @@ PerfLaw PerfLaw::custom(std::string name, std::function<double(double)> fn) {
   return PerfLaw(std::move(name), 0.0, std::move(fn));
 }
 
+PerfLaw PerfLaw::custom(std::string name, std::function<double(double)> fn,
+                        BatchFn batch) {
+  MS_CHECK(static_cast<bool>(fn), "custom perf law must be callable");
+  MS_CHECK(fn(1.0) == 1.0, "perf law must satisfy perf(1) == 1");
+  MS_CHECK(static_cast<bool>(batch),
+           "custom perf-law batch kernel must be callable");
+  return PerfLaw(std::move(name), 0.0, std::move(fn), std::move(batch));
+}
+
 double PerfLaw::operator()(double r) const {
   MS_CHECK(r >= 1.0, "perf laws are defined for r >= 1");
   return fn_(r);
+}
+
+void PerfLaw::evaluate_n(const double* r, double* out,
+                         std::size_t count) const {
+  if (batch_fn_) {
+    batch_fn_(r, out, count);
+    return;
+  }
+  // Scalar-loop default: element-for-element the same evaluation (and
+  // the same domain check) as operator(), so laws without a batch
+  // kernel behave identically through the batch path.
+  for (std::size_t i = 0; i < count; ++i) out[i] = (*this)(r[i]);
 }
 
 }  // namespace mergescale::core

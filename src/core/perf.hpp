@@ -8,6 +8,7 @@
 // are provided for ablation: linear (perfect area-to-performance
 // conversion, the upper bound) and a general power law perf(r) = r^e.
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -18,6 +19,12 @@ namespace mergescale::core {
 /// perf non-decreasing (checked for the built-in laws by construction).
 class PerfLaw {
  public:
+  /// Plane kernel signature for evaluate_n: fills out[i] = perf(r[i]) for
+  /// i in [0, count).  Inputs are guaranteed in-domain (r >= 1) by
+  /// evaluate_n's contract.
+  using BatchFn = std::function<void(const double* r, double* out,
+                                     std::size_t count)>;
+
   /// Pollack's rule, perf(r) = √r — the paper's assumption.
   static PerfLaw pollack();
   /// perf(r) = r (idealized linear scaling).
@@ -26,9 +33,21 @@ class PerfLaw {
   static PerfLaw power(double exponent);
   /// Arbitrary law; fn(1) must equal 1.
   static PerfLaw custom(std::string name, std::function<double(double)> fn);
+  /// Arbitrary law with a caller-supplied plane kernel for the batch
+  /// path.  `batch` must agree with `fn` element for element — the
+  /// batch-vs-scalar equivalence property is part of the API contract.
+  static PerfLaw custom(std::string name, std::function<double(double)> fn,
+                        BatchFn batch);
 
   /// Evaluates perf(r); throws std::invalid_argument for r < 1.
   double operator()(double r) const;
+
+  /// Batch hook of the evaluation kernels: fills out[i] = perf(r[i]).
+  /// The built-in laws install vectorizable plane loops; custom laws
+  /// fall back to a scalar loop over the callable unless constructed
+  /// with an explicit batch kernel, so user-defined laws keep working
+  /// unchanged.  Throws std::invalid_argument when any r[i] < 1.
+  void evaluate_n(const double* r, double* out, std::size_t count) const;
 
   /// Human-readable name used in reports.
   const std::string& name() const noexcept { return name_; }
@@ -40,13 +59,14 @@ class PerfLaw {
   double exponent() const noexcept { return exponent_; }
 
  private:
-  PerfLaw(std::string name, double exponent,
-          std::function<double(double)> fn);
+  PerfLaw(std::string name, double exponent, std::function<double(double)> fn,
+          BatchFn batch = nullptr);
 
   std::string name_;
   std::uint32_t name_id_;
   double exponent_;
   std::function<double(double)> fn_;
+  BatchFn batch_fn_;
 };
 
 }  // namespace mergescale::core

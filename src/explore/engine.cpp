@@ -16,19 +16,42 @@ namespace {
 /// has no number form for (it writes `null`, which loads back as
 /// infeasible) — demoting at evaluation time keeps live runs and
 /// log-resumed replays identical.
-EvalOutcome evaluate_outcome(const core::EvalRequest& request) {
-  const auto point = core::evaluate(request);
+EvalOutcome to_outcome(const std::optional<core::DesignPoint>& point) {
   if (!point || !std::isfinite(point->speedup)) return EvalOutcome{};
   return EvalOutcome{true, *point};
 }
 
+EvalOutcome evaluate_outcome(const core::EvalRequest& request) {
+  return to_outcome(core::evaluate(request));
+}
+
+/// Applies a cached or freshly evaluated outcome to a result slot.
+void apply_outcome(const EvalJob& job, const EvalOutcome& outcome,
+                   EvalResult& result) {
+  result.feasible = outcome.feasible;
+  if (outcome.feasible) {
+    result.speedup = outcome.point.speedup;
+    result.cores =
+        core::is_asymmetric_variant(job.request.variant)
+            ? job.request.chip.cores_asymmetric(job.request.rl, job.request.r)
+            : job.request.chip.cores_symmetric(job.request.r);
+  } else {
+    // Explicit zeros: result slots may be reused across calls (the
+    // span-based run), so infeasible points must not inherit a previous
+    // occupant's numbers.
+    result.speedup = 0.0;
+    result.cores = 0.0;
+  }
+}
+
 /// Jobs claimed per queue pop — amortizes the atomic increment across the
-/// very cheap analytical evaluations.  Scaled to the batch: large sweeps
-/// claim up to kMaxClaimBlock at a time, while a batch small relative to
-/// the team (an annealing front, a tiny generation) claims little enough
-/// that every worker gets a share instead of one worker draining the
-/// whole queue in a single pop.
-constexpr std::size_t kMaxClaimBlock = 32;
+/// very cheap analytical evaluations, and (since the claim block is also
+/// the evaluate_batch unit) gives the SoA kernels lanes to vectorize
+/// over.  Scaled to the batch: large sweeps claim up to kMaxClaimBlock at
+/// a time, while a batch small relative to the team (an annealing front,
+/// a tiny generation) claims little enough that every worker gets a share
+/// instead of one worker draining the whole queue in a single pop.
+constexpr std::size_t kMaxClaimBlock = 256;
 
 std::size_t claim_block(std::size_t jobs, int team_size) {
   const std::size_t per_worker =
@@ -69,15 +92,84 @@ EvalResult evaluate_job(const EvalJob& job, MemoCache* cache, bool use_cache) {
     outcome = evaluate_outcome(job.request);
   }
 
-  result.feasible = outcome.feasible;
-  if (outcome.feasible) {
-    result.speedup = outcome.point.speedup;
-    result.cores =
-        core::is_asymmetric_variant(job.request.variant)
-            ? job.request.chip.cores_asymmetric(job.request.rl, job.request.r)
-            : job.request.chip.cores_symmetric(job.request.r);
-  }
+  apply_outcome(job, outcome, result);
   return result;
+}
+
+void cache_keys(std::span<const EvalJob> jobs, std::span<CacheKey> keys) {
+  MS_CHECK(keys.size() == jobs.size(), "cache_keys needs one key slot per job");
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    keys[i] = cache_key(jobs[i].request);
+  }
+}
+
+void evaluate_jobs(std::span<const EvalJob> jobs,
+                   std::span<EvalResult> results, MemoCache* cache,
+                   bool use_cache, BatchScratch& scratch) {
+  MS_CHECK(results.size() == jobs.size(),
+           "evaluate_jobs needs one result slot per job");
+  scratch.miss_requests.clear();
+  scratch.miss_slots.clear();
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const EvalJob& job = jobs[i];
+    EvalResult& result = results[i];
+    result.index = job.index;
+    // Strings assign only when they differ: result slots are routinely
+    // reused across claim blocks (the span-based run), where the labels
+    // are stable and a compare is far cheaper than a copy.
+    if (result.scenario != job.scenario) result.scenario = job.scenario;
+    result.variant = job.request.variant;
+    result.n = job.request.chip.n;
+    if (result.app != job.request.app.name) result.app = job.request.app.name;
+    if (result.growth != job.request.growth.name()) {
+      result.growth = job.request.growth.name();
+    }
+    if (result.topology != job.topology) result.topology = job.topology;
+    result.r = job.request.r;
+    result.rl = job.request.rl;
+    result.from_cache = false;
+  }
+
+  if (use_cache) {
+    scratch.keys.resize(jobs.size());
+    cache_keys(jobs, scratch.keys);
+    scratch.outcomes.resize(jobs.size());
+    scratch.hits.resize(jobs.size());
+    cache->lookup_block(scratch.keys, scratch.outcomes, scratch.hits);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (scratch.hits[i]) {
+        results[i].from_cache = true;
+        apply_outcome(jobs[i], scratch.outcomes[i], results[i]);
+      } else {
+        scratch.miss_requests.push_back(&jobs[i].request);
+        scratch.miss_slots.push_back(i);
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      scratch.miss_requests.push_back(&jobs[i].request);
+      scratch.miss_slots.push_back(i);
+    }
+  }
+
+  scratch.miss_points.assign(scratch.miss_requests.size(), std::nullopt);
+  core::evaluate_batch(std::span<const core::EvalRequest* const>(
+                           scratch.miss_requests),
+                       scratch.miss_points, scratch.batch);
+  scratch.miss_keys.clear();
+  scratch.miss_outcomes.clear();
+  for (std::size_t m = 0; m < scratch.miss_slots.size(); ++m) {
+    const std::size_t i = scratch.miss_slots[m];
+    const EvalOutcome outcome = to_outcome(scratch.miss_points[m]);
+    if (use_cache) {
+      scratch.miss_keys.push_back(scratch.keys[i]);
+      scratch.miss_outcomes.push_back(outcome);
+    }
+    apply_outcome(jobs[i], outcome, results[i]);
+  }
+  if (use_cache && !scratch.miss_keys.empty()) {
+    cache->insert_block(scratch.miss_keys, scratch.miss_outcomes);
+  }
 }
 
 double cost_of(const EvalResult& result, CostMetric metric) noexcept {
@@ -101,6 +193,15 @@ std::vector<EvalResult> ExploreEngine::run(const ScenarioSpec& spec) {
 }
 
 std::vector<EvalResult> ExploreEngine::run(const std::vector<EvalJob>& jobs) {
+  std::vector<EvalResult> results(jobs.size());
+  run(std::span(jobs), std::span(results));
+  return results;
+}
+
+void ExploreEngine::run(std::span<const EvalJob> jobs,
+                        std::span<EvalResult> results) {
+  MS_CHECK(results.size() == jobs.size(),
+           "run needs one result slot per job");
 #ifndef NDEBUG
   // The index contract is established by ScenarioSpec::expand and by the
   // search funnel's renumbering; an O(n) re-verification per dispatch is
@@ -110,22 +211,21 @@ std::vector<EvalResult> ExploreEngine::run(const std::vector<EvalJob>& jobs) {
     MS_CHECK(jobs[i].index == i, "job indices must match their positions");
   }
 #endif
-  std::vector<EvalResult> results(jobs.size());
-  if (jobs.empty()) return results;
+  if (jobs.empty()) return;
 
   const std::size_t block = claim_block(jobs.size(), team_.size());
   std::atomic<std::size_t> next{0};
   team_.run([&](int /*tid*/, int /*team_size*/) {
+    BatchScratch scratch;
     for (;;) {
       const std::size_t begin = next.fetch_add(block);
       if (begin >= jobs.size()) break;
       const std::size_t end = std::min(begin + block, jobs.size());
-      for (std::size_t i = begin; i < end; ++i) {
-        results[i] = evaluate_job(jobs[i], &cache_, options_.use_cache);
-      }
+      evaluate_jobs(jobs.subspan(begin, end - begin),
+                    results.subspan(begin, end - begin), &cache_,
+                    options_.use_cache, scratch);
     }
   });
-  return results;
 }
 
 }  // namespace mergescale::explore

@@ -13,9 +13,12 @@
 // inside one batch, can differ with scheduling.
 
 #include <cstddef>
+#include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "core/eval_batch.hpp"
 #include "explore/memo_cache.hpp"
 #include "explore/scenario.hpp"
 #include "runtime/thread_team.hpp"
@@ -62,6 +65,38 @@ double cost_of(const EvalResult& result, CostMetric metric) noexcept;
 /// `cache` may be null only when `use_cache` is false.
 EvalResult evaluate_job(const EvalJob& job, MemoCache* cache, bool use_cache);
 
+/// cache_key over a job block: fills `keys[i] = cache_key(jobs[i].request)`.
+void cache_keys(std::span<const EvalJob> jobs, std::span<CacheKey> keys);
+
+/// Reusable per-worker scratch for evaluate_jobs: the SoA batch planes
+/// plus the keying/miss-filter staging.  Transient working state; hold
+/// one per worker thread to amortize allocations across claim blocks.
+struct BatchScratch {
+  core::EvalBatch batch;
+  std::vector<CacheKey> keys;
+  std::vector<EvalOutcome> outcomes;
+  std::vector<std::uint8_t> hits;
+  std::vector<const core::EvalRequest*> miss_requests;
+  std::vector<std::size_t> miss_slots;
+  std::vector<std::optional<core::DesignPoint>> miss_points;
+  std::vector<CacheKey> miss_keys;
+  std::vector<EvalOutcome> miss_outcomes;
+};
+
+/// Batch counterpart of evaluate_job — the path ExploreEngine::run's
+/// workers take for each claimed block: key the whole block via
+/// cache_keys, serve hits, and push the misses through one
+/// core::evaluate_batch call.  `results[i]` receives jobs[i]'s result.
+/// Semantically identical to evaluate_job per element, with one caveat:
+/// duplicate design points *within one block* are all treated as misses
+/// (the block is keyed before any insert), where the sequential loop
+/// could serve the second from the first's insert.  Cross-thread that
+/// was always scheduling-dependent, and the search funnel dedups by key
+/// before submitting, so budget accounting is unaffected.
+void evaluate_jobs(std::span<const EvalJob> jobs,
+                   std::span<EvalResult> results, MemoCache* cache,
+                   bool use_cache, BatchScratch& scratch);
+
 /// Engine configuration.
 struct EngineOptions {
   int threads = 0;             ///< worker count; 0 = hardware concurrency
@@ -82,6 +117,13 @@ class ExploreEngine {
 
   /// Evaluates a pre-expanded job list (jobs[i].index must equal i).
   std::vector<EvalResult> run(const std::vector<EvalJob>& jobs);
+
+  /// Same, writing into caller-owned result slots (`results.size()` must
+  /// equal `jobs.size()`).  A chunked sweep that reuses one results
+  /// buffer across calls skips the per-chunk vector construction — and,
+  /// since EvalResult carries strings, re-fills slots whose heap
+  /// capacity is already in place.
+  void run(std::span<const EvalJob> jobs, std::span<EvalResult> results);
 
   /// Worker count actually in use.
   int threads() const noexcept { return team_.size(); }

@@ -59,16 +59,111 @@ CacheKey cache_key(const core::EvalRequest& request) {
   return key;
 }
 
+void cache_keys(std::span<const core::EvalRequest> requests,
+                std::span<CacheKey> keys) {
+  MS_CHECK(keys.size() == requests.size(),
+           "cache_keys needs one key slot per request");
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    keys[i] = cache_key(requests[i]);
+  }
+}
+
 std::size_t CacheKeyHash::operator()(const CacheKey& key) const noexcept {
-  std::uint64_t h = kSeed;
-  h = mix(h, (static_cast<std::uint64_t>(key.variant) << 16) |
-                 (static_cast<std::uint64_t>(key.growth_kind) << 8) |
-                 key.comm_growth_kind);
-  h = mix(h, (static_cast<std::uint64_t>(key.perf_name) << 32) |
-                 key.growth_name);
-  h = mix(h, key.comm_growth_name);
-  for (double v : key.nums) h = mix(h, std::bit_cast<std::uint64_t>(v));
-  return static_cast<std::size_t>(h);
+  // Two independent multiply-xor accumulation lanes over the key's
+  // words, one splitmix64 finalizer at the end.  A finalizer per word
+  // (the old scheme) is a ~180-cycle serial dependency chain — long
+  // enough to dominate every cache probe on the hot sweep — while the
+  // two lanes here run in parallel and finalize once.
+  constexpr std::uint64_t kM1 = 0x9e3779b97f4a7c15ull;
+  constexpr std::uint64_t kM2 = 0xc2b2ae3d27d4eb4full;
+  std::uint64_t a = kSeed;
+  std::uint64_t b = ~kSeed;
+  a = (a ^ ((static_cast<std::uint64_t>(key.variant) << 16) |
+            (static_cast<std::uint64_t>(key.growth_kind) << 8) |
+            key.comm_growth_kind)) *
+      kM1;
+  b = (b ^ ((static_cast<std::uint64_t>(key.perf_name) << 32) |
+            key.growth_name)) *
+      kM2;
+  a = (a ^ key.comm_growth_name) * kM1;
+  for (std::size_t i = 0; i + 1 < key.nums.size(); i += 2) {
+    a = (a ^ std::bit_cast<std::uint64_t>(key.nums[i])) * kM1;
+    b = (b ^ std::bit_cast<std::uint64_t>(key.nums[i + 1])) * kM2;
+  }
+  return static_cast<std::size_t>(mix(a, b));
+}
+
+namespace {
+
+/// Nonzero probe fingerprint of a hash: fp 0 is the empty-slot marker,
+/// so force the low bit — the full key compare disambiguates the pair of
+/// hashes any fingerprint now stands for.
+std::uint64_t fingerprint(std::uint64_t hash) noexcept { return hash | 1; }
+
+constexpr std::size_t kInitialSlots = 1024;
+
+/// Block-op hash staging that fits an engine claim block without a heap
+/// round trip.
+constexpr std::size_t kStackHashes = 512;
+
+}  // namespace
+
+bool MemoCache::Shard::find(std::uint64_t hash, const CacheKey& key,
+                            std::size_t* slot) const noexcept {
+  if (fps.empty()) return false;
+  const std::size_t mask = fps.size() - 1;
+  const std::uint64_t fp = fingerprint(hash);
+  for (std::size_t i = hash & mask;; i = (i + 1) & mask) {
+    if (fps[i] == 0) {
+      *slot = i;
+      return false;
+    }
+    if (fps[i] == fp && keys[i] == key) {
+      *slot = i;
+      return true;
+    }
+  }
+}
+
+void MemoCache::Shard::put(std::uint64_t hash, const CacheKey& key,
+                           const EvalOutcome& outcome) {
+  // Grow at 3/4 load *before* probing, so find() always terminates at
+  // an empty slot and an insert never probes a full table.
+  if (fps.empty() || (used + 1) * 4 > fps.size() * 3) grow();
+  std::size_t slot = 0;
+  if (find(hash, key, &slot)) {
+    vals[slot] = outcome;
+    return;
+  }
+  fps[slot] = fingerprint(hash);
+  keys[slot] = key;
+  vals[slot] = outcome;
+  ++used;
+}
+
+void MemoCache::Shard::grow() {
+  // 4x growth: rehashing is the dominant amortized insert cost on a
+  // cold exhaustive sweep, and quadrupling moves ~1.33 entries per
+  // insert over a table's lifetime where doubling moves ~2.
+  rebuild(fps.empty() ? kInitialSlots : fps.size() * 4);
+}
+
+void MemoCache::Shard::rebuild(std::size_t cap) {
+  std::vector<std::uint64_t> old_fps = std::move(fps);
+  std::vector<CacheKey> old_keys = std::move(keys);
+  std::vector<EvalOutcome> old_vals = std::move(vals);
+  fps.assign(cap, 0);
+  keys.assign(cap, CacheKey{});
+  vals.assign(cap, EvalOutcome{});
+  const std::size_t mask = cap - 1;
+  for (std::size_t i = 0; i < old_fps.size(); ++i) {
+    if (old_fps[i] == 0) continue;
+    std::size_t j = CacheKeyHash{}(old_keys[i]) & mask;
+    while (fps[j] != 0) j = (j + 1) & mask;
+    fps[j] = old_fps[i];
+    keys[j] = old_keys[i];
+    vals[j] = old_vals[i];
+  }
 }
 
 MemoCache::MemoCache(std::size_t shard_count) {
@@ -79,40 +174,149 @@ MemoCache::MemoCache(std::size_t shard_count) {
   }
 }
 
-MemoCache::Shard& MemoCache::shard_for(const CacheKey& key) const {
-  return *shards_[CacheKeyHash{}(key) % shards_.size()];
+void MemoCache::reserve(std::size_t expected) {
+  // Spread across shards with headroom for imbalance, then size each
+  // table so `per_shard` entries stay under the 3/4 load ceiling.
+  const std::size_t per_shard =
+      (expected + shards_.size() - 1) / shards_.size() + 1;
+  std::size_t cap = kInitialSlots;
+  while (cap * 3 < per_shard * 4) cap *= 2;
+  for (auto& shard : shards_) {
+    std::unique_lock<std::shared_mutex> lock(shard->mu);
+    if (cap > shard->fps.size()) shard->rebuild(cap);
+  }
+}
+
+void MemoCache::group_by_shard(const std::uint64_t* hashes, std::size_t count,
+                               std::uint32_t* order,
+                               std::vector<std::uint32_t>& starts) const {
+  const std::size_t nshards = shards_.size();
+  starts.assign(nshards + 1, 0);
+  for (std::size_t i = 0; i < count; ++i) {
+    ++starts[shard_of(hashes[i]) + 1];
+  }
+  for (std::size_t s = 0; s < nshards; ++s) starts[s + 1] += starts[s];
+  std::vector<std::uint32_t> cursor(starts.begin(), starts.end() - 1);
+  for (std::size_t i = 0; i < count; ++i) {
+    order[cursor[shard_of(hashes[i])]++] = static_cast<std::uint32_t>(i);
+  }
 }
 
 bool MemoCache::lookup(const CacheKey& key, EvalOutcome* out) const {
-  Shard& shard = shard_for(key);
+  const std::uint64_t hash = CacheKeyHash{}(key);
+  Shard& shard = *shards_[shard_of(hash)];
   std::shared_lock<std::shared_mutex> lock(shard.mu);
-  auto it = shard.map.find(key);
-  if (it == shard.map.end()) {
+  std::size_t slot = 0;
+  if (!shard.find(hash, key, &slot)) {
     misses_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
   hits_.fetch_add(1, std::memory_order_relaxed);
-  *out = it->second;
+  *out = shard.vals[slot];
   return true;
 }
 
 bool MemoCache::contains(const CacheKey& key) const {
-  Shard& shard = shard_for(key);
+  const std::uint64_t hash = CacheKeyHash{}(key);
+  Shard& shard = *shards_[shard_of(hash)];
   std::shared_lock<std::shared_mutex> lock(shard.mu);
-  return shard.map.find(key) != shard.map.end();
+  std::size_t slot = 0;
+  return shard.find(hash, key, &slot);
 }
 
 void MemoCache::insert(const CacheKey& key, const EvalOutcome& outcome) {
-  Shard& shard = shard_for(key);
+  const std::uint64_t hash = CacheKeyHash{}(key);
+  Shard& shard = *shards_[shard_of(hash)];
   std::unique_lock<std::shared_mutex> lock(shard.mu);
-  shard.map[key] = outcome;
+  shard.put(hash, key, outcome);
+}
+
+void MemoCache::lookup_block(std::span<const CacheKey> keys,
+                             std::span<EvalOutcome> outs,
+                             std::span<std::uint8_t> hits) const {
+  MS_CHECK(outs.size() == keys.size() && hits.size() == keys.size(),
+           "lookup_block needs one outcome and hit slot per key");
+  // Hash every key once up front (stack buffer for claim-block-sized
+  // calls), then visit each shard exactly once.
+  std::array<std::uint64_t, kStackHashes> stack;
+  std::vector<std::uint64_t> heap;
+  std::uint64_t* hashes = stack.data();
+  if (keys.size() > kStackHashes) {
+    heap.resize(keys.size());
+    hashes = heap.data();
+  }
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    hashes[i] = CacheKeyHash{}(keys[i]);
+  }
+  std::array<std::uint32_t, kStackHashes> order_stack;
+  std::vector<std::uint32_t> order_heap;
+  std::uint32_t* order = order_stack.data();
+  if (keys.size() > kStackHashes) {
+    order_heap.resize(keys.size());
+    order = order_heap.data();
+  }
+  std::vector<std::uint32_t> starts;
+  group_by_shard(hashes, keys.size(), order, starts);
+  std::uint64_t hit_count = 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (starts[s] == starts[s + 1]) continue;
+    Shard& shard = *shards_[s];
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    for (std::uint32_t j = starts[s]; j < starts[s + 1]; ++j) {
+      const std::size_t i = order[j];
+      std::size_t slot = 0;
+      if (shard.find(hashes[i], keys[i], &slot)) {
+        outs[i] = shard.vals[slot];
+        hits[i] = 1;
+        ++hit_count;
+      } else {
+        hits[i] = 0;
+      }
+    }
+  }
+  hits_.fetch_add(hit_count, std::memory_order_relaxed);
+  misses_.fetch_add(keys.size() - hit_count, std::memory_order_relaxed);
+}
+
+void MemoCache::insert_block(std::span<const CacheKey> keys,
+                             std::span<const EvalOutcome> outs) {
+  MS_CHECK(outs.size() == keys.size(),
+           "insert_block needs one outcome per key");
+  std::array<std::uint64_t, kStackHashes> stack;
+  std::vector<std::uint64_t> heap;
+  std::uint64_t* hashes = stack.data();
+  if (keys.size() > kStackHashes) {
+    heap.resize(keys.size());
+    hashes = heap.data();
+  }
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    hashes[i] = CacheKeyHash{}(keys[i]);
+  }
+  std::array<std::uint32_t, kStackHashes> order_stack;
+  std::vector<std::uint32_t> order_heap;
+  std::uint32_t* order = order_stack.data();
+  if (keys.size() > kStackHashes) {
+    order_heap.resize(keys.size());
+    order = order_heap.data();
+  }
+  std::vector<std::uint32_t> starts;
+  group_by_shard(hashes, keys.size(), order, starts);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (starts[s] == starts[s + 1]) continue;
+    Shard& shard = *shards_[s];
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    for (std::uint32_t j = starts[s]; j < starts[s + 1]; ++j) {
+      const std::size_t i = order[j];
+      shard.put(hashes[i], keys[i], outs[i]);
+    }
+  }
 }
 
 std::size_t MemoCache::size() const {
   std::size_t total = 0;
   for (const auto& shard : shards_) {
     std::shared_lock<std::shared_mutex> lock(shard->mu);
-    total += shard->map.size();
+    total += shard->used;
   }
   return total;
 }
@@ -125,7 +329,10 @@ MemoCache::Stats MemoCache::stats() const {
 void MemoCache::clear() {
   for (auto& shard : shards_) {
     std::unique_lock<std::shared_mutex> lock(shard->mu);
-    shard->map.clear();
+    shard->fps.clear();
+    shard->keys.clear();
+    shard->vals.clear();
+    shard->used = 0;
   }
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);

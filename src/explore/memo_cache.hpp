@@ -15,7 +15,7 @@
 #include <cstdint>
 #include <memory>
 #include <shared_mutex>
-#include <unordered_map>
+#include <span>
 #include <vector>
 
 #include "core/design_space.hpp"
@@ -62,6 +62,13 @@ struct CacheKey {
 /// laws were constructed).
 CacheKey cache_key(const core::EvalRequest& request);
 
+/// Batch form: fills `keys[i] = cache_key(requests[i])`.  One call keys a
+/// whole claim block, matching the batch evaluation path so keying does
+/// not re-introduce per-request call overhead on the 4×-faster hot loop.
+/// `keys.size()` must equal `requests.size()`.
+void cache_keys(std::span<const core::EvalRequest> requests,
+                std::span<CacheKey> keys);
+
 /// Hash functor for CacheKey (also used for shard selection).
 struct CacheKeyHash {
   std::size_t operator()(const CacheKey& key) const noexcept;
@@ -74,6 +81,15 @@ struct CacheKeyHash {
 /// worker pool is almost entirely lookups against an archive that never
 /// shrinks, so concurrent readers must not serialize on each other —
 /// only an insert (a live-evaluation miss) takes a shard exclusively.
+///
+/// Storage is a per-shard open-addressing table (linear probing over
+/// hash fingerprints, entries never erased individually) rather than a
+/// node-based map: an insert is a slot write with no per-entry heap
+/// allocation, which matters on a cold exhaustive sweep where every
+/// point inserts exactly once.  The block entry points amortize the
+/// hash-and-lock overhead across an engine claim block — each key is
+/// hashed once, each shard locked at most once per block — and are the
+/// paths evaluate_jobs rides.
 class MemoCache {
  public:
   struct Stats {
@@ -96,6 +112,25 @@ class MemoCache {
   /// Inserts (or overwrites) the outcome for `key`.
   void insert(const CacheKey& key, const EvalOutcome& outcome);
 
+  /// Block lookup: for each i sets hits[i] and, on a hit, outs[i].
+  /// Counts one hit or miss per key.  All three spans must be the same
+  /// length.  Equivalent to lookup() per element, with each shard locked
+  /// at most once for the whole block.
+  void lookup_block(std::span<const CacheKey> keys,
+                    std::span<EvalOutcome> outs,
+                    std::span<std::uint8_t> hits) const;
+
+  /// Block insert: inserts (or overwrites) keys[i] -> outs[i] for every
+  /// i, locking each shard at most once.  Spans must be the same length.
+  void insert_block(std::span<const CacheKey> keys,
+                    std::span<const EvalOutcome> outs);
+
+  /// Pre-sizes every shard for `expected` total entries, so a sweep
+  /// that knows its point count up front (an exhaustive space walk, a
+  /// warm-load from a run log) inserts without any mid-sweep rehash.
+  /// Existing entries are kept; shrinking is not supported.
+  void reserve(std::size_t expected);
+
   /// Number of distinct memoized design points.
   std::size_t size() const;
 
@@ -109,12 +144,36 @@ class MemoCache {
   std::size_t shard_count() const noexcept { return shards_.size(); }
 
  private:
+  /// Open-addressing shard: parallel fingerprint/key/outcome arrays with
+  /// power-of-two capacity.  fp 0 marks an empty slot (fingerprints are
+  /// forced odd), linear probing, grown at 3/4 load.
   struct Shard {
     mutable std::shared_mutex mu;
-    std::unordered_map<CacheKey, EvalOutcome, CacheKeyHash> map;
+    std::vector<std::uint64_t> fps;
+    std::vector<CacheKey> keys;
+    std::vector<EvalOutcome> vals;
+    std::size_t used = 0;
+
+    bool find(std::uint64_t hash, const CacheKey& key,
+              std::size_t* slot) const noexcept;
+    void put(std::uint64_t hash, const CacheKey& key,
+             const EvalOutcome& outcome);
+    void grow();
+    void rebuild(std::size_t cap);
   };
 
-  Shard& shard_for(const CacheKey& key) const;
+  std::size_t shard_of(std::uint64_t hash) const noexcept {
+    // High bits pick the shard, low bits the slot, so striping across
+    // shards stays independent of the in-shard probe sequence.
+    return static_cast<std::size_t>(hash >> 48) % shards_.size();
+  }
+
+  /// Counting-sort grouping for the block ops: fills `order` (length
+  /// `count`) with key indices grouped by shard, and `starts` with each
+  /// shard's [starts[s], starts[s+1]) range into it.
+  void group_by_shard(const std::uint64_t* hashes, std::size_t count,
+                      std::uint32_t* order,
+                      std::vector<std::uint32_t>& starts) const;
 
   std::vector<std::unique_ptr<Shard>> shards_;
   mutable std::atomic<std::uint64_t> hits_{0};

@@ -95,6 +95,87 @@ bool SearchSpace::job_at(const Coords& coords, explore::EvalJob* out) const {
   return true;
 }
 
+namespace {
+
+/// Assign-if-different helpers for slot reuse: identity is judged the
+/// way the rest of the hot path judges it — (kind, interned name,
+/// exponent) for law objects, value fields for app parameters — so an
+/// unchanged field costs a few POD compares instead of a string and
+/// std::function copy.
+void assign_growth(core::GrowthFunction& dst, const core::GrowthFunction& src) {
+  if (dst.kind() != src.kind() || dst.name_id() != src.name_id() ||
+      dst.exponent() != src.exponent()) {
+    dst = src;
+  }
+}
+
+void assign_perf(core::PerfLaw& dst, const core::PerfLaw& src) {
+  if (dst.name_id() != src.name_id() || dst.exponent() != src.exponent()) {
+    dst = src;
+  }
+}
+
+void assign_app(core::AppParams& dst, const core::AppParams& src) {
+  if (dst.f != src.f || dst.fcon != src.fcon || dst.fored != src.fored ||
+      dst.name != src.name) {
+    dst = src;
+  }
+}
+
+void assign_string(std::string& dst, std::string_view src) {
+  if (dst != src) dst = src;
+}
+
+}  // namespace
+
+void SearchSpace::jobs_in(std::uint64_t begin, std::uint64_t end,
+                          std::vector<explore::EvalJob>& out) const {
+  MS_CHECK(begin <= end && end <= size_, "job range out of bounds");
+  std::size_t count = 0;
+  Coords coords = begin < end ? decode(begin) : Coords{};
+  for (std::uint64_t flat = begin; flat < end; ++flat) {
+    const double n = spec_.chip_budgets[coords[0]];
+    const core::ModelVariant variant = spec_.variants[coords[3]];
+    const bool asym = core::is_asymmetric_variant(variant);
+    const double size = sizes_[coords[6]];
+    const double small = smalls_[coords[5]];
+    const bool in_bounds = size <= n && (!asym || small <= n);
+    if (in_bounds) {
+      if (count == out.size()) out.emplace_back();
+      explore::EvalJob& job = out[count];
+      job.index = count;
+      assign_string(job.scenario, spec_.name);
+      job.request.variant = variant;
+      job.request.chip.n = n;
+      assign_perf(job.request.chip.perf, spec_.perf);
+      assign_app(job.request.app, spec_.apps[coords[1]]);
+      assign_growth(job.request.growth, spec_.growths[coords[2]]);
+      if (core::is_comm_variant(variant)) {
+        const noc::Topology topology = spec_.topologies[coords[4]];
+        assign_growth(job.request.comm_growth, core::comm_growth(topology));
+        job.request.comp_share = spec_.comp_share;
+        assign_string(job.topology, noc::topology_name(topology));
+      } else {
+        assign_string(job.topology, "-");
+      }
+      if (asym) {
+        job.request.r = small;
+        job.request.rl = size;
+      } else {
+        job.request.r = size;
+        job.request.rl = 0.0;
+      }
+      ++count;
+    }
+    // Mixed-radix increment, innermost axis first.
+    for (std::size_t dim = kDims; dim-- > 0;) {
+      if (++coords[dim] < axis_size(dim)) break;
+      coords[dim] = 0;
+    }
+  }
+  out.resize(count);
+}
+
 ShardPlan::ShardPlan(std::uint64_t space_size, std::size_t shard_count)
     : space_size_(space_size), shard_count_(shard_count) {
   if (shard_count == 0) {

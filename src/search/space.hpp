@@ -57,6 +57,21 @@ class SearchSpace {
   /// artifact of sharing one size grid across budgets.
   bool job_at(const Coords& coords, explore::EvalJob* out) const;
 
+  /// Materializes the in-bounds jobs of the flat range [begin, end) into
+  /// `out`, renumbered so out[i].index == i — ready for
+  /// ExploreEngine::run.  The batch counterpart of job_at for the
+  /// chunked sweeps: `out`'s slots are reused across calls (strings and
+  /// law objects are assigned in place, and fields a slot already holds
+  /// — the spec name, an unchanged perf law or growth — are left
+  /// untouched), so a steady-state chunk loop materializes a point for a
+  /// fraction of a fresh EvalJob construction.  Like the cache key and
+  /// the batch grouping, law identity is judged by (kind, interned name,
+  /// exponent).  Note: fields the variant never reads (comm growth,
+  /// comp_share of a non-comm point) may hold stale values from the
+  /// slot's previous occupant; every consumer normalizes them away.
+  void jobs_in(std::uint64_t begin, std::uint64_t end,
+               std::vector<explore::EvalJob>& out) const;
+
   /// The resolved candidate-size grid (never empty).
   const std::vector<double>& sizes() const noexcept { return sizes_; }
 

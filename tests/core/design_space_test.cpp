@@ -12,6 +12,16 @@ const GrowthFunction kLinear = GrowthFunction::linear();
 
 AppParams sample() { return AppParams{"sample", 0.99, 0.6, 0.8}; }
 
+EvalRequest symmetric_request() {
+  return EvalRequest{ModelVariant::kSymmetric, kChip, sample(), kLinear};
+}
+
+EvalRequest asymmetric_request(double r) {
+  EvalRequest request{ModelVariant::kAsymmetric, kChip, sample(), kLinear};
+  request.r = r;
+  return request;
+}
+
 TEST(PowerOfTwoSizes, CoversBudget) {
   const auto sizes = power_of_two_sizes(256);
   ASSERT_EQ(sizes.size(), 9u);  // 1..256
@@ -29,7 +39,7 @@ TEST(PowerOfTwoSizes, NonPowerBudgetStopsBelow) {
 
 TEST(SweepSymmetric, EvaluatesEverySize) {
   const auto sizes = power_of_two_sizes(kChip.n);
-  const auto sweep = sweep_symmetric(kChip, sample(), kLinear, sizes);
+  const auto sweep = evaluate_sweep(symmetric_request(), sizes);
   ASSERT_EQ(sweep.size(), sizes.size());
   for (std::size_t i = 0; i < sweep.size(); ++i) {
     EXPECT_DOUBLE_EQ(sweep[i].r, sizes[i]);
@@ -42,7 +52,7 @@ TEST(SweepAsymmetric, SkipsInfeasiblePoints) {
   const auto sizes = power_of_two_sizes(kChip.n);
   // r = 16: rl = 248..255 infeasible, but all power-of-two rl values fit
   // except r > n - rl cases; for rl = 256 the large core fills the chip.
-  const auto sweep = sweep_asymmetric(kChip, sample(), kLinear, sizes, 16);
+  const auto sweep = evaluate_sweep(asymmetric_request(16), sizes);
   for (const auto& p : sweep) {
     EXPECT_TRUE(p.rl == kChip.n || 16 <= kChip.n - p.rl) << p.rl;
   }
@@ -94,15 +104,15 @@ TEST(TryBestPoint, FullyInfeasibleAsymmetricSweepDegradesToNullopt) {
   // r = 255 cannot sit next to any power-of-two large core on a 256-BCE
   // chip (rl = 256 leaves no room, smaller rl leaves < 255): the sweep
   // comes back empty and try_best_point reports "no design" gracefully.
-  const auto sweep = sweep_asymmetric(kChip, sample(), kLinear,
-                                      {2.0, 4.0, 8.0, 16.0}, 255.0);
+  const std::vector<double> sizes{2.0, 4.0, 8.0, 16.0};
+  const auto sweep = evaluate_sweep(asymmetric_request(255.0), sizes);
   EXPECT_TRUE(sweep.empty());
   EXPECT_FALSE(try_best_point(sweep).has_value());
 }
 
 TEST(OptimalSymmetric, ConsistentWithExhaustiveSweep) {
-  const auto sweep = sweep_symmetric(kChip, sample(), kLinear,
-                                     power_of_two_sizes(kChip.n));
+  const auto sweep =
+      evaluate_sweep(symmetric_request(), power_of_two_sizes(kChip.n));
   const DesignPoint expected = best_point(sweep);
   const DesignPoint actual = optimal_symmetric(kChip, sample(), kLinear);
   EXPECT_DOUBLE_EQ(actual.r, expected.r);
@@ -113,8 +123,7 @@ TEST(OptimalAsymmetric, AtLeastAsGoodAsAnySweptPair) {
   const DesignPoint best = optimal_asymmetric(kChip, sample(), kLinear);
   const auto sizes = power_of_two_sizes(kChip.n);
   for (double r : {1.0, 4.0, 16.0}) {
-    for (const auto& p :
-         sweep_asymmetric(kChip, sample(), kLinear, sizes, r)) {
+    for (const auto& p : evaluate_sweep(asymmetric_request(r), sizes)) {
       EXPECT_GE(best.speedup + 1e-9, p.speedup) << "rl=" << p.rl << " r=" << r;
     }
   }
@@ -123,8 +132,10 @@ TEST(OptimalAsymmetric, AtLeastAsGoodAsAnySweptPair) {
 TEST(SweepSymmetricComm, MatchesDirectEvaluation) {
   const CommAppParams app = CommAppParams::from(sample());
   const auto sizes = power_of_two_sizes(kChip.n);
-  const auto sweep = sweep_symmetric_comm(
-      kChip, app, GrowthFunction::parallel(), mesh_comm_growth(), sizes);
+  const auto sweep = evaluate_sweep(
+      make_comm_request(ModelVariant::kSymmetricComm, kChip, app,
+                        GrowthFunction::parallel(), mesh_comm_growth()),
+      sizes);
   ASSERT_EQ(sweep.size(), sizes.size());
   for (const auto& p : sweep) {
     EXPECT_DOUBLE_EQ(
@@ -136,13 +147,47 @@ TEST(SweepSymmetricComm, MatchesDirectEvaluation) {
 
 TEST(SweepAsymmetricComm, SkipsInfeasiblePoints) {
   const CommAppParams app = CommAppParams::from(sample());
-  const auto sweep = sweep_asymmetric_comm(
-      kChip, app, GrowthFunction::parallel(), mesh_comm_growth(),
-      power_of_two_sizes(kChip.n), 64);
+  EvalRequest request =
+      make_comm_request(ModelVariant::kAsymmetricComm, kChip, app,
+                        GrowthFunction::parallel(), mesh_comm_growth());
+  request.r = 64;
+  const auto sweep = evaluate_sweep(request, power_of_two_sizes(kChip.n));
   for (const auto& p : sweep) {
     EXPECT_TRUE(p.rl == kChip.n || 64 <= kChip.n - p.rl) << p.rl;
   }
 }
+
+// The deprecated sweep_* entry points must stay thin wrappers over
+// evaluate_sweep until they are removed — pinned here (and only here,
+// under a pragma) so a drift between the legacy and batch paths cannot
+// ship silently.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(DeprecatedSweeps, RemainWrappersOverEvaluateSweep) {
+  const auto sizes = power_of_two_sizes(kChip.n);
+  const auto legacy_sym = sweep_symmetric(kChip, sample(), kLinear, sizes);
+  const auto batch_sym = evaluate_sweep(symmetric_request(), sizes);
+  ASSERT_EQ(legacy_sym.size(), batch_sym.size());
+  for (std::size_t i = 0; i < legacy_sym.size(); ++i) {
+    EXPECT_DOUBLE_EQ(legacy_sym[i].speedup, batch_sym[i].speedup);
+  }
+
+  const CommAppParams comm_app = CommAppParams::from(sample());
+  const auto legacy_comm = sweep_asymmetric_comm(
+      kChip, comm_app, GrowthFunction::parallel(), mesh_comm_growth(), sizes,
+      16);
+  EvalRequest request =
+      make_comm_request(ModelVariant::kAsymmetricComm, kChip, comm_app,
+                        GrowthFunction::parallel(), mesh_comm_growth());
+  request.r = 16;
+  const auto batch_comm = evaluate_sweep(request, sizes);
+  ASSERT_EQ(legacy_comm.size(), batch_comm.size());
+  for (std::size_t i = 0; i < legacy_comm.size(); ++i) {
+    EXPECT_DOUBLE_EQ(legacy_comm[i].rl, batch_comm[i].rl);
+    EXPECT_DOUBLE_EQ(legacy_comm[i].speedup, batch_comm[i].speedup);
+  }
+}
+#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace mergescale::core

@@ -1,0 +1,276 @@
+// Batch-vs-scalar equivalence property suite for the SoA evaluation
+// path.  The contract under test: evaluate_batch produces, for every
+// request, a result *bit-identical* to the scalar reference
+// evaluate_reference — across mixed variants, laws, growths, infeasible
+// asymmetric points, and non-finite-producing parameter corners.
+
+#include "core/eval_batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <iterator>
+#include <optional>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+#include "core/comm_model.hpp"
+
+namespace mergescale::core {
+namespace {
+
+void expect_bit_equal(const std::optional<DesignPoint>& batch,
+                      const std::optional<DesignPoint>& reference,
+                      std::size_t index) {
+  ASSERT_EQ(batch.has_value(), reference.has_value()) << "request " << index;
+  if (!batch) return;
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(batch->r),
+            std::bit_cast<std::uint64_t>(reference->r))
+      << "request " << index;
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(batch->rl),
+            std::bit_cast<std::uint64_t>(reference->rl))
+      << "request " << index;
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(batch->speedup),
+            std::bit_cast<std::uint64_t>(reference->speedup))
+      << "request " << index << " batch=" << batch->speedup
+      << " reference=" << reference->speedup;
+}
+
+void expect_batch_matches_reference(const std::vector<EvalRequest>& requests) {
+  std::vector<std::optional<DesignPoint>> results(requests.size());
+  evaluate_batch(requests, results);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    expect_bit_equal(results[i], evaluate_reference(requests[i]), i);
+  }
+}
+
+/// Deterministic randomized batch mixing every variant, several laws and
+/// growths (built-in and custom), infeasible (rl, r) pairs, and a
+/// NaN-producing corner: fored = 0 with superlinear(800) growth makes
+/// fored * g(nc) = 0 * inf = NaN, which must round-trip bit-identically.
+std::vector<EvalRequest> random_requests(std::size_t count,
+                                         std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  const ModelVariant variants[] = {
+      ModelVariant::kSymmetric, ModelVariant::kAsymmetric,
+      ModelVariant::kSymmetricComm, ModelVariant::kAsymmetricComm};
+  const double budgets[] = {64.0, 256.0};
+  const PerfLaw perfs[] = {
+      PerfLaw::pollack(), PerfLaw::linear(), PerfLaw::power(0.3),
+      PerfLaw::custom("cbrt", [](double r) { return std::cbrt(r); })};
+  const GrowthFunction growths[] = {
+      GrowthFunction::linear(),
+      GrowthFunction::logarithmic(),
+      GrowthFunction::parallel(),
+      GrowthFunction::superlinear(2.0),
+      GrowthFunction::superlinear(800.0),  // inf at large nc
+      GrowthFunction::custom("tri", [](double nc) { return nc - 1.0; })};
+  const GrowthFunction comm_growths[] = {mesh_comm_growth(),
+                                         GrowthFunction::linear()};
+  const double rs[] = {1.0, 2.0, 3.7, 8.0, 16.0, 64.0};
+  const double rls[] = {1.0, 16.0, 32.0, 63.0, 64.0};
+  const double fs[] = {0.5, 0.99, 0.999};
+  const double fcons[] = {0.0, 0.6, 1.0};
+  const double foreds[] = {0.0, 0.8, 1.55};
+  const double shares[] = {0.0, 0.5, 1.0};
+
+  auto pick = [&rng](const auto& options) {
+    std::uniform_int_distribution<std::size_t> dist(0, std::size(options) - 1);
+    return options[dist(rng)];
+  };
+
+  std::vector<EvalRequest> requests;
+  requests.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    EvalRequest q;
+    q.variant = pick(variants);
+    q.chip.n = pick(budgets);
+    q.chip.perf = pick(perfs);
+    q.app = AppParams{"rand", pick(fs), pick(fcons), pick(foreds)};
+    q.growth = pick(growths);
+    q.comm_growth = pick(comm_growths);
+    q.comp_share = pick(shares);
+    q.r = pick(rs);
+    q.rl = pick(rls);  // rl <= 64 <= n keeps invalid-rl throws out of
+                       // the mix while still producing infeasible pairs
+    requests.push_back(q);
+  }
+  return requests;
+}
+
+TEST(EvaluateBatch, RandomizedMixedBatchesAreBitIdenticalToScalar) {
+  for (std::uint32_t seed : {1u, 2u, 3u}) {
+    expect_batch_matches_reference(random_requests(500, seed));
+  }
+}
+
+TEST(EvaluateBatch, NanProducingPointsRoundTripBitExactly) {
+  // fored = 0 × g(nc) = inf is the documented NaN corner; pin it
+  // explicitly rather than rely on the random mix hitting it.
+  EvalRequest q;
+  q.variant = ModelVariant::kSymmetric;
+  q.app = AppParams{"nan", 0.99, 0.6, 0.0};
+  q.growth = GrowthFunction::superlinear(800.0);
+  q.r = 1.0;
+  const auto reference = evaluate_reference(q);
+  ASSERT_TRUE(reference.has_value());
+  ASSERT_TRUE(std::isnan(reference->speedup));
+  expect_batch_matches_reference({q});
+}
+
+TEST(EvaluateBatch, ShuffledBatchReturnsResultsInInputOrder) {
+  // Interleave groups so grouping must permute lanes, then verify each
+  // result slot still matches its own request (identifiable by r).
+  std::vector<EvalRequest> requests = random_requests(200, 7);
+  std::shuffle(requests.begin(), requests.end(), std::mt19937(11));
+  std::vector<std::optional<DesignPoint>> results(requests.size());
+  evaluate_batch(requests, results);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const auto reference = evaluate_reference(requests[i]);
+    ASSERT_EQ(results[i].has_value(), reference.has_value()) << i;
+    if (!results[i]) continue;
+    EXPECT_EQ(results[i]->r, requests[i].r) << i;
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(results[i]->speedup),
+              std::bit_cast<std::uint64_t>(reference->speedup))
+        << i;
+  }
+}
+
+TEST(EvaluateBatch, ScalarEvaluateIsTheBatchPath) {
+  // core::evaluate is a one-element evaluate_batch wrapper; its results
+  // must match both the reference and a multi-element batch evaluation.
+  for (const EvalRequest& q : random_requests(100, 21)) {
+    expect_bit_equal(evaluate(q), evaluate_reference(q), 0);
+  }
+}
+
+TEST(EvaluateBatch, CustomEvaluateNOverrideIsUsed) {
+  int perf_batch_calls = 0;
+  EvalRequest q;
+  q.variant = ModelVariant::kSymmetric;
+  q.chip.perf = PerfLaw::custom(
+      "counted-sqrt", [](double r) { return std::sqrt(r); },
+      [&perf_batch_calls](const double* r, double* out, std::size_t count) {
+        ++perf_batch_calls;
+        for (std::size_t i = 0; i < count; ++i) out[i] = std::sqrt(r[i]);
+      });
+  std::vector<EvalRequest> requests;
+  for (double r : {1.0, 2.0, 4.0, 8.0}) {
+    q.r = r;
+    requests.push_back(q);
+  }
+  std::vector<std::optional<DesignPoint>> results(requests.size());
+  evaluate_batch(requests, results);
+  EXPECT_EQ(perf_batch_calls, 1);  // one group, one plane call
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    // The reference path evaluates via the scalar callable; the override
+    // computes the same sqrt, so even here results stay bit-identical.
+    expect_bit_equal(results[i], evaluate_reference(requests[i]), i);
+  }
+}
+
+TEST(EvaluateBatch, CustomLawsWithoutBatchKernelFallBackToScalarLoop) {
+  EvalRequest q;
+  q.variant = ModelVariant::kSymmetricComm;
+  q.chip.perf = PerfLaw::custom("plaw", [](double r) {
+    return 1.0 + std::log2(r);
+  });
+  q.growth = GrowthFunction::custom("glaw", [](double nc) {
+    return 0.5 * (nc - 1.0);
+  });
+  q.comm_growth = mesh_comm_growth();  // custom-law path too
+  std::vector<EvalRequest> requests;
+  for (double r : {1.0, 4.0, 16.0, 64.0, 256.0}) {
+    q.r = r;
+    requests.push_back(q);
+  }
+  expect_batch_matches_reference(requests);
+}
+
+TEST(EvaluateBatch, FirstInvalidRequestInInputOrderThrows) {
+  std::vector<EvalRequest> requests(3);
+  requests[1].app.f = 1.5;  // out of (0, 1)
+  std::vector<std::optional<DesignPoint>> results(requests.size());
+  EXPECT_THROW(evaluate_batch(requests, results), std::invalid_argument);
+}
+
+TEST(EvaluateBatch, InfeasibleRequestsSkipValidationLikeTheScalarPath) {
+  // evaluate_reference gates infeasibility *before* validation, so an
+  // infeasible request with invalid app params yields nullopt, not a
+  // throw — the batch path must agree.
+  EvalRequest q;
+  q.variant = ModelVariant::kAsymmetric;
+  q.app.f = 1.5;  // invalid, but never validated
+  q.rl = 128.0;
+  q.r = 200.0;  // does not fit next to rl: infeasible
+  ASSERT_EQ(evaluate_reference(q), std::nullopt);
+  std::vector<std::optional<DesignPoint>> results(1);
+  evaluate_batch(std::vector<EvalRequest>{q}, results);
+  EXPECT_EQ(results[0], std::nullopt);
+}
+
+TEST(EvaluateBatch, SubUnitSerialPerfThrowsLikeTheScalarPath) {
+  // A custom perf law can dip below 1 where the comm model divides the
+  // serial section by it; both paths must reject that identically.
+  EvalRequest q;
+  q.variant = ModelVariant::kSymmetricComm;
+  q.chip.perf = PerfLaw::custom("inv", [](double r) { return 1.0 / r; });
+  q.r = 4.0;
+  EXPECT_THROW(evaluate_reference(q), std::invalid_argument);
+  std::vector<std::optional<DesignPoint>> results(1);
+  EXPECT_THROW(evaluate_batch(std::vector<EvalRequest>{q}, results),
+               std::invalid_argument);
+}
+
+TEST(EvaluateBatch, ResultSpanSizeMismatchThrows) {
+  std::vector<EvalRequest> requests(2);
+  std::vector<std::optional<DesignPoint>> results(1);
+  EXPECT_THROW(evaluate_batch(requests, results), std::invalid_argument);
+}
+
+TEST(EvaluateN, BuiltInLawsCheckTheDomainFolded) {
+  const double bad[] = {4.0, 0.5};  // one out-of-domain lane
+  double out[2];
+  EXPECT_THROW(PerfLaw::pollack().evaluate_n(bad, out, 2),
+               std::invalid_argument);
+  EXPECT_THROW(GrowthFunction::linear().evaluate_n(bad, out, 2),
+               std::invalid_argument);
+}
+
+TEST(EvaluateN, DefaultScalarHookMatchesOperatorCall) {
+  const GrowthFunction custom =
+      GrowthFunction::custom("c", [](double nc) { return (nc - 1.0) * 0.25; });
+  const double in[] = {1.0, 2.0, 37.5};
+  double out[3];
+  custom.evaluate_n(in, out, 3);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(out[i]),
+              std::bit_cast<std::uint64_t>(custom(in[i])));
+  }
+}
+
+TEST(EvaluateSweep, MatchesScalarReferenceLoop) {
+  const std::vector<double> sizes = power_of_two_sizes(256.0);
+  EvalRequest base{ModelVariant::kAsymmetric, ChipConfig::icpp2011(),
+                   AppParams{"s", 0.99, 0.6, 0.8}, GrowthFunction::linear()};
+  base.r = 16.0;
+  const auto sweep = evaluate_sweep(base, sizes);
+  std::vector<DesignPoint> expected;
+  for (double rl : sizes) {
+    EvalRequest q = base;
+    q.rl = rl;
+    if (auto point = evaluate_reference(q)) expected.push_back(*point);
+  }
+  ASSERT_EQ(sweep.size(), expected.size());
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(sweep[i].speedup),
+              std::bit_cast<std::uint64_t>(expected[i].speedup));
+  }
+}
+
+}  // namespace
+}  // namespace mergescale::core

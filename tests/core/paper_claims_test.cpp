@@ -17,6 +17,24 @@ namespace {
 const ChipConfig kChip = ChipConfig::icpp2011();
 const GrowthFunction kLinear = GrowthFunction::linear();
 
+std::vector<DesignPoint> asymmetric_sweep(const AppParams& app,
+                                          const std::vector<double>& sizes,
+                                          double r) {
+  EvalRequest request{ModelVariant::kAsymmetric, kChip, app, kLinear};
+  request.r = r;
+  return evaluate_sweep(request, sizes);
+}
+
+std::vector<DesignPoint> asymmetric_comm_sweep(const CommAppParams& app,
+                                               const std::vector<double>& sizes,
+                                               double r) {
+  EvalRequest request =
+      make_comm_request(ModelVariant::kAsymmetricComm, kChip, app,
+                        GrowthFunction::parallel(), mesh_comm_growth());
+  request.r = r;
+  return evaluate_sweep(request, sizes);
+}
+
 // "(0.999, Linear) in graph 4(c) attains a maximum speedup of 104.5 for
 // r = 4"
 TEST(PaperClaims, Fig4cPeak) {
@@ -57,10 +75,8 @@ TEST(PaperClaims, Fig5dPeak) {
   EXPECT_NEAR(speedup_asymmetric(kChip, app, kLinear, 64, 4), 64.2, 0.1);
   // r = 4 yields higher speedup than r = 1 for this class:
   const auto sizes = power_of_two_sizes(kChip.n);
-  const double best_r4 =
-      best_point(sweep_asymmetric(kChip, app, kLinear, sizes, 4)).speedup;
-  const double best_r1 =
-      best_point(sweep_asymmetric(kChip, app, kLinear, sizes, 1)).speedup;
+  const double best_r4 = best_point(asymmetric_sweep(app, sizes, 4)).speedup;
+  const double best_r1 = best_point(asymmetric_sweep(app, sizes, 1)).speedup;
   EXPECT_GT(best_r4, best_r1);
 }
 
@@ -69,8 +85,7 @@ TEST(PaperClaims, Fig5dPeak) {
 TEST(PaperClaims, Fig5hManySmallCores) {
   const AppParams app = presets::application_class(false, false, true);
   const auto sizes = power_of_two_sizes(kChip.n);
-  const DesignPoint best_r1 =
-      best_point(sweep_asymmetric(kChip, app, kLinear, sizes, 1));
+  const DesignPoint best_r1 = best_point(asymmetric_sweep(app, sizes, 1));
   EXPECT_NEAR(best_r1.speedup, 22.6, 0.1);
   EXPECT_DOUBLE_EQ(best_r1.rl, 128.0);
   // ...worse than the best symmetric design (36.2):
@@ -82,8 +97,7 @@ TEST(PaperClaims, Fig5hManySmallCores) {
 TEST(PaperClaims, Fig5hCapableSmallCores) {
   const AppParams app = presets::application_class(false, false, true);
   const auto sizes = power_of_two_sizes(kChip.n);
-  const DesignPoint best =
-      best_point(sweep_asymmetric(kChip, app, kLinear, sizes, 4));
+  const DesignPoint best = best_point(asymmetric_sweep(app, sizes, 4));
   EXPECT_NEAR(best.speedup, 43.3, 0.1);
 }
 
@@ -111,8 +125,9 @@ TEST(PaperClaims, AmdahlBaselines) {
 // speedup is less (79.7 against 46.6)".
 TEST(PaperClaims, Fig7aCommunicationModel) {
   const CommAppParams app{"fig7", 0.99, 0.60, 0.5};
-  const auto sweep = sweep_symmetric_comm(
-      kChip, app, GrowthFunction::parallel(), mesh_comm_growth(),
+  const auto sweep = evaluate_sweep(
+      make_comm_request(ModelVariant::kSymmetricComm, kChip, app,
+                        GrowthFunction::parallel(), mesh_comm_growth()),
       power_of_two_sizes(kChip.n));
   const DesignPoint best = best_point(sweep);
   EXPECT_DOUBLE_EQ(best.r, 8.0);
@@ -124,10 +139,8 @@ TEST(PaperClaims, Fig7aCommunicationModel) {
 TEST(PaperClaims, Fig7bCommunicationModel) {
   const CommAppParams app{"fig7", 0.99, 0.60, 0.5};
   const auto sizes = power_of_two_sizes(kChip.n);
-  const DesignPoint best_r4 = best_point(sweep_asymmetric_comm(
-      kChip, app, GrowthFunction::parallel(), mesh_comm_growth(), sizes, 4));
-  const DesignPoint best_r1 = best_point(sweep_asymmetric_comm(
-      kChip, app, GrowthFunction::parallel(), mesh_comm_growth(), sizes, 1));
+  const DesignPoint best_r4 = best_point(asymmetric_comm_sweep(app, sizes, 4));
+  const DesignPoint best_r1 = best_point(asymmetric_comm_sweep(app, sizes, 1));
   EXPECT_NEAR(best_r4.speedup, 51.6, 0.1);
   EXPECT_GT(best_r4.speedup, best_r1.speedup);
   // "the speedup improvement of ACMP over CMP is diminished": 51.6 vs

@@ -127,6 +127,40 @@ TEST(ExploreEngine, MarksInfeasibleAsymmetricPoints) {
   }
 }
 
+TEST(EvaluateJobs, MatchesThePerJobPathWithoutACache) {
+  const auto jobs = mixed_spec().expand();
+  ASSERT_FALSE(jobs.empty());
+  std::vector<EvalResult> batch(jobs.size());
+  BatchScratch scratch;
+  evaluate_jobs(jobs, batch, nullptr, /*use_cache=*/false, scratch);
+  std::vector<EvalResult> sequential;
+  for (const auto& job : jobs) {
+    sequential.push_back(evaluate_job(job, nullptr, /*use_cache=*/false));
+  }
+  expect_same_results(batch, sequential);
+}
+
+TEST(EvaluateJobs, ServesRepeatsFromTheCacheAndKeysTheBlock) {
+  const auto jobs = mixed_spec().expand();
+  MemoCache cache;
+  BatchScratch scratch;
+  std::vector<EvalResult> cold(jobs.size());
+  evaluate_jobs(jobs, cold, &cache, /*use_cache=*/true, scratch);
+  EXPECT_GT(cache.size(), 0u);
+
+  std::vector<EvalResult> warm(jobs.size());
+  evaluate_jobs(jobs, warm, &cache, /*use_cache=*/true, scratch);
+  expect_same_results(cold, warm);
+  for (const auto& result : warm) EXPECT_TRUE(result.from_cache);
+
+  // The block keying the batch path relies on matches the scalar keys.
+  std::vector<CacheKey> keys(jobs.size());
+  cache_keys(jobs, keys);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(keys[i], cache_key(jobs[i].request)) << "job " << i;
+  }
+}
+
 TEST(ExploreEngine, EmptyJobListYieldsEmptyResults) {
   ExploreEngine engine({.threads = 2});
   EXPECT_TRUE(engine.run(std::vector<EvalJob>{}).empty());

@@ -128,6 +128,28 @@ TEST(CacheKey, NormalizesFieldsTheVariantIgnores) {
   EXPECT_FALSE(cache_key(a) == cache_key(b));
 }
 
+TEST(CacheKey, BatchOverloadMatchesTheScalarKey) {
+  std::vector<core::EvalRequest> requests;
+  for (double r : {1.0, 2.0, 4.0, 8.0}) {
+    core::EvalRequest request = sample_request();
+    request.r = r;
+    requests.push_back(request);
+    request.variant = core::ModelVariant::kSymmetricComm;
+    requests.push_back(request);
+  }
+  std::vector<CacheKey> keys(requests.size());
+  cache_keys(requests, keys);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(keys[i], cache_key(requests[i])) << "request " << i;
+  }
+}
+
+TEST(CacheKey, BatchOverloadRejectsMismatchedSpans) {
+  std::vector<core::EvalRequest> requests(2);
+  std::vector<CacheKey> keys(3);
+  EXPECT_THROW(cache_keys(requests, keys), std::invalid_argument);
+}
+
 TEST(MemoCache, LookupAfterInsertRoundTrips) {
   MemoCache cache(4);
   const CacheKey key = cache_key(sample_request());
