@@ -4,7 +4,7 @@
 
 namespace mergescale::util {
 
-std::string json_escape(const std::string& text) {
+std::string json_escape(std::string_view text) {
   std::string out;
   out.reserve(text.size());
   for (char c : text) {

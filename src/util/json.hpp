@@ -4,12 +4,13 @@
 // writers and the search-side parser cannot drift apart.
 
 #include <string>
+#include <string_view>
 
 namespace mergescale::util {
 
 /// Escapes `text` for embedding inside a JSON string literal: quote,
 /// backslash, and control bytes (as \u00XX).  The inverse lives in
 /// search::parse_flat_object's string handling.
-std::string json_escape(const std::string& text);
+std::string json_escape(std::string_view text);
 
 }  // namespace mergescale::util

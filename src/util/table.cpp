@@ -56,9 +56,12 @@ std::string Table::to_text(std::string_view title) const {
 
   std::ostringstream out;
   if (!title.empty()) out << "== " << title << " ==\n";
+  // A `cells[c] : std::string{}` ternary would convert both branches to
+  // a prvalue and copy every cell; the named empty keeps the reference.
+  static const std::string kEmpty;
   auto emit_row = [&](const std::vector<std::string>& cells) {
     for (std::size_t c = 0; c < columns(); ++c) {
-      const std::string& text = c < cells.size() ? cells[c] : std::string{};
+      const std::string& text = c < cells.size() ? cells[c] : kEmpty;
       out << text << std::string(widths[c] - text.size() + 2, ' ');
     }
     out << '\n';
