@@ -107,6 +107,7 @@ std::vector<double> power_of_two_sizes(double n) {
   return sizes;
 }
 
+// mslint: allow(deprecated-sweep) — the definition itself
 std::vector<DesignPoint> sweep_symmetric(const ChipConfig& chip,
                                          const AppParams& app,
                                          const GrowthFunction& growth,
@@ -116,6 +117,7 @@ std::vector<DesignPoint> sweep_symmetric(const ChipConfig& chip,
                         sizes);
 }
 
+// mslint: allow(deprecated-sweep) — the definition itself
 std::vector<DesignPoint> sweep_asymmetric(const ChipConfig& chip,
                                           const AppParams& app,
                                           const GrowthFunction& growth,
@@ -162,6 +164,7 @@ DesignPoint optimal_asymmetric(const ChipConfig& chip, const AppParams& app,
   return best;
 }
 
+// mslint: allow(deprecated-sweep) — the definition itself
 std::vector<DesignPoint> sweep_symmetric_comm(
     const ChipConfig& chip, const CommAppParams& app,
     const GrowthFunction& grow_comp, const GrowthFunction& grow_comm,
@@ -171,6 +174,7 @@ std::vector<DesignPoint> sweep_symmetric_comm(
                         sizes);
 }
 
+// mslint: allow(deprecated-sweep) — the definition itself
 std::vector<DesignPoint> sweep_asymmetric_comm(
     const ChipConfig& chip, const CommAppParams& app,
     const GrowthFunction& grow_comp, const GrowthFunction& grow_comm,

@@ -119,6 +119,7 @@ std::vector<double> power_of_two_sizes(double n);
 /// Evaluates Eq. 4 for each r in `sizes` (paper Fig. 4 series).
 [[deprecated("legacy sweep entry point; build an EvalRequest and call "
              "evaluate_sweep / evaluate_batch")]]
+// mslint: allow(deprecated-sweep) — the declaration itself
 std::vector<DesignPoint> sweep_symmetric(const ChipConfig& chip,
                                          const AppParams& app,
                                          const GrowthFunction& growth,
@@ -129,6 +130,7 @@ std::vector<DesignPoint> sweep_symmetric(const ChipConfig& chip,
 /// skipped).
 [[deprecated("legacy sweep entry point; build an EvalRequest and call "
              "evaluate_sweep / evaluate_batch")]]
+// mslint: allow(deprecated-sweep) — the declaration itself
 std::vector<DesignPoint> sweep_asymmetric(const ChipConfig& chip,
                                           const AppParams& app,
                                           const GrowthFunction& growth,
@@ -162,6 +164,7 @@ DesignPoint optimal_asymmetric(const ChipConfig& chip, const AppParams& app,
 /// Symmetric sweep under the communication model (Fig. 7(a)).
 [[deprecated("legacy sweep entry point; use make_comm_request + "
              "evaluate_sweep / evaluate_batch")]]
+// mslint: allow(deprecated-sweep) — the declaration itself
 std::vector<DesignPoint> sweep_symmetric_comm(
     const ChipConfig& chip, const CommAppParams& app,
     const GrowthFunction& grow_comp, const GrowthFunction& grow_comm,
@@ -170,6 +173,7 @@ std::vector<DesignPoint> sweep_symmetric_comm(
 /// Asymmetric sweep under the communication model (Fig. 7(b)).
 [[deprecated("legacy sweep entry point; use make_comm_request + "
              "evaluate_sweep / evaluate_batch")]]
+// mslint: allow(deprecated-sweep) — the declaration itself
 std::vector<DesignPoint> sweep_asymmetric_comm(
     const ChipConfig& chip, const CommAppParams& app,
     const GrowthFunction& grow_comp, const GrowthFunction& grow_comm,

@@ -3,6 +3,9 @@
 #include "core/comm_model.hpp"
 #include "util/check.hpp"
 
+// mslint: hot-path — the whole translation unit is batch-kernel code:
+// no allocation, no string construction, no streams past this point.
+
 namespace mergescale::core {
 
 namespace {

@@ -101,6 +101,9 @@ GrowthFunction GrowthFunction::custom(std::string name,
                         std::move(fn), std::move(batch));
 }
 
+// mslint: hot-path — per-point and per-plane evaluation below runs
+// inside the sweep loops; construction/interning stays above this line.
+
 double GrowthFunction::operator()(double nc) const {
   MS_CHECK(nc >= 1.0, "growth functions are defined for nc >= 1");
   return fn_(nc);

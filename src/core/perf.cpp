@@ -88,6 +88,9 @@ PerfLaw PerfLaw::custom(std::string name, std::function<double(double)> fn,
   return PerfLaw(std::move(name), 0.0, std::move(fn), std::move(batch));
 }
 
+// mslint: hot-path — per-point and per-plane evaluation below runs
+// inside the sweep loops; construction/interning stays above this line.
+
 double PerfLaw::operator()(double r) const {
   MS_CHECK(r >= 1.0, "perf laws are defined for r >= 1");
   return fn_(r);

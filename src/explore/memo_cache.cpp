@@ -1,9 +1,11 @@
 #include "explore/memo_cache.hpp"
 
 #include <bit>
-#include <mutex>
 
 #include "util/check.hpp"
+
+// mslint: hot-path — hashing and the shard probe paths; the resize and
+// setup paths below flip back to cold where they start.
 
 namespace mergescale::explore {
 
@@ -141,6 +143,9 @@ void MemoCache::Shard::put(std::uint64_t hash, const CacheKey& key,
   ++used;
 }
 
+// mslint: cold — resize/setup paths: rehashing and shard construction
+// allocate by design.
+
 void MemoCache::Shard::grow() {
   // 4x growth: rehashing is the dominant amortized insert cost on a
   // cold exhaustive sweep, and quadrupling moves ~1.33 entries per
@@ -182,10 +187,13 @@ void MemoCache::reserve(std::size_t expected) {
   std::size_t cap = kInitialSlots;
   while (cap * 3 < per_shard * 4) cap *= 2;
   for (auto& shard : shards_) {
-    std::unique_lock<std::shared_mutex> lock(shard->mu);
+    util::WriterLock lock(shard->mu);
     if (cap > shard->fps.size()) shard->rebuild(cap);
   }
 }
+
+// mslint: hot-path — the probe paths proper: lookup/insert and their
+// block forms run once per evaluated design point.
 
 void MemoCache::group_by_shard(const std::uint64_t* hashes, std::size_t count,
                                std::uint32_t* order,
@@ -205,7 +213,7 @@ void MemoCache::group_by_shard(const std::uint64_t* hashes, std::size_t count,
 bool MemoCache::lookup(const CacheKey& key, EvalOutcome* out) const {
   const std::uint64_t hash = CacheKeyHash{}(key);
   Shard& shard = *shards_[shard_of(hash)];
-  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  util::ReaderLock lock(shard.mu);
   std::size_t slot = 0;
   if (!shard.find(hash, key, &slot)) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -219,7 +227,7 @@ bool MemoCache::lookup(const CacheKey& key, EvalOutcome* out) const {
 bool MemoCache::contains(const CacheKey& key) const {
   const std::uint64_t hash = CacheKeyHash{}(key);
   Shard& shard = *shards_[shard_of(hash)];
-  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  util::ReaderLock lock(shard.mu);
   std::size_t slot = 0;
   return shard.find(hash, key, &slot);
 }
@@ -227,7 +235,7 @@ bool MemoCache::contains(const CacheKey& key) const {
 void MemoCache::insert(const CacheKey& key, const EvalOutcome& outcome) {
   const std::uint64_t hash = CacheKeyHash{}(key);
   Shard& shard = *shards_[shard_of(hash)];
-  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  util::WriterLock lock(shard.mu);
   shard.put(hash, key, outcome);
 }
 
@@ -261,7 +269,7 @@ void MemoCache::lookup_block(std::span<const CacheKey> keys,
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     if (starts[s] == starts[s + 1]) continue;
     Shard& shard = *shards_[s];
-    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    util::ReaderLock lock(shard.mu);
     for (std::uint32_t j = starts[s]; j < starts[s + 1]; ++j) {
       const std::size_t i = order[j];
       std::size_t slot = 0;
@@ -304,7 +312,7 @@ void MemoCache::insert_block(std::span<const CacheKey> keys,
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     if (starts[s] == starts[s + 1]) continue;
     Shard& shard = *shards_[s];
-    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    util::WriterLock lock(shard.mu);
     for (std::uint32_t j = starts[s]; j < starts[s + 1]; ++j) {
       const std::size_t i = order[j];
       shard.put(hashes[i], keys[i], outs[i]);
@@ -312,10 +320,12 @@ void MemoCache::insert_block(std::span<const CacheKey> keys,
   }
 }
 
+// mslint: cold — stats and teardown, called once per report.
+
 std::size_t MemoCache::size() const {
   std::size_t total = 0;
   for (const auto& shard : shards_) {
-    std::shared_lock<std::shared_mutex> lock(shard->mu);
+    util::ReaderLock lock(shard->mu);
     total += shard->used;
   }
   return total;
@@ -328,7 +338,7 @@ MemoCache::Stats MemoCache::stats() const {
 
 void MemoCache::clear() {
   for (auto& shard : shards_) {
-    std::unique_lock<std::shared_mutex> lock(shard->mu);
+    util::WriterLock lock(shard->mu);
     shard->fps.clear();
     shard->keys.clear();
     shard->vals.clear();

@@ -14,11 +14,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
 #include <span>
 #include <vector>
 
 #include "core/design_space.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace mergescale::explore {
 
@@ -146,20 +147,22 @@ class MemoCache {
  private:
   /// Open-addressing shard: parallel fingerprint/key/outcome arrays with
   /// power-of-two capacity.  fp 0 marks an empty slot (fingerprints are
-  /// forced odd), linear probing, grown at 3/4 load.
+  /// forced odd), linear probing, grown at 3/4 load.  Every table member
+  /// is guarded by `mu` — a reader lock suffices for find(), the
+  /// mutating paths require the shard exclusively.
   struct Shard {
-    mutable std::shared_mutex mu;
-    std::vector<std::uint64_t> fps;
-    std::vector<CacheKey> keys;
-    std::vector<EvalOutcome> vals;
-    std::size_t used = 0;
+    mutable util::SharedMutex mu;
+    std::vector<std::uint64_t> fps MS_GUARDED_BY(mu);
+    std::vector<CacheKey> keys MS_GUARDED_BY(mu);
+    std::vector<EvalOutcome> vals MS_GUARDED_BY(mu);
+    std::size_t used MS_GUARDED_BY(mu) = 0;
 
     bool find(std::uint64_t hash, const CacheKey& key,
-              std::size_t* slot) const noexcept;
+              std::size_t* slot) const noexcept MS_REQUIRES_SHARED(mu);
     void put(std::uint64_t hash, const CacheKey& key,
-             const EvalOutcome& outcome);
-    void grow();
-    void rebuild(std::size_t cap);
+             const EvalOutcome& outcome) MS_REQUIRES(mu);
+    void grow() MS_REQUIRES(mu);
+    void rebuild(std::size_t cap) MS_REQUIRES(mu);
   };
 
   std::size_t shard_of(std::uint64_t hash) const noexcept {

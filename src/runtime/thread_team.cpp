@@ -18,7 +18,7 @@ ThreadTeam::ThreadTeam(int size)
 
 ThreadTeam::~ThreadTeam() {
   {
-    std::lock_guard<std::mutex> lock(start_mu_);
+    util::MutexLock lock(start_mu_);
     shutting_down_ = true;
   }
   start_cv_.notify_all();
@@ -33,7 +33,7 @@ void ThreadTeam::run(const Body& body) {
     // Release the workers into the region.  The finish barrier of the
     // previous run() keeps the team in lockstep, so no worker can still
     // be executing an older generation here.
-    std::lock_guard<std::mutex> lock(start_mu_);
+    util::MutexLock lock(start_mu_);
     ++start_generation_;
   }
   start_cv_.notify_all();
@@ -53,10 +53,12 @@ void ThreadTeam::worker_loop(int tid) {
   std::uint64_t executed = 0;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(start_mu_);
-      start_cv_.wait(lock, [&] {
-        return shutting_down_ || start_generation_ != executed;
-      });
+      util::MutexLock lock(start_mu_);
+      // Open-coded wait loop: a predicate lambda would read the guarded
+      // members from an un-annotated context (see util/sync.hpp).
+      while (!shutting_down_ && start_generation_ == executed) {
+        start_cv_.wait(lock);
+      }
       if (shutting_down_) return;
       executed = start_generation_;
     }

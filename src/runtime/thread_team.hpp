@@ -5,15 +5,15 @@
 // exactly like their MineBench counterparts (fork once, barrier-separated
 // phases, master executes serial/merging phases).
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "runtime/barrier.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace mergescale::runtime {
 
@@ -62,14 +62,20 @@ class ThreadTeam {
   std::vector<std::thread> threads_;
   // Parking start gate: run() bumps the generation and notifies; workers
   // wake when they observe a generation they have not executed yet.
-  std::mutex start_mu_;
-  std::condition_variable start_cv_;
-  std::uint64_t start_generation_ = 0;
+  util::Mutex start_mu_;
+  util::CondVar start_cv_;
+  std::uint64_t start_generation_ MS_GUARDED_BY(start_mu_) = 0;
   SpinBarrier finish_barrier_;  // collects workers at region end
   SpinBarrier region_barrier_;  // user-visible barrier()
+  // body_ and errors_ are NOT mutex-guarded: run() writes them before
+  // releasing the workers (the generation bump under start_mu_ publishes
+  // body_) and reads them only after finish_barrier_ collects every
+  // worker, so all access is ordered by the start-gate/barrier protocol
+  // — a discipline the static analysis cannot express, which is why the
+  // members carry no annotation (TSan checks the protocol instead).
   const Body* body_ = nullptr;
   std::vector<std::exception_ptr> errors_;
-  bool shutting_down_ = false;  // written under start_mu_
+  bool shutting_down_ MS_GUARDED_BY(start_mu_) = false;
 };
 
 }  // namespace mergescale::runtime

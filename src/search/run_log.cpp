@@ -167,7 +167,7 @@ RunLog::~RunLog() {
   }
   if (writer_.joinable()) {
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(mutex_);
       stopping_ = true;
     }
     writer_cv_.notify_one();
@@ -202,10 +202,10 @@ void RunLog::write_group(const std::vector<explore::EvalResult>& group) {
 }
 
 void RunLog::enqueue_group() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  producer_cv_.wait(lock, [this] {
-    return !in_flight_ready_ || writer_error_ != nullptr;
-  });
+  util::MutexLock lock(mutex_);
+  while (in_flight_ready_ && writer_error_ == nullptr) {
+    producer_cv_.wait(lock);
+  }
   // A writer-side failure is sticky: the writer thread has exited, so
   // handing it more work would block forever.  Every later append/flush
   // resurfaces the same error.
@@ -221,8 +221,8 @@ void RunLog::writer_main() {
   std::vector<explore::EvalResult> group;
   group.reserve(options_.flush_every);
   for (;;) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    writer_cv_.wait(lock, [this] { return in_flight_ready_ || stopping_; });
+    util::MutexLock lock(mutex_);
+    while (!in_flight_ready_ && !stopping_) writer_cv_.wait(lock);
     if (!in_flight_ready_) break;  // stopping, queue drained
     group.swap(in_flight_);
     in_flight_ready_ = false;
@@ -291,10 +291,10 @@ void RunLog::append(explore::EvalResult&& result) {
 void RunLog::flush() {
   if (options_.async) {
     if (!filling_.empty()) enqueue_group();
-    std::unique_lock<std::mutex> lock(mutex_);
-    producer_cv_.wait(lock, [this] {
-      return (!in_flight_ready_ && !writer_busy_) || writer_error_ != nullptr;
-    });
+    util::MutexLock lock(mutex_);
+    while ((in_flight_ready_ || writer_busy_) && writer_error_ == nullptr) {
+      producer_cv_.wait(lock);
+    }
     if (writer_error_ != nullptr) std::rethrow_exception(writer_error_);
     return;  // the writer flushes the stream after every group
   }

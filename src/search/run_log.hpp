@@ -38,12 +38,10 @@
 // deduplicated log a single-process run would have produced.
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <fstream>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -53,6 +51,8 @@
 #include "explore/engine.hpp"
 #include "search/binary_log.hpp"
 #include "search/ndjson.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace mergescale::search {
 
@@ -271,9 +271,9 @@ class RunLog {
   /// Hands the filling group to the writer thread, blocking while a
   /// previous group is still in flight.  Rethrows a pending writer
   /// error.
-  void enqueue_group();
+  void enqueue_group() MS_EXCLUDES(mutex_);
   /// Writer-thread main loop.
-  void writer_main();
+  void writer_main() MS_EXCLUDES(mutex_);
 
   std::string dir_;
   RunLogOptions options_;
@@ -285,18 +285,23 @@ class RunLog {
   std::unique_ptr<BinaryLog> binary_;
   std::uint64_t appended_ = 0;
   // Group being filled by append() (producer side, async mode only —
-  // the sync path encodes straight into buffer_/binary_).
+  // the sync path encodes straight into buffer_/binary_).  NOT guarded
+  // by mutex_: only the single appending thread touches it; the handoff
+  // to the writer is the under-lock swap in enqueue_group().
   std::vector<explore::EvalResult> filling_;
-  // Writer-thread state (async mode only).
+  // Writer-thread state (async mode only).  mutex_ guards the depth-one
+  // queue and every flag the two condition variables wait on.
   std::thread writer_;
-  std::mutex mutex_;
-  std::condition_variable producer_cv_;  ///< queue slot free / drained
-  std::condition_variable writer_cv_;    ///< group ready / stop
-  std::vector<explore::EvalResult> in_flight_;
-  bool in_flight_ready_ = false;  ///< in_flight_ holds an unconsumed group
-  bool writer_busy_ = false;      ///< writer is encoding/writing a group
-  bool stopping_ = false;
-  std::exception_ptr writer_error_;
+  util::Mutex mutex_;
+  util::CondVar producer_cv_;  ///< queue slot free / drained
+  util::CondVar writer_cv_;    ///< group ready / stop
+  std::vector<explore::EvalResult> in_flight_ MS_GUARDED_BY(mutex_);
+  /// in_flight_ holds an unconsumed group.
+  bool in_flight_ready_ MS_GUARDED_BY(mutex_) = false;
+  /// Writer is encoding/writing a group.
+  bool writer_busy_ MS_GUARDED_BY(mutex_) = false;
+  bool stopping_ MS_GUARDED_BY(mutex_) = false;
+  std::exception_ptr writer_error_ MS_GUARDED_BY(mutex_);
   /// Lock-free mirror of writer_error_'s presence, so the append hot
   /// path can notice a dead writer without taking the mutex per record.
   std::atomic<bool> writer_failed_{false};

@@ -40,11 +40,14 @@ QueryServer::QueryServer(Archive archive, explore::ExploreEngine& engine,
       engine_(engine),
       log_(log),
       options_(std::move(options)),
+      // The record list moves into its own guarded member; what stays in
+      // archive_ (dir, config, spec) is immutable for the server's life.
+      records_(std::move(archive_.records)),
       gate_(std::clamp(options_.initial_concurrency,
                        options_.probe.min_concurrency,
                        options_.probe.max_concurrency)),
       probe_(options_.probe, options_.initial_concurrency) {
-  next_index_.store(archive_.records.size(), std::memory_order_relaxed);
+  next_index_.store(records_.size(), std::memory_order_relaxed);
 }
 
 QueryServer::~QueryServer() { stop(); }
@@ -109,21 +112,29 @@ void QueryServer::stop() {
   bool expected = false;
   if (!stopping_.compare_exchange_strong(expected, true)) return;
   {
-    std::lock_guard<std::mutex> lock(stop_mu_);
+    util::MutexLock lock(stop_mu_);
   }
   stop_cv_.notify_all();
   gate_.close();
   if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
   {
-    std::lock_guard<std::mutex> lock(sessions_mu_);
+    util::MutexLock lock(sessions_mu_);
     for (int fd : session_fds_) {
       if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
     }
   }
   if (acceptor_.joinable()) acceptor_.join();
   if (prober_.joinable()) prober_.join();
-  // The acceptor is gone, so the registry is final; join without lock.
-  for (std::thread& session : sessions_) {
+  // The acceptor is gone, so the registry is final.  Move the thread
+  // list out under the lock, then join lock-free: a session's last act
+  // is to retake sessions_mu_ and clear its fd slot, so joining while
+  // holding the lock would deadlock against it.
+  std::vector<std::thread> to_join;
+  {
+    util::MutexLock lock(sessions_mu_);
+    to_join.swap(sessions_);
+  }
+  for (std::thread& session : to_join) {
     if (session.joinable()) session.join();
   }
   if (listen_fd_ >= 0) {
@@ -149,7 +160,7 @@ void QueryServer::acceptor_main() {
       ::close(fd);
       break;
     }
-    std::lock_guard<std::mutex> lock(sessions_mu_);
+    util::MutexLock lock(sessions_mu_);
     const std::size_t slot = session_fds_.size();
     session_fds_.push_back(fd);
     sessions_.emplace_back(&QueryServer::session_main, this, fd, slot);
@@ -209,7 +220,7 @@ void QueryServer::session_main(int fd, std::size_t slot) {
     }
   }
   ::close(fd);
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  util::MutexLock lock(sessions_mu_);
   session_fds_[slot] = -1;
 }
 
@@ -254,8 +265,8 @@ std::string QueryServer::execute(const Query& query) {
 }
 
 std::string QueryServer::answer_best() const {
-  std::shared_lock<std::shared_mutex> lock(archive_mu_);
-  const explore::EvalResult* best = explore::best_result(archive_.records);
+  util::ReaderLock lock(archive_mu_);
+  const explore::EvalResult* best = explore::best_result(records_);
   if (best == nullptr) {
     return err_reply("no feasible design point in the archive");
   }
@@ -266,17 +277,17 @@ std::string QueryServer::answer_best() const {
 }
 
 std::string QueryServer::answer_topk(std::size_t k) const {
-  std::shared_lock<std::shared_mutex> lock(archive_mu_);
+  util::ReaderLock lock(archive_mu_);
   const std::string payload =
-      explore::to_table(explore::top_k(archive_.records, k))
+      explore::to_table(explore::top_k(records_, k))
           .to_text("top-k designs by speedup");
   return ok_header(QueryKind::kTopK, count_lines(payload)) + payload + "END\n";
 }
 
 std::string QueryServer::answer_pareto(explore::CostMetric metric) const {
-  std::shared_lock<std::shared_mutex> lock(archive_mu_);
+  util::ReaderLock lock(archive_mu_);
   const std::string payload =
-      explore::to_table(explore::pareto_frontier(archive_.records, metric))
+      explore::to_table(explore::pareto_frontier(records_, metric))
           .to_text(std::string("Pareto frontier (speedup vs. ") +
                    (metric == explore::CostMetric::kCoreArea ? "core area"
                                                              : "core count") +
@@ -366,7 +377,7 @@ std::string QueryServer::answer_eval(const Query& query) {
     // One miss at a time: budget spend, log append, and archive insert
     // are a single step, so two sessions racing on the same fresh point
     // cannot double-evaluate or double-record it.
-    std::lock_guard<std::mutex> live(live_mu_);
+    util::MutexLock live(live_mu_);
     hit = engine_.cache().contains(key);
     if (!hit) {
       if (live_used_.load(std::memory_order_relaxed) >=
@@ -385,8 +396,8 @@ std::string QueryServer::answer_eval(const Query& query) {
         log_->flush();  // a kill -9 after this reply loses nothing
       }
       {
-        std::unique_lock<std::shared_mutex> archive(archive_mu_);
-        archive_.records.push_back(fresh);
+        util::WriterLock archive(archive_mu_);
+        records_.push_back(fresh);
       }
       return render_eval(fresh, "live");
     }
@@ -399,9 +410,14 @@ std::string QueryServer::answer_eval(const Query& query) {
 std::string QueryServer::answer_stats() {
   std::ostringstream os;
   {
-    std::shared_lock<std::shared_mutex> lock(archive_mu_);
-    os << "archive_records=" << archive_.records.size() << "\n"
-       << "archive_dir=" << archive_.dir << "\n"
+    util::ReaderLock lock(archive_mu_);
+    os << "archive_records=" << records_.size() << "\n";
+  }
+  {
+    // dir/config are immutable after construction; no lock needed, but
+    // keeping the reads adjacent to the guarded count keeps the reply
+    // layout unchanged.
+    os << "archive_dir=" << archive_.dir << "\n"
        << "config=" << archive_.config << "\n";
   }
   const auto cache_stats = engine_.cache().stats();
@@ -414,7 +430,7 @@ std::string QueryServer::answer_stats() {
      << "concurrency_limit=" << gate_.limit() << "\n"
      << "in_use=" << gate_.in_use() << "\n";
   {
-    std::lock_guard<std::mutex> lock(probe_mu_);
+    util::MutexLock lock(probe_mu_);
     const auto& counters = probe_.counters();
     os << "probe_state=" << probe_state_name(probe_.state()) << "\n"
        << "stable_concurrency=" << probe_.stable_concurrency() << "\n"
@@ -437,7 +453,9 @@ void QueryServer::probe_main() {
       std::chrono::duration<double>(options_.probe_window).count();
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(stop_mu_);
+      // The predicate reads only the stopping_ atomic, so the lambda is
+      // safe under thread-safety analysis (no guarded members touched).
+      util::MutexLock lock(stop_mu_);
       if (stop_cv_.wait_for(lock, options_.probe_window,
                             [this] { return stopping_.load(); })) {
         break;
@@ -452,7 +470,7 @@ void QueryServer::probe_main() {
     const double qps = static_cast<double>(delta) / seconds;
     ProbeDecision decision;
     {
-      std::lock_guard<std::mutex> lock(probe_mu_);
+      util::MutexLock lock(probe_mu_);
       decision = probe_.on_window(qps);
     }
     gate_.set_limit(decision.concurrency);
@@ -465,7 +483,7 @@ void QueryServer::write_metrics_line(double qps, const ProbeDecision& decision,
                                      std::uint64_t completed) {
   double smoothed;
   {
-    std::lock_guard<std::mutex> lock(probe_mu_);
+    util::MutexLock lock(probe_mu_);
     smoothed = probe_.smoothed_qps();
   }
   metrics_ << "{\"window\":" << windows_.load(std::memory_order_relaxed)

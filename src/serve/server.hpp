@@ -17,11 +17,8 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <fstream>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -32,6 +29,8 @@
 #include "serve/probe.hpp"
 #include "serve/protocol.hpp"
 #include "serve/ticket_gate.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace mergescale::serve {
 
@@ -102,39 +101,49 @@ class QueryServer {
  private:
   /// Executes a parsed query (no gating) into a framed reply.
   std::string execute(const Query& query);
-  std::string answer_best() const;
-  std::string answer_topk(std::size_t k) const;
-  std::string answer_pareto(explore::CostMetric metric) const;
-  std::string answer_eval(const Query& query);
-  std::string answer_stats();
+  std::string answer_best() const MS_EXCLUDES(archive_mu_);
+  std::string answer_topk(std::size_t k) const MS_EXCLUDES(archive_mu_);
+  std::string answer_pareto(explore::CostMetric metric) const
+      MS_EXCLUDES(archive_mu_);
+  std::string answer_eval(const Query& query)
+      MS_EXCLUDES(live_mu_, archive_mu_);
+  std::string answer_stats() MS_EXCLUDES(archive_mu_, probe_mu_);
   /// Resolves eval coordinates against the archive's scenario into a
   /// job; throws std::invalid_argument with a client-facing message.
+  /// Reads only the immutable archive fields — no lock needed.
   explore::EvalJob resolve_eval(const Query& query) const;
 
-  void acceptor_main();
-  void session_main(int fd, std::size_t slot);
-  void probe_main();
+  void acceptor_main() MS_EXCLUDES(sessions_mu_);
+  void session_main(int fd, std::size_t slot) MS_EXCLUDES(sessions_mu_);
+  void probe_main() MS_EXCLUDES(probe_mu_);
   void write_metrics_line(double qps, const ProbeDecision& decision,
-                          std::uint64_t completed);
+                          std::uint64_t completed) MS_EXCLUDES(probe_mu_);
 
+  /// Immutable after construction (dir, config, spec — records are moved
+  /// out into records_, the one field queries mutate): resolve_eval and
+  /// answer_stats read these fields without a lock, and the annotations
+  /// hold the line between that and the guarded record list.
   Archive archive_;
   explore::ExploreEngine& engine_;
   search::RunLog* log_;
   ServerOptions options_;
 
-  /// Guards archive_.records (readers: best/topk/pareto/stats; writer:
-  /// the live-eval append path).
-  mutable std::shared_mutex archive_mu_;
+  /// Guards records_ (readers: best/topk/pareto/stats; writer: the
+  /// live-eval append path).
+  mutable util::SharedMutex archive_mu_;
+  /// The archive's deduplicated records plus every live evaluation
+  /// appended since start — what best/topk/pareto answer from.
+  std::vector<explore::EvalResult> records_ MS_GUARDED_BY(archive_mu_);
   /// Serializes live evaluations: re-check the cache, spend budget,
   /// append to log + archive as one step, so a racing duplicate miss
   /// cannot double-append or double-spend.
-  std::mutex live_mu_;
+  util::Mutex live_mu_;
   std::atomic<std::uint64_t> live_used_{0};
   std::atomic<std::size_t> next_index_{0};
 
   TicketGate gate_;
-  ThroughputProbe probe_;
-  std::mutex probe_mu_;  ///< guards probe_ (probe thread vs `stats`)
+  util::Mutex probe_mu_;  ///< guards probe_ (probe thread vs `stats`)
+  ThroughputProbe probe_ MS_GUARDED_BY(probe_mu_);
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> windows_{0};
 
@@ -143,17 +152,20 @@ class QueryServer {
   std::atomic<bool> stopping_{false};
   std::thread acceptor_;
   std::thread prober_;
-  std::mutex stop_mu_;
-  std::condition_variable stop_cv_;  ///< wakes the probe thread early
+  util::Mutex stop_mu_;
+  util::CondVar stop_cv_;  ///< wakes the probe thread early
   std::ofstream metrics_;
 
   /// Session registry: fds are shut down at stop() to unblock recv(),
-  /// then every thread is joined.  Slots are append-only (a serve
-  /// process hosts a bounded number of connections over its life; a
-  /// closed session marks its fd -1).
-  std::mutex sessions_mu_;
-  std::vector<int> session_fds_;
-  std::vector<std::thread> sessions_;
+  /// then every thread is joined — stop() moves the thread list out
+  /// under the lock and joins outside it (a session's last act is to
+  /// retake sessions_mu_ to clear its fd slot, so joining under the
+  /// lock would deadlock).  Slots are append-only (a serve process
+  /// hosts a bounded number of connections over its life; a closed
+  /// session marks its fd -1).
+  util::Mutex sessions_mu_;
+  std::vector<int> session_fds_ MS_GUARDED_BY(sessions_mu_);
+  std::vector<std::thread> sessions_ MS_GUARDED_BY(sessions_mu_);
 };
 
 }  // namespace mergescale::serve

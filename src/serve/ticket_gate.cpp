@@ -7,8 +7,8 @@ namespace mergescale::serve {
 TicketGate::TicketGate(int limit) : limit_(std::max(1, limit)) {}
 
 bool TicketGate::acquire() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return closed_ || in_use_ < limit_; });
+  util::MutexLock lock(mu_);
+  while (!closed_ && in_use_ >= limit_) cv_.wait(lock);
   if (closed_) return false;
   ++in_use_;
   return true;
@@ -16,7 +16,7 @@ bool TicketGate::acquire() {
 
 void TicketGate::release() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     --in_use_;
   }
   // One returned ticket admits at most one waiter (capacity increases
@@ -27,7 +27,7 @@ void TicketGate::release() {
 void TicketGate::set_limit(int limit) {
   int admitted;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     const int before = limit_;
     limit_ = std::max(1, limit);
     admitted = limit_ - before;
@@ -39,19 +39,19 @@ void TicketGate::set_limit(int limit) {
 
 void TicketGate::close() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     closed_ = true;
   }
   cv_.notify_all();
 }
 
 int TicketGate::limit() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return limit_;
 }
 
 int TicketGate::in_use() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return in_use_;
 }
 

@@ -6,8 +6,8 @@
 // wakes exactly the newly admitted waiters, lowering it lets the excess
 // drain as tickets are returned (in-flight work is never interrupted).
 
-#include <condition_variable>
-#include <mutex>
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace mergescale::serve {
 
@@ -23,29 +23,29 @@ class TicketGate {
   /// a ticket — once the gate is closed; acquire never succeeds again
   /// after that, which is what lets a stopping server release every
   /// parked session thread.
-  bool acquire();
+  bool acquire() MS_EXCLUDES(mu_);
 
   /// Returns a ticket taken by acquire().
-  void release();
+  void release() MS_EXCLUDES(mu_);
 
   /// Moves the capacity (clamped to at least 1).  Raising it admits
   /// waiters immediately; lowering it only slows future admissions.
-  void set_limit(int limit);
+  void set_limit(int limit) MS_EXCLUDES(mu_);
 
   /// Wakes every waiter with failure and makes future acquires fail.
-  void close();
+  void close() MS_EXCLUDES(mu_);
 
-  int limit() const;
+  int limit() const MS_EXCLUDES(mu_);
   /// Tickets currently held.  May briefly exceed limit() after the probe
   /// lowers capacity below the in-flight count.
-  int in_use() const;
+  int in_use() const MS_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  int limit_;
-  int in_use_ = 0;
-  bool closed_ = false;
+  mutable util::Mutex mu_;
+  util::CondVar cv_;
+  int limit_ MS_GUARDED_BY(mu_);
+  int in_use_ MS_GUARDED_BY(mu_) = 0;
+  bool closed_ MS_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace mergescale::serve

@@ -1,9 +1,11 @@
 #include "util/interner.hpp"
 
 #include <deque>
-#include <mutex>
 #include <stdexcept>
 #include <unordered_map>
+
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace mergescale::util {
 
@@ -13,8 +15,8 @@ class Interner {
  public:
   Interner() { intern(""); }  // pin ID 0 to the empty string
 
-  std::uint32_t intern(std::string_view name) {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::uint32_t intern(std::string_view name) MS_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     // string_view keys: no std::string materialized on the hit path.
     const auto it = ids_.find(name);
     if (it != ids_.end()) return it->second;
@@ -26,8 +28,8 @@ class Interner {
     return id;
   }
 
-  const std::string& name_of(std::uint32_t id) const {
-    std::lock_guard<std::mutex> lock(mu_);
+  const std::string& name_of(std::uint32_t id) const MS_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     if (id >= names_.size()) {
       throw std::out_of_range("interner: unknown string ID " +
                               std::to_string(id));
@@ -35,15 +37,15 @@ class Interner {
     return names_[id];
   }
 
-  std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::size_t size() const MS_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     return names_.size();
   }
 
  private:
-  mutable std::mutex mu_;
-  std::deque<std::string> names_;
-  std::unordered_map<std::string_view, std::uint32_t> ids_;
+  mutable util::Mutex mu_;
+  std::deque<std::string> names_ MS_GUARDED_BY(mu_);
+  std::unordered_map<std::string_view, std::uint32_t> ids_ MS_GUARDED_BY(mu_);
 };
 
 Interner& instance() {

@@ -1,0 +1,142 @@
+#pragma once
+// Capability-annotated synchronization primitives: thin wrappers over
+// std::mutex / std::shared_mutex whose types and lock/unlock operations
+// carry the Clang thread-safety attributes (util/thread_annotations.hpp),
+// so members declared MS_GUARDED_BY(one of these) are machine-checked
+// under `-Werror=thread-safety`.  The wrappers add no state and no
+// behavior — each call forwards to the standard primitive — they exist
+// because libstdc++'s mutex types carry no capability attributes, which
+// makes bare std::mutex members invisible to the analysis.
+//
+// Condition variables: use util::CondVar (std::condition_variable_any),
+// which waits on the RAII locks below directly.  Write wait loops as
+// explicit `while (!predicate) cv.wait(lock);` statements rather than
+// the predicate-lambda overloads: a lambda body is analyzed as its own
+// function, so a predicate reading guarded members inside wait(lock,
+// pred) would need its own lock annotations — the open-coded loop keeps
+// the guarded reads in the annotated function that visibly holds the
+// lock.  (Predicate overloads remain fine when the predicate reads only
+// atomics.)
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace mergescale::util {
+
+/// std::mutex as a Clang capability.
+class MS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  // The raw lock/unlock calls live here and nowhere else; everything
+  // outside this header locks through the RAII guards below.
+  // mslint: allow(bare-lock)
+  void lock() MS_ACQUIRE() { mu_.lock(); }
+  // mslint: allow(bare-lock)
+  void unlock() MS_RELEASE() { mu_.unlock(); }
+  // mslint: allow(bare-lock)
+  bool try_lock() MS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// std::shared_mutex as a Clang capability ("shared" = reader side).
+class MS_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  // mslint: allow(bare-lock)
+  void lock() MS_ACQUIRE() { mu_.lock(); }
+  // mslint: allow(bare-lock)
+  void unlock() MS_RELEASE() { mu_.unlock(); }
+  // mslint: allow(bare-lock)
+  void lock_shared() MS_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  // mslint: allow(bare-lock)
+  void unlock_shared() MS_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive lock over Mutex — the annotated std::unique_lock
+/// stand-in.  Supports manual unlock()/lock() (condition-variable
+/// protocols, dropping the lock around a notify) and is a BasicLockable,
+/// so util::CondVar waits on it directly.
+class MS_SCOPED_CAPABILITY MutexLock {
+ public:
+  // mslint: allow(bare-lock)
+  explicit MutexLock(Mutex& mu) MS_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() MS_RELEASE() {
+    if (held_) mu_.unlock();  // mslint: allow(bare-lock)
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Releases early (before scope end).
+  void unlock() MS_RELEASE() {
+    held_ = false;
+    mu_.unlock();  // mslint: allow(bare-lock)
+  }
+
+  /// Re-acquires after an early unlock() (and is what CondVar::wait
+  /// calls to restore the lock before returning).
+  void lock() MS_ACQUIRE() {
+    mu_.lock();  // mslint: allow(bare-lock)
+    held_ = true;
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_ = true;
+};
+
+/// RAII exclusive (writer) lock over SharedMutex.
+class MS_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) MS_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();  // mslint: allow(bare-lock)
+  }
+  // mslint: allow(bare-lock)
+  ~WriterLock() MS_RELEASE() { mu_.unlock(); }
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII shared (reader) lock over SharedMutex.
+class MS_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) MS_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lock_shared();  // mslint: allow(bare-lock)
+  }
+  // A scoped capability's destructor releases whatever it holds; the
+  // generic form covers the shared acquire above.
+  // mslint: allow(bare-lock)
+  ~ReaderLock() MS_RELEASE() { mu_.unlock_shared(); }
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable that waits on MutexLock (or any BasicLockable).
+/// std::condition_variable requires a bare std::unique_lock<std::mutex>,
+/// which the annotated wrappers cannot produce; the _any variant costs
+/// one extra internal mutex per wait and is otherwise identical.
+using CondVar = std::condition_variable_any;
+
+}  // namespace mergescale::util

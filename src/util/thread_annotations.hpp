@@ -1,0 +1,87 @@
+#pragma once
+// Portable wrappers for Clang's thread-safety-analysis attributes.  Under
+// clang (any standard library) the MS_* macros expand to the capability
+// attributes, so a `-Werror=thread-safety` build machine-checks the lock
+// discipline these annotations declare: which mutex guards which member,
+// which functions must (or must not) hold which lock, and that every
+// acquire has a matching release on every path.  Everywhere else the
+// macros expand to nothing and the annotated code compiles unchanged.
+//
+// What the analysis guarantees — and what it cannot see — is documented
+// in README.md ("Static analysis"): it proves every *annotated* access
+// is consistent with the declared discipline on every path of every
+// translation unit, at compile time; it does not model runtime
+// interleavings, atomics, or happens-before edges built from barriers
+// and thread joins (those stay TSan's job).
+//
+// The standard mutex types carry no capability attributes under
+// libstdc++, so annotating a bare std::mutex member trips
+// -Wthread-safety-attributes instead of enabling the analysis.  Use the
+// annotated wrappers in util/sync.hpp (util::Mutex, util::SharedMutex
+// and their RAII locks) for any member these macros guard.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define MS_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define MS_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+/// Declares a type to be a capability ("mutex", "role", ...).
+#define MS_CAPABILITY(x) MS_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII type that acquires a capability at construction and
+/// releases it at destruction.
+#define MS_SCOPED_CAPABILITY MS_THREAD_ANNOTATION(scoped_lockable)
+
+/// The member may only be read or written while holding `x` (shared
+/// suffices for reads, exclusive is required for writes).
+#define MS_GUARDED_BY(x) MS_THREAD_ANNOTATION(guarded_by(x))
+
+/// The pointed-to data (not the pointer itself) is protected by `x`.
+#define MS_PT_GUARDED_BY(x) MS_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// The function must be called with the listed capabilities held
+/// exclusively; it neither acquires nor releases them.
+#define MS_REQUIRES(...) \
+  MS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Shared (reader) form of MS_REQUIRES.
+#define MS_REQUIRES_SHARED(...) \
+  MS_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability exclusively and holds it on
+/// return (a constructor annotated with the mutex it locks, `lock()`).
+#define MS_ACQUIRE(...) MS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Shared (reader) form of MS_ACQUIRE.
+#define MS_ACQUIRE_SHARED(...) \
+  MS_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases the capability (held exclusively or shared on
+/// entry).  On a scoped capability's destructor, releases whatever is
+/// still held.
+#define MS_RELEASE(...) MS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Shared (reader) form of MS_RELEASE.
+#define MS_RELEASE_SHARED(...) \
+  MS_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// The function attempts the acquire; `result` is the return value on
+/// success.
+#define MS_TRY_ACQUIRE(...) \
+  MS_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// The caller must NOT hold the listed capabilities (deadlock guard for
+/// functions that acquire them internally).
+#define MS_EXCLUDES(...) MS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// The function returns a reference to the capability guarding its
+/// result.
+#define MS_RETURN_CAPABILITY(x) MS_THREAD_ANNOTATION(lock_returned(x))
+
+/// Opts a function out of the analysis entirely — for code whose safety
+/// argument the analysis cannot express (initialization handoffs,
+/// join-ordered access).  Every use should carry a comment saying what
+/// the manual argument is.
+#define MS_NO_THREAD_SAFETY_ANALYSIS \
+  MS_THREAD_ANNOTATION(no_thread_safety_analysis)

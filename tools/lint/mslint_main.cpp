@@ -1,0 +1,99 @@
+// mslint CLI: lints the given files/directories and prints one
+// `file:line: rule: message` finding per line.
+//
+//   mslint [--list-rules] <file-or-dir>...
+//
+// Directories are walked recursively for C++ sources (.cpp/.hpp/.cc/.h);
+// `testdata` directories are skipped — lint fixtures are intentionally dirty.
+// Exit codes: 0 clean, 1 findings reported, 2 usage or I/O error — so a
+// CI step can distinguish "lint failed" from "lint couldn't run".
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using mergescale::lint::Finding;
+
+bool cpp_source(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
+}
+
+void collect(const fs::path& path, std::vector<std::string>* files) {
+  if (fs::is_directory(path)) {
+    auto it = fs::recursive_directory_iterator(path);
+    for (auto end = fs::end(it); it != end; ++it) {
+      // Lint fixtures are intentionally dirty; don't walk into them.
+      if (it->is_directory() && it->path().filename() == "testdata") {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (it->is_regular_file() && cpp_source(it->path())) {
+        files->push_back(it->path().string());
+      }
+    }
+  } else {
+    files->push_back(path.string());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const std::string& rule : mergescale::lint::rule_ids()) {
+        std::printf("%s\n", rule.c_str());
+      }
+      return 0;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "mslint: unknown flag '%s'\n", arg.c_str());
+      return 2;
+    }
+    try {
+      collect(arg, &files);
+    } catch (const fs::filesystem_error& error) {
+      std::fprintf(stderr, "mslint: %s\n", error.what());
+      return 2;
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr,
+                 "usage: mslint [--list-rules] <file-or-dir>...\n");
+    return 2;
+  }
+  std::sort(files.begin(), files.end());
+
+  int findings = 0;
+  for (const std::string& file : files) {
+    std::vector<Finding> file_findings;
+    try {
+      file_findings = mergescale::lint::lint_file(file);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "%s\n", error.what());
+      return 2;
+    }
+    for (const Finding& finding : file_findings) {
+      std::printf("%s\n",
+                  mergescale::lint::format_finding(finding).c_str());
+      ++findings;
+    }
+  }
+  if (findings > 0) {
+    std::fprintf(stderr, "mslint: %d finding%s in %zu file%s\n", findings,
+                 findings == 1 ? "" : "s", files.size(),
+                 files.size() == 1 ? "" : "s");
+    return 1;
+  }
+  return 0;
+}

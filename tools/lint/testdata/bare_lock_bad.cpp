@@ -1,0 +1,31 @@
+// Fixture: manual lock()/unlock() on mutex-named members.
+#include <mutex>
+#include <shared_mutex>
+
+namespace fixture {
+
+struct Registry {
+  void add() {
+    mu_.lock();  // line 9: bare-lock
+    ++count_;
+    mu_.unlock();  // line 11: bare-lock
+  }
+  int snapshot() {
+    state_mutex.lock_shared();  // line 14: bare-lock
+    const int seen = count_;
+    state_mutex.unlock_shared();  // line 16: bare-lock
+    return seen;
+  }
+  bool try_add() {
+    if (!mtx.try_lock()) return false;  // line 20: bare-lock
+    ++count_;
+    mtx.unlock();  // line 22: bare-lock
+    return true;
+  }
+  std::mutex mu_;
+  std::mutex mtx;
+  std::shared_mutex state_mutex;
+  int count_ = 0;
+};
+
+}  // namespace fixture

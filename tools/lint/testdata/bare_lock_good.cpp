@@ -1,0 +1,25 @@
+// Fixture: RAII guards and guard-object relocking are both fine — the
+// bare-lock rule keys on the receiver's name, and `lock`/`guard` are
+// guard objects, not mutexes.
+#include <mutex>
+
+namespace fixture {
+
+struct Registry {
+  void add() {
+    std::lock_guard<std::mutex> guard(mu_);
+    ++count_;
+  }
+  void add_with_gap() {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++count_;
+    lock.unlock();  // guard-object unlock: allowed
+    // ... lock-free work ...
+    lock.lock();
+    ++count_;
+  }
+  std::mutex mu_;
+  int count_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Fixture: calls into the deprecated sweep_* entry points.  The
+// declarations themselves carry allow() — mirroring how the real
+// design_space.hpp keeps its own definitions lintable.
+#include <vector>
+
+namespace fixture {
+
+struct Point {};
+std::vector<Point> sweep_symmetric(int n);        // mslint: allow(deprecated-sweep)
+std::vector<Point> sweep_asymmetric_comm(int n);  // mslint: allow(deprecated-sweep)
+
+inline std::vector<Point> enumerate(int n) {
+  std::vector<Point> points = sweep_symmetric(n);  // line 13: deprecated-sweep
+  const auto comm = sweep_asymmetric_comm(n);      // line 14: deprecated-sweep
+  points.insert(points.end(), comm.begin(), comm.end());
+  return points;
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Fixture: stream objects in a hot region.
+#include <iostream>
+#include <sstream>
+
+namespace fixture {
+
+// mslint: hot-path
+inline void trace(double value) {
+  std::ostringstream os;              // line 9: hot-iostream
+  os << value;
+  std::cout << os.str() << std::endl;  // line 11: hot-iostream (x2)
+}
+// mslint: cold
+
+}  // namespace fixture

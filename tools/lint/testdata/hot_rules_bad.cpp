@@ -1,0 +1,23 @@
+// Fixture: every hot-path rule fires inside the hot region.
+#include <string>
+
+namespace fixture {
+
+// mslint: hot-path
+inline double evaluate(double x) {
+  int* leak = new int(3);                // line 8: hot-alloc
+  std::string label = "law";             // line 9: hot-string
+  std::string name = std::to_string(x);  // line 10: hot-string (x2)
+  std::printf("%s%s%p", label.c_str(), name.c_str(), (void*)leak);
+  return x;
+}
+// mslint: cold
+
+inline const char* describe() {
+  // Cold again: none of these fire.
+  std::string label = "law";
+  static std::string cache = std::to_string(42) + label;
+  return cache.c_str();
+}
+
+}  // namespace fixture

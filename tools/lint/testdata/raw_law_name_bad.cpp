@@ -1,0 +1,26 @@
+// Fixture: string-keyed law lookups in a hot region.
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace fixture {
+
+std::uint32_t intern(std::string_view name);
+
+struct Law {
+  const std::string& name() const { return name_; }
+  std::string name_;
+};
+
+// mslint: hot-path
+inline bool matches(const Law& law, const Law& other) {
+  if (law.name() == other.name()) return true;      // line 17: raw-law-name x2
+  return intern(law.name_) == intern(other.name_);  // line 18: raw-law-name x2
+}
+// mslint: cold
+
+inline std::uint32_t key_of(const Law& law) {
+  return intern(law.name());  // cold: interning at construction is the point
+}
+
+}  // namespace fixture

@@ -1,0 +1,34 @@
+// Fixture: per-line allow() suppressions — single rule, multi-rule,
+// next-line form, and an allow() naming the wrong rule (which must
+// not mask the finding).
+#include <mutex>
+#include <string>
+
+namespace fixture {
+
+struct Wrapper {
+  void lock() {
+    mu_.lock();  // mslint: allow(bare-lock)
+  }
+  void unlock() {
+    mu_.unlock();  // mslint: allow(hot-alloc) — line 14: bare-lock fires
+  }
+  void relock() {
+    // mslint: allow(bare-lock) — comment-line form governs the next line
+    mu_.lock();
+    mu_.unlock();  // line 19: bare-lock — the next-line allow is spent
+  }
+  std::mutex mu_;
+};
+
+// mslint: hot-path
+inline double evaluate(double x) {
+  std::string label("hot");   // mslint: allow(hot-string)
+  int* scratch = new int(1);  // mslint: allow(hot-alloc, hot-string)
+  double out = x + static_cast<double>(*scratch) + label.size();
+  delete scratch;
+  return out;
+}
+// mslint: cold
+
+}  // namespace fixture
