@@ -275,6 +275,10 @@ int main(int argc, char** argv) try {
   cli.flag("log-async",
            "encode+write run-log groups on a writer thread (crash loses "
            "at most the in-flight group plus the one being filled)");
+  cli.flag("fsync",
+           "fsync every flushed run-log group: the crash window holds "
+           "under power loss, not just process death, at one fsync per "
+           "group");
   cli.opt("shard", std::string(),
           "run shard i of a K-process exploration as i/K: exhaustive "
           "shards own contiguous slices of the space, adaptive shards "
@@ -481,6 +485,7 @@ int main(int argc, char** argv) try {
     }
     search::RunLogOptions log_options{log_format, flush_every};
     log_options.async = cli.get_flag("log-async");
+    log_options.fsync = cli.get_flag("fsync");
     if (shard) log_options.shard = shard->index;
     log = std::make_unique<search::RunLog>(run_dir, log_options);
   }

@@ -92,6 +92,9 @@ int main(int argc, char** argv) try {
           "follows the existing log)");
   cli.opt("max-seconds", 0.0,
           "exit after this long (0 = run until SIGINT/SIGTERM)");
+  cli.flag("fsync",
+           "fsync every live-eval append so served answers survive power "
+           "loss, not just process death");
   if (!cli.parse(argc, argv)) return 0;
 
   const std::string run_dir = cli.get_string("run-dir");
@@ -124,7 +127,9 @@ int main(int argc, char** argv) try {
   } else {
     format = search::parse_log_format(name);
   }
-  search::RunLog log(run_dir, search::RunLogOptions{format, 1});
+  search::RunLogOptions log_options{format, 1};
+  log_options.fsync = cli.get_flag("fsync");
+  search::RunLog log(run_dir, log_options);
 
   serve::ServerOptions options;
   options.port = static_cast<int>(cli.get_int("port"));

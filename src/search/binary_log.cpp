@@ -4,8 +4,8 @@
 #include <bit>
 #include <cmath>
 #include <cstring>
-#include <filesystem>
 #include <stdexcept>
+#include <utility>
 
 namespace mergescale::search {
 
@@ -163,12 +163,25 @@ bool next_frame(const std::string& bytes, std::size_t offset, Frame* out) {
   return true;
 }
 
-std::string read_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return {};
-  std::string bytes((std::istreambuf_iterator<char>(in)),
-                    std::istreambuf_iterator<char>());
+/// Reads the whole file through the env.  Missing file -> empty bytes
+/// (a fresh log); any other read failure is a real I/O error and
+/// throws, so a transiently unreadable log is never mistaken for empty
+/// and truncated by the fresh-file path.
+std::string read_whole_file(util::IoEnv& env, const std::string& path) {
+  std::string bytes;
+  const util::IoResult result = env.read_file(path, &bytes);
+  if (!result.ok() && !result.not_found) {
+    throw std::runtime_error("binary log: " + result.message);
+  }
   return bytes;
+}
+
+void check_io(const util::IoResult& result, const char* what,
+              const std::string& path) {
+  if (!result.ok()) {
+    throw std::runtime_error("binary log: " + std::string(what) + " " + path +
+                             " failed: " + result.message);
+  }
 }
 
 bool is_finite_record(const explore::EvalResult& r) {
@@ -178,17 +191,21 @@ bool is_finite_record(const explore::EvalResult& r) {
 
 }  // namespace
 
-BinaryLog::BinaryLog(std::string path, std::size_t flush_every)
+BinaryLog::BinaryLog(std::string path, std::size_t flush_every,
+                     bool sync_every_flush)
     : path_(std::move(path)),
-      flush_every_(flush_every == 0 ? 1 : flush_every) {
-  const std::string bytes = read_file(path_);
+      flush_every_(flush_every == 0 ? 1 : flush_every),
+      sync_every_flush_(sync_every_flush),
+      env_(&util::io_env()) {
+  const std::string bytes = read_whole_file(*env_, path_);
   if (bytes.empty()) {
     // Fresh file: write the header eagerly (and flushed) so even a run
     // killed before its first flush leaves a self-identifying file.
-    out_.open(path_, std::ios::binary | std::ios::trunc);
-    if (!out_) throw std::runtime_error("binary log: cannot open " + path_);
-    out_ << encode_header();
-    out_.flush();
+    check_io(env_->new_writable(path_, /*truncate=*/true, &out_), "open",
+             path_);
+    check_io(out_->append(encode_header()), "write header to", path_);
+    check_io(out_->flush(), "flush", path_);
+    if (sync_every_flush_) check_io(out_->sync(), "fsync", path_);
     return;
   }
   check_header(bytes, path_);
@@ -214,10 +231,11 @@ BinaryLog::BinaryLog(std::string path, std::size_t flush_every)
     offset = frame.next_offset;
   }
   if (verified_end < bytes.size()) {
-    std::filesystem::resize_file(path_, verified_end);
+    check_io(env_->truncate_file(path_, verified_end),
+             "truncate torn tail of", path_);
   }
-  out_.open(path_, std::ios::binary | std::ios::app);
-  if (!out_) throw std::runtime_error("binary log: cannot open " + path_);
+  check_io(env_->new_writable(path_, /*truncate=*/false, &out_), "open",
+           path_);
 }
 
 BinaryLog::~BinaryLog() {
@@ -293,21 +311,25 @@ void BinaryLog::append(const explore::EvalResult& result) {
 }
 
 void BinaryLog::flush() {
-  if (!buffer_.empty()) {
-    out_.write(buffer_.data(),
-               static_cast<std::streamsize>(buffer_.size()));
-    buffer_.clear();
-  }
+  // Hand the group off before writing: a failed group is LOST (that is
+  // the documented window), never silently retried by a later flush or
+  // the destructor — a retry that happened to succeed would persist
+  // records the caller was already told failed.
+  std::string group;
+  group.swap(buffer_);
   buffered_records_ = 0;
-  out_.flush();
-  if (!out_.good()) {
-    throw std::runtime_error("binary log: write to " + path_ + " failed");
+  if (!group.empty()) {
+    check_io(out_->append(group), "write to", path_);
+    check_io(out_->flush(), "flush", path_);
   }
+  if (sync_every_flush_) check_io(out_->sync(), "fsync", path_);
 }
+
+void BinaryLog::sync() { check_io(out_->sync(), "fsync", path_); }
 
 std::vector<explore::EvalResult> BinaryLog::load(const std::string& path) {
   std::vector<explore::EvalResult> records;
-  const std::string bytes = read_file(path);
+  const std::string bytes = read_whole_file(util::io_env(), path);
   if (bytes.empty()) return records;
   check_header(bytes, path);
 

@@ -35,12 +35,13 @@
 //     prefix, exactly like a torn NDJSON tail.
 
 #include <cstdint>
-#include <fstream>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "explore/engine.hpp"
+#include "util/io_env.hpp"
 
 namespace mergescale::search {
 
@@ -56,9 +57,14 @@ class BinaryLog {
   /// Opens `path` for append (creating it with a fresh header if absent
   /// or empty).  Validates the header, truncates any unverifiable tail,
   /// and reloads the string table so appended records can reference the
-  /// labels already on disk.  Throws std::runtime_error when the file
-  /// cannot be opened or its header does not match this schema.
-  explicit BinaryLog(std::string path, std::size_t flush_every = 1);
+  /// labels already on disk.  All file access goes through the
+  /// util::IoEnv active at construction.  With `sync_every_flush`, every
+  /// flushed group is also fsynced, upgrading the crash window from
+  /// process kill to power loss at fsync-per-group cost.  Throws
+  /// std::runtime_error when the file cannot be opened or its header
+  /// does not match this schema.
+  explicit BinaryLog(std::string path, std::size_t flush_every = 1,
+                     bool sync_every_flush = false);
 
   /// Flushes any buffered records.
   ~BinaryLog();
@@ -70,8 +76,14 @@ class BinaryLog {
   /// through every `flush_every` records.
   void append(const explore::EvalResult& result);
 
-  /// Writes the buffer through to disk and flushes the stream.
+  /// Writes the buffer through to the OS (and fsyncs it when
+  /// sync_every_flush is set).  A group whose write fails is lost — the
+  /// exception is the caller's signal that the window closed.
   void flush();
+
+  /// fsyncs the file (flush any buffered records first).  Used by the
+  /// compaction path before its atomic rename.
+  void sync();
 
   /// Records appended through this instance (not the file total).
   std::uint64_t appended() const noexcept { return appended_; }
@@ -91,7 +103,9 @@ class BinaryLog {
 
   std::string path_;
   std::size_t flush_every_;
-  std::ofstream out_;
+  bool sync_every_flush_;
+  util::IoEnv* env_;
+  std::unique_ptr<util::WritableFile> out_;
   std::string buffer_;
   std::size_t buffered_records_ = 0;
   std::uint64_t appended_ = 0;

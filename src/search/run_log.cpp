@@ -22,6 +22,15 @@ namespace mergescale::search {
 
 namespace {
 
+/// Throws the run-log flavored error for a failed env operation.
+void check_io(const util::IoResult& result, const char* what,
+              const std::string& path) {
+  if (!result.ok()) {
+    throw std::runtime_error("run log: " + std::string(what) + " " + path +
+                             " failed: " + result.message);
+  }
+}
+
 /// Strict double parse of a JSON number token.
 std::optional<double> to_double(const std::string& text) {
   if (text.empty()) return std::nullopt;
@@ -70,12 +79,13 @@ std::optional<std::size_t> shard_index_of(const std::string& name,
 
 /// Every shard index with at least one result file under `dir`,
 /// ascending — the deterministic file order load() unions shards in.
+/// An unlistable directory yields no shards, like the missing files it
+/// would contain.
 std::vector<std::size_t> shard_indices(const std::string& dir) {
   std::vector<std::size_t> shards;
-  std::error_code ec;
-  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
-    if (!entry.is_regular_file(ec)) continue;
-    const std::string name = entry.path().filename().string();
+  std::vector<std::string> names;
+  if (!util::io_env().list_dir(dir, &names).ok()) return shards;
+  for (const std::string& name : names) {
     std::optional<std::size_t> shard = shard_index_of(name, ".ndjson");
     if (!shard) shard = shard_index_of(name, ".msbin");
     if (shard) shards.push_back(*shard);
@@ -89,14 +99,21 @@ std::vector<std::size_t> shard_indices(const std::string& dir) {
 /// any) followed by the binary file at `binary_path` (if any).
 void load_pair(const std::string& path, const std::string& binary_path,
                std::vector<explore::EvalResult>* records) {
-  if (std::ifstream in(path); in) {
-    for (std::string line; std::getline(in, line);) {
+  util::IoEnv& env = util::io_env();
+  std::string bytes;
+  if (env.read_file(path, &bytes).ok()) {
+    std::string_view rest = bytes;
+    while (!rest.empty()) {
+      const std::size_t newline = rest.find('\n');
+      const std::string_view line = rest.substr(0, newline);
+      rest = newline == std::string_view::npos ? std::string_view{}
+                                               : rest.substr(newline + 1);
       if (auto record = RunLog::parse_result(line)) {
         records->push_back(std::move(*record));
       }
     }
   }
-  if (std::filesystem::exists(binary_path)) {
+  if (env.exists(binary_path)) {
     auto binary = BinaryLog::load(binary_path);
     records->insert(records->end(), std::make_move_iterator(binary.begin()),
                     std::make_move_iterator(binary.end()));
@@ -121,34 +138,33 @@ LogFormat parse_log_format(std::string_view name) {
 }
 
 RunLog::RunLog(std::string dir, RunLogOptions options)
-    : dir_(std::move(dir)), options_(options) {
+    : dir_(std::move(dir)), options_(options), env_(&util::io_env()) {
   if (options_.flush_every == 0) options_.flush_every = 1;
-  std::filesystem::create_directories(dir_);
+  check_io(env_->create_directories(dir_), "create", dir_);
   const std::string path = append_path();
   if (options_.format == LogFormat::kBinary) {
-    binary_ = std::make_unique<BinaryLog>(path, options_.flush_every);
+    binary_ = std::make_unique<BinaryLog>(path, options_.flush_every,
+                                          options_.fsync);
   } else {
     // A kill mid-write can leave a torn final line with no newline;
     // without repair, the next append would glue onto the fragment and
     // corrupt a *second* record.  Terminating the fragment keeps it an
     // isolated unparseable line that load() skips.
     bool torn_tail = false;
-    if (std::ifstream in(path, std::ios::binary); in) {
-      in.seekg(0, std::ios::end);
-      if (in.tellg() > 0) {
-        in.seekg(-1, std::ios::end);
-        char last = '\n';
-        in.get(last);
-        torn_tail = last != '\n';
-      }
+    std::uint64_t size = 0;
+    if (env_->exists(path)) {
+      check_io(env_->file_size(path, &size), "stat", path);
     }
-    out_.open(path, std::ios::app);
-    if (!out_) {
-      throw std::runtime_error("run log: cannot open " + path);
+    if (size > 0) {
+      std::string last;
+      check_io(env_->read_file_range(path, size - 1, 1, &last), "read", path);
+      torn_tail = last.empty() || last[0] != '\n';
     }
+    check_io(env_->new_writable(path, /*truncate=*/false, &out_), "open",
+             path);
     if (torn_tail) {
-      out_ << '\n';
-      out_.flush();
+      check_io(out_->append("\n"), "write to", path);
+      check_io(out_->flush(), "flush", path);
     }
   }
   if (options_.async) {
@@ -193,12 +209,12 @@ void RunLog::write_group(const std::vector<explore::EvalResult>& group) {
     binary_->flush();
     return;
   }
-  explore::write_ndjson(out_, group);
-  out_.flush();
-  if (!out_.good()) {
-    throw std::runtime_error("run log: write to " + append_path() +
-                             " failed");
-  }
+  std::ostringstream text;
+  explore::write_ndjson(text, group);
+  const std::string path = append_path();
+  check_io(out_->append(text.str()), "write to", path);
+  check_io(out_->flush(), "flush", path);
+  if (options_.fsync) check_io(out_->sync(), "fsync", path);
 }
 
 void RunLog::enqueue_group() {
@@ -302,16 +318,18 @@ void RunLog::flush() {
     binary_->flush();
     return;
   }
-  if (!buffer_.empty()) {
-    out_ << buffer_;
-    buffer_.clear();
-  }
+  // Hand the group off before writing: a failed group is lost (the
+  // documented crash window), never silently re-attempted by the
+  // destructor after the caller was already told it failed.
+  std::string group;
+  group.swap(buffer_);
   buffered_records_ = 0;
-  out_.flush();
-  if (!out_.good()) {
-    throw std::runtime_error("run log: write to " + results_path(dir_) +
-                             " failed");
+  const std::string path = append_path();
+  if (!group.empty()) {
+    check_io(out_->append(group), "write to", path);
+    check_io(out_->flush(), "flush", path);
   }
+  if (options_.fsync) check_io(out_->sync(), "fsync", path);
 }
 
 std::string RunLog::results_path(const std::string& dir) {
@@ -341,9 +359,9 @@ std::string RunLog::meta_path(const std::string& dir) {
 }
 
 bool RunLog::has_results(const std::string& dir) {
-  return std::filesystem::exists(results_path(dir)) ||
-         std::filesystem::exists(binary_results_path(dir)) ||
-         !shard_indices(dir).empty();
+  util::IoEnv& env = util::io_env();
+  return env.exists(results_path(dir)) ||
+         env.exists(binary_results_path(dir)) || !shard_indices(dir).empty();
 }
 
 std::vector<explore::EvalResult> RunLog::load(const std::string& dir) {
@@ -593,41 +611,56 @@ RunLog::CompactStats dedup_rewrite(
   }
   stats.kept = kept.size();
 
-  // Write the survivors to a temp file, then rename over the target:
-  // a kill mid-compaction leaves the original log untouched.
-  std::filesystem::create_directories(dir);
+  // Write the survivors to a temp file, then rename over the target: a
+  // kill (or an injected I/O failure) mid-compaction leaves the
+  // original log untouched, and the partial temp file is removed on the
+  // way out of a failed rewrite so no later load can see it.
+  util::IoEnv& env = util::io_env();
+  check_io(env.create_directories(dir), "create", dir);
   const std::string tmp =
       (std::filesystem::path(dir) / ".compact.tmp").string();
-  std::filesystem::remove(tmp);
-  if (format == LogFormat::kBinary) {
-    BinaryLog log(tmp, flush_every);
-    for (const explore::EvalResult* record : kept) log.append(*record);
-    log.flush();
-  } else {
-    std::ofstream out(tmp, std::ios::trunc);
-    if (!out) throw std::runtime_error("run log: cannot open " + tmp);
-    for (const explore::EvalResult* record : kept) {
-      explore::write_ndjson(out, {*record});
+  check_io(env.remove_file(tmp), "remove", tmp);
+  try {
+    if (format == LogFormat::kBinary) {
+      BinaryLog log(tmp, flush_every);
+      for (const explore::EvalResult* record : kept) log.append(*record);
+      log.flush();
+      log.sync();
+    } else {
+      std::unique_ptr<util::WritableFile> out;
+      check_io(env.new_writable(tmp, /*truncate=*/true, &out), "open", tmp);
+      std::ostringstream text;
+      for (const explore::EvalResult* record : kept) {
+        explore::write_ndjson(text, {*record});
+      }
+      check_io(out->append(text.str()), "write to", tmp);
+      check_io(out->flush(), "flush", tmp);
+      // Sync before the rename below: renaming a file whose bytes could
+      // still vanish in a power loss would replace good records with a
+      // hole.
+      check_io(out->sync(), "fsync", tmp);
+      check_io(out->close(), "close", tmp);
     }
-    out.flush();
-    if (!out.good()) {
-      throw std::runtime_error("run log: failed to write " + tmp);
-    }
+  } catch (...) {
+    static_cast<void>(env.remove_file(tmp));
+    throw;
   }
   const std::string target = format == LogFormat::kBinary
                                  ? RunLog::binary_results_path(dir)
                                  : RunLog::results_path(dir);
-  std::filesystem::rename(tmp, target);
+  check_io(env.rename_file(tmp, target), "rename", tmp);
   // Exactly one result file must survive (load() reads every one), so a
   // cross-format compaction is also the migration path and compacting a
   // sharded directory is the shard-union merge.
   const std::string other = format == LogFormat::kBinary
                                 ? RunLog::results_path(dir)
                                 : RunLog::binary_results_path(dir);
-  std::filesystem::remove(other);
+  check_io(env.remove_file(other), "remove", other);
   for (const std::size_t shard : shard_indices(dir)) {
-    std::filesystem::remove(RunLog::shard_results_path(dir, shard));
-    std::filesystem::remove(RunLog::shard_binary_results_path(dir, shard));
+    check_io(env.remove_file(RunLog::shard_results_path(dir, shard)),
+             "remove", RunLog::shard_results_path(dir, shard));
+    check_io(env.remove_file(RunLog::shard_binary_results_path(dir, shard)),
+             "remove", RunLog::shard_binary_results_path(dir, shard));
   }
   return stats;
 }
@@ -705,46 +738,54 @@ RunLog::MergeStats RunLog::merge(const std::string& target,
 }
 
 void RunLog::write_meta(const std::string& dir, const std::string& config) {
-  std::filesystem::create_directories(dir);
+  util::IoEnv& env = util::io_env();
+  check_io(env.create_directories(dir), "create", dir);
   const std::string path = meta_path(dir);
   // Write-then-rename: meta.json is what makes a run directory
   // resumable at all, so it must never exist in a torn state.  The
   // pid-qualified temp name keeps concurrently starting shard processes
   // (all recording the identical shared config) from clobbering each
-  // other's half-written temp files; the final rename is atomic, so
-  // whichever write lands last simply replaces equal bytes.
+  // other's half-written temp files; the write is fsynced before the
+  // atomic rename, so whichever write lands last simply replaces equal
+  // bytes and a power loss can never leave a renamed-but-empty record.
   const std::string tmp =
       (std::filesystem::path(dir) /
        (".meta." + std::to_string(::getpid()) + ".tmp"))
           .string();
-  {
-    std::ofstream out(tmp, std::ios::trunc);
-    if (!out) throw std::runtime_error("run log: cannot open " + tmp);
-    out << "{\"config\":\"" << util::json_escape(config) << "\"}\n";
-    // Flush and verify so a full disk or an early crash surfaces here
-    // as an error instead of later as a silently unresumable directory.
-    out.flush();
-    if (!out.good()) {
-      std::filesystem::remove(tmp);
-      throw std::runtime_error("run log: failed to write " + tmp);
-    }
+  std::unique_ptr<util::WritableFile> out;
+  check_io(env.new_writable(tmp, /*truncate=*/true, &out), "open", tmp);
+  // Any failure from here surfaces as an error (with the temp file
+  // removed) instead of later as a silently unresumable directory.
+  util::IoResult result =
+      out->append("{\"config\":\"" + util::json_escape(config) + "\"}\n");
+  if (result.ok()) result = out->flush();
+  if (result.ok()) result = out->sync();
+  if (result.ok()) result = out->close();
+  if (!result.ok()) {
+    static_cast<void>(env.remove_file(tmp));
+    throw std::runtime_error("run log: failed to write " + tmp + ": " +
+                             result.message);
   }
-  std::filesystem::rename(tmp, path);
+  check_io(env.rename_file(tmp, path), "rename", tmp);
 }
 
 std::optional<std::string> RunLog::read_meta(const std::string& dir) {
-  std::ifstream in(meta_path(dir));
-  if (!in) return std::nullopt;  // missing: the directory was never recorded
+  std::string bytes;
+  const util::IoResult read = util::io_env().read_file(meta_path(dir), &bytes);
+  if (read.not_found) {
+    return std::nullopt;  // missing: the directory was never recorded
+  }
+  check_io(read, "read", meta_path(dir));
   // The file exists, so anything unreadable past this point is corruption
   // (e.g. a crash truncated the write) and deserves a loud error —
   // treating it as "missing" would let a fresh run silently overwrite a
   // directory that does hold recorded results.
-  std::string line;
-  if (!std::getline(in, line)) {
+  if (bytes.empty()) {
     throw std::runtime_error("run log: " + meta_path(dir) +
                              " is empty — truncated by a crash? Delete the "
                              "run directory to start over");
   }
+  const std::string line = bytes.substr(0, bytes.find('\n'));
   const auto object = parse_flat_object(line);
   if (!object || object->find("config") == object->end()) {
     throw std::runtime_error("run log: " + meta_path(dir) +

@@ -40,7 +40,6 @@
 #include <atomic>
 #include <cstdint>
 #include <exception>
-#include <fstream>
 #include <memory>
 #include <optional>
 #include <string>
@@ -51,6 +50,7 @@
 #include "explore/engine.hpp"
 #include "search/binary_log.hpp"
 #include "search/ndjson.hpp"
+#include "util/io_env.hpp"
 #include "util/sync.hpp"
 #include "util/thread_annotations.hpp"
 
@@ -90,6 +90,12 @@ struct RunLogOptions {
   /// <dir>/results.shard-<i>.<ext> instead of the unsharded file.
   /// kUnsharded (the default) keeps the single-process layout.
   std::size_t shard = kUnsharded;
+  /// fsync every flushed group.  The default window (a group survives a
+  /// process kill once flush returns, but not power loss) matches the
+  /// historical behavior and costs no fsyncs on the hot path; with this
+  /// set, a flushed group also survives power loss, at one fsync per
+  /// group.
+  bool fsync = false;
 };
 
 class RunLog {
@@ -277,8 +283,11 @@ class RunLog {
 
   std::string dir_;
   RunLogOptions options_;
+  /// The env active at construction; every byte this instance moves
+  /// (including from the writer thread) goes through it.
+  util::IoEnv* env_ = nullptr;
   // NDJSON state (format == kNdjson).
-  std::ofstream out_;
+  std::unique_ptr<util::WritableFile> out_;
   std::string buffer_;
   std::size_t buffered_records_ = 0;
   // Binary state (format == kBinary).

@@ -1,0 +1,26 @@
+#include "serve/retry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mergescale::serve {
+
+std::chrono::milliseconds backoff_delay(const RetryPolicy& policy,
+                                        int attempt,
+                                        std::uint64_t random_bits) {
+  const auto base = std::max<std::int64_t>(0, policy.base_backoff.count());
+  const auto max = std::max<std::int64_t>(0, policy.max_backoff.count());
+  // base * 2^attempt without overflow: once the doubling passes the
+  // ceiling the exact value no longer matters.
+  std::int64_t nominal = base;
+  for (int i = 0; i < attempt && nominal < max; ++i) nominal *= 2;
+  nominal = std::min(nominal, max);
+  // Uniform factor in [0.5, 1.5) from the top 53 bits.
+  const double factor =
+      0.5 + static_cast<double>(random_bits >> 11) * 0x1.0p-53;
+  const auto jittered = static_cast<std::int64_t>(
+      std::llround(static_cast<double>(nominal) * factor));
+  return std::chrono::milliseconds(std::clamp<std::int64_t>(jittered, 0, max));
+}
+
+}  // namespace mergescale::serve

@@ -1,0 +1,31 @@
+#pragma once
+// Retry schedule for transport-level failures: jittered exponential
+// backoff.  Pure arithmetic — the caller owns the clock, the sleep, and
+// the randomness — so the schedule is unit-testable and a replay with
+// the same random bits produces the same delays.
+
+#include <chrono>
+#include <cstdint>
+
+namespace mergescale::serve {
+
+struct RetryPolicy {
+  /// Retries after the first attempt (0 = fail fast).
+  int retries = 0;
+  /// Nominal delay before the first retry; doubles per retry.
+  std::chrono::milliseconds base_backoff{50};
+  /// Ceiling on any single delay, jitter included.
+  std::chrono::milliseconds max_backoff{2000};
+};
+
+/// Delay to sleep before retry `attempt` (0-based: attempt 0 is the
+/// first retry).  The nominal delay base*2^attempt is clamped to
+/// max_backoff, then jittered uniformly over [0.5, 1.5) of itself using
+/// `random_bits` (equal bits give equal delays), and finally clamped to
+/// max_backoff again — full jitter keeps a thundering herd of clients
+/// from re-converging on the same instant.
+std::chrono::milliseconds backoff_delay(const RetryPolicy& policy,
+                                        int attempt,
+                                        std::uint64_t random_bits);
+
+}  // namespace mergescale::serve

@@ -14,6 +14,7 @@
 
 #include "core/comm_model.hpp"
 #include "core/design_space.hpp"
+#include "explore/memo_cache.hpp"
 #include "explore/report.hpp"
 #include "noc/topology.hpp"
 
@@ -374,6 +375,15 @@ std::string QueryServer::answer_eval(const Query& query) {
   const explore::CacheKey key = explore::cache_key(job.request);
   bool hit = engine_.cache().contains(key);
   if (!hit) {
+    // A sticky run-log failure means a fresh result could not be made
+    // durable; shed the miss before spending compute on an answer the
+    // next server start would not remember.
+    if (degraded_.load(std::memory_order_relaxed)) {
+      shed_degraded_.fetch_add(1, std::memory_order_relaxed);
+      return err_reply(
+          "degraded(archive-only): the run log is failing, so live "
+          "evaluation is disabled; this point is not in the archive");
+    }
     // One miss at a time: budget spend, log append, and archive insert
     // are a single step, so two sessions racing on the same fresh point
     // cannot double-evaluate or double-record it.
@@ -382,19 +392,39 @@ std::string QueryServer::answer_eval(const Query& query) {
     if (!hit) {
       if (live_used_.load(std::memory_order_relaxed) >=
           options_.live_budget) {
-        return err_reply("live evaluation budget exhausted (" +
+        shed_busy_.fetch_add(1, std::memory_order_relaxed);
+        return err_reply("busy: live evaluation budget exhausted (" +
                          std::to_string(options_.live_budget) +
                          " evaluations spent); this point is not in the "
                          "archive");
       }
+      // Evaluate WITHOUT touching the memo cache: the entry is inserted
+      // only after the record is durably logged, so a failed append
+      // cannot leave behind a cached answer a restarted server would
+      // not have.
       explore::EvalResult fresh =
-          explore::evaluate_job(job, &engine_.cache(), /*use_cache=*/true);
+          explore::evaluate_job(job, nullptr, /*use_cache=*/false);
       fresh.index = next_index_.fetch_add(1, std::memory_order_relaxed);
-      live_used_.fetch_add(1, std::memory_order_relaxed);
       if (log_ != nullptr) {
-        log_->append(fresh);
-        log_->flush();  // a kill -9 after this reply loses nothing
+        try {
+          log_->append(fresh);
+          log_->flush();  // a kill -9 after this reply loses nothing
+        } catch (const std::exception& error) {
+          degraded_.store(true, std::memory_order_relaxed);
+          shed_degraded_.fetch_add(1, std::memory_order_relaxed);
+          return err_reply(
+              std::string("degraded(archive-only): run log append failed "
+                          "(") +
+              error.what() + "); live evaluation disabled");
+        }
       }
+      live_used_.fetch_add(1, std::memory_order_relaxed);
+      explore::EvalOutcome outcome;
+      outcome.feasible = fresh.feasible;
+      if (fresh.feasible) {
+        outcome.point = core::DesignPoint{fresh.r, fresh.rl, fresh.speedup};
+      }
+      engine_.cache().insert(key, outcome);
       {
         util::WriterLock archive(archive_mu_);
         records_.push_back(fresh);
@@ -427,6 +457,11 @@ std::string QueryServer::answer_stats() {
      << "queries=" << completed_.load(std::memory_order_relaxed) << "\n"
      << "live_evals=" << live_used_.load(std::memory_order_relaxed) << "\n"
      << "live_budget=" << options_.live_budget << "\n"
+     << "degraded=" << (degraded_.load(std::memory_order_relaxed) ? 1 : 0)
+     << "\n"
+     << "shed_busy=" << shed_busy_.load(std::memory_order_relaxed) << "\n"
+     << "shed_degraded=" << shed_degraded_.load(std::memory_order_relaxed)
+     << "\n"
      << "concurrency_limit=" << gate_.limit() << "\n"
      << "in_use=" << gate_.in_use() << "\n";
   {

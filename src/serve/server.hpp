@@ -98,6 +98,21 @@ class QueryServer {
     return windows_.load(std::memory_order_relaxed);
   }
 
+  /// True once a run-log append failed: the server keeps answering
+  /// archive-backed queries but sheds `eval` misses (typed ERR) instead
+  /// of producing live results it cannot make durable.
+  bool degraded() const noexcept {
+    return degraded_.load(std::memory_order_relaxed);
+  }
+  /// eval misses shed because the live budget was exhausted / the
+  /// server was degraded.
+  std::uint64_t shed_busy() const noexcept {
+    return shed_busy_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t shed_degraded() const noexcept {
+    return shed_degraded_.load(std::memory_order_relaxed);
+  }
+
  private:
   /// Executes a parsed query (no gating) into a framed reply.
   std::string execute(const Query& query);
@@ -140,6 +155,13 @@ class QueryServer {
   util::Mutex live_mu_;
   std::atomic<std::uint64_t> live_used_{0};
   std::atomic<std::size_t> next_index_{0};
+  /// Sticky archive-only mode: set when a run-log append throws.  The
+  /// log's own errors are sticky too (a dead writer thread / full
+  /// disk), so there is nothing to probe for recovery — degradation
+  /// lasts until restart.
+  std::atomic<bool> degraded_{false};
+  std::atomic<std::uint64_t> shed_busy_{0};
+  std::atomic<std::uint64_t> shed_degraded_{0};
 
   TicketGate gate_;
   util::Mutex probe_mu_;  ///< guards probe_ (probe thread vs `stats`)

@@ -1,0 +1,211 @@
+#include "util/failpoint.hpp"
+
+#include <charconv>
+#include <algorithm>
+#include <stdexcept>
+
+namespace mergescale::util {
+
+namespace {
+
+std::uint64_t parse_u64(std::string_view text, std::string_view what) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    throw std::runtime_error("failpoint: bad " + std::string(what) + " '" +
+                             std::string(text) + "'");
+  }
+  return value;
+}
+
+double parse_probability(std::string_view text) {
+  // std::from_chars for double is spotty across libstdc++ versions in
+  // the field; stod on a bounded copy is fine off the hot path.
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(std::string(text), &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (text.empty() || consumed != text.size() ||
+      !(value >= 0.0 && value <= 1.0)) {
+    throw std::runtime_error("failpoint: bad probability '" +
+                             std::string(text) + "' (want [0, 1])");
+  }
+  return value;
+}
+
+}  // namespace
+
+FailPointSpec parse_failpoint_spec(std::string_view text) {
+  FailPointSpec spec;
+  if (const std::size_t at = text.find('@'); at != std::string_view::npos) {
+    spec.path_contains = std::string(text.substr(at + 1));
+    text = text.substr(0, at);
+  }
+  std::string_view head = text;
+  std::string_view tail;
+  if (const std::size_t colon = text.find(':'); colon != std::string_view::npos) {
+    head = text.substr(0, colon);
+    tail = text.substr(colon + 1);
+  }
+  if (head == "off") {
+    spec.policy = FailPointSpec::Policy::kOff;
+  } else if (head == "always") {
+    spec.policy = FailPointSpec::Policy::kAlways;
+  } else if (head == "nth") {
+    spec.policy = FailPointSpec::Policy::kNth;
+    spec.n = parse_u64(tail, "count");
+    if (spec.n == 0) {
+      throw std::runtime_error("failpoint: nth:N is 1-based, got nth:0");
+    }
+  } else if (head == "after") {
+    spec.policy = FailPointSpec::Policy::kAfter;
+    spec.n = parse_u64(tail, "count");
+  } else if (head == "prob") {
+    spec.policy = FailPointSpec::Policy::kProbability;
+    std::string_view prob = tail;
+    if (const std::size_t colon = tail.find(':');
+        colon != std::string_view::npos) {
+      prob = tail.substr(0, colon);
+      spec.seed = parse_u64(tail.substr(colon + 1), "seed");
+    }
+    spec.probability = parse_probability(prob);
+  } else {
+    throw std::runtime_error("failpoint: unknown policy '" +
+                             std::string(head) + "'");
+  }
+  return spec;
+}
+
+FailPoints& FailPoints::instance() {
+  static FailPoints registry;
+  return registry;
+}
+
+void FailPoints::arm(const std::string& name, FailPointSpec spec) {
+  MutexLock lock(mu_);
+  Point point;
+  point.rng = Xoshiro256(spec.seed);
+  point.spec = std::move(spec);
+  points_[name] = std::move(point);
+}
+
+void FailPoints::arm(const std::string& name, std::string_view spec_text) {
+  arm(name, parse_failpoint_spec(spec_text));
+}
+
+void FailPoints::disarm(const std::string& name) {
+  MutexLock lock(mu_);
+  points_.erase(name);
+}
+
+void FailPoints::disarm_all() {
+  MutexLock lock(mu_);
+  points_.clear();
+}
+
+bool FailPoints::should_fail(std::string_view name, std::string_view arg) {
+  MutexLock lock(mu_);
+  const auto it = points_.find(std::string(name));
+  if (it == points_.end()) return false;
+  Point& point = it->second;
+  const FailPointSpec& spec = point.spec;
+  if (!spec.path_contains.empty() &&
+      arg.find(spec.path_contains) == std::string_view::npos) {
+    return false;
+  }
+  ++point.calls;
+  bool fire = false;
+  switch (spec.policy) {
+    case FailPointSpec::Policy::kOff:
+      break;
+    case FailPointSpec::Policy::kAlways:
+      fire = true;
+      break;
+    case FailPointSpec::Policy::kNth:
+      fire = point.calls == spec.n;
+      break;
+    case FailPointSpec::Policy::kAfter:
+      fire = point.calls > spec.n;
+      break;
+    case FailPointSpec::Policy::kProbability:
+      fire = point.rng.uniform() < spec.probability;
+      break;
+  }
+  if (fire) ++point.fires;
+  return fire;
+}
+
+std::uint64_t FailPoints::consultations(const std::string& name) const {
+  MutexLock lock(mu_);
+  const auto it = points_.find(name);
+  return it == points_.end() ? 0 : it->second.calls;
+}
+
+std::uint64_t FailPoints::fires(const std::string& name) const {
+  MutexLock lock(mu_);
+  const auto it = points_.find(name);
+  return it == points_.end() ? 0 : it->second.fires;
+}
+
+std::size_t FailPoints::configure(std::string_view config) {
+  std::size_t armed = 0;
+  while (!config.empty()) {
+    std::string_view entry = config;
+    if (const std::size_t semi = config.find(';');
+        semi != std::string_view::npos) {
+      entry = config.substr(0, semi);
+      config = config.substr(semi + 1);
+    } else {
+      config = {};
+    }
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      throw std::runtime_error("failpoint: bad config entry '" +
+                               std::string(entry) + "' (want name=spec)");
+    }
+    arm(std::string(entry.substr(0, eq)), entry.substr(eq + 1));
+    ++armed;
+  }
+  return armed;
+}
+
+std::vector<std::string> FailPoints::describe() const {
+  std::vector<std::string> lines;
+  {
+    MutexLock lock(mu_);
+    lines.reserve(points_.size());
+    for (const auto& [name, point] : points_) {
+      const FailPointSpec& spec = point.spec;
+      std::string summary;
+      switch (spec.policy) {
+        case FailPointSpec::Policy::kOff:
+          summary = "off";
+          break;
+        case FailPointSpec::Policy::kAlways:
+          summary = "always";
+          break;
+        case FailPointSpec::Policy::kNth:
+          summary = "nth:" + std::to_string(spec.n);
+          break;
+        case FailPointSpec::Policy::kAfter:
+          summary = "after:" + std::to_string(spec.n);
+          break;
+        case FailPointSpec::Policy::kProbability:
+          summary = "prob:" + std::to_string(spec.probability) + ":" +
+                    std::to_string(spec.seed);
+          break;
+      }
+      if (!spec.path_contains.empty()) summary += "@" + spec.path_contains;
+      lines.push_back(name + "=" + summary);
+    }
+  }
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+}  // namespace mergescale::util

@@ -1,0 +1,111 @@
+#pragma once
+// Named fail points: a process-wide registry of injection sites that
+// tests (and CLI smokes, via the MS_FAILPOINTS environment variable)
+// arm with a trigger policy.  Production code never consults the
+// registry directly — the injection seam is util::FaultyIoEnv, which
+// asks `should_fail("io.write", path)` before every filesystem
+// primitive — but the registry itself is generic: any subsystem can
+// define a point name and consult it.
+//
+// Policies (spec grammar, also accepted by MS_FAILPOINTS):
+//
+//   off              never fires
+//   always           fires on every matching consultation
+//   nth:N            fires exactly once, on the Nth matching call (1-based)
+//   after:N          sticky: fires on every matching call after the
+//                    first N (after:0 == always) — models ENOSPC, a
+//                    dead disk, anything that stays broken
+//   prob:P[:SEED]    fires with probability P per call, from a
+//                    deterministic xoshiro256** stream pinned to SEED
+//                    (default 42) so failures replay bit-identically
+//
+// Any spec may carry a `@SUBSTR` suffix: only consultations whose
+// argument (for IoEnv points, the file path) contains SUBSTR are
+// counted and eligible to fire.  MS_FAILPOINTS holds a `;`-separated
+// list of `name=spec` entries, e.g.
+//
+//   MS_FAILPOINTS='io.write=after:100@results;io.sync=prob:0.01:7'
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace mergescale::util {
+
+/// One armed fail point: trigger policy plus optional argument filter.
+struct FailPointSpec {
+  enum class Policy { kOff, kAlways, kNth, kAfter, kProbability };
+
+  Policy policy = Policy::kOff;
+  std::uint64_t n = 0;           ///< for kNth / kAfter
+  double probability = 0.0;      ///< for kProbability
+  std::uint64_t seed = 42;       ///< for kProbability
+  std::string path_contains;     ///< "" = match every consultation
+};
+
+/// Parses the spec grammar documented above.  Throws std::runtime_error
+/// on malformed input (unknown policy, bad number, probability outside
+/// [0, 1]).
+FailPointSpec parse_failpoint_spec(std::string_view text);
+
+/// Thread-safe registry of named fail points.  Consulting a name that
+/// was never armed is free of side effects and returns false, so
+/// `should_fail` calls can stay in production code paths permanently.
+class FailPoints {
+ public:
+  /// The process-wide registry used by FaultyIoEnv and MS_FAILPOINTS.
+  static FailPoints& instance();
+
+  FailPoints() = default;
+  FailPoints(const FailPoints&) = delete;
+  FailPoints& operator=(const FailPoints&) = delete;
+
+  /// Arms (or re-arms, resetting counters) a point.
+  void arm(const std::string& name, FailPointSpec spec) MS_EXCLUDES(mu_);
+
+  /// Arms from spec text; throws on a malformed spec.
+  void arm(const std::string& name, std::string_view spec_text)
+      MS_EXCLUDES(mu_);
+
+  /// Disarms one point / every point.
+  void disarm(const std::string& name) MS_EXCLUDES(mu_);
+  void disarm_all() MS_EXCLUDES(mu_);
+
+  /// Consults a point.  `arg` is matched against the spec's
+  /// path_contains filter; non-matching consultations neither count
+  /// nor fire.
+  bool should_fail(std::string_view name, std::string_view arg = {})
+      MS_EXCLUDES(mu_);
+
+  /// Observability for tests and CLI banners.
+  std::uint64_t consultations(const std::string& name) const MS_EXCLUDES(mu_);
+  std::uint64_t fires(const std::string& name) const MS_EXCLUDES(mu_);
+
+  /// Arms every `name=spec` entry of a `;`-separated config string
+  /// (the MS_FAILPOINTS format).  Empty entries are skipped; throws on
+  /// the first malformed entry.  Returns the number of points armed.
+  std::size_t configure(std::string_view config) MS_EXCLUDES(mu_);
+
+  /// One "name=<policy summary>" line per armed point, sorted by name —
+  /// printed by CLIs when MS_FAILPOINTS is active.
+  std::vector<std::string> describe() const MS_EXCLUDES(mu_);
+
+ private:
+  struct Point {
+    FailPointSpec spec;
+    std::uint64_t calls = 0;
+    std::uint64_t fires = 0;
+    Xoshiro256 rng;
+  };
+
+  mutable Mutex mu_;
+  std::unordered_map<std::string, Point> points_ MS_GUARDED_BY(mu_);
+};
+
+}  // namespace mergescale::util

@@ -1,0 +1,175 @@
+// Protocol test for serve_client's deadline + retry path, driven
+// against the real binary (SERVE_CLIENT_BINARY): a silent server (one
+// that accepts and never replies) must produce a single clean one-line
+// `ERR deadline ...` on stdout and exit 1 within a bounded wall time —
+// never a hang, never partial output.
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// A loopback listener whose connections are handled by `handler` (one
+/// thread per accept); the default handler reads and never replies.
+class Listener {
+ public:
+  /// port() stays 0 when any setup step fails — tests assert it.
+  explicit Listener(std::function<void(int fd)> handler = {})
+      : handler_(std::move(handler)) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;  // ephemeral
+    if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+            0 ||
+        ::listen(fd_, 8) != 0) {
+      return;
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+      return;
+    }
+    port_ = ntohs(addr.sin_port);
+    accepter_ = std::thread([this] { accept_loop(); });
+  }
+
+  ~Listener() {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    if (accepter_.joinable()) accepter_.join();
+    for (std::thread& worker : workers_) {
+      if (worker.joinable()) worker.join();
+    }
+    for (int fd : clients_) ::close(fd);
+  }
+
+  int port() const { return port_; }
+
+ private:
+  void accept_loop() {
+    for (;;) {
+      const int client = ::accept(fd_, nullptr, nullptr);
+      if (client < 0) return;  // listener closed
+      clients_.push_back(client);
+      if (handler_) {
+        workers_.emplace_back([this, client] { handler_(client); });
+      }
+      // No handler: hold the connection open, silently.
+    }
+  }
+
+  std::function<void(int fd)> handler_;
+  int fd_ = -1;
+  int port_ = 0;
+  std::thread accepter_;
+  std::vector<std::thread> workers_;
+  std::vector<int> clients_;
+};
+
+struct RunResult {
+  std::string output;
+  int exit_code = -1;
+};
+
+RunResult run_client(const std::string& arguments) {
+  const std::string command =
+      std::string(SERVE_CLIENT_BINARY) + " " + arguments + " 2>/dev/null";
+  FILE* pipe = popen(command.c_str(), "r");
+  RunResult result;
+  if (pipe == nullptr) return result;
+  char chunk[4096];
+  std::size_t got = 0;
+  while ((got = fread(chunk, 1, sizeof(chunk), pipe)) > 0) {
+    result.output.append(chunk, got);
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WEXITSTATUS(status);
+  return result;
+}
+
+TEST(ServeClientDeadline, SilentServerYieldsOneCleanErrLine) {
+  Listener listener;  // accepts, never replies
+  ASSERT_GT(listener.port(), 0);
+  const auto start = Clock::now();
+  const RunResult result = run_client(
+      "--port " + std::to_string(listener.port()) +
+      " --query best --timeout-ms 200 --retries 1 --backoff-ms 10");
+  const auto elapsed = Clock::now() - start;
+
+  EXPECT_EQ(result.exit_code, 1);
+  // Exactly one line, the typed deadline error, nothing partial.
+  EXPECT_EQ(result.output.rfind("ERR deadline:", 0), 0u) << result.output;
+  EXPECT_NE(result.output.find("'best'"), std::string::npos) << result.output;
+  EXPECT_NE(result.output.find("200 ms"), std::string::npos) << result.output;
+  EXPECT_NE(result.output.find("2 attempts"), std::string::npos)
+      << result.output;
+  EXPECT_EQ(result.output.find('\n'), result.output.size() - 1)
+      << result.output;
+  // 2 attempts x 200 ms + one small backoff, with generous slack for CI.
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+}
+
+TEST(ServeClientDeadline, ConnectRefusedAlsoYieldsTheErrLine) {
+  // Bind-then-close: the port is (almost certainly) not listening.
+  int port = 0;
+  {
+    Listener probe;
+    ASSERT_GT(probe.port(), 0);
+    port = probe.port();
+  }
+  const RunResult result =
+      run_client("--port " + std::to_string(port) +
+                 " --query best --timeout-ms 100 --backoff-ms 1");
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_EQ(result.output.rfind("ERR deadline:", 0), 0u) << result.output;
+  EXPECT_NE(result.output.find("1 attempt)"), std::string::npos)
+      << result.output;
+}
+
+TEST(ServeClientDeadline, ErrReplyIsAProtocolAnswerNotAFailure) {
+  Listener listener([](int fd) {
+    // Read the request line, reply with a protocol-level error.
+    char buffer[256];
+    (void)::recv(fd, buffer, sizeof(buffer), 0);
+    const char reply[] = "ERR unknown query\n";
+    (void)::send(fd, reply, sizeof(reply) - 1, MSG_NOSIGNAL);
+  });
+  ASSERT_GT(listener.port(), 0);
+  const RunResult result =
+      run_client("--port " + std::to_string(listener.port()) +
+                 " --query bogus --timeout-ms 2000");
+  EXPECT_EQ(result.exit_code, 0);  // a complete reply, even an ERR one
+  EXPECT_EQ(result.output, "ERR unknown query\n");
+}
+
+TEST(ServeClientDeadline, FramedOkReplyIsPrintedVerbatim) {
+  Listener listener([](int fd) {
+    char buffer[256];
+    (void)::recv(fd, buffer, sizeof(buffer), 0);
+    const char reply[] = "OK best lines=1\npayload line\nEND\n";
+    (void)::send(fd, reply, sizeof(reply) - 1, MSG_NOSIGNAL);
+  });
+  ASSERT_GT(listener.port(), 0);
+  const RunResult result =
+      run_client("--port " + std::to_string(listener.port()) +
+                 " --query best --timeout-ms 2000");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_EQ(result.output, "OK best lines=1\npayload line\nEND\n");
+}
+
+}  // namespace

@@ -1,0 +1,71 @@
+#include "serve/retry.hpp"
+
+#include <chrono>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+namespace mergescale::serve {
+namespace {
+
+using std::chrono::milliseconds;
+
+/// Random bits whose top 53 bits are zero: jitter factor exactly 0.5.
+constexpr std::uint64_t kLowJitter = 0;
+/// All-ones bits: jitter factor just under 1.5.
+constexpr std::uint64_t kHighJitter = ~std::uint64_t{0};
+
+TEST(BackoffDelay, DeterministicForEqualBits) {
+  RetryPolicy policy;
+  for (int attempt = 0; attempt < 6; ++attempt) {
+    EXPECT_EQ(backoff_delay(policy, attempt, 12345u),
+              backoff_delay(policy, attempt, 12345u));
+  }
+}
+
+TEST(BackoffDelay, NominalDoublesPerAttempt) {
+  RetryPolicy policy;
+  policy.base_backoff = milliseconds(100);
+  policy.max_backoff = milliseconds(100000);
+  // Factor 0.5 halves the nominal, making the doubling visible exactly.
+  EXPECT_EQ(backoff_delay(policy, 0, kLowJitter), milliseconds(50));
+  EXPECT_EQ(backoff_delay(policy, 1, kLowJitter), milliseconds(100));
+  EXPECT_EQ(backoff_delay(policy, 2, kLowJitter), milliseconds(200));
+  EXPECT_EQ(backoff_delay(policy, 3, kLowJitter), milliseconds(400));
+}
+
+TEST(BackoffDelay, JitterStaysWithinHalfToOneAndAHalf) {
+  RetryPolicy policy;
+  policy.base_backoff = milliseconds(100);
+  policy.max_backoff = milliseconds(100000);
+  for (std::uint64_t bits :
+       {std::uint64_t{0}, std::uint64_t{1} << 63, std::uint64_t{0xdeadbeef},
+        kHighJitter}) {
+    const auto delay = backoff_delay(policy, 0, bits);
+    EXPECT_GE(delay, milliseconds(50)) << bits;
+    EXPECT_LE(delay, milliseconds(150)) << bits;
+  }
+  EXPECT_NE(backoff_delay(policy, 0, kLowJitter),
+            backoff_delay(policy, 0, kHighJitter));
+}
+
+TEST(BackoffDelay, ClampsToMaxBackoffJitterIncluded) {
+  RetryPolicy policy;
+  policy.base_backoff = milliseconds(50);
+  policy.max_backoff = milliseconds(2000);
+  // Far past the doubling ceiling, even high jitter cannot exceed max.
+  EXPECT_LE(backoff_delay(policy, 30, kHighJitter), milliseconds(2000));
+  EXPECT_EQ(backoff_delay(policy, 30, kHighJitter), milliseconds(2000));
+  // And the doubling loop cannot overflow with an absurd attempt count.
+  EXPECT_LE(backoff_delay(policy, 1000, kHighJitter), milliseconds(2000));
+}
+
+TEST(BackoffDelay, ZeroBaseMeansZeroDelay) {
+  RetryPolicy policy;
+  policy.base_backoff = milliseconds(0);
+  EXPECT_EQ(backoff_delay(policy, 0, kHighJitter), milliseconds(0));
+  EXPECT_EQ(backoff_delay(policy, 5, kHighJitter), milliseconds(0));
+}
+
+}  // namespace
+}  // namespace mergescale::serve

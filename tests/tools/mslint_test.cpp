@@ -115,6 +115,35 @@ TEST(MslintRules, AllowSuppressesNamedRulesOnly) {
   EXPECT_EQ(got, want);
 }
 
+TEST(MslintRules, RawIoFires) {
+  const auto got = lines_of(lint_file(fixture("raw_io_bad.cpp")));
+  const std::vector<std::pair<int, std::string>> want = {
+      {11, "raw-io"}, {13, "raw-io"}, {14, "raw-io"}, {19, "raw-io"},
+      {20, "raw-io"}, {21, "raw-io"}, {23, "raw-io"}, {24, "raw-io"},
+  };
+  EXPECT_EQ(got, want);
+}
+
+TEST(MslintRules, RawIoExemptsIoEnvCpp) {
+  // util/io_env.cpp is the designated raw-I/O boundary; the same calls
+  // that fire elsewhere are silent there (matched by path suffix, so a
+  // build-tree copy stays exempt too).
+  const std::string source =
+      "#include <cstdio>\n"
+      "void f(const char* p) { fopen(p, \"wb\"); ::unlink(p); }\n";
+  EXPECT_FALSE(lint_source("src/other.cpp", source).empty());
+  EXPECT_TRUE(lint_source("src/util/io_env.cpp", source).empty());
+}
+
+TEST(MslintRules, QualifiedNamesAreNotRawIo) {
+  // std::filesystem::rename and member statics carry an identifier
+  // before the colons — only the global-namespace form is banned.
+  const std::string source =
+      "#include <filesystem>\n"
+      "void f() { std::filesystem::rename(\"a\", \"b\"); File::open(1); }\n";
+  EXPECT_TRUE(lint_source("src/other.cpp", source).empty());
+}
+
 TEST(MslintScanner, StringsCommentsAndRawStringsDoNotFire) {
   const std::string source =
       "// mslint: hot-path\n"
@@ -167,7 +196,7 @@ TEST(MslintCli, ListRulesCoversEveryRule) {
   for (const std::string& rule : mergescale::lint::rule_ids()) {
     EXPECT_FALSE(rule.empty());
   }
-  EXPECT_EQ(mergescale::lint::rule_ids().size(), 6u);
+  EXPECT_EQ(mergescale::lint::rule_ids().size(), 7u);
   EXPECT_EQ(run_mslint("--list-rules"), 0);
 }
 

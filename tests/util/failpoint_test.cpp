@@ -1,0 +1,174 @@
+#include "util/failpoint.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mergescale::util {
+namespace {
+
+using Policy = FailPointSpec::Policy;
+
+TEST(ParseFailpointSpec, Policies) {
+  EXPECT_EQ(parse_failpoint_spec("off").policy, Policy::kOff);
+  EXPECT_EQ(parse_failpoint_spec("always").policy, Policy::kAlways);
+
+  const FailPointSpec nth = parse_failpoint_spec("nth:3");
+  EXPECT_EQ(nth.policy, Policy::kNth);
+  EXPECT_EQ(nth.n, 3u);
+
+  const FailPointSpec after = parse_failpoint_spec("after:10");
+  EXPECT_EQ(after.policy, Policy::kAfter);
+  EXPECT_EQ(after.n, 10u);
+
+  const FailPointSpec prob = parse_failpoint_spec("prob:0.25");
+  EXPECT_EQ(prob.policy, Policy::kProbability);
+  EXPECT_DOUBLE_EQ(prob.probability, 0.25);
+  EXPECT_EQ(prob.seed, 42u);  // pinned default
+
+  const FailPointSpec seeded = parse_failpoint_spec("prob:0.5:7");
+  EXPECT_EQ(seeded.seed, 7u);
+}
+
+TEST(ParseFailpointSpec, PathFilterSuffix) {
+  const FailPointSpec spec = parse_failpoint_spec("after:2@results.ndjson");
+  EXPECT_EQ(spec.policy, Policy::kAfter);
+  EXPECT_EQ(spec.n, 2u);
+  EXPECT_EQ(spec.path_contains, "results.ndjson");
+}
+
+TEST(ParseFailpointSpec, MalformedSpecsThrow) {
+  EXPECT_THROW(parse_failpoint_spec(""), std::runtime_error);
+  EXPECT_THROW(parse_failpoint_spec("sometimes"), std::runtime_error);
+  EXPECT_THROW(parse_failpoint_spec("nth:"), std::runtime_error);
+  EXPECT_THROW(parse_failpoint_spec("nth:0"), std::runtime_error);  // 1-based
+  EXPECT_THROW(parse_failpoint_spec("nth:x"), std::runtime_error);
+  EXPECT_THROW(parse_failpoint_spec("prob:1.5"), std::runtime_error);
+  EXPECT_THROW(parse_failpoint_spec("prob:-0.1"), std::runtime_error);
+  EXPECT_THROW(parse_failpoint_spec("prob:"), std::runtime_error);
+}
+
+TEST(FailPoints, UnarmedNeverFires) {
+  FailPoints points;
+  EXPECT_FALSE(points.should_fail("io.write", "a"));
+  EXPECT_EQ(points.consultations("io.write"), 0u);
+  EXPECT_EQ(points.fires("io.write"), 0u);
+}
+
+TEST(FailPoints, AlwaysAndOff) {
+  FailPoints points;
+  points.arm("p", "always");
+  EXPECT_TRUE(points.should_fail("p"));
+  EXPECT_TRUE(points.should_fail("p"));
+  points.arm("p", "off");
+  EXPECT_FALSE(points.should_fail("p"));
+}
+
+TEST(FailPoints, NthFiresExactlyOnce) {
+  FailPoints points;
+  points.arm("p", "nth:3");
+  EXPECT_FALSE(points.should_fail("p"));
+  EXPECT_FALSE(points.should_fail("p"));
+  EXPECT_TRUE(points.should_fail("p"));   // the 3rd call
+  EXPECT_FALSE(points.should_fail("p"));  // and never again
+  EXPECT_EQ(points.consultations("p"), 4u);
+  EXPECT_EQ(points.fires("p"), 1u);
+}
+
+TEST(FailPoints, AfterIsSticky) {
+  FailPoints points;
+  points.arm("p", "after:2");
+  EXPECT_FALSE(points.should_fail("p"));
+  EXPECT_FALSE(points.should_fail("p"));
+  EXPECT_TRUE(points.should_fail("p"));
+  EXPECT_TRUE(points.should_fail("p"));  // stays broken, like ENOSPC
+  points.arm("q", "after:0");            // == always
+  EXPECT_TRUE(points.should_fail("q"));
+}
+
+TEST(FailPoints, ProbabilityIsDeterministicPerSeed) {
+  auto run = [](const char* spec) {
+    FailPoints points;
+    points.arm("p", spec);
+    std::vector<bool> outcomes;
+    for (int i = 0; i < 64; ++i) outcomes.push_back(points.should_fail("p"));
+    return outcomes;
+  };
+  EXPECT_EQ(run("prob:0.3:9"), run("prob:0.3:9"));  // replayable
+  EXPECT_NE(run("prob:0.5:1"), run("prob:0.5:2"));  // seed matters
+  // Degenerate probabilities behave like off / always.
+  FailPoints points;
+  points.arm("never", "prob:0");
+  points.arm("ever", "prob:1");
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_FALSE(points.should_fail("never"));
+    EXPECT_TRUE(points.should_fail("ever"));
+  }
+}
+
+TEST(FailPoints, PathFilterGatesCountingAndFiring) {
+  FailPoints points;
+  points.arm("p", "nth:2@results");
+  // Non-matching consultations neither count nor fire.
+  EXPECT_FALSE(points.should_fail("p", "/run/meta.json"));
+  EXPECT_FALSE(points.should_fail("p", "/run/results.ndjson"));  // 1st match
+  EXPECT_FALSE(points.should_fail("p", "/run/meta.json"));
+  EXPECT_TRUE(points.should_fail("p", "/run/results.ndjson"));  // 2nd match
+  EXPECT_EQ(points.consultations("p"), 2u);
+}
+
+TEST(FailPoints, RearmResetsCounters) {
+  FailPoints points;
+  points.arm("p", "nth:1");
+  EXPECT_TRUE(points.should_fail("p"));
+  points.arm("p", "nth:1");
+  EXPECT_TRUE(points.should_fail("p"));  // counter restarted
+}
+
+TEST(FailPoints, DisarmAndDisarmAll) {
+  FailPoints points;
+  points.arm("a", "always");
+  points.arm("b", "always");
+  points.disarm("a");
+  EXPECT_FALSE(points.should_fail("a"));
+  EXPECT_TRUE(points.should_fail("b"));
+  points.disarm_all();
+  EXPECT_FALSE(points.should_fail("b"));
+}
+
+TEST(FailPoints, ConfigureParsesEnvFormat) {
+  FailPoints points;
+  EXPECT_EQ(points.configure("io.write=after:1@results;io.sync=always"), 2u);
+  EXPECT_FALSE(points.should_fail("io.write", "results.bin"));
+  EXPECT_TRUE(points.should_fail("io.write", "results.bin"));
+  EXPECT_TRUE(points.should_fail("io.sync", "anything"));
+  EXPECT_EQ(points.configure(""), 0u);
+  EXPECT_EQ(points.configure(";;"), 0u);  // empty entries skipped
+  EXPECT_THROW(points.configure("no-equals-sign"), std::runtime_error);
+  EXPECT_THROW(points.configure("p=bogus"), std::runtime_error);
+}
+
+TEST(FailPoints, DescribeListsArmedPointsSorted) {
+  FailPoints points;
+  points.arm("z", "always");
+  points.arm("a", "nth:2@results");
+  const std::vector<std::string> lines = points.describe();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].rfind("a=", 0), 0u);
+  EXPECT_EQ(lines[1].rfind("z=", 0), 0u);
+  EXPECT_NE(lines[0].find("results"), std::string::npos);
+}
+
+TEST(FailPoints, GlobalInstanceIsAProcessSingleton) {
+  FailPoints& a = FailPoints::instance();
+  FailPoints& b = FailPoints::instance();
+  EXPECT_EQ(&a, &b);
+  a.arm("singleton-check", "always");
+  EXPECT_TRUE(b.should_fail("singleton-check"));
+  a.disarm("singleton-check");
+}
+
+}  // namespace
+}  // namespace mergescale::util

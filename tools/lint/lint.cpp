@@ -338,6 +338,49 @@ struct Scanner {
     }
   }
 
+  /// Files may opt out wholesale (util/io_env.cpp, the one place raw
+  /// primitives are allowed); set by lint_source from the path.
+  bool raw_io_exempt = false;
+
+  void raw_io() const {
+    if (raw_io_exempt) return;
+    const std::string_view code = line->code;
+    // C stdio file calls by name.
+    for (const char* fn : {"fopen", "freopen", "fwrite", "fread"}) {
+      const std::string_view name = fn;
+      for (std::size_t pos = code.find(name); pos != std::string_view::npos;
+           pos = code.find(name, pos + name.size())) {
+        if (!whole_word(code, pos, name.size())) continue;
+        const std::size_t after = skip_spaces(code, pos + name.size());
+        if (after == std::string_view::npos || code[after] != '(') continue;
+        report("raw-io",
+               std::string(name) +
+                   "() bypasses util::IoEnv; file bytes must flow through "
+                   "the env so faults stay injectable");
+      }
+    }
+    // Global-qualified POSIX file primitives.  Requiring the bare `::`
+    // form keeps qualified names out: std::filesystem::rename and
+    // member statics (File::open) have an identifier before the colons.
+    for (const char* fn :
+         {"open", "creat", "write", "pwrite", "read", "pread", "fsync",
+          "fdatasync", "ftruncate", "truncate", "rename", "unlink"}) {
+      const std::string name = std::string("::") + fn;
+      for (std::size_t pos = code.find(name); pos != std::string_view::npos;
+           pos = code.find(name, pos + name.size())) {
+        if (pos > 0 &&
+            (is_ident_char(code[pos - 1]) || code[pos - 1] == ':')) {
+          continue;  // qualified (std::..., Type::...), not the global ns
+        }
+        const std::size_t after = skip_spaces(code, pos + name.size());
+        if (after == std::string_view::npos || code[after] != '(') continue;
+        report("raw-io",
+               name + "() bypasses util::IoEnv; file bytes must flow "
+                      "through the env so faults stay injectable");
+      }
+    }
+  }
+
   void deprecated_sweep() const {
     const std::string_view code = line->code;
     const std::string_view prefix = "sweep_";
@@ -361,8 +404,8 @@ struct Scanner {
 
 const std::vector<std::string>& rule_ids() {
   static const std::vector<std::string> kRules = {
-      "hot-alloc",    "hot-string",       "hot-iostream",
-      "raw-law-name", "bare-lock",        "deprecated-sweep",
+      "hot-alloc", "hot-string",       "hot-iostream", "raw-law-name",
+      "bare-lock", "deprecated-sweep", "raw-io",
   };
   return kRules;
 }
@@ -372,6 +415,13 @@ std::vector<Finding> lint_source(std::string_view path,
   std::vector<Finding> findings;
   std::vector<Line> lines = sanitize(content);
   Scanner scanner{path, &findings, nullptr, 0};
+  // util/io_env.cpp is the designated raw-I/O boundary; everything else
+  // must go through the env.
+  const std::string_view exempt_suffix = "io_env.cpp";
+  scanner.raw_io_exempt =
+      path.size() >= exempt_suffix.size() &&
+      path.compare(path.size() - exempt_suffix.size(), exempt_suffix.size(),
+                   exempt_suffix) == 0;
   bool hot = false;
   std::vector<std::string> carried;
   for (std::size_t i = 0; i < lines.size(); ++i) {
@@ -391,6 +441,7 @@ std::vector<Finding> lint_source(std::string_view path,
     scanner.lineno = static_cast<int>(i + 1);
     scanner.bare_lock();
     scanner.deprecated_sweep();
+    scanner.raw_io();
     if (hot) {
       scanner.hot_alloc();
       scanner.hot_string();
