@@ -30,11 +30,17 @@
 //   done; wait                           # one results.shard-$i.msbin each
 //   ./build/explore_cli --merge --run-dir /tmp/shards
 //                                        # union + dedup into one log
+//   ./build/explore_cli --archive --run-dir /tmp/shards
+//                                        # rewrite the merged log into a
+//                                        # columnar archive.msca
 //
 // Writes <out>.csv and <out>.ndjson (exhaustive runs), and
 // <dir>/results.ndjson or <dir>/results.msbin (--log-format;
 // results.shard-<i>.<ext> under --shard) + <dir>/meta.json when
-// persistence is on.
+// persistence is on.  --archive replaces the result logs with
+// <dir>/archive.msca (search/archive): column-per-field blocks sorted by
+// flat index with per-block zone maps, which serve_cli and resume read
+// back without replaying a row-per-record log.
 
 #include <algorithm>
 #include <chrono>
@@ -50,10 +56,12 @@
 #include "core/app_params.hpp"
 #include "explore/engine.hpp"
 #include "explore/report.hpp"
+#include "search/archive.hpp"
 #include "search/run_log.hpp"
 #include "search/space.hpp"
 #include "search/strategy.hpp"
 #include "util/cli.hpp"
+#include "util/io_env.hpp"
 
 using namespace mergescale;
 
@@ -293,6 +301,10 @@ int main(int argc, char** argv) try {
   cli.flag("compact",
            "rewrite --run-dir's log in --log-format, dropping duplicate "
            "design points, then exit");
+  cli.flag("archive",
+           "rewrite --run-dir's merged, deduplicated records into a "
+           "columnar archive (<dir>/archive.msca, zone-mapped blocks "
+           "sorted by flat index), remove the result logs, then exit");
   cli.flag("no-cache", "disable the memoization cache");
   cli.flag("quiet", "suppress the per-point result table");
   if (!cli.parse(argc, argv)) return 0;
@@ -319,6 +331,66 @@ int main(int argc, char** argv) try {
                 << stats.kept << " unique design points ("
                 << search::log_format_name(log_format) << ")\n";
     }
+    return 0;
+  }
+
+  if (cli.get_flag("archive")) {
+    const std::string dir = cli.get_string("run-dir").empty()
+                                ? cli.get_string("resume")
+                                : cli.get_string("run-dir");
+    if (dir.empty()) {
+      throw std::invalid_argument("--archive needs --run-dir <dir>");
+    }
+    const auto meta = search::RunLog::read_meta(dir);
+    const bool sharded =
+        meta && meta->find(";shards=") != std::string::npos;
+    const bool exhaustive_run =
+        meta && meta->find(";strategy=exhaustive") != std::string::npos;
+    if (sharded && !exhaustive_run) {
+      // An adaptive shard resumes *its own trajectory* from its own
+      // log; one merged archive cannot stand in for K per-shard logs
+      // without mis-charging every sibling's records as one stream's
+      // spend.  Exhaustive shards are position-independent, so their
+      // union archives cleanly (resume seeks its flat range back out).
+      throw std::runtime_error(
+          "--archive refuses adaptive sharded run dirs (" + dir +
+          "): each shard resumes its own trajectory from its own log, "
+          "which one merged archive cannot stand in for");
+    }
+    const std::vector<explore::EvalResult> records =
+        search::RunLog::dedup(search::RunLog::load(dir));
+    if (records.empty()) {
+      std::cout << "archive: nothing to archive in " << dir << "\n";
+      return 0;
+    }
+    const std::string path = search::RunLog::archive_path(dir);
+    const search::ArchiveStats stats = search::write_archive(path, records);
+    // The archive now holds the entire (deduplicated) history, so the
+    // row-per-record logs it was built from come off disk — meta.json
+    // stays, it still fingerprints the configuration a resume verifies.
+    // A crash before the removals is benign: load() reads the archive
+    // first and dedups the overlap away.
+    std::vector<std::string> logs;
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+      const std::string name = entry.path().filename().string();
+      if (name.starts_with("results.") &&
+          (name.ends_with(".ndjson") || name.ends_with(".msbin"))) {
+        logs.push_back(entry.path().string());
+      }
+    }
+    util::IoEnv& env = util::io_env();
+    for (const auto& path_to_remove : logs) {
+      const util::IoResult removed = env.remove_file(path_to_remove);
+      if (!removed.ok()) {
+        throw std::runtime_error("archive: cannot remove " + path_to_remove +
+                                 ": " + removed.message);
+      }
+    }
+    std::cout << "archive: " << stats.rows << " unique design points ("
+              << stats.feasible_rows << " feasible) -> " << stats.blocks
+              << " block(s) of " << stats.block_rows << " rows, "
+              << stats.dict_entries << " dictionary entries, " << stats.bytes
+              << " bytes in " << path << "\n";
     return 0;
   }
 
@@ -446,9 +518,21 @@ int main(int argc, char** argv) try {
                                  ": it was recorded under a different "
                                  "configuration (" + *meta + ")");
       }
-      prior_records = shard
-                          ? search::RunLog::load_shard(run_dir, shard->index)
-                          : search::RunLog::load(run_dir);
+      if (shard && !adaptive) {
+        // Exhaustive shards own contiguous flat-index ranges, so after
+        // --archive folded the per-shard logs into one archive this
+        // shard's records sit in a contiguous block band — load_range
+        // seeks just those blocks instead of materializing the union.
+        const search::SearchSpace space(spec);
+        const search::ShardPlan plan(space.size(), shard->count);
+        const search::ShardRange range = plan.range(shard->index);
+        prior_records =
+            search::RunLog::load_range(run_dir, range.begin, range.end);
+      } else if (shard) {
+        prior_records = search::RunLog::load_shard(run_dir, shard->index);
+      } else {
+        prior_records = search::RunLog::load(run_dir);
+      }
       warmed = search::RunLog::warm(prior_records, spec, engine);
       std::cout << "resume: warmed " << warmed << " cache entries from "
                 << run_dir << "\n";

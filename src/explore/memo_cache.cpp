@@ -127,7 +127,7 @@ bool MemoCache::Shard::find(std::uint64_t hash, const CacheKey& key,
   }
 }
 
-void MemoCache::Shard::put(std::uint64_t hash, const CacheKey& key,
+bool MemoCache::Shard::put(std::uint64_t hash, const CacheKey& key,
                            const EvalOutcome& outcome) {
   // Grow at 3/4 load *before* probing, so find() always terminates at
   // an empty slot and an insert never probes a full table.
@@ -135,12 +135,13 @@ void MemoCache::Shard::put(std::uint64_t hash, const CacheKey& key,
   std::size_t slot = 0;
   if (find(hash, key, &slot)) {
     vals[slot] = outcome;
-    return;
+    return false;
   }
   fps[slot] = fingerprint(hash);
   keys[slot] = key;
   vals[slot] = outcome;
   ++used;
+  return true;
 }
 
 // mslint: cold — resize/setup paths: rehashing and shard construction
@@ -232,11 +233,11 @@ bool MemoCache::contains(const CacheKey& key) const {
   return shard.find(hash, key, &slot);
 }
 
-void MemoCache::insert(const CacheKey& key, const EvalOutcome& outcome) {
+bool MemoCache::insert(const CacheKey& key, const EvalOutcome& outcome) {
   const std::uint64_t hash = CacheKeyHash{}(key);
   Shard& shard = *shards_[shard_of(hash)];
   util::WriterLock lock(shard.mu);
-  shard.put(hash, key, outcome);
+  return shard.put(hash, key, outcome);
 }
 
 void MemoCache::lookup_block(std::span<const CacheKey> keys,

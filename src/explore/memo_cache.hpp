@@ -110,8 +110,12 @@ class MemoCache {
   /// mistaken for an evaluation.
   bool contains(const CacheKey& key) const;
 
-  /// Inserts (or overwrites) the outcome for `key`.
-  void insert(const CacheKey& key, const EvalOutcome& outcome);
+  /// Inserts (or overwrites) the outcome for `key`.  Returns true when
+  /// `key` was not yet memoized — the insert created a new entry — so
+  /// callers that count distinct keys (warm-loading a run log) learn it
+  /// from the insert itself instead of double-probing the shard with a
+  /// contains() first.
+  bool insert(const CacheKey& key, const EvalOutcome& outcome);
 
   /// Block lookup: for each i sets hits[i] and, on a hit, outs[i].
   /// Counts one hit or miss per key.  All three spans must be the same
@@ -159,7 +163,8 @@ class MemoCache {
 
     bool find(std::uint64_t hash, const CacheKey& key,
               std::size_t* slot) const noexcept MS_REQUIRES_SHARED(mu);
-    void put(std::uint64_t hash, const CacheKey& key,
+    /// Returns true when the key filled an empty slot (false: overwrite).
+    bool put(std::uint64_t hash, const CacheKey& key,
              const EvalOutcome& outcome) MS_REQUIRES(mu);
     void grow() MS_REQUIRES(mu);
     void rebuild(std::size_t cap) MS_REQUIRES(mu);

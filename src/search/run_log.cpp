@@ -15,6 +15,7 @@
 #include "explore/memo_cache.hpp"
 #include "explore/report.hpp"
 #include "noc/topology.hpp"
+#include "search/archive.hpp"
 #include "search/space.hpp"
 #include "util/json.hpp"
 
@@ -358,22 +359,70 @@ std::string RunLog::meta_path(const std::string& dir) {
   return (std::filesystem::path(dir) / "meta.json").string();
 }
 
+std::string RunLog::archive_path(const std::string& dir) {
+  return (std::filesystem::path(dir) / "archive.msca").string();
+}
+
+bool RunLog::has_archive(const std::string& dir) {
+  return util::io_env().exists(archive_path(dir));
+}
+
 bool RunLog::has_results(const std::string& dir) {
   util::IoEnv& env = util::io_env();
   return env.exists(results_path(dir)) ||
-         env.exists(binary_results_path(dir)) || !shard_indices(dir).empty();
+         env.exists(binary_results_path(dir)) ||
+         env.exists(archive_path(dir)) || !shard_indices(dir).empty();
 }
+
+namespace {
+
+/// Result-log records only (archive excluded): the unsharded pair, then
+/// every shard's files in ascending shard order — for an exhaustive
+/// sharded run (contiguous flat ranges) the union therefore loads in
+/// global flat order, which is what makes the merged log
+/// record-identical to a single-process recording after
+/// first-occurrence dedup.
+void load_logs(const std::string& dir,
+               std::vector<explore::EvalResult>* records) {
+  load_pair(RunLog::results_path(dir), RunLog::binary_results_path(dir),
+            records);
+  for (const std::size_t shard : shard_indices(dir)) {
+    load_pair(RunLog::shard_results_path(dir, shard),
+              RunLog::shard_binary_results_path(dir, shard), records);
+  }
+}
+
+}  // namespace
 
 std::vector<explore::EvalResult> RunLog::load(const std::string& dir) {
   std::vector<explore::EvalResult> records;
-  load_pair(results_path(dir), binary_results_path(dir), &records);
-  // Shard files in ascending shard order: for an exhaustive sharded run
-  // (contiguous flat ranges) the union therefore loads in global flat
-  // order, which is what makes the merged log record-identical to a
-  // single-process recording after first-occurrence dedup.
-  for (const std::size_t shard : shard_indices(dir)) {
-    load_pair(shard_results_path(dir, shard),
-              shard_binary_results_path(dir, shard), &records);
+  // Archived records first: the archive is the compacted prefix of the
+  // directory's history (index-ascending), and any result logs written
+  // after archiving append behind it — so first-occurrence dedup keeps
+  // the archive's record for any design point both hold.  A corrupt
+  // archive throws rather than silently serving a partial union.
+  if (has_archive(dir)) {
+    records = ArchiveReader::open(archive_path(dir)).load_all();
+  }
+  load_logs(dir, &records);
+  return records;
+}
+
+std::vector<explore::EvalResult> RunLog::load_range(const std::string& dir,
+                                                    std::size_t begin,
+                                                    std::size_t end) {
+  std::vector<explore::EvalResult> records;
+  if (begin >= end) return records;
+  if (has_archive(dir)) {
+    records = ArchiveReader::open(archive_path(dir))
+                  .load_index_range(begin, end);
+  }
+  std::vector<explore::EvalResult> logged;
+  load_logs(dir, &logged);
+  for (auto& record : logged) {
+    if (record.index >= begin && record.index < end) {
+      records.push_back(std::move(record));
+    }
   }
   return records;
 }
@@ -563,10 +612,11 @@ std::size_t RunLog::warm(const std::vector<explore::EvalResult>& records,
     // cleanup of the other format) yields duplicate records.  Each
     // unique design point was one budget-charged evaluation; counting
     // duplicates would inflate `already_spent` and make a resumed run
-    // silently under-spend its budget.
-    const explore::CacheKey key = explore::cache_key(request);
-    if (!engine.cache().contains(key)) ++warmed;
-    engine.cache().insert(key, outcome);
+    // silently under-spend its budget.  insert() reports newness, so
+    // one shard probe both stores the outcome and counts the key.
+    if (engine.cache().insert(explore::cache_key(request), outcome)) {
+      ++warmed;
+    }
   }
   return warmed;
 }

@@ -142,11 +142,22 @@ class RunLog {
                                                std::size_t shard);
   static std::string meta_path(const std::string& dir);
 
-  /// True when `dir` holds a result log in either format — unsharded or
-  /// belonging to any shard.
+  /// Columnar archive of a compacted run: <dir>/archive.msca
+  /// (search/archive).  `explore_cli --archive` rewrites a merged log
+  /// into it; load()/load_range() read it back.
+  static std::string archive_path(const std::string& dir);
+
+  /// True when `dir` holds a columnar archive.
+  static bool has_archive(const std::string& dir);
+
+  /// True when `dir` holds recorded results: a result log in either
+  /// format — unsharded or belonging to any shard — or a columnar
+  /// archive.
   static bool has_results(const std::string& dir);
 
-  /// Parses every well-formed record under `dir`: the unsharded files
+  /// Parses every well-formed record under `dir`: the columnar archive
+  /// first when one exists (its records are the compacted history, so
+  /// first-occurrence dedup favors them), then the unsharded files
   /// (both formats, NDJSON first — a directory normally holds one;
   /// after a format switch on resume it can hold both, and the warm
   /// cache dedups overlaps) followed by every shard's files in shard
@@ -156,6 +167,16 @@ class RunLog {
   /// were non-finite load as infeasible rather than being dropped, so a
   /// resumed run does not re-spend budget on them.
   static std::vector<explore::EvalResult> load(const std::string& dir);
+
+  /// Records with begin <= flat index < end, from the archive (which
+  /// seeks only the blocks whose zone index ranges intersect — the
+  /// index-sorted layout makes a flat range a contiguous block band)
+  /// plus any result-log records in range.  What an exhaustive shard
+  /// resuming against an archived directory warms from: the union is
+  /// never materialized.  A corrupt archive throws, exactly as load().
+  static std::vector<explore::EvalResult> load_range(const std::string& dir,
+                                                     std::size_t begin,
+                                                     std::size_t end);
 
   /// Parses only shard `shard`'s files under `dir` — what a resumed
   /// shard warms its cache (and counts its already-spent budget) from.

@@ -7,6 +7,7 @@
 
 #include "core/app_params.hpp"
 #include "noc/topology.hpp"
+#include "search/archive.hpp"
 
 namespace mergescale::serve {
 
@@ -122,6 +123,18 @@ Archive load_archive(const std::string& dir,
   archive.config = std::move(run.config);
   archive.spec = spec_from_run_config(archive.config);
   archive.records = std::move(run.records);
+  if (search::RunLog::has_archive(dir)) {
+    // The archive was written deduplicated (explore_cli --archive dedups
+    // before encoding), so every one of its rows survives the union's
+    // first-occurrence dedup and the prefix length is exactly its row
+    // count.  The count check guards the hand-crafted-file case.
+    const std::uint64_t rows =
+        search::ArchiveReader::open(search::RunLog::archive_path(dir))
+            .row_count();
+    if (rows <= archive.records.size()) {
+      archive.archived = static_cast<std::size_t>(rows);
+    }
+  }
   return archive;
 }
 

@@ -20,6 +20,13 @@ struct Archive {
   std::string config;  ///< meta config, shard token stripped
   explore::ScenarioSpec spec;  ///< space the records were drawn from
   std::vector<explore::EvalResult> records;  ///< deduplicated union
+  /// Records contributed by `dir`'s columnar archive (archive.msca).
+  /// The archive loads before any result log and dedup keeps first
+  /// occurrences, so these are the union's first `archived` records —
+  /// the prefix a QueryServer can serve straight from the file-backed
+  /// zone-map engine instead of re-scanning.  0 when `dir` holds no
+  /// archive.
+  std::size_t archived = 0;
 };
 
 /// Rebuilds the ScenarioSpec encoded in a run-log meta config string

@@ -35,20 +35,47 @@ std::string sys_error(const char* what) {
 
 }  // namespace
 
+search::ArchiveReader QueryServer::make_reader(
+    Archive& archive, std::vector<explore::EvalResult>* delta) {
+  std::vector<explore::EvalResult> records = std::move(archive.records);
+  if (archive.archived > 0 && archive.archived <= records.size() &&
+      search::RunLog::has_archive(archive.dir)) {
+    search::ArchiveReader reader = search::ArchiveReader::open(
+        search::RunLog::archive_path(archive.dir));
+    if (reader.row_count() == archive.archived) {
+      // The union's first `archived` records ARE the file's rows (see
+      // Archive::archived), so the file-backed engine serves them from
+      // its mmap and only the post-archive tail rides in memory.
+      delta->assign(
+          std::make_move_iterator(records.begin() +
+                                  static_cast<std::ptrdiff_t>(
+                                      archive.archived)),
+          std::make_move_iterator(records.end()));
+      return reader;
+    }
+  }
+  // No archive on disk (or it does not cover the union's prefix): build
+  // the same engine in memory over the whole union.
+  return search::ArchiveReader::from_records(records);
+}
+
 QueryServer::QueryServer(Archive archive, explore::ExploreEngine& engine,
                          search::RunLog* log, ServerOptions options)
     : archive_(std::move(archive)),
       engine_(engine),
       log_(log),
       options_(std::move(options)),
-      // The record list moves into its own guarded member; what stays in
-      // archive_ (dir, config, spec) is immutable for the server's life.
-      records_(std::move(archive_.records)),
+      // The record list moves into the query engine + delta pair; what
+      // stays in archive_ (dir, config, spec) is immutable for the
+      // server's life.
+      reader_(make_reader(archive_, &delta_)),
       gate_(std::clamp(options_.initial_concurrency,
                        options_.probe.min_concurrency,
                        options_.probe.max_concurrency)),
       probe_(options_.probe, options_.initial_concurrency) {
-  next_index_.store(records_.size(), std::memory_order_relaxed);
+  next_index_.store(static_cast<std::size_t>(reader_.row_count()) +
+                        delta_.size(),
+                    std::memory_order_relaxed);
 }
 
 QueryServer::~QueryServer() { stop(); }
@@ -265,9 +292,26 @@ std::string QueryServer::execute(const Query& query) {
   return err_reply("internal error: unhandled query kind");
 }
 
+// The best/topk/pareto answers fold the archive engine's result with
+// the live delta: the engine's pruned scan already returns the exact
+// archive-side answer (top_k/pareto are closed under refolding — the
+// frontier of frontier(A) ∪ D is the frontier of A ∪ D, and likewise
+// for the k-best), so re-running the reference reduction over
+// engine-result + delta is byte-identical to the reference over the
+// full union, while touching only zone-admitted blocks.  archive_mu_ is
+// held for the delta copy alone; the archive scan and the table render
+// both run outside it.
+
 std::string QueryServer::answer_best() const {
-  util::ReaderLock lock(archive_mu_);
-  const explore::EvalResult* best = explore::best_result(records_);
+  std::vector<explore::EvalResult> pool;
+  if (std::optional<explore::EvalResult> archived = reader_.best()) {
+    pool.push_back(std::move(*archived));
+  }
+  {
+    util::ReaderLock lock(archive_mu_);
+    pool.insert(pool.end(), delta_.begin(), delta_.end());
+  }
+  const explore::EvalResult* best = explore::best_result(pool);
   if (best == nullptr) {
     return err_reply("no feasible design point in the archive");
   }
@@ -278,17 +322,24 @@ std::string QueryServer::answer_best() const {
 }
 
 std::string QueryServer::answer_topk(std::size_t k) const {
-  util::ReaderLock lock(archive_mu_);
-  const std::string payload =
-      explore::to_table(explore::top_k(records_, k))
-          .to_text("top-k designs by speedup");
+  std::vector<explore::EvalResult> pool = reader_.top_k(k);
+  {
+    util::ReaderLock lock(archive_mu_);
+    pool.insert(pool.end(), delta_.begin(), delta_.end());
+  }
+  const std::string payload = explore::to_table(explore::top_k(pool, k))
+                                  .to_text("top-k designs by speedup");
   return ok_header(QueryKind::kTopK, count_lines(payload)) + payload + "END\n";
 }
 
 std::string QueryServer::answer_pareto(explore::CostMetric metric) const {
-  util::ReaderLock lock(archive_mu_);
+  std::vector<explore::EvalResult> pool = reader_.pareto(metric);
+  {
+    util::ReaderLock lock(archive_mu_);
+    pool.insert(pool.end(), delta_.begin(), delta_.end());
+  }
   const std::string payload =
-      explore::to_table(explore::pareto_frontier(records_, metric))
+      explore::to_table(explore::pareto_frontier(pool, metric))
           .to_text(std::string("Pareto frontier (speedup vs. ") +
                    (metric == explore::CostMetric::kCoreArea ? "core area"
                                                              : "core count") +
@@ -427,7 +478,7 @@ std::string QueryServer::answer_eval(const Query& query) {
       engine_.cache().insert(key, outcome);
       {
         util::WriterLock archive(archive_mu_);
-        records_.push_back(fresh);
+        delta_.push_back(fresh);
       }
       return render_eval(fresh, "live");
     }
@@ -441,7 +492,9 @@ std::string QueryServer::answer_stats() {
   std::ostringstream os;
   {
     util::ReaderLock lock(archive_mu_);
-    os << "archive_records=" << records_.size() << "\n";
+    // Archived rows plus the live delta: the same total the record
+    // vector used to report.
+    os << "archive_records=" << reader_.row_count() + delta_.size() << "\n";
   }
   {
     // dir/config are immutable after construction; no lock needed, but

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "explore/engine.hpp"
+#include "search/archive.hpp"
 #include "search/run_log.hpp"
 #include "serve/archive.hpp"
 #include "serve/probe.hpp"
@@ -114,6 +115,14 @@ class QueryServer {
   }
 
  private:
+  /// Builds the zone-map query engine over `archive`'s records —
+  /// file-backed (read-only, mmap-served) when <dir>/archive.msca holds
+  /// exactly the record union's prefix, else an in-memory archive over
+  /// the whole union — and moves any remaining union records into
+  /// `*delta`.  Consumes archive.records.
+  static search::ArchiveReader make_reader(
+      Archive& archive, std::vector<explore::EvalResult>* delta);
+
   /// Executes a parsed query (no gating) into a framed reply.
   std::string execute(const Query& query);
   std::string answer_best() const MS_EXCLUDES(archive_mu_);
@@ -135,20 +144,31 @@ class QueryServer {
                           std::uint64_t completed) MS_EXCLUDES(probe_mu_);
 
   /// Immutable after construction (dir, config, spec — records are moved
-  /// out into records_, the one field queries mutate): resolve_eval and
-  /// answer_stats read these fields without a lock, and the annotations
-  /// hold the line between that and the guarded record list.
+  /// out into reader_/delta_, the fields queries touch): resolve_eval
+  /// and answer_stats read these fields without a lock, and the
+  /// annotations hold the line between that and the guarded delta list.
   Archive archive_;
   explore::ExploreEngine& engine_;
   search::RunLog* log_;
   ServerOptions options_;
 
-  /// Guards records_ (readers: best/topk/pareto/stats; writer: the
-  /// live-eval append path).
+  /// Guards delta_ (readers: best/topk/pareto/stats; writer: the
+  /// live-eval append path).  Queries copy the delta out under a reader
+  /// lock and render OUTSIDE it — the lock is held for a vector copy,
+  /// never for an archive scan or a table render.
   mutable util::SharedMutex archive_mu_;
-  /// The archive's deduplicated records plus every live evaluation
-  /// appended since start — what best/topk/pareto answer from.
-  std::vector<explore::EvalResult> records_ MS_GUARDED_BY(archive_mu_);
+  /// Records recorded since the archive was built (result-log records
+  /// beyond the file-backed prefix) plus every live evaluation appended
+  /// since start — folded into every answer on top of reader_'s
+  /// archive.  Declared before reader_: make_reader fills it while
+  /// initializing reader_, so it must be constructed first.
+  std::vector<explore::EvalResult> delta_ MS_GUARDED_BY(archive_mu_);
+  /// Zone-map query engine over the archived records (search/archive).
+  /// Immutable after construction; its query methods are const and
+  /// internally thread-safe, so best/topk/pareto run them without
+  /// holding archive_mu_ — queries prune blocks via zone maps instead
+  /// of scanning an O(archive) record vector per request.
+  search::ArchiveReader reader_;
   /// Serializes live evaluations: re-check the cache, spend budget,
   /// append to log + archive as one step, so a racing duplicate miss
   /// cannot double-append or double-spend.

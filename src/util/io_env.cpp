@@ -8,6 +8,7 @@
 #include <cerrno>
 #include <cstdlib>
 #include <fcntl.h>
+#include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -88,6 +89,42 @@ class RealWritableFile final : public WritableFile {
   std::string path_;
 };
 
+/// Zero-copy random access over a private read-only mapping.  The fd is
+/// closed right after mmap (the mapping keeps the pages alive), and the
+/// mapping is immutable, so concurrent read() calls need no locking.
+class RealRandomAccessFile final : public RandomAccessFile {
+ public:
+  RealRandomAccessFile(void* map, std::uint64_t size)
+      : map_(map), size_(size) {}
+
+  ~RealRandomAccessFile() override {
+    if (map_ != nullptr) ::munmap(map_, static_cast<std::size_t>(size_));
+  }
+
+  RealRandomAccessFile(const RealRandomAccessFile&) = delete;
+  RealRandomAccessFile& operator=(const RealRandomAccessFile&) = delete;
+
+  std::uint64_t size() const noexcept override { return size_; }
+
+  [[nodiscard]] IoResult read(std::uint64_t offset, std::size_t count,
+                              std::string_view* out,
+                              std::string* /*scratch*/) const override {
+    if (offset >= size_) {
+      *out = std::string_view();
+      return IoResult::success();
+    }
+    const std::uint64_t available = size_ - offset;
+    const std::size_t take = static_cast<std::size_t>(
+        std::min<std::uint64_t>(count, available));
+    *out = std::string_view(static_cast<const char*>(map_) + offset, take);
+    return IoResult::success();
+  }
+
+ private:
+  void* map_;
+  std::uint64_t size_;
+};
+
 class RealIoEnv final : public IoEnv {
  public:
   [[nodiscard]] IoResult new_writable(
@@ -147,6 +184,33 @@ class RealIoEnv final : public IoEnv {
     }
     ::close(fd);
     out->resize(filled);
+    return IoResult::success();
+  }
+
+  [[nodiscard]] IoResult new_random_access(
+      const std::string& path,
+      std::unique_ptr<RandomAccessFile>* out) override {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return posix_error("open", path, errno);
+    struct stat info{};
+    if (::fstat(fd, &info) != 0) {
+      const int err = errno;
+      ::close(fd);
+      return posix_error("stat", path, err);
+    }
+    const auto size = static_cast<std::uint64_t>(info.st_size);
+    void* map = nullptr;
+    if (size > 0) {
+      map = ::mmap(nullptr, static_cast<std::size_t>(size), PROT_READ,
+                   MAP_PRIVATE, fd, 0);
+      if (map == MAP_FAILED) {
+        const int err = errno;
+        ::close(fd);
+        return posix_error("mmap", path, err);
+      }
+    }
+    ::close(fd);
+    *out = std::make_unique<RealRandomAccessFile>(map, size);
     return IoResult::success();
   }
 
@@ -236,7 +300,43 @@ IoEnv& default_io_env() {
   return *env;
 }
 
+/// Fallback random-access handle for envs without a native one: every
+/// read() is a read_file_range() through the owning env, so whatever
+/// decoration that env applies (fault injection, power loss) covers
+/// positioned reads too.  The env must outlive the handle.
+class EnvRandomAccessFile final : public RandomAccessFile {
+ public:
+  EnvRandomAccessFile(IoEnv* env, std::string path, std::uint64_t size)
+      : env_(env), path_(std::move(path)), size_(size) {}
+
+  std::uint64_t size() const noexcept override { return size_; }
+
+  [[nodiscard]] IoResult read(std::uint64_t offset, std::size_t count,
+                              std::string_view* out,
+                              std::string* scratch) const override {
+    const IoResult result =
+        env_->read_file_range(path_, offset, count, scratch);
+    if (!result.ok()) return result;
+    *out = *scratch;
+    return IoResult::success();
+  }
+
+ private:
+  IoEnv* env_;
+  std::string path_;
+  std::uint64_t size_;
+};
+
 }  // namespace
+
+IoResult IoEnv::new_random_access(const std::string& path,
+                                  std::unique_ptr<RandomAccessFile>* out) {
+  std::uint64_t size = 0;
+  const IoResult result = file_size(path, &size);
+  if (!result.ok()) return result;
+  *out = std::make_unique<EnvRandomAccessFile>(this, path, size);
+  return IoResult::success();
+}
 
 IoEnv& real_io_env() {
   static RealIoEnv env;

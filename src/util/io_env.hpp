@@ -63,6 +63,28 @@ class WritableFile {
   [[nodiscard]] virtual IoResult close() = 0;
 };
 
+/// A read-only file handle with positioned reads — what the columnar
+/// archive reader (search/archive) queries through, touching only the
+/// byte ranges its zone maps admit instead of streaming the whole file.
+/// read() is const and carries no cursor, so one handle may serve
+/// concurrent queries.
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+
+  /// File size captured when the handle was opened.
+  virtual std::uint64_t size() const noexcept = 0;
+
+  /// Reads `count` bytes at `offset` into *out.  Zero-copy
+  /// implementations (RealIoEnv's mmap handle) point *out into the
+  /// mapping and leave *scratch alone; buffered ones fill *scratch and
+  /// point *out at it, so *scratch must outlive the use of *out.
+  /// Reads past EOF shorten — *out holds what was there.
+  [[nodiscard]] virtual IoResult read(std::uint64_t offset, std::size_t count,
+                                      std::string_view* out,
+                                      std::string* scratch) const = 0;
+};
+
 /// The filesystem surface the persistence stack is allowed to touch.
 /// RealIoEnv forwards to POSIX; FaultyIoEnv decorates any base env.
 class IoEnv {
@@ -83,6 +105,14 @@ class IoEnv {
                                                  std::uint64_t offset,
                                                  std::size_t count,
                                                  std::string* out) = 0;
+
+  /// Opens `path` for positioned read-only access.  The default
+  /// implementation routes every read() through this env's own
+  /// read_file_range(), so decorating envs (FaultyIoEnv) inherit fault
+  /// injection with no override; RealIoEnv overrides it with a
+  /// zero-copy mmap handle.
+  [[nodiscard]] virtual IoResult new_random_access(
+      const std::string& path, std::unique_ptr<RandomAccessFile>* out);
 
   virtual bool exists(const std::string& path) = 0;
   [[nodiscard]] virtual IoResult file_size(const std::string& path,

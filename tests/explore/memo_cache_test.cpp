@@ -188,6 +188,22 @@ TEST(MemoCache, ClearDropsEntriesAndResetsStats) {
   EXPECT_FALSE(cache.lookup(key, &out));
 }
 
+TEST(MemoCache, InsertReportsWhetherTheKeyWasNew) {
+  // Regression: RunLog::warm used a lookup+insert double probe to count
+  // unique records; insert's return value is the single-probe contract
+  // it relies on (true exactly when the key filled an empty slot).
+  MemoCache cache(2);
+  const CacheKey key = cache_key(sample_request());
+  EXPECT_TRUE(cache.insert(key, EvalOutcome{}));
+  EXPECT_FALSE(cache.insert(key, EvalOutcome{}));  // overwrite, not new
+  EXPECT_EQ(cache.size(), 1u);
+
+  core::EvalRequest other = sample_request();
+  other.r = other.r + 1.0;
+  EXPECT_TRUE(cache.insert(cache_key(other), EvalOutcome{}));
+  EXPECT_EQ(cache.size(), 2u);
+}
+
 TEST(MemoCache, SpreadsDistinctKeysAcrossEntries) {
   MemoCache cache(8);
   EXPECT_EQ(cache.shard_count(), 8u);

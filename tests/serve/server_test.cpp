@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "explore/report.hpp"
+#include "search/archive.hpp"
 #include "search/run_log.hpp"
 #include "serve/archive.hpp"
 
@@ -287,6 +288,62 @@ TEST_F(ServerTest, LoadArchiveDedupsAndRefusesForeignConfigs) {
   const Archive plain = load_archive(dir_);
   const Archive self_union = load_archive(dir_, {dir_});
   EXPECT_EQ(self_union.records.size(), plain.records.size());
+}
+
+TEST_F(ServerTest, ArchiveBackedAnswersAreByteIdenticalToLogBacked) {
+  record();
+  // Capture the log-backed server's answers first.
+  std::vector<std::string> reference;
+  {
+    auto log_backed = serve();
+    for (const char* line : {"best", "topk 5", "pareto area", "pareto cores"}) {
+      reference.push_back(log_backed->server->execute_line(line));
+    }
+  }
+
+  // What explore_cli --archive does: dedup the merged log, write the
+  // columnar archive, drop the row logs.
+  const auto records = search::RunLog::dedup(search::RunLog::load(dir_));
+  ASSERT_FALSE(records.empty());
+  search::write_archive(search::RunLog::archive_path(dir_), records);
+  std::filesystem::remove(search::RunLog::results_path(dir_));
+
+  auto archive_backed = serve();
+  // The startup path recognized the archive as the union's prefix, so
+  // the server is answering through the file-backed zone-map reader —
+  // not an O(archive) scan of a record vector.
+  EXPECT_EQ(archive_backed->archive.archived, records.size());
+  std::size_t at = 0;
+  for (const char* line : {"best", "topk 5", "pareto area", "pareto cores"}) {
+    EXPECT_EQ(archive_backed->server->execute_line(line), reference[at++])
+        << line;
+  }
+}
+
+TEST_F(ServerTest, LiveEvalsFoldIntoArchiveBackedAnswers) {
+  record();
+  const auto records = search::RunLog::dedup(search::RunLog::load(dir_));
+  search::write_archive(search::RunLog::archive_path(dir_), records);
+  std::filesystem::remove(search::RunLog::results_path(dir_));
+
+  // A live (off-grid) eval lands in the server's delta list; every
+  // later answer must fold it in on top of the file-backed archive.
+  auto harness = serve();
+  ASSERT_EQ(harness->archive.archived, records.size());
+  const std::string reply = harness->server->execute_line(
+      "eval variant=asymmetric n=96 app=kmeans growth=linear r=2 rl=32");
+  ASSERT_NE(reply.find("source=live"), std::string::npos) << reply;
+  const std::string topk_after = harness->server->execute_line("topk 5");
+  const std::string best_after = harness->server->execute_line("best");
+  harness.reset();  // flush the live record into the run log
+
+  // A log-backed restart loads archive + appended record and must land
+  // on byte-identical answers — the delta fold is not a different query
+  // engine, just a deferred part of the same archive.
+  auto restarted = serve();
+  EXPECT_EQ(restarted->archive.records.size(), records.size() + 1);
+  EXPECT_EQ(restarted->server->execute_line("topk 5"), topk_after);
+  EXPECT_EQ(restarted->server->execute_line("best"), best_after);
 }
 
 TEST_F(ServerTest, RunLogDedupKeepsFirstOccurrence) {

@@ -120,6 +120,7 @@ TEST(MslintRules, RawIoFires) {
   const std::vector<std::pair<int, std::string>> want = {
       {11, "raw-io"}, {13, "raw-io"}, {14, "raw-io"}, {19, "raw-io"},
       {20, "raw-io"}, {21, "raw-io"}, {23, "raw-io"}, {24, "raw-io"},
+      {41, "raw-io"}, {42, "raw-io"},
   };
   EXPECT_EQ(got, want);
 }

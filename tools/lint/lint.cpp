@@ -364,7 +364,8 @@ struct Scanner {
     // member statics (File::open) have an identifier before the colons.
     for (const char* fn :
          {"open", "creat", "write", "pwrite", "read", "pread", "fsync",
-          "fdatasync", "ftruncate", "truncate", "rename", "unlink"}) {
+          "fdatasync", "ftruncate", "truncate", "rename", "unlink", "mmap",
+          "munmap"}) {
       const std::string name = std::string("::") + fn;
       for (std::size_t pos = code.find(name); pos != std::string_view::npos;
            pos = code.find(name, pos + name.size())) {

@@ -37,4 +37,9 @@ void suppressed(const char* path) {
   ::unlink(path);  // mslint: allow(raw-io)
 }
 
+void mapping_calls(void* addr) {
+  ::mmap(nullptr, 16, 3, 2, -1, 0);  // line 41: raw-io
+  ::munmap(addr, 16);                // line 42: raw-io
+}
+
 }  // namespace fixture
